@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace monocle::bench {
+
+/// Parses "--name=value" style flags; returns `fallback` when absent.
+inline std::int64_t flag_int(int argc, char** argv, const char* name,
+                             std::int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoll(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline bool flag_present(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Prints a CDF of `samples` (any unit) as fixed quantile rows.
+inline void print_cdf(const char* label, std::vector<double> samples,
+                      const char* unit) {
+  if (samples.empty()) {
+    std::printf("  %-28s (no samples)\n", label);
+    return;
+  }
+  std::sort(samples.begin(), samples.end());
+  auto q = [&](double p) {
+    const std::size_t idx = std::min(
+        samples.size() - 1, static_cast<std::size_t>(p * samples.size()));
+    return samples[idx];
+  };
+  std::printf(
+      "  %-28s p05=%8.3f p25=%8.3f p50=%8.3f p75=%8.3f p95=%8.3f max=%8.3f %s\n",
+      label, q(0.05), q(0.25), q(0.50), q(0.75), q(0.95), samples.back(), unit);
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace monocle::bench

@@ -1,0 +1,186 @@
+// Figure 4 reproduction: time to detect rule/link failures in steady state.
+//
+// Paper (§8.1.1, Figure 4): an HP 5406zl holding 1000 L3 rules is monitored
+// at 500 probes/s (3 resends, 150 ms detection timeout) in a 4-leaf star of
+// OVS switches.  A random rule (or set of rules, or a whole 102-rule link)
+// is failed in the data plane; the plot shows the CDF of the time until
+// Monocle has detected >= x of the y failed rules:
+//   1 of 1   : 150 ms .. ~cycle (2 s) + timeout
+//   5 of 102 (link): ~200 ms on average (150 ms of that is the timeout)
+//   thresholds closer to y take longer (order statistics of the cycle).
+#include <cstdio>
+#include <random>
+
+#include "bench/bench_util.hpp"
+#include "monocle/localizer.hpp"
+#include "monocle/monitor.hpp"
+#include "switchsim/testbed.hpp"
+#include "topo/generators.hpp"
+
+namespace {
+
+using namespace monocle;
+using namespace monocle::switchsim;
+using netbase::Field;
+using netbase::kMillisecond;
+using netbase::kSecond;
+using netbase::SimTime;
+using openflow::Action;
+using openflow::Rule;
+
+constexpr std::size_t kRules = 1000;
+constexpr std::size_t kLinkRules = 102;  // rules forwarding to the failed link
+
+/// 1000 L3 /32 routes: 102 forwarding to port 4 (the "link" group), evenly
+/// interleaved through the table — like random L3 routes, they land spread
+/// across the monitoring cycle — and the rest round-robin over ports 1-3.
+std::vector<Rule> make_rules() {
+  std::vector<Rule> rules;
+  rules.reserve(kRules);
+  std::size_t on_link = 0;
+  for (std::size_t i = 0; i < kRules; ++i) {
+    Rule r;
+    r.priority = 10;
+    r.cookie = i + 1;
+    r.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    r.match.set_prefix(Field::IpDst, 0x0A000000u + static_cast<std::uint32_t>(i + 1), 32);
+    const bool link_rule =
+        on_link < kLinkRules && (i * kLinkRules) / kRules >= on_link;
+    const std::uint16_t port =
+        link_rule ? 4 : static_cast<std::uint16_t>(1 + i % 3);
+    if (link_rule) ++on_link;
+    r.actions = {Action::output(port)};
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+struct Scenario {
+  const char* name;
+  std::size_t fail_count;  // 0 = fail the port-4 link instead
+  std::size_t threshold;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto trials = static_cast<std::size_t>(
+      monocle::bench::flag_int(argc, argv, "trials", 300));
+
+  std::printf("=== Figure 4: time to detect >=x of y failed rules ===\n");
+  std::printf("(1000-rule flow table, 500 probes/s, 3 resends, 150 ms "
+              "timeout; paper: single rule 0.15-3 s, link ~0.2 s avg)\n\n");
+
+  const Scenario scenarios[] = {
+      {"1 out of 1", 1, 1},
+      {"3 out of 5", 5, 3},
+      {"5 out of 5", 5, 5},
+      {"3 out of 10", 10, 3},
+      {"5 out of 102 (link)", 0, 5},
+  };
+
+  const auto rules = make_rules();
+  auto cache = std::make_shared<ProbeCache>();  // shared across scenarios
+  std::mt19937_64 rng(2026);
+
+  for (const Scenario& sc : scenarios) {
+    EventQueue eq;
+    Testbed::Options opts;
+    opts.monitor.steady_probe_rate = 500.0;
+    opts.monitor.probe_retries = 3;
+    opts.monitor.probe_timeout = 150 * kMillisecond;
+    opts.monitor.steady_warmup = 300 * kMillisecond;
+    opts.monitor.alarm_threshold = sc.threshold;
+    // Hub = HP 5406zl hardware switch, leaves = OVS (paper testbed).
+    opts.model_for = [](topo::NodeId n) {
+      return n == 0 ? SwitchModel::hp5406zl() : SwitchModel::ideal();
+    };
+    Testbed bed(&eq, topo::make_star(4), SwitchModel::ideal(), opts);
+
+    Monitor* hub = bed.monitor(1);
+    hub->set_probe_cache(cache);
+    SimTime alarm_at = 0;
+    hub->hooks_for_test().on_alarm = [&](const RuleAlarm& a) {
+      if (alarm_at == 0) alarm_at = a.when;
+    };
+    for (const Rule& r : rules) {
+      hub->seed_rule(r);
+      bed.sw(1)->mutable_dataplane().add(r);
+    }
+    bed.start_monitoring();
+    // Warm up: one full monitoring cycle fills the probe cache.
+    eq.run_until(3 * kSecond);
+
+    std::vector<double> detection_s;
+    std::uniform_int_distribution<std::size_t> pick_rule(0, kRules - 1);
+    std::uniform_int_distribution<SimTime> phase(0, 2 * kSecond);
+
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      // Random phase relative to the monitoring cycle.
+      eq.run_until(eq.now() + phase(rng));
+      alarm_at = 0;
+      std::vector<std::uint64_t> failed_cookies;
+      if (sc.fail_count == 0) {
+        bed.network().fail_link(1, 4);  // takes out the 102 port-4 rules
+      } else {
+        while (failed_cookies.size() < sc.fail_count) {
+          const Rule& candidate = rules[pick_rule(rng)];
+          if (candidate.actions[0].port == 4) continue;  // reserved: link group
+          if (bed.sw(1)->fail_rule(candidate.cookie)) {
+            failed_cookies.push_back(candidate.cookie);
+          }
+        }
+      }
+      const SimTime failed_at = eq.now();
+      const SimTime horizon = failed_at + 10 * kSecond;
+      while (alarm_at == 0 && eq.now() < horizon && eq.run_one()) {
+      }
+      if (alarm_at != 0) {
+        detection_s.push_back(netbase::to_seconds(alarm_at - failed_at));
+      }
+      // On the first link-failure trial, show the §1 troubleshooting layer:
+      // simultaneous rule failures localize to one link.
+      if (sc.fail_count == 0 && trial == 0) {
+        // Let the rest of the cycle sweep the link's rules before
+        // diagnosing (all 102 must time out to cross the 0.8 fraction).
+        eq.run_until(eq.now() + 3 * kSecond);
+        const Diagnosis diag =
+            localize_failures(hub->expected_table(), hub->failed_rules());
+        if (diag.link_failure_suspected()) {
+          std::printf("  localizer: link on port %u diagnosed (%zu/%zu rules "
+                      "failed)\n",
+                      diag.failed_links[0].port,
+                      diag.failed_links[0].failed_rules,
+                      diag.failed_links[0].total_rules);
+        }
+      }
+      // Repair and let the monitor re-confirm everything.
+      if (sc.fail_count == 0) {
+        bed.network().restore_link(1, 4);
+      } else {
+        for (const std::uint64_t cookie : failed_cookies) {
+          bed.sw(1)->mutable_dataplane().add(rules[cookie - 1]);
+        }
+      }
+      const SimTime repair_horizon = eq.now() + 15 * kSecond;
+      while (hub->failed_rule_count() > 0 && eq.now() < repair_horizon &&
+             eq.run_one()) {
+      }
+      if (hub->failed_rule_count() > 0) {
+        std::fprintf(stderr, "warning: recovery incomplete after trial %zu\n",
+                     trial);
+        break;
+      }
+    }
+
+    monocle::bench::print_cdf(sc.name, detection_s, "s");
+    std::printf("  %-28s mean=%6.3f s over %zu trials\n", "",
+                monocle::bench::mean(detection_s), detection_s.size());
+  }
+
+  std::printf("\n(paper Figure 4: detection of a single rule spreads "
+              "uniformly over the 2 s cycle + 150 ms timeout; the link "
+              "failure is caught in ~0.2 s because any of its 102 rules "
+              "triggers detection)\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Consistent network update with and without Monocle (paper §4, §8.1.2).
+//
+// A controller reroutes 50 flows from S1->S2 onto S1->S3->S2 using the
+// two-phase consistent-update recipe: install the new S3 rule, wait for
+// confirmation, then flip the S1 rule.  S3 is an HP-like switch that
+// acknowledges rules BEFORE they reach the data plane — so trusting its
+// barrier replies blackholes live traffic.  With Monocle in the control
+// path, the barrier reply is held until a data-plane probe proves the rule,
+// and no packet is lost.
+//
+// Build & run:  ./build/examples/consistent_update
+#include <cstdio>
+
+#include "monocle/monitor.hpp"
+#include "switchsim/testbed.hpp"
+#include "switchsim/traffic.hpp"
+#include "topo/generators.hpp"
+
+using namespace monocle;
+using namespace monocle::switchsim;
+using netbase::Field;
+using netbase::kMillisecond;
+using netbase::kSecond;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Message;
+
+namespace {
+
+constexpr std::size_t kFlows = 50;
+constexpr SwitchId kS1 = 1, kS2 = 2, kS3 = 3;
+
+FlowMod flow_rule(std::size_t i, std::uint16_t out_port,
+                  FlowModCommand cmd = FlowModCommand::kAdd) {
+  FlowMod fm;
+  fm.command = cmd;
+  fm.priority = 100;
+  fm.cookie = i + 1;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpSrc, 0x0A010000u + static_cast<std::uint32_t>(i), 32);
+  fm.match.set_prefix(Field::IpDst, 0x0A020000u + static_cast<std::uint32_t>(i), 32);
+  fm.actions = {Action::output(out_port)};
+  return fm;
+}
+
+std::uint64_t run(bool with_monocle) {
+  EventQueue clock;
+  Testbed::Options options;
+  options.with_monocle = with_monocle;
+  options.monitor.steady_probe_rate = 0;  // dynamic monitoring only
+  options.model_for = [](topo::NodeId n) {
+    return n == 2 ? SwitchModel::hp5406zl() : SwitchModel::ideal();
+  };
+  Testbed bed(&clock, topo::make_triangle(), SwitchModel::ideal(), options);
+
+  TrafficSet traffic(&clock, &bed.network(), kS1, 3,
+                     {.flows = kFlows, .rate_per_flow = 200.0});
+  bed.network().attach_host(kS2, 3, [&](const SimPacket& p) {
+    if (!p.header.has_vlan_tag()) traffic.deliver(p);
+  });
+
+  if (with_monocle) {
+    bed.start_monitoring();
+    clock.run_until(500 * kMillisecond);
+  }
+  // Initial paths: S1 -> S2 -> H2.
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    bed.controller_send(kS1, openflow::make_message(0, flow_rule(i, 1)));
+    bed.controller_send(kS2, openflow::make_message(0, flow_rule(i, 3)));
+  }
+  clock.run_until(3 * kSecond);
+  traffic.start();
+  clock.run_until(clock.now() + 200 * kMillisecond);
+
+  // The update: per flow, install at S3, trust the barrier, flip S1.
+  bed.set_controller_handler([&](SwitchId sw, const Message& m) {
+    if (sw == kS3 && m.is<openflow::BarrierReply>() && m.xid < kFlows) {
+      bed.controller_send(
+          kS1, openflow::make_message(
+                   0, flow_rule(m.xid, 2, FlowModCommand::kModifyStrict)));
+    }
+  });
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    bed.controller_send(kS3, openflow::make_message(0, flow_rule(i, 2)));
+    bed.controller_send(kS3,
+                        openflow::make_message(static_cast<std::uint32_t>(i),
+                                               openflow::BarrierRequest{}));
+  }
+  clock.run_until(clock.now() + 4 * kSecond);
+  traffic.stop();
+  clock.run_until(clock.now() + 200 * kMillisecond);
+  return traffic.total_lost();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("rerouting %zu live flows through a switch that acknowledges "
+              "rules before installing them...\n\n", kFlows);
+  const std::uint64_t vanilla = run(false);
+  std::printf("  barriers only : %6llu packets blackholed\n",
+              static_cast<unsigned long long>(vanilla));
+  const std::uint64_t monocle_drops = run(true);
+  std::printf("  with Monocle  : %6llu packets blackholed\n",
+              static_cast<unsigned long long>(monocle_drops));
+  std::printf("\nMonocle held each barrier reply until a probe proved the "
+              "rule was forwarding in hardware (paper §8.1.2).\n");
+  return monocle_drops == 0 ? 0 : 1;
+}

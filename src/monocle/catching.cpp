@@ -1,0 +1,106 @@
+#include "monocle/catching.hpp"
+
+#include <cassert>
+
+namespace monocle {
+
+using netbase::Field;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Match;
+
+CatchPlan CatchPlan::build(const topo::Topology& topo,
+                           const std::vector<SwitchId>& switch_ids,
+                           CatchStrategy strategy, Field field1, Field field2) {
+  assert(switch_ids.size() == topo.node_count());
+  CatchPlan plan;
+  plan.strategy_ = strategy;
+  plan.field1_ = field1;
+  plan.field2_ = field2;
+  plan.switch_ids_ = switch_ids;
+
+  const topo::Topology squared =
+      strategy == CatchStrategy::kTwoFields ? topo.square() : topo::Topology{};
+  const topo::Coloring coloring =
+      strategy == CatchStrategy::kTwoFields
+          ? topo::exact_coloring(squared, /*node_budget=*/200'000)
+          : topo::exact_coloring(topo, /*node_budget=*/200'000);
+  plan.color_count_ = coloring.color_count;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    plan.color_[switch_ids[n]] = coloring.color[n];
+  }
+  plan.valid_ = topo::is_proper_coloring(
+      strategy == CatchStrategy::kTwoFields ? squared : topo, coloring);
+  return plan;
+}
+
+std::uint64_t CatchPlan::tag_of(SwitchId sw) const {
+  const auto it = color_.find(sw);
+  assert(it != color_.end());
+  return kTagBase + static_cast<std::uint64_t>(it->second);
+}
+
+std::vector<FlowMod> CatchPlan::rules_for(SwitchId sw) const {
+  std::vector<FlowMod> out;
+  const std::uint64_t own = tag_of(sw);
+
+  if (strategy_ == CatchStrategy::kSingleField) {
+    // One catching rule per reserved value other than our own (paper §6,
+    // first strategy): match(H = S_j) -> controller.
+    for (int c = 0; c < color_count_; ++c) {
+      const std::uint64_t tag = kTagBase + static_cast<std::uint64_t>(c);
+      if (tag == own) continue;
+      FlowMod fm;
+      fm.command = FlowModCommand::kAdd;
+      fm.priority = kCatchPriority;
+      fm.match.set_exact(field1_, tag);
+      fm.actions = {Action::output(openflow::kPortController)};
+      fm.cookie = 0xCA7C000000000000ull | static_cast<std::uint64_t>(c);
+      out.push_back(std::move(fm));
+    }
+  } else {
+    // Strategy 2: catch rule match(H2 = own) -> controller ...
+    FlowMod catch_fm;
+    catch_fm.command = FlowModCommand::kAdd;
+    catch_fm.priority = kCatchPriority;
+    catch_fm.match.set_exact(field2_, own & netbase::field_mask(field2_));
+    catch_fm.actions = {Action::output(openflow::kPortController)};
+    catch_fm.cookie = 0xCA7C100000000000ull;
+    out.push_back(std::move(catch_fm));
+    // ... plus filter rules match(H1 = S_j) -> drop for all other values.
+    for (int c = 0; c < color_count_; ++c) {
+      const std::uint64_t tag = kTagBase + static_cast<std::uint64_t>(c);
+      if (tag == own) continue;
+      FlowMod fm;
+      fm.command = FlowModCommand::kAdd;
+      fm.priority = kFilterPriority;
+      fm.match.set_exact(field1_, tag);
+      fm.actions = {};  // drop
+      fm.cookie = 0xF117000000000000ull | static_cast<std::uint64_t>(c);
+      out.push_back(std::move(fm));
+    }
+  }
+
+  // Drop-postponing support (§4.3): a rule that drops everything carrying
+  // the reserved "to be dropped" tag, below catch/filter priority.
+  FlowMod drop_tag;
+  drop_tag.command = FlowModCommand::kAdd;
+  drop_tag.priority = kDropTagPriority;
+  drop_tag.match.set_exact(field1_, kDropTag);
+  drop_tag.actions = {};  // drop
+  drop_tag.cookie = 0xD209000000000000ull;
+  out.push_back(std::move(drop_tag));
+  return out;
+}
+
+Match CatchPlan::collect_match_for(SwitchId probed, SwitchId downstream) const {
+  Match m;
+  m.set_exact(field1_, tag_of(probed));
+  if (strategy_ == CatchStrategy::kTwoFields) {
+    m.set_exact(field2_, tag_of(downstream) & netbase::field_mask(field2_));
+  }
+  return m;
+}
+
+}  // namespace monocle

@@ -1,0 +1,89 @@
+// Catching-rule planning for network-wide monitoring (paper §6).
+//
+// To collect probes, every switch pre-installs catching rules keyed on
+// reserved values of one (strategy 1) or two (strategy 2) header fields.
+// Reserved values are switch *colors*: strategy 1 needs a proper coloring of
+// the topology, strategy 2 a proper coloring of its square.  The planner
+// computes the colorings, assigns per-switch tag values and emits the
+// FlowMods each switch must pre-install, plus the per-switch Collect match
+// the probe generator needs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/fields.hpp"
+#include "openflow/messages.hpp"
+#include "topo/coloring.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle {
+
+using SwitchId = std::uint64_t;  ///< datapath id; equals topo::NodeId in sims
+
+/// Which §6 collection strategy to plan for.
+enum class CatchStrategy : std::uint8_t {
+  kSingleField,  ///< one reserved field; all probes return to the controller
+  kTwoFields,    ///< H1/H2; mis-forwarded probes are dropped by filter rules
+};
+
+/// Priorities used by infrastructure rules (must dominate production rules).
+inline constexpr std::uint16_t kCatchPriority = 0xFFFF;
+inline constexpr std::uint16_t kFilterPriority = 0xFFFE;
+/// Priority of the pre-installed tag-drop rule used by drop-postponing
+/// (§4.3): below catch/filter, above production.
+inline constexpr std::uint16_t kDropTagPriority = 0xFFFD;
+
+/// Reserved tag values start here (VLAN ids chosen to stay clear of
+/// production VLANs; kVlanNone - 1 downward).
+inline constexpr std::uint64_t kTagBase = 0xF00;
+/// Reserved tag value marking packets "to be dropped one hop later" (§4.3).
+inline constexpr std::uint64_t kDropTag = 0xEFF;
+
+/// The computed plan.
+class CatchPlan {
+ public:
+  /// Plans catching rules for `topo`, mapping node i to switch id
+  /// `switch_ids[i]`.  Strategy 1 reserves `field1` (default VLAN id);
+  /// strategy 2 additionally reserves `field2` (default IP ToS).
+  static CatchPlan build(const topo::Topology& topo,
+                         const std::vector<SwitchId>& switch_ids,
+                         CatchStrategy strategy = CatchStrategy::kSingleField,
+                         netbase::Field field1 = netbase::Field::VlanId,
+                         netbase::Field field2 = netbase::Field::IpTos);
+
+  [[nodiscard]] CatchStrategy strategy() const { return strategy_; }
+
+  /// Number of reserved values of the probing field (Figure 9's metric; also
+  /// the per-switch catching-rule count for strategy 1).
+  [[nodiscard]] int reserved_value_count() const { return color_count_; }
+
+  /// The tag value (color-derived) assigned to `sw`.
+  [[nodiscard]] std::uint64_t tag_of(SwitchId sw) const;
+
+  /// FlowMods switch `sw` must pre-install (catching rules; plus filter and
+  /// drop-tag rules for strategy 2 / drop-postponing support).
+  [[nodiscard]] std::vector<openflow::FlowMod> rules_for(SwitchId sw) const;
+
+  /// The Collect match for probing rules on switch `sw` — what the probe
+  /// header must carry so downstream neighbors catch it (paper: H = S_probed,
+  /// plus H2 = S_next for strategy 2).
+  [[nodiscard]] openflow::Match collect_match_for(
+      SwitchId probed, SwitchId downstream = 0) const;
+
+  /// True when two neighbors of `probed` could confuse probes — never the
+  /// case after proper coloring; exposed for the planner tests.
+  [[nodiscard]] bool valid() const { return valid_; }
+
+ private:
+  CatchStrategy strategy_ = CatchStrategy::kSingleField;
+  netbase::Field field1_ = netbase::Field::VlanId;
+  netbase::Field field2_ = netbase::Field::IpTos;
+  int color_count_ = 0;
+  bool valid_ = false;
+  std::unordered_map<SwitchId, int> color_;
+  std::vector<SwitchId> switch_ids_;
+};
+
+}  // namespace monocle

@@ -1,0 +1,55 @@
+#include "monocle/localizer.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace monocle {
+
+Diagnosis localize_failures(const openflow::FlowTable& expected,
+                            const std::unordered_set<std::uint64_t>& failed,
+                            const LocalizerOptions& options) {
+  // Group rules by their (sole) output port; multicast/ECMP rules join every
+  // port in their forwarding set — a dead link breaks them too, but they
+  // alone cannot implicate a single link.
+  struct PortGroup {
+    std::size_t total = 0;
+    std::vector<std::uint64_t> failed_cookies;
+  };
+  std::map<std::uint16_t, PortGroup> by_port;
+  for (const openflow::Rule& r : expected.rules()) {
+    const auto ports = r.outcome().forwarding_set();
+    for (const std::uint16_t port : ports) {
+      if (port >= openflow::kPortMax) continue;  // controller/flood pseudo-ports
+      PortGroup& g = by_port[port];
+      ++g.total;
+      if (failed.contains(r.cookie)) g.failed_cookies.push_back(r.cookie);
+    }
+  }
+
+  Diagnosis out;
+  std::unordered_set<std::uint64_t> explained;
+  for (const auto& [port, group] : by_port) {
+    if (group.failed_cookies.size() < options.min_failed_rules) continue;
+    const double fraction = static_cast<double>(group.failed_cookies.size()) /
+                            static_cast<double>(group.total);
+    if (fraction < options.link_threshold) continue;
+    LinkSuspect suspect;
+    suspect.port = port;
+    suspect.failed_rules = group.failed_cookies.size();
+    suspect.total_rules = group.total;
+    out.failed_links.push_back(suspect);
+    explained.insert(group.failed_cookies.begin(), group.failed_cookies.end());
+  }
+  std::sort(out.failed_links.begin(), out.failed_links.end(),
+            [](const LinkSuspect& a, const LinkSuspect& b) {
+              return a.fraction() > b.fraction();
+            });
+
+  for (const std::uint64_t cookie : failed) {
+    if (!explained.contains(cookie)) out.isolated_rules.push_back(cookie);
+  }
+  std::sort(out.isolated_rules.begin(), out.isolated_rules.end());
+  return out;
+}
+
+}  // namespace monocle

@@ -1,0 +1,62 @@
+// Failure localization on top of per-rule alarms (paper §1).
+//
+// "This localization of misbehaving rules can then be used to build a higher
+// level troubleshooting tool.  For example, link failures manifest
+// themselves as multiple simultaneously failed rules."  This module is that
+// tool: given Monocle's expected table and the set of currently failed
+// rules, it groups failures by the output port they forward through and
+// diagnoses a link (port) failure when a large fraction of that port's rules
+// failed together; leftover failures are reported as isolated rule faults
+// (soft errors, firmware bugs).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "openflow/flow_table.hpp"
+
+namespace monocle {
+
+/// A suspected link (port) failure.
+struct LinkSuspect {
+  std::uint16_t port = 0;
+  std::size_t failed_rules = 0;  ///< failed rules forwarding via this port
+  std::size_t total_rules = 0;   ///< all rules forwarding via this port
+  /// failed / total — 1.0 means every rule using the port is down.
+  [[nodiscard]] double fraction() const {
+    return total_rules == 0
+               ? 0.0
+               : static_cast<double>(failed_rules) /
+                     static_cast<double>(total_rules);
+  }
+};
+
+/// Localization result: explained link failures + unexplained rule faults.
+struct Diagnosis {
+  std::vector<LinkSuspect> failed_links;     // sorted by fraction, descending
+  std::vector<std::uint64_t> isolated_rules; // cookies not explained above
+
+  [[nodiscard]] bool link_failure_suspected() const {
+    return !failed_links.empty();
+  }
+};
+
+/// Options for the localization heuristic.
+struct LocalizerOptions {
+  /// Minimum fraction of a port's rules that must have failed to blame the
+  /// link rather than the individual rules.
+  double link_threshold = 0.8;
+  /// Minimum absolute number of failed rules on the port (avoids declaring a
+  /// "link failure" from a single rule on a lightly-used port).
+  std::size_t min_failed_rules = 3;
+};
+
+/// Diagnoses the failure pattern of one switch.  `expected` is the Monocle
+/// expected table (its unicast rules' output ports define the per-link rule
+/// groups); `failed` the cookies currently marked failed by the Monitor.
+Diagnosis localize_failures(const openflow::FlowTable& expected,
+                            const std::unordered_set<std::uint64_t>& failed,
+                            const LocalizerOptions& options = {});
+
+}  // namespace monocle

@@ -1,0 +1,686 @@
+#include "monocle/monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace monocle {
+
+using netbase::ParsedPacket;
+using netbase::ProbeMetadata;
+using netbase::SimTime;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Match;
+using openflow::Message;
+using openflow::Rule;
+
+Monitor::Monitor(Config config, Runtime* runtime, const NetworkView* view,
+                 const CatchPlan* plan, Hooks hooks)
+    : config_(std::move(config)),
+      runtime_(runtime),
+      view_(view),
+      plan_(plan),
+      hooks_(std::move(hooks)),
+      generator_(config_.gen) {
+  cache_ = std::make_shared<ProbeCache>();
+}
+
+bool Monitor::is_infrastructure_cookie(std::uint64_t cookie) {
+  const std::uint64_t prefix = cookie >> 48;
+  return prefix == 0xCA7C || prefix == 0xF117 || prefix == 0xD209;
+}
+
+void Monitor::install_infrastructure() {
+  for (const FlowMod& fm : plan_->rules_for(config_.switch_id)) {
+    expected_.add(fm.rule());
+    rule_states_[fm.cookie] = RuleState::kConfirmed;
+    Message msg = openflow::make_message(0, fm);
+    hooks_.to_switch(msg);
+    ++stats_.flowmods_forwarded;
+  }
+}
+
+void Monitor::start() {
+  if (config_.steady_probe_rate > 0 && !steady_running_) {
+    steady_running_ = true;
+    runtime_->schedule(config_.steady_warmup, [this] {
+      if (steady_running_) schedule_steady_tick();
+    });
+  }
+}
+
+void Monitor::seed_rule(const Rule& rule) {
+  expected_.add(rule);
+  rule_states_[rule.cookie] = RuleState::kConfirmed;
+  steady_order_.clear();  // force rebuild
+}
+
+RuleState Monitor::rule_state(std::uint64_t cookie) const {
+  const auto it = rule_states_.find(cookie);
+  return it == rule_states_.end() ? RuleState::kUnmonitorable : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Controller-side path
+// ---------------------------------------------------------------------------
+
+void Monitor::on_controller_message(const Message& msg) {
+  if (msg.is<FlowMod>()) {
+    handle_flow_mod(msg.as<FlowMod>(), msg.xid);
+    return;
+  }
+  if (msg.is<openflow::BarrierRequest>()) {
+    if (!hold_queue_.empty()) {
+      hold_queue_.emplace_back(msg, msg.xid);
+      return;
+    }
+    if (config_.hold_barriers) {
+      HeldBarrier hb;
+      hb.xid = msg.xid;
+      for (const auto& [cookie, job] : updates_) hb.waiting_on.insert(cookie);
+      barriers_.push_back(std::move(hb));
+    }
+    hooks_.to_switch(msg);
+    return;
+  }
+  // Everything else passes through untouched.
+  hooks_.to_switch(msg);
+}
+
+bool Monitor::overlaps_pending(const Match& match) const {
+  for (const auto& [cookie, job] : updates_) {
+    if (job.rule.match.overlaps(match)) return true;
+  }
+  return false;
+}
+
+void Monitor::handle_flow_mod(const FlowMod& fm, std::uint32_t xid) {
+  // §4.2: queue updates that overlap any yet-unconfirmed update; once a
+  // queue forms, everything stays FIFO behind it to preserve ordering.
+  if (!hold_queue_.empty() || overlaps_pending(fm.match)) {
+    hold_queue_.emplace_back(openflow::make_message(xid, fm), xid);
+    ++stats_.updates_queued;
+    return;
+  }
+  apply_and_track(fm, xid);
+}
+
+void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
+  switch (fm.command) {
+    case FlowModCommand::kAdd: {
+      FlowMod to_install = fm;
+      UpdateJob job;
+      job.kind = UpdateJob::Kind::kAdd;
+      // §4.3 drop-postponing: install a tag-and-forward version first.
+      if (config_.drop_postponing && fm.actions.empty()) {
+        const auto ports = injectable_ports();
+        if (!ports.empty()) {
+          to_install.actions = {
+              openflow::Action::set_field(netbase::Field::VlanId, kDropTag),
+              openflow::Action::output(ports.front())};
+          job.drop_postponed = true;
+          job.final_rule = fm.rule();
+        }
+      }
+      hooks_.to_switch(openflow::make_message(xid, to_install));
+      ++stats_.flowmods_forwarded;
+      invalidate_overlapping_probes(fm.match);
+      expected_.add(to_install.rule());
+      job.rule = to_install.rule();
+      start_update_job(std::move(job));
+      break;
+    }
+    case FlowModCommand::kModify:
+    case FlowModCommand::kModifyStrict: {
+      const Rule* old_rule = expected_.find_strict(fm.match, fm.priority);
+      if (old_rule == nullptr) {
+        // OpenFlow 1.0: a modify with no matching rule behaves as an add.
+        FlowMod as_add = fm;
+        as_add.command = FlowModCommand::kAdd;
+        apply_and_track(as_add, xid);
+        return;
+      }
+      hooks_.to_switch(openflow::make_message(xid, fm));
+      ++stats_.flowmods_forwarded;
+      UpdateJob job;
+      job.kind = UpdateJob::Kind::kModify;
+      // Build the altered-table probe (§4.1) against the PRE-update state.
+      const ModificationSpec spec =
+          make_modification_spec(expected_, *old_rule, fm.rule());
+      ProbeRequest req;
+      req.table = &spec.altered;
+      req.probed = spec.probed;
+      req.collect = plan_->collect_match_for(config_.switch_id,
+                                             collect_downstream(spec.probed));
+      req.in_ports = injectable_ports();
+      req.miss_actions = config_.miss_actions;
+      const auto t0 = std::chrono::steady_clock::now();
+      ProbeGenResult gen = generator_.generate(req);
+      stats_.generation_time += std::chrono::steady_clock::now() - t0;
+      ++stats_.probe_generations;
+      if (gen.ok()) {
+        gen.probe->rule_cookie = fm.cookie;
+        job.probe = std::move(gen.probe);
+      }
+      invalidate_overlapping_probes(fm.match);
+      expected_.modify_strict(fm.rule());
+      job.rule = fm.rule();
+      start_update_job(std::move(job));
+      break;
+    }
+    case FlowModCommand::kDelete:
+    case FlowModCommand::kDeleteStrict: {
+      // Collect victims before forwarding (§4.1: a multi-rule delete is
+      // confirmed per-rule).
+      std::vector<Rule> victims;
+      if (fm.command == FlowModCommand::kDeleteStrict) {
+        const Rule* r = expected_.find_strict(fm.match, fm.priority);
+        if (r != nullptr) victims.push_back(*r);
+      } else {
+        for (const Rule& r : expected_.rules()) {
+          if (fm.match.subsumes(r.match) && !is_infrastructure_cookie(r.cookie)) {
+            victims.push_back(r);
+          }
+        }
+      }
+      // Generate deletion probes from the PRE-delete table.
+      std::vector<UpdateJob> jobs;
+      for (const Rule& victim : victims) {
+        UpdateJob job;
+        job.kind = UpdateJob::Kind::kDelete;
+        job.rule = victim;
+        const Probe* p = probe_for(victim);
+        if (p != nullptr) job.probe = *p;
+        jobs.push_back(std::move(job));
+      }
+      hooks_.to_switch(openflow::make_message(xid, fm));
+      ++stats_.flowmods_forwarded;
+      for (const Rule& victim : victims) {
+        invalidate_overlapping_probes(victim.match);
+        expected_.remove_strict(victim.match, victim.priority);
+        rule_states_.erase(victim.cookie);
+      }
+      for (auto& job : jobs) start_update_job(std::move(job));
+      break;
+    }
+  }
+  steady_order_.clear();  // membership changed; rebuild lazily
+}
+
+void Monitor::start_update_job(UpdateJob job) {
+  const std::uint64_t cookie = job.rule.cookie;
+  job.generation = generation_;
+  job.started = runtime_->now();
+  rule_states_[cookie] = RuleState::kPending;
+
+  if (job.kind == UpdateJob::Kind::kAdd && !job.probe.has_value()) {
+    const Probe* p = probe_for(job.rule);
+    if (p != nullptr) job.probe = *p;
+  }
+  if (job.probe.has_value()) {
+    if (egress_unobservable(*job.probe)) {
+      job.probe.reset();
+    }
+  }
+  if (job.probe.has_value()) {
+    job.negative =
+        (job.kind == UpdateJob::Kind::kDelete)
+            ? job.probe->if_absent.is_drop()
+            : job.probe->if_present.is_drop();
+  }
+
+  const bool has_probe = job.probe.has_value();
+  updates_[cookie] = std::move(job);
+
+  if (has_probe) {
+    // First injection after the (simulated) probe-computation latency.
+    updates_[cookie].inject_timer = runtime_->schedule(
+        config_.generation_delay, [this, cookie] { inject_update_probe(cookie); });
+  } else {
+    // Unmonitorable update: best-effort blind confirmation after a settle
+    // delay (documented limitation; see DESIGN.md).
+    updates_[cookie].inject_timer = runtime_->schedule(
+        config_.negative_confirm_timeout, [this, cookie] { confirm_update(cookie); });
+  }
+  // Give-up alarm.
+  runtime_->schedule(config_.update_give_up, [this, cookie] {
+    const auto it = updates_.find(cookie);
+    if (it == updates_.end()) return;
+    if (hooks_.on_update_failed) {
+      hooks_.on_update_failed(cookie, runtime_->now());
+    }
+    runtime_->cancel(it->second.inject_timer);
+    updates_.erase(it);
+    rule_states_[cookie] = RuleState::kFailed;
+    confirm_barriers_waiting_on(cookie);
+    drain_hold_queue();
+  });
+}
+
+void Monitor::inject_update_probe(std::uint64_t cookie) {
+  const auto it = updates_.find(cookie);
+  if (it == updates_.end()) return;
+  UpdateJob& job = it->second;
+  assert(job.probe.has_value());
+
+  // Negative confirmation: enough consecutive silent injections confirm.
+  if (job.negative && job.silent_injections >= config_.negative_confirm_tries) {
+    confirm_update(cookie);
+    return;
+  }
+  const std::uint32_t nonce = next_nonce_++;
+  OutstandingProbe op;
+  op.cookie = cookie;
+  op.generation = job.generation;
+  op.nonce = nonce;
+  op.tries_left = 0;  // update probes re-inject on their own cadence
+  op.first_injected = runtime_->now();
+  outstanding_[nonce] = op;
+  if (inject_probe_packet(*job.probe, job.generation, nonce)) {
+    ++job.silent_injections;  // reset on any observation
+  }
+  job.inject_timer = runtime_->schedule(
+      config_.update_probe_interval, [this, cookie] { inject_update_probe(cookie); });
+}
+
+void Monitor::confirm_update(std::uint64_t cookie) {
+  const auto it = updates_.find(cookie);
+  if (it == updates_.end()) return;
+  UpdateJob job = std::move(it->second);
+  runtime_->cancel(job.inject_timer);
+  updates_.erase(it);
+
+  if (job.kind == UpdateJob::Kind::kDelete) {
+    rule_states_.erase(cookie);
+  } else {
+    rule_states_[cookie] = RuleState::kConfirmed;
+  }
+  steady_order_.clear();  // the confirmed rule now joins the steady cycle
+  ++stats_.updates_confirmed;
+
+  // §4.3 second phase: swap the tagged-forward rule for the real drop rule.
+  // Probing is no longer necessary (the paper: the end-to-end behaviour of
+  // production traffic does not change).
+  if (job.drop_postponed) {
+    FlowMod real_drop;
+    real_drop.command = FlowModCommand::kModifyStrict;
+    real_drop.match = job.final_rule.match;
+    real_drop.priority = job.final_rule.priority;
+    real_drop.cookie = job.final_rule.cookie;
+    real_drop.actions = job.final_rule.actions;
+    hooks_.to_switch(openflow::make_message(0, real_drop));
+    ++stats_.flowmods_forwarded;
+    expected_.modify_strict(real_drop.rule());
+    invalidate_overlapping_probes(real_drop.match);
+  }
+
+  if (hooks_.on_update_confirmed) {
+    hooks_.on_update_confirmed(cookie, runtime_->now());
+  }
+  confirm_barriers_waiting_on(cookie);
+  drain_hold_queue();
+}
+
+void Monitor::confirm_barriers_waiting_on(std::uint64_t cookie) {
+  for (auto it = barriers_.begin(); it != barriers_.end();) {
+    it->waiting_on.erase(cookie);
+    if (it->waiting_on.empty() && it->reply_seen) {
+      hooks_.to_controller(
+          openflow::make_message(it->xid, openflow::BarrierReply{}));
+      it = barriers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Monitor::drain_hold_queue() {
+  while (!hold_queue_.empty()) {
+    const auto [msg, xid] = hold_queue_.front();
+    if (msg.is<FlowMod>()) {
+      if (overlaps_pending(msg.as<FlowMod>().match)) return;  // still blocked
+      hold_queue_.pop_front();
+      apply_and_track(msg.as<FlowMod>(), xid);
+    } else if (msg.is<openflow::BarrierRequest>()) {
+      hold_queue_.pop_front();
+      if (config_.hold_barriers) {
+        HeldBarrier hb;
+        hb.xid = xid;
+        for (const auto& [cookie, job] : updates_) hb.waiting_on.insert(cookie);
+        barriers_.push_back(std::move(hb));
+      }
+      hooks_.to_switch(msg);
+    } else {
+      hold_queue_.pop_front();
+      hooks_.to_switch(msg);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Switch-side path
+// ---------------------------------------------------------------------------
+
+void Monitor::on_switch_message(const Message& msg) {
+  if (msg.is<openflow::BarrierReply>() && config_.hold_barriers) {
+    for (auto it = barriers_.begin(); it != barriers_.end(); ++it) {
+      if (it->xid == msg.xid) {
+        it->reply_seen = true;
+        if (it->waiting_on.empty()) {
+          hooks_.to_controller(msg);
+          barriers_.erase(it);
+        }
+        return;  // held until the pending updates confirm
+      }
+    }
+  }
+  hooks_.to_controller(msg);
+}
+
+// ---------------------------------------------------------------------------
+// Probe plumbing
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint16_t> Monitor::injectable_ports() const {
+  std::vector<std::uint16_t> out;
+  for (const std::uint16_t p : view_->ports(config_.switch_id)) {
+    if (view_->peer(config_.switch_id, p).has_value()) out.push_back(p);
+  }
+  return out;
+}
+
+SwitchId Monitor::collect_downstream(const Rule& rule) const {
+  // Strategy 2 needs the downstream switch the probe should be caught by:
+  // the peer behind the rule's first observable output port (drop rules fall
+  // back to any neighbor — their probes are negative anyway).
+  for (const auto& [port, rewrite] : rule.outcome().emissions) {
+    const auto peer = view_->peer(config_.switch_id, port);
+    if (peer) return peer->sw;
+  }
+  for (const std::uint16_t p : view_->ports(config_.switch_id)) {
+    const auto peer = view_->peer(config_.switch_id, p);
+    if (peer) return peer->sw;
+  }
+  return config_.switch_id;
+}
+
+bool Monitor::egress_unobservable(const Probe& probe) const {
+  auto observable = [&](const OutcomePrediction& pred) {
+    for (const Observation& o : pred.observations) {
+      if (o.output_port == openflow::kPortController) continue;
+      if (!view_->peer(config_.switch_id, o.output_port).has_value()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return !observable(probe.if_present) || !observable(probe.if_absent);
+}
+
+const Probe* Monitor::probe_for(const Rule& rule) {
+  auto& entry = cache_->entries[rule.cookie];
+  if (entry.probe.has_value()) return &*entry.probe;
+  if (entry.failure != ProbeFailure::kNone) return nullptr;
+
+  ProbeRequest req;
+  req.table = &expected_;
+  req.probed = rule;
+  req.collect = plan_->collect_match_for(config_.switch_id,
+                                         collect_downstream(rule));
+  req.miss_actions = config_.miss_actions;
+  const auto all_ports = injectable_ports();
+  const auto t0 = std::chrono::steady_clock::now();
+  ProbeGenResult gen;
+  // Prefer a single (rule-hashed) ingress port so injection load spreads
+  // across upstream neighbors instead of hammering one of them; fall back to
+  // the full port set when the constraint is unsatisfiable with that port.
+  if (!all_ports.empty()) {
+    const std::uint64_t h = rule.cookie * 0x9E3779B97F4A7C15ull + config_.switch_id;
+    req.in_ports = {all_ports[h % all_ports.size()]};
+    gen = generator_.generate(req);
+  }
+  if (!gen.ok()) {
+    req.in_ports = all_ports;
+    gen = generator_.generate(req);
+  }
+  stats_.generation_time += std::chrono::steady_clock::now() - t0;
+  ++stats_.probe_generations;
+  if (!gen.ok()) {
+    entry.failure = gen.failure;
+    rule_states_[rule.cookie] = RuleState::kUnmonitorable;
+    return nullptr;
+  }
+  if (egress_unobservable(*gen.probe)) {
+    entry.failure = ProbeFailure::kEgress;
+    rule_states_[rule.cookie] = RuleState::kUnmonitorable;
+    return nullptr;
+  }
+  entry.probe = std::move(gen.probe);
+  return &*entry.probe;
+}
+
+void Monitor::invalidate_overlapping_probes(const Match& match) {
+  ++generation_;
+  for (const Rule& r : expected_.rules()) {
+    if (r.match.overlaps(match)) {
+      cache_->entries.erase(r.cookie);
+    }
+  }
+  // In-flight probes for overlapping rules become stale: their generation no
+  // longer matches and their nonces are dropped here.
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    const Rule* r = expected_.find_by_cookie(it->second.cookie);
+    if (r == nullptr || r->match.overlaps(match)) {
+      runtime_->cancel(it->second.timer);
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Monitor::inject_probe_packet(const Probe& probe, std::uint32_t generation,
+                                  std::uint32_t nonce) {
+  ProbeMetadata meta;
+  meta.switch_id = config_.switch_id;
+  meta.rule_cookie = probe.rule_cookie;
+  meta.generation = generation;
+  meta.expected = hash_prediction(probe.if_present);
+  meta.nonce = nonce;
+  auto payload = netbase::encode_probe_metadata(meta);
+  auto bytes = netbase::craft_packet(probe.packet, payload);
+  ++stats_.probes_injected;
+  return hooks_.inject(probe.in_port(), std::move(bytes));
+}
+
+std::optional<Observation> Monitor::translate_observation(
+    SwitchId catcher, std::uint16_t catcher_in_port,
+    const ParsedPacket& packet) const {
+  Observation o;
+  o.header = strip_in_port(netbase::pack_header(packet.header));
+  if (catcher == config_.switch_id) {
+    o.output_port = openflow::kPortController;
+    return o;
+  }
+  const auto peer = view_->peer(catcher, catcher_in_port);
+  if (!peer || peer->sw != config_.switch_id) return std::nullopt;
+  o.output_port = peer->port;
+  return o;
+}
+
+void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
+                              const ParsedPacket& packet,
+                              const ProbeMetadata& meta) {
+  ++stats_.probes_caught;
+  const auto out_it = outstanding_.find(meta.nonce);
+  if (out_it == outstanding_.end() || out_it->second.generation != meta.generation) {
+    ++stats_.stale_probes;
+    return;
+  }
+  const std::uint64_t cookie = out_it->second.cookie;
+  const auto obs = translate_observation(catcher, catcher_in_port, packet);
+  if (!obs) {
+    ++stats_.stale_probes;
+    return;
+  }
+
+  // Locate the probe this observation answers.
+  const Probe* probe = nullptr;
+  const auto job_it = updates_.find(cookie);
+  if (job_it != updates_.end() && job_it->second.probe.has_value()) {
+    probe = &*job_it->second.probe;
+  } else {
+    const auto cache_it = cache_->entries.find(cookie);
+    if (cache_it != cache_->entries.end() && cache_it->second.probe) {
+      probe = &*cache_it->second.probe;
+    }
+  }
+  if (probe == nullptr) {
+    ++stats_.stale_probes;
+    return;
+  }
+
+  const Verdict verdict = classify_observation(*probe, *obs);
+
+  if (job_it != updates_.end()) {
+    UpdateJob& job = job_it->second;
+    job.silent_injections = 0;
+    const bool confirms =
+        (job.kind == UpdateJob::Kind::kDelete) ? verdict == Verdict::kAbsent
+                                               : verdict == Verdict::kPresent;
+    if (confirms) {
+      outstanding_.erase(out_it);
+      confirm_update(cookie);
+    }
+    // Transient inconsistency (§4.1): the opposite verdict is expected while
+    // the switch lags; keep probing without alarming.
+    return;
+  }
+
+  // Steady-state probe.
+  runtime_->cancel(out_it->second.timer);
+  outstanding_.erase(out_it);
+  if (verdict == Verdict::kPresent) {
+    if (failed_.erase(cookie) > 0) {
+      rule_states_[cookie] = RuleState::kConfirmed;
+    }
+  } else if (verdict == Verdict::kAbsent) {
+    mark_rule_failed(cookie);
+  }
+  // kInconclusive: ignore.
+}
+
+// ---------------------------------------------------------------------------
+// Steady state
+// ---------------------------------------------------------------------------
+
+void Monitor::schedule_steady_tick() {
+  const auto interval =
+      static_cast<SimTime>(1e9 / config_.steady_probe_rate);
+  runtime_->schedule(interval, [this] {
+    if (!steady_running_) return;
+    steady_tick();
+    schedule_steady_tick();
+  });
+}
+
+std::optional<std::uint64_t> Monitor::next_steady_cookie() {
+  if (steady_order_.empty()) {
+    for (const Rule& r : expected_.rules()) {
+      if (is_infrastructure_cookie(r.cookie)) continue;
+      const RuleState st = rule_state(r.cookie);
+      if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
+      steady_order_.push_back(r.cookie);
+    }
+    steady_pos_ = 0;
+    if (steady_order_.empty()) return std::nullopt;
+  }
+  // Skip entries that became pending/unmonitorable since the rebuild.
+  for (std::size_t scanned = 0; scanned < steady_order_.size(); ++scanned) {
+    const std::uint64_t cookie = steady_order_[steady_pos_];
+    steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
+    const RuleState st = rule_state(cookie);
+    if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
+    if (expected_.find_by_cookie(cookie) == nullptr) continue;  // deleted
+    return cookie;
+  }
+  return std::nullopt;
+}
+
+void Monitor::steady_tick() {
+  const auto cookie = next_steady_cookie();
+  if (!cookie) return;
+  inject_steady_probe(*cookie);
+}
+
+void Monitor::inject_steady_probe(std::uint64_t cookie) {
+  const Rule* rule = expected_.find_by_cookie(cookie);
+  if (rule == nullptr) return;
+  const Probe* probe = probe_for(*rule);
+  if (probe == nullptr) return;  // became unmonitorable
+
+  const std::uint32_t nonce = next_nonce_++;
+  OutstandingProbe op;
+  op.cookie = cookie;
+  op.generation = generation_;
+  op.nonce = nonce;
+  op.tries_left = config_.probe_retries - 1;
+  op.first_injected = runtime_->now();
+  op.timer = runtime_->schedule(
+      config_.probe_timeout / std::max(1, config_.probe_retries),
+      [this, nonce] { on_steady_timeout(nonce); });
+  outstanding_[nonce] = op;
+  inject_probe_packet(*probe, generation_, nonce);
+}
+
+void Monitor::on_steady_timeout(std::uint32_t nonce) {
+  const auto it = outstanding_.find(nonce);
+  if (it == outstanding_.end()) return;
+  OutstandingProbe op = it->second;
+  outstanding_.erase(it);
+
+  const auto cache_it = cache_->entries.find(op.cookie);
+  const Probe* probe =
+      (cache_it != cache_->entries.end() && cache_it->second.probe)
+          ? &*cache_it->second.probe
+          : nullptr;
+  if (probe == nullptr) return;
+
+  // Negative probes (present outcome = drop): silence is the GOOD outcome.
+  if (probe->if_present.is_drop()) {
+    if (failed_.erase(op.cookie) > 0) {
+      rule_states_[op.cookie] = RuleState::kConfirmed;
+    }
+    return;
+  }
+
+  if (op.tries_left > 0) {
+    // Re-send the probe (paper: up to 3 times within the 150 ms window).
+    const std::uint32_t nonce2 = next_nonce_++;
+    OutstandingProbe op2 = op;
+    op2.nonce = nonce2;
+    op2.tries_left = op.tries_left - 1;
+    op2.timer = runtime_->schedule(
+        config_.probe_timeout / std::max(1, config_.probe_retries),
+        [this, nonce2] { on_steady_timeout(nonce2); });
+    outstanding_[nonce2] = op2;
+    inject_probe_packet(*probe, op.generation, nonce2);
+    return;
+  }
+  mark_rule_failed(op.cookie);
+}
+
+void Monitor::mark_rule_failed(std::uint64_t cookie) {
+  if (!failed_.insert(cookie).second) return;  // already failed
+  rule_states_[cookie] = RuleState::kFailed;
+  if (failed_.size() >= config_.alarm_threshold && hooks_.on_alarm) {
+    ++stats_.alarms;
+    RuleAlarm alarm;
+    alarm.cookie = cookie;
+    alarm.when = runtime_->now();
+    alarm.failed_rule_count = failed_.size();
+    hooks_.on_alarm(alarm);
+  }
+}
+
+}  // namespace monocle

@@ -1,0 +1,270 @@
+// The Monitor proxy — one per monitored switch (paper §2, §3, §4, §7).
+//
+// The Monitor sits on the control channel between the controller and one
+// switch.  It forwards messages transparently while:
+//
+//  * mirroring the switch's expected flow table from the FlowMods it proxies;
+//  * steady-state mode (§3): cycling through installed rules at a configured
+//    probe rate, injecting a probe per rule and raising alarms for rules
+//    whose probes stop coming back (with retries and a detection timeout);
+//  * dynamic mode (§4): generating a probe for every rule add/modify/delete
+//    the controller issues, re-injecting it until the data plane provably
+//    applies the update, then acknowledging — by releasing the held-back
+//    BarrierReply and/or invoking the confirmation callback;
+//  * queueing updates that overlap a still-unconfirmed update (§4.2);
+//  * optional drop-postponing (§4.3) for reliable drop-rule confirmation.
+//
+// Probes are generated with the SAT machinery of probe_generator.hpp and are
+// cached per rule; any table change invalidates cached probes of overlapping
+// rules (their Distinguish constraints may have changed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "monocle/catching.hpp"
+#include "monocle/probe.hpp"
+#include "monocle/probe_generator.hpp"
+#include "monocle/runtime.hpp"
+#include "netbase/probe_metadata.hpp"
+#include "netbase/packet_crafter.hpp"
+#include "openflow/flow_table.hpp"
+#include "openflow/messages.hpp"
+
+namespace monocle {
+
+/// Lifecycle state of a monitored rule.
+enum class RuleState : std::uint8_t {
+  kPending,        ///< update issued, not yet confirmed in the data plane
+  kConfirmed,      ///< present and behaving per the last probe
+  kFailed,         ///< probes prove the rule missing/misbehaving
+  kUnmonitorable,  ///< no probe exists (§3.5) — reported, not probed
+};
+
+/// An alarm raised by steady-state monitoring.
+struct RuleAlarm {
+  std::uint64_t cookie = 0;
+  netbase::SimTime when = 0;
+  std::size_t failed_rule_count = 0;  ///< rules currently failed (threshold gate)
+};
+
+/// Per-rule probe cache shared across Monitor instances/trials.
+struct ProbeCache {
+  struct Entry {
+    std::optional<Probe> probe;
+    ProbeFailure failure = ProbeFailure::kNone;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries;
+};
+
+/// Aggregate Monitor statistics.
+struct MonitorStats {
+  std::uint64_t probes_injected = 0;
+  std::uint64_t probes_caught = 0;
+  std::uint64_t stale_probes = 0;
+  std::uint64_t probe_generations = 0;
+  std::uint64_t updates_confirmed = 0;
+  std::uint64_t updates_queued = 0;
+  std::uint64_t alarms = 0;
+  std::uint64_t flowmods_forwarded = 0;
+  std::chrono::nanoseconds generation_time{0};
+};
+
+class Monitor {
+ public:
+  struct Config {
+    SwitchId switch_id = 0;
+    /// Steady-state probing rate (probes/second); 0 disables steady-state.
+    double steady_probe_rate = 500.0;
+    /// Delay before the first steady-state probe, so pre-installed catching
+    /// rules have provably reached the data plane.
+    netbase::SimTime steady_warmup = 200 * netbase::kMillisecond;
+    /// Retries per probe before declaring failure ...
+    int probe_retries = 3;
+    /// ... within this total detection timeout (§8.1.1: 150 ms).
+    netbase::SimTime probe_timeout = 150 * netbase::kMillisecond;
+    /// Re-injection period while confirming an update (§4.1).
+    netbase::SimTime update_probe_interval = 2 * netbase::kMillisecond;
+    /// Simulated probe-computation latency charged before the first
+    /// injection of an update probe (the paper measures 1.48–4.03 ms of
+    /// real generation time; §8.2).
+    netbase::SimTime generation_delay = 2 * netbase::kMillisecond;
+    /// Consecutive silent injections that confirm a *negative* update
+    /// (drop-rule install without drop-postponing; §3.3).
+    int negative_confirm_tries = 3;
+    netbase::SimTime negative_confirm_timeout = 15 * netbase::kMillisecond;
+    /// Raise steady-state alarms only once this many rules are failed
+    /// (Figure 4's threshold knob).
+    std::size_t alarm_threshold = 1;
+    /// Hold BarrierReplies until prior updates are confirmed in hardware.
+    bool hold_barriers = true;
+    /// §4.3 drop-postponing for reliable drop-rule confirmation.
+    bool drop_postponing = false;
+    /// Give up on an unconfirmed update after this long (alarm instead).
+    netbase::SimTime update_give_up = 10 * netbase::kSecond;
+    /// Table-miss behaviour of the switch (default: drop).
+    openflow::ActionList miss_actions{};
+    ProbeGenerator::Options gen;
+  };
+
+  /// Host-environment callbacks.  All functions must be set before start().
+  struct Hooks {
+    std::function<void(const openflow::Message&)> to_switch;
+    std::function<void(const openflow::Message&)> to_controller;
+    /// Injects `packet` so it enters the monitored switch on `in_port`
+    /// (implemented by the Multiplexer via an upstream PacketOut).
+    /// Returns false if injection there is impossible.
+    std::function<bool(std::uint16_t in_port, std::vector<std::uint8_t> packet)>
+        inject;
+    /// Steady-state alarm (threshold-gated).
+    std::function<void(const RuleAlarm&)> on_alarm;
+    /// A dynamic update reached the data plane (cookie, confirm time).
+    std::function<void(std::uint64_t, netbase::SimTime)> on_update_confirmed;
+    /// A dynamic update did not confirm within update_give_up.
+    std::function<void(std::uint64_t, netbase::SimTime)> on_update_failed;
+  };
+
+  Monitor(Config config, Runtime* runtime, const NetworkView* view,
+          const CatchPlan* plan, Hooks hooks);
+
+  /// Pre-installs the catching/filter rules on the switch and seeds them as
+  /// confirmed in the expected table (paper §2: done before monitoring).
+  void install_infrastructure();
+
+  /// Starts the steady-state probing cycle.
+  void start();
+
+  /// --- control-channel endpoints (wired by the host) -------------------
+  void on_controller_message(const openflow::Message& msg);
+  void on_switch_message(const openflow::Message& msg);
+
+  /// A probe for this switch was caught by `catcher` on its `catcher_in_port`
+  /// (routed here by the Multiplexer).
+  void on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
+                       const netbase::ParsedPacket& packet,
+                       const netbase::ProbeMetadata& meta);
+
+  /// --- test/benchmark interface ----------------------------------------
+  /// Adds `rule` to the expected table as already-confirmed without touching
+  /// the switch (harness seeds the switch separately).
+  void seed_rule(const openflow::Rule& rule);
+
+  /// Shares a probe cache across monitors/trials.
+  void set_probe_cache(std::shared_ptr<ProbeCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+  [[nodiscard]] const openflow::FlowTable& expected_table() const {
+    return expected_;
+  }
+  [[nodiscard]] RuleState rule_state(std::uint64_t cookie) const;
+  [[nodiscard]] std::size_t failed_rule_count() const { return failed_.size(); }
+  /// Cookies of rules currently failed (input for failure localization).
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& failed_rules() const {
+    return failed_;
+  }
+  [[nodiscard]] std::size_t pending_update_count() const {
+    return updates_.size();
+  }
+  [[nodiscard]] const MonitorStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Mutable access to the hooks, so harnesses can attach observers
+  /// (alarm/confirmation callbacks) after the transport hooks are wired.
+  Hooks& hooks_for_test() { return hooks_; }
+
+ private:
+  struct UpdateJob {
+    enum class Kind : std::uint8_t { kAdd, kModify, kDelete };
+    Kind kind = Kind::kAdd;
+    openflow::Rule rule;           // new version (add/modify) or old (delete)
+    std::optional<Probe> probe;
+    std::uint32_t generation = 0;
+    netbase::SimTime started = 0;
+    int silent_injections = 0;     // for negative confirmation
+    bool negative = false;         // confirmation is silence-based
+    std::uint64_t inject_timer = 0;
+    bool drop_postponed = false;   // §4.3 second phase pending
+    openflow::Rule final_rule;     // real drop rule to install after confirm
+  };
+
+  struct OutstandingProbe {
+    std::uint64_t cookie = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t nonce = 0;
+    int tries_left = 0;
+    std::uint64_t timer = 0;
+    netbase::SimTime first_injected = 0;
+  };
+
+  struct HeldBarrier {
+    std::uint32_t xid = 0;
+    std::unordered_set<std::uint64_t> waiting_on;  // unconfirmed cookies
+    bool reply_seen = false;
+  };
+
+  // Controller-side handling.
+  void handle_flow_mod(const openflow::FlowMod& fm, std::uint32_t xid);
+  void apply_and_track(const openflow::FlowMod& fm, std::uint32_t xid);
+  void start_update_job(UpdateJob job);
+  void inject_update_probe(std::uint64_t cookie);
+  void confirm_update(std::uint64_t cookie);
+  void confirm_barriers_waiting_on(std::uint64_t cookie);
+  void drain_hold_queue();
+  bool overlaps_pending(const openflow::Match& match) const;
+  /// Strategy-2 downstream choice for a rule's Collect match.
+  [[nodiscard]] SwitchId collect_downstream(const openflow::Rule& rule) const;
+
+  // Steady state.
+  void steady_tick();
+  void schedule_steady_tick();
+  std::optional<std::uint64_t> next_steady_cookie();
+  void inject_steady_probe(std::uint64_t cookie);
+  void on_steady_timeout(std::uint32_t nonce);
+  void mark_rule_failed(std::uint64_t cookie);
+
+  // Probe plumbing.
+  const Probe* probe_for(const openflow::Rule& rule);
+  void invalidate_overlapping_probes(const openflow::Match& match);
+  bool inject_probe_packet(const Probe& probe, std::uint32_t generation,
+                           std::uint32_t nonce);
+  std::optional<Observation> translate_observation(
+      SwitchId catcher, std::uint16_t catcher_in_port,
+      const netbase::ParsedPacket& packet) const;
+  static bool is_infrastructure_cookie(std::uint64_t cookie);
+  std::vector<std::uint16_t> injectable_ports() const;
+  bool egress_unobservable(const Probe& probe) const;
+
+  Config config_;
+  Runtime* runtime_;
+  const NetworkView* view_;
+  const CatchPlan* plan_;
+  Hooks hooks_;
+
+  openflow::FlowTable expected_;
+  std::shared_ptr<ProbeCache> cache_;
+  std::unordered_map<std::uint64_t, RuleState> rule_states_;
+  std::unordered_set<std::uint64_t> failed_;
+
+  std::unordered_map<std::uint64_t, UpdateJob> updates_;  // by cookie
+  std::deque<std::pair<openflow::Message, std::uint32_t>> hold_queue_;
+  std::vector<HeldBarrier> barriers_;
+
+  std::vector<std::uint64_t> steady_order_;  // cookies, cycle order
+  std::size_t steady_pos_ = 0;
+  bool steady_running_ = false;
+  std::unordered_map<std::uint32_t, OutstandingProbe> outstanding_;  // by nonce
+
+  std::uint32_t next_nonce_ = 1;
+  std::uint32_t generation_ = 1;
+  ProbeGenerator generator_;
+  MonitorStats stats_;
+};
+
+}  // namespace monocle

@@ -1,0 +1,48 @@
+#include "monocle/multiplexer.hpp"
+
+#include "netbase/packet_crafter.hpp"
+#include "netbase/probe_metadata.hpp"
+
+namespace monocle {
+
+bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
+                         std::vector<std::uint8_t> packet) {
+  openflow::PacketOut po;
+  po.buffer_id = 0xFFFFFFFF;
+  po.data = std::move(packet);
+
+  const auto peer = view_->peer(probed, in_port);
+  if (peer) {
+    // Upstream injection (Figure 1): the upstream switch emits the probe on
+    // the port facing the probed switch; PacketOut bypasses its flow table.
+    const auto it = senders_.find(peer->sw);
+    if (it == senders_.end()) return false;
+    po.in_port = openflow::kPortNone;
+    po.actions = {openflow::Action::output(peer->port)};
+    ++packet_outs_;
+    it->second(openflow::make_message(0, po));
+    return true;
+  }
+  // Fallback: OFPP_TABLE self-injection at the probed switch with the
+  // desired in_port (classic OpenFlow 1.0 trick).
+  const auto it = senders_.find(probed);
+  if (it == senders_.end()) return false;
+  po.in_port = in_port;
+  po.actions = {openflow::Action::output(openflow::kPortTable)};
+  ++packet_outs_;
+  it->second(openflow::make_message(0, po));
+  return true;
+}
+
+bool Multiplexer::on_packet_in(SwitchId from, const openflow::PacketIn& pi) {
+  const auto parsed = netbase::parse_packet(pi.data);
+  if (!parsed) return false;
+  const auto meta = netbase::decode_probe_metadata(parsed->payload);
+  if (!meta) return false;  // not a probe — production PacketIn
+  const auto it = monitors_.find(meta->switch_id);
+  if (it == monitors_.end()) return true;  // probe for an unmanaged switch
+  it->second->on_probe_caught(from, pi.in_port, *parsed, *meta);
+  return true;
+}
+
+}  // namespace monocle

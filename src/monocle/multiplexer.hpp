@@ -1,0 +1,60 @@
+// The Multiplexer proxy (paper §7).
+//
+// Monocle runs one Monitor per switch; the Multiplexer connects to all of
+// them and owns the PacketOut/PacketIn plumbing: it injects probes by asking
+// the *upstream* switch to emit the packet toward the probed switch (Figure
+// 1), and routes caught probes (PacketIns carrying probe metadata) back to
+// the Monitor that owns the probed switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "monocle/monitor.hpp"
+#include "monocle/runtime.hpp"
+#include "openflow/messages.hpp"
+
+namespace monocle {
+
+class Multiplexer {
+ public:
+  explicit Multiplexer(const NetworkView* view) : view_(view) {}
+
+  /// Registers the Monitor responsible for `sw`.
+  void register_monitor(SwitchId sw, Monitor* monitor) {
+    monitors_[sw] = monitor;
+  }
+
+  /// Registers the function that delivers control messages to switch `sw`
+  /// (PacketOuts for probe injection).
+  void set_switch_sender(SwitchId sw,
+                         std::function<void(const openflow::Message&)> sender) {
+    senders_[sw] = std::move(sender);
+  }
+
+  /// Injects `packet` so it enters `probed` on `in_port`: sends a PacketOut
+  /// to the upstream peer behind that port.  Falls back to an OFPP_TABLE
+  /// self-injection at the probed switch when there is no upstream peer.
+  /// Returns false when no injection path exists.
+  bool inject(SwitchId probed, std::uint16_t in_port,
+              std::vector<std::uint8_t> packet);
+
+  /// Examines a PacketIn received from switch `from`.  If it carries probe
+  /// metadata it is routed to the owning Monitor and consumed (returns
+  /// true); otherwise the caller should pass it to the switch's own Monitor
+  /// / controller path.
+  bool on_packet_in(SwitchId from, const openflow::PacketIn& pi);
+
+  [[nodiscard]] std::uint64_t packet_outs_sent() const { return packet_outs_; }
+
+ private:
+  const NetworkView* view_;
+  std::unordered_map<SwitchId, Monitor*> monitors_;
+  std::unordered_map<SwitchId, std::function<void(const openflow::Message&)>>
+      senders_;
+  std::uint64_t packet_outs_ = 0;
+};
+
+}  // namespace monocle

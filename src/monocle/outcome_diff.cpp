@@ -1,0 +1,102 @@
+#include "monocle/outcome_diff.hpp"
+
+#include <algorithm>
+
+namespace monocle {
+
+using openflow::ForwardKind;
+using openflow::Outcome;
+using openflow::RewriteVec;
+
+namespace {
+
+/// Effective taxonomy kind: ECMP over <= 1 port behaves as multicast.
+ForwardKind effective_kind(const Outcome& o) {
+  if (o.kind == ForwardKind::kEcmp && o.forwarding_set().size() <= 1) {
+    return ForwardKind::kMulticast;
+  }
+  return o.kind;
+}
+
+std::vector<std::uint16_t> set_difference(
+    const std::vector<std::uint16_t>& a, const std::vector<std::uint16_t>& b) {
+  std::vector<std::uint16_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::uint16_t> set_intersection(
+    const std::vector<std::uint16_t>& a, const std::vector<std::uint16_t>& b) {
+  std::vector<std::uint16_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+PortDiffResult diff_ports(const Outcome& a, const Outcome& b,
+                          const DiffOptions& opts) {
+  PortDiffResult out;
+  const auto fa = a.forwarding_set();  // sorted, deduped
+  const auto fb = b.forwarding_set();
+  const ForwardKind ka = effective_kind(a);
+  const ForwardKind kb = effective_kind(b);
+
+  // Drop (F = ∅) versus anything that emits is decided by negative probing
+  // (§3.3): something is observed iff the emitting rule is active.  Two drop
+  // rules are never distinguishable (footnote 2: their rewrites are
+  // meaningless).
+  if (fa.empty() || fb.empty()) {
+    out.ports_differ = (fa.empty() != fb.empty());
+    out.quantifier = RewriteQuantifier::kExistsPort;
+    return out;
+  }
+
+  if (ka == ForwardKind::kMulticast && kb == ForwardKind::kMulticast) {
+    // Both multicast (incl. drop/unicast): a probe appears on ALL ports of
+    // whichever forwarding set is active, so any set difference reveals it.
+    out.ports_differ = (fa != fb);
+    out.quantifier = RewriteQuantifier::kExistsPort;
+  } else if (ka == ForwardKind::kEcmp && kb == ForwardKind::kEcmp) {
+    // Both ECMP: a probe on a port in the intersection is ambiguous, so the
+    // sets must be disjoint.
+    out.ports_differ = set_intersection(fa, fb).empty();
+    out.quantifier = RewriteQuantifier::kForAllPort;
+  } else {
+    // Exactly one multicast (M) and one ECMP (E): the probe appears on all
+    // of F_M or on one unknown port of F_E; any port in F_M \ F_E decides.
+    const auto& fm = (ka == ForwardKind::kMulticast) ? fa : fb;
+    const auto& fe = (ka == ForwardKind::kMulticast) ? fb : fa;
+    out.ports_differ = !set_difference(fm, fe).empty();
+    if (!out.ports_differ && opts.count_based_ecmp && fm.size() != 1) {
+      // §3.4 exception: an ECMP rule emits exactly one probe; a non-unicast
+      // multicast emits |F_M| != 1 of them — counting distinguishes.
+      out.ports_differ = true;
+    }
+    out.quantifier = RewriteQuantifier::kForAllPort;
+  }
+
+  if (!out.ports_differ) {
+    out.common_ports = set_intersection(fa, fb);
+  }
+  return out;
+}
+
+BitDiffKind bit_rewrite_diff(const RewriteVec& r1, const RewriteVec& r2,
+                             int bit) {
+  const bool w1 = r1.mask.get(bit);
+  const bool w2 = r2.mask.get(bit);
+  if (!w1 && !w2) return BitDiffKind::kNever;  // (*,*)
+  if (w1 && w2) {
+    return r1.value.get(bit) != r2.value.get(bit) ? BitDiffKind::kAlways
+                                                  : BitDiffKind::kNever;
+  }
+  // Exactly one side writes a constant `c`; the other passes the packet bit
+  // through.  They differ iff the packet bit != c (paper Table 4).
+  const bool written = w1 ? r1.value.get(bit) : r2.value.get(bit);
+  return written ? BitDiffKind::kIfBitZero : BitDiffKind::kIfBitOne;
+}
+
+}  // namespace monocle

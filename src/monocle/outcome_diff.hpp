@@ -1,0 +1,60 @@
+// DiffOutcome = DiffPorts ∨ DiffRewrite with the full multicast/ECMP
+// taxonomy of paper §3.4.
+//
+// Drop and unicast rules are treated as multicast with |F| ∈ {0,1} (the
+// paper's unification), and an ECMP rule with a single-port forwarding set is
+// normalized to unicast.  DiffPorts evaluates to a constant before SAT
+// encoding (paper §5.3); when it is False, the caller must encode
+// DiffRewrite over the common ports, with ∃-port semantics when both rules
+// are multicast and ∀-port semantics when ECMP is involved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "openflow/actions.hpp"
+
+namespace monocle {
+
+/// How the rewrite-difference disjunction must quantify over common ports.
+enum class RewriteQuantifier : std::uint8_t {
+  kExistsPort,  ///< both multicast: a single distinguishing port suffices
+  kForAllPort,  ///< ECMP involved: rewrites must differ on EVERY common port
+};
+
+/// Result of the constant (pre-SAT) part of DiffOutcome.
+struct PortDiffResult {
+  /// True: the forwarding sets alone distinguish the two rules; no rewrite
+  /// reasoning needed (DiffOutcome == True).
+  bool ports_differ = false;
+  /// When !ports_differ: ports in F1 ∩ F2 over which DiffRewrite quantifies.
+  std::vector<std::uint16_t> common_ports;
+  RewriteQuantifier quantifier = RewriteQuantifier::kExistsPort;
+};
+
+/// Options for the taxonomy evaluation.
+struct DiffOptions {
+  /// §3.4 "exception": distinguish ECMP from non-unicast multicast by
+  /// counting received probes.  Off by default, as in the paper.
+  bool count_based_ecmp = false;
+};
+
+/// Evaluates DiffPorts(R1, R2) and prepares the DiffRewrite quantification.
+/// `a` and `b` are the outcome models of the two rules (paper: Rprobed and a
+/// lower-priority rule or the table-miss behaviour).
+PortDiffResult diff_ports(const openflow::Outcome& a, const openflow::Outcome& b,
+                          const DiffOptions& opts = {});
+
+/// Per-bit rewrite difference term (paper Table 4) for one header bit.
+enum class BitDiffKind : std::uint8_t {
+  kNever,       ///< rewrites agree regardless of the packet (False)
+  kAlways,      ///< rewrites write opposite constants (True)
+  kIfBitOne,    ///< differ iff packet bit is 1 (term: P[i])
+  kIfBitZero,   ///< differ iff packet bit is 0 (term: ¬P[i])
+};
+
+/// Computes the Table 4 term for header bit `bit` given the two rewrites.
+BitDiffKind bit_rewrite_diff(const openflow::RewriteVec& r1,
+                             const openflow::RewriteVec& r2, int bit);
+
+}  // namespace monocle

@@ -1,0 +1,45 @@
+#include "monocle/probe.hpp"
+
+#include <algorithm>
+
+namespace monocle {
+
+netbase::PackedBits strip_in_port(netbase::PackedBits header) {
+  const auto& info = netbase::field_info(netbase::Field::InPort);
+  for (int i = 0; i < info.width; ++i) {
+    header.set(info.bit_offset + i, false);
+  }
+  return header;
+}
+
+namespace {
+bool contains(const std::vector<Observation>& set, const Observation& obs) {
+  return std::find(set.begin(), set.end(), obs) != set.end();
+}
+}  // namespace
+
+std::uint32_t hash_prediction(const OutcomePrediction& prediction) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(prediction.kind));
+  for (const Observation& o : prediction.observations) {
+    mix(o.output_port);
+    for (const auto word : o.header.w) mix(word);
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+Verdict classify_observation(const Probe& probe, const Observation& seen) {
+  Observation canonical = seen;
+  canonical.header = strip_in_port(canonical.header);
+  const bool in_present = contains(probe.if_present.observations, canonical);
+  const bool in_absent = contains(probe.if_absent.observations, canonical);
+  if (in_present && !in_absent) return Verdict::kPresent;
+  if (in_absent && !in_present) return Verdict::kAbsent;
+  return Verdict::kInconclusive;
+}
+
+}  // namespace monocle

@@ -1,0 +1,71 @@
+// Probe packets and outcome prediction (paper §3).
+//
+// A Probe is a concrete packet header plus the two predicted data-plane
+// outcomes: what the switch does when the probed rule IS installed
+// (`if_present`) and when it is NOT (`if_absent`).  The Distinguish
+// constraint guarantees the two predictions are observably different, so a
+// single caught packet (or a definite absence of one) decides rule presence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/abstract_packet.hpp"
+#include "netbase/packed_bits.hpp"
+#include "openflow/actions.hpp"
+
+namespace monocle {
+
+/// One predicted/actual catch event: the probe left the probed switch on
+/// `output_port` carrying `header` (in_port bits zeroed — ingress is
+/// meaningless downstream).  kPortController models rules that punt straight
+/// to the controller.
+struct Observation {
+  std::uint16_t output_port = 0;
+  netbase::PackedBits header;
+
+  friend bool operator==(const Observation&, const Observation&) = default;
+};
+
+/// The observable result of one rule processing the probe.
+struct OutcomePrediction {
+  openflow::ForwardKind kind = openflow::ForwardKind::kMulticast;
+  /// Multicast: ALL of these observations occur (none, for a drop rule).
+  /// ECMP: exactly ONE of them occurs.
+  std::vector<Observation> observations;
+
+  [[nodiscard]] bool is_drop() const { return observations.empty(); }
+};
+
+/// A generated probe for one rule.
+struct Probe {
+  netbase::AbstractPacket packet;  ///< injected header (in_port = ingress port)
+  std::uint64_t rule_cookie = 0;   ///< rule under test
+  OutcomePrediction if_present;
+  OutcomePrediction if_absent;
+
+  /// Ingress port the probe must enter the probed switch through.
+  [[nodiscard]] std::uint16_t in_port() const {
+    return static_cast<std::uint16_t>(
+        packet.get(netbase::Field::InPort));
+  }
+};
+
+/// What a single caught observation tells us about the probed rule.
+enum class Verdict : std::uint8_t {
+  kPresent,       ///< consistent only with the rule being installed
+  kAbsent,        ///< consistent only with the rule missing/misbehaving
+  kInconclusive,  ///< consistent with both or with neither (foreign packet)
+};
+
+/// Classifies one observation against the probe's two predictions.
+Verdict classify_observation(const Probe& probe, const Observation& seen);
+
+/// Zeroes the in_port bits of `header` (canonical form for Observation).
+netbase::PackedBits strip_in_port(netbase::PackedBits header);
+
+/// Stable hash of a prediction, used as ProbeMetadata::expected so stale
+/// probes (generated against an older table) are recognized and dropped.
+std::uint32_t hash_prediction(const OutcomePrediction& prediction);
+
+}  // namespace monocle

@@ -1,0 +1,586 @@
+#include "monocle/probe_generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+
+#include "netbase/packed_bits.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+
+namespace monocle {
+
+using netbase::AbstractPacket;
+using netbase::Field;
+using netbase::kHeaderBits;
+using netbase::PackedBits;
+using openflow::ActionList;
+using openflow::FlowTable;
+using openflow::Match;
+using openflow::Outcome;
+using openflow::Rule;
+using sat::CnfFormula;
+using sat::Lit;
+
+namespace {
+
+/// SAT variable for header bit `bit` (0-based): bit + 1.
+constexpr Lit bit_var(int bit) { return bit + 1; }
+constexpr Lit bit_lit(int bit, bool value) {
+  return value ? bit_var(bit) : -bit_var(bit);
+}
+
+/// Tri-state map of header bits fixed by unit clauses (Hit + Collect).
+class FixedBits {
+ public:
+  FixedBits() { fixed_.fill(-1); }
+
+  /// Fixes `bit` to `value`; returns false on conflict with a prior fix.
+  bool fix(int bit, bool value) {
+    const std::int8_t want = value ? 1 : 0;
+    if (fixed_[static_cast<std::size_t>(bit)] == -1) {
+      fixed_[static_cast<std::size_t>(bit)] = want;
+      return true;
+    }
+    return fixed_[static_cast<std::size_t>(bit)] == want;
+  }
+
+  /// -1 unknown, else 0/1.
+  [[nodiscard]] int value(int bit) const {
+    return fixed_[static_cast<std::size_t>(bit)];
+  }
+
+ private:
+  std::array<std::int8_t, kHeaderBits> fixed_;
+};
+
+/// Status of a match's cube relative to the fixed bits.
+enum class CubeStatus {
+  kImpossible,  ///< a cared bit conflicts with a fixed bit (Matches ≡ False)
+  kOk,
+};
+
+/// Computes the cube of `m` restricted to bits not fixed by `fixed`.
+/// `out` receives the positive cube literals (one per undetermined cared
+/// bit); an empty cube means Matches is constant True given the fixed bits.
+CubeStatus restricted_cube(const Match& m, const FixedBits& fixed,
+                           std::vector<Lit>& out) {
+  out.clear();
+  const PackedBits& care = m.care();
+  const PackedBits& bits = m.bits();
+  for (int w = 0; w < netbase::kHeaderWords; ++w) {
+    std::uint64_t cw = care.w[static_cast<std::size_t>(w)];
+    while (cw != 0) {
+      const int lz = std::countl_zero(cw);
+      const int bit = w * 64 + lz;
+      cw &= ~(std::uint64_t{1} << (63 - lz));
+      const bool want = bits.get(bit);
+      const int fv = fixed.value(bit);
+      if (fv == -1) {
+        out.push_back(bit_lit(bit, want));
+      } else if ((fv == 1) != want) {
+        return CubeStatus::kImpossible;
+      }
+      // else: fixed to the same value — trivially satisfied, omit.
+    }
+  }
+  return CubeStatus::kOk;
+}
+
+/// A DiffOutcome term after constant folding.
+struct DiffTerm {
+  enum class Kind { kTrue, kFalse, kLits, kVar } kind = Kind::kFalse;
+  std::vector<Lit> lits;  // kLits: inline disjunction
+  Lit var = 0;            // kVar: Tseitin variable (∀-port DiffRewrite)
+};
+
+/// Builds the DiffOutcome(P, probed, other) term (paper §3.4, Table 4,
+/// Appendix B).  May allocate a Tseitin variable in `f` for the ∀-port case.
+DiffTerm build_diff_term(CnfFormula& f, const Outcome& probed_out,
+                         const Outcome& other_out, const DiffOptions& opts) {
+  const PortDiffResult pd = diff_ports(probed_out, other_out, opts);
+  DiffTerm term;
+  if (pd.ports_differ) {
+    term.kind = DiffTerm::Kind::kTrue;
+    return term;
+  }
+  if (pd.common_ports.empty()) {
+    term.kind = DiffTerm::Kind::kFalse;  // e.g. two drop rules
+    return term;
+  }
+
+  // DiffRewrite over the common ports.
+  std::vector<std::vector<Lit>> port_lits;
+  for (const std::uint16_t port : pd.common_ports) {
+    const auto w1 = probed_out.rewrite_on_port(port);
+    const auto w2 = other_out.rewrite_on_port(port);
+    assert(w1 && w2);
+    bool always = false;
+    std::vector<Lit> lits;
+    const PackedBits touched = w1->mask | w2->mask;
+    for (int w = 0; w < netbase::kHeaderWords; ++w) {
+      std::uint64_t tw = touched.w[static_cast<std::size_t>(w)];
+      while (tw != 0) {
+        const int lz = std::countl_zero(tw);
+        const int bit = w * 64 + lz;
+        tw &= ~(std::uint64_t{1} << (63 - lz));
+        switch (bit_rewrite_diff(*w1, *w2, bit)) {
+          case BitDiffKind::kAlways:
+            always = true;
+            break;
+          case BitDiffKind::kIfBitOne:
+            lits.push_back(bit_var(bit));
+            break;
+          case BitDiffKind::kIfBitZero:
+            lits.push_back(-bit_var(bit));
+            break;
+          case BitDiffKind::kNever:
+            break;
+        }
+        if (always) break;
+      }
+      if (always) break;
+    }
+    if (pd.quantifier == RewriteQuantifier::kExistsPort) {
+      if (always) {
+        term.kind = DiffTerm::Kind::kTrue;  // one always-differing port suffices
+        return term;
+      }
+      // Accumulate into one big disjunction.
+      port_lits.push_back(std::move(lits));
+    } else {  // kForAllPort
+      if (always) continue;  // this port always differs — satisfied
+      if (lits.empty()) {
+        term.kind = DiffTerm::Kind::kFalse;  // a port can never differ
+        return term;
+      }
+      port_lits.push_back(std::move(lits));
+    }
+  }
+
+  if (pd.quantifier == RewriteQuantifier::kExistsPort) {
+    std::vector<Lit> all;
+    for (auto& pl : port_lits) {
+      all.insert(all.end(), pl.begin(), pl.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    if (all.empty()) {
+      term.kind = DiffTerm::Kind::kFalse;
+      return term;
+    }
+    term.kind = DiffTerm::Kind::kLits;
+    term.lits = std::move(all);
+    return term;
+  }
+
+  // ∀-port: conjunction of per-port disjunctions.
+  if (port_lits.empty()) {
+    term.kind = DiffTerm::Kind::kTrue;  // every common port always differs
+    return term;
+  }
+  if (port_lits.size() == 1) {
+    term.kind = DiffTerm::Kind::kLits;
+    term.lits = std::move(port_lits.front());
+    return term;
+  }
+  const Lit d = f.new_var();
+  for (const auto& pl : port_lits) {
+    sat::add_implies_clause(f, d, pl);  // d -> (port differs)
+  }
+  term.kind = DiffTerm::Kind::kVar;
+  term.var = d;
+  return term;
+}
+
+/// First rule in `table` matching `bits`, excluding the probed slot.
+const Rule* lookup_excluding_slot(const FlowTable& table, const Rule& probed,
+                                  const PackedBits& bits) {
+  for (const Rule& r : table.rules()) {
+    if (r.priority == probed.priority && r.match == probed.match) continue;
+    if (r.match.matches(bits)) return &r;
+  }
+  return nullptr;
+}
+
+/// True if the rule's outcome uses ports the generator cannot model
+/// (FLOOD/ALL expand to a switch-specific port set; TABLE re-enters lookup).
+bool outcome_unsupported(const Outcome& oc) {
+  for (const auto& [port, rewrite] : oc.emissions) {
+    if (port == openflow::kPortFlood || port == openflow::kPortAll ||
+        port == openflow::kPortTable) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* probe_failure_name(ProbeFailure f) {
+  switch (f) {
+    case ProbeFailure::kNone: return "none";
+    case ProbeFailure::kShadowed: return "shadowed";
+    case ProbeFailure::kIndistinguishable: return "indistinguishable";
+    case ProbeFailure::kUnsat: return "unsat";
+    case ProbeFailure::kNoSpareValue: return "no-spare-value";
+    case ProbeFailure::kUnsupported: return "unsupported";
+    case ProbeFailure::kEgress: return "egress";
+    case ProbeFailure::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+OutcomePrediction predict_outcome(const Rule* rule,
+                                  const ActionList& miss_actions,
+                                  const PackedBits& bits) {
+  const Outcome oc =
+      rule != nullptr ? rule->outcome() : openflow::compute_outcome(miss_actions);
+  OutcomePrediction pred;
+  pred.kind = oc.kind;
+  const auto in_port = static_cast<std::uint16_t>(
+      netbase::unpack_header(bits).get(Field::InPort));
+  for (const auto& [port, rewrite] : oc.emissions) {
+    Observation o;
+    o.output_port = port == openflow::kPortInPort ? in_port : port;
+    o.header = strip_in_port(rewrite.apply(bits));
+    if (std::find(pred.observations.begin(), pred.observations.end(), o) ==
+        pred.observations.end()) {
+      pred.observations.push_back(std::move(o));
+    }
+  }
+  return pred;
+}
+
+namespace {
+
+/// Distinguishability of two *concrete* predictions — the semantic check
+/// behind verify_probe; mirrors the §3.4 taxonomy with (port, header) pairs
+/// as elements.
+bool predictions_distinguishable(const OutcomePrediction& a,
+                                 const OutcomePrediction& b,
+                                 const DiffOptions& opts) {
+  using openflow::ForwardKind;
+  auto sorted = [](const OutcomePrediction& p) {
+    auto v = p.observations;
+    std::sort(v.begin(), v.end(), [](const Observation& x, const Observation& y) {
+      if (x.output_port != y.output_port) return x.output_port < y.output_port;
+      return x.header.w < y.header.w;
+    });
+    return v;
+  };
+  const auto sa = sorted(a);
+  const auto sb = sorted(b);
+  if (sa.empty() || sb.empty()) return sa.empty() != sb.empty();
+  const ForwardKind ka =
+      (a.kind == ForwardKind::kEcmp && sa.size() > 1) ? ForwardKind::kEcmp
+                                                      : ForwardKind::kMulticast;
+  const ForwardKind kb =
+      (b.kind == ForwardKind::kEcmp && sb.size() > 1) ? ForwardKind::kEcmp
+                                                      : ForwardKind::kMulticast;
+  std::vector<Observation> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter),
+                        [](const Observation& x, const Observation& y) {
+                          if (x.output_port != y.output_port) {
+                            return x.output_port < y.output_port;
+                          }
+                          return x.header.w < y.header.w;
+                        });
+  if (ka == ForwardKind::kMulticast && kb == ForwardKind::kMulticast) {
+    return sa != sb;
+  }
+  if (ka == ForwardKind::kEcmp && kb == ForwardKind::kEcmp) {
+    return inter.empty();
+  }
+  const auto& mc = (ka == ForwardKind::kMulticast) ? sa : sb;
+  const bool proper_subset = inter.size() == mc.size();
+  if (!proper_subset) return true;  // mc \ ecmp != empty
+  return opts.count_based_ecmp && mc.size() != 1;
+}
+
+}  // namespace
+
+bool verify_probe(const FlowTable& table, const Rule& probed, const Probe& probe,
+                  const ActionList& miss_actions, const DiffOptions& diff_opts) {
+  const PackedBits bits = netbase::pack_header(probe.packet);
+  // Hit: the probe matches the probed rule and no higher-priority rule.
+  if (!probed.match.matches(bits)) return false;
+  for (const Rule& r : table.rules()) {
+    if (r.priority < probed.priority) break;
+    if (r.priority == probed.priority && r.match == probed.match) continue;
+    if (r.priority == probed.priority) {
+      if (r.match.matches(bits)) return false;  // same-priority ambiguity
+      continue;
+    }
+    if (r.match.matches(bits)) return false;
+  }
+  // Distinguish: present/absent predictions must be tellable apart.
+  const OutcomePrediction present = predict_outcome(&probed, miss_actions, bits);
+  const Rule* absent_rule = lookup_excluding_slot(table, probed, bits);
+  const OutcomePrediction absent =
+      predict_outcome(absent_rule, miss_actions, bits);
+  return predictions_distinguishable(present, absent, diff_opts);
+}
+
+ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  ProbeGenResult result;
+  auto finish = [&](ProbeFailure f) -> ProbeGenResult& {
+    result.failure = f;
+    result.stats.total = std::chrono::steady_clock::now() - t_start;
+    return result;
+  };
+
+  assert(req.table != nullptr);
+  const FlowTable& table = *req.table;
+  const Rule& probed = req.probed;
+  const Outcome probed_outcome = probed.outcome();
+
+  if (outcome_unsupported(probed_outcome)) {
+    return finish(ProbeFailure::kUnsupported);
+  }
+  // The probed rule must not rewrite the probe-tag bits the Collect match
+  // cares about (paper §3.2, last paragraph).
+  for (const auto& [port, rewrite] : probed_outcome.emissions) {
+    if ((rewrite.mask & req.collect.care()).any()) {
+      return finish(ProbeFailure::kUnsupported);
+    }
+  }
+
+  // ---- Overlap pre-filter (§5.4) -------------------------------------
+  FlowTable::OverlapSets overlaps;
+  if (opts_.overlap_filter) {
+    overlaps = table.overlapping(probed);
+  } else {
+    // Ablation mode: consider every rule, partitioned by priority only.
+    for (const Rule& r : table.rules()) {
+      if (r.priority == probed.priority && r.match == probed.match) continue;
+      if (r.priority >= probed.priority) {
+        overlaps.higher.push_back(&r);
+      } else {
+        overlaps.lower.push_back(&r);
+      }
+    }
+  }
+  result.stats.overlapping_higher = overlaps.higher.size();
+  result.stats.overlapping_lower = overlaps.lower.size();
+
+  // ---- Fixed bits: Hit units + Collect units -------------------------
+  CnfFormula f;
+  f.reserve_vars(kHeaderBits);
+  FixedBits fixed;
+  {
+    const PackedBits& care = probed.match.care();
+    const PackedBits& bits = probed.match.bits();
+    for (int b = 0; b < kHeaderBits; ++b) {
+      if (care.get(b) && !fixed.fix(b, bits.get(b))) {
+        return finish(ProbeFailure::kUnsat);
+      }
+    }
+    const PackedBits& ccare = req.collect.care();
+    const PackedBits& cbits = req.collect.bits();
+    for (int b = 0; b < kHeaderBits; ++b) {
+      if (ccare.get(b) && !fixed.fix(b, cbits.get(b))) {
+        // Probed rule matches inside the reserved probe-tag space.
+        return finish(ProbeFailure::kUnsat);
+      }
+    }
+    for (int b = 0; b < kHeaderBits; ++b) {
+      if (fixed.value(b) != -1) f.add_unit(bit_lit(b, fixed.value(b) == 1));
+    }
+  }
+
+  // ---- Hit: avoid overlapping higher-priority rules ------------------
+  std::vector<Lit> cube;
+  for (const Rule* r : overlaps.higher) {
+    if (restricted_cube(r->match, fixed, cube) == CubeStatus::kImpossible) {
+      continue;  // cannot match the probe anyway (possible w/o the pre-filter)
+    }
+    if (cube.empty()) {
+      // Every packet hitting the probed rule also hits this higher rule.
+      return finish(ProbeFailure::kShadowed);
+    }
+    f.begin_clause();
+    for (const Lit l : cube) f.push_lit(-l);
+    f.end_clause();
+  }
+
+  // ---- In-port limited domain (§5.2, small-domain remedy) -------------
+  if (!req.in_ports.empty()) {
+    const auto& info = netbase::field_info(Field::InPort);
+    bool already_fixed = true;
+    for (int i = 0; i < info.width; ++i) {
+      if (fixed.value(info.bit_offset + i) == -1) already_fixed = false;
+    }
+    if (!already_fixed) {
+      std::vector<std::uint64_t> values(req.in_ports.begin(),
+                                        req.in_ports.end());
+      sat::add_one_of_values(f, bit_var(info.bit_offset), info.width, values);
+    }
+  }
+
+  // ---- Distinguish: priority chain over lower rules (§3.1, App. B) ----
+  const openflow::ActionList& miss = req.miss_actions;
+  bool chain_ended_with_const_true_match = false;
+  bool any_const_false_diff = false;
+  std::vector<Lit> prefix;  // "an earlier chain rule matched" literals
+  auto emit_chain_clause = [&](const std::vector<Lit>& neg_cube,
+                               const DiffTerm& diff) {
+    // (prefix ∨ ¬m_k ∨ d_k); neg_cube holds the *positive* cube literals.
+    f.begin_clause();
+    for (const Lit l : prefix) f.push_lit(l);
+    for (const Lit l : neg_cube) f.push_lit(-l);
+    switch (diff.kind) {
+      case DiffTerm::Kind::kTrue:
+        f.abort_clause();  // trivially satisfied
+        return;
+      case DiffTerm::Kind::kFalse:
+        break;
+      case DiffTerm::Kind::kLits:
+        for (const Lit l : diff.lits) f.push_lit(l);
+        break;
+      case DiffTerm::Kind::kVar:
+        f.push_lit(diff.var);
+        break;
+    }
+    f.end_clause();
+  };
+
+  for (const Rule* r : overlaps.lower) {
+    if (restricted_cube(r->match, fixed, cube) == CubeStatus::kImpossible) {
+      continue;  // e.g. the rule conflicts with the Collect tag bits
+    }
+    const DiffTerm diff = build_diff_term(f, probed_outcome, r->outcome(),
+                                          opts_.diff);
+    if (diff.kind == DiffTerm::Kind::kFalse) any_const_false_diff = true;
+    if (cube.empty()) {
+      // m_k is constant True under Hit: this rule always matches the probe,
+      // shielding everything below it (including table-miss).
+      emit_chain_clause(cube, diff);
+      chain_ended_with_const_true_match = true;
+      break;
+    }
+    emit_chain_clause(cube, diff);
+    // One-directional Tseitin: v_k -> Matches(P, R_k) (positive occurrences
+    // only — see DESIGN.md).
+    const Lit v = f.new_var();
+    sat::add_implies_cube(f, v, cube);
+    prefix.push_back(v);
+    if (static_cast<int>(prefix.size()) >= opts_.chain_split) {
+      // Chunk the prefix through an accumulator variable (Appendix B's
+      // chain-splitting) to keep later clauses short.
+      const Lit u = f.new_var();
+      sat::add_implies_clause(f, u, prefix);
+      prefix.clear();
+      prefix.push_back(u);
+    }
+  }
+
+  if (!chain_ended_with_const_true_match) {
+    // Table-miss else-term.
+    const DiffTerm diff = build_diff_term(
+        f, probed_outcome, openflow::compute_outcome(miss), opts_.diff);
+    if (diff.kind == DiffTerm::Kind::kFalse) any_const_false_diff = true;
+    if (diff.kind != DiffTerm::Kind::kTrue) {
+      f.begin_clause();
+      for (const Lit l : prefix) f.push_lit(l);
+      if (diff.kind == DiffTerm::Kind::kLits) {
+        for (const Lit l : diff.lits) f.push_lit(l);
+      } else if (diff.kind == DiffTerm::Kind::kVar) {
+        f.push_lit(diff.var);
+      }
+      if (prefix.empty() && diff.kind == DiffTerm::Kind::kFalse &&
+          overlaps.lower.empty()) {
+        f.abort_clause();
+        return finish(ProbeFailure::kIndistinguishable);
+      }
+      f.end_clause();
+    }
+  }
+
+  result.stats.sat_vars = f.num_vars();
+  result.stats.sat_clauses = f.num_clauses();
+
+  // ---- Solve -----------------------------------------------------------
+  const auto t_solve = std::chrono::steady_clock::now();
+  const sat::SolveOutcome solved = sat::solve_formula(f);
+  result.stats.solve = std::chrono::steady_clock::now() - t_solve;
+  if (solved.result != sat::SolveResult::kSat) {
+    return finish(any_const_false_diff ? ProbeFailure::kIndistinguishable
+                                       : ProbeFailure::kUnsat);
+  }
+
+  // ---- Model -> abstract packet (§5.1–5.2) -----------------------------
+  PackedBits bits;
+  for (int b = 0; b < kHeaderBits; ++b) {
+    bits.set(b, solved.model[static_cast<std::size_t>(bit_var(b))]);
+  }
+  AbstractPacket packet = netbase::unpack_header(bits);
+
+  // Limited-domain fix-up via the spare-value lemma (§5.2).  Fields fully
+  // fixed by the constraints are valid by construction; only out-of-domain
+  // leftovers are substituted.
+  netbase::DomainFixup domains = netbase::DomainFixup::openflow10_defaults();
+  for (const Rule& r : table.rules()) {
+    if (!r.match.is_wildcard(Field::EthType)) {
+      domains.note_used(Field::EthType, r.match.value(Field::EthType));
+    }
+  }
+  if (!domains.apply(packet)) {
+    return finish(ProbeFailure::kNoSpareValue);
+  }
+  packet = packet.normalized();
+
+  // ---- Predictions + post-verification ---------------------------------
+  const PackedBits final_bits = netbase::pack_header(packet);
+  Probe probe;
+  probe.packet = packet;
+  probe.rule_cookie = probed.cookie;
+  probe.if_present = predict_outcome(&probed, miss, final_bits);
+  const Rule* absent_rule = lookup_excluding_slot(table, probed, final_bits);
+  probe.if_absent = predict_outcome(absent_rule, miss, final_bits);
+
+  if (opts_.verify_solutions &&
+      !verify_probe(table, probed, probe, miss, opts_.diff)) {
+    return finish(ProbeFailure::kInternalError);
+  }
+
+  result.probe = std::move(probe);
+  return finish(ProbeFailure::kNone);
+}
+
+ModificationSpec make_modification_spec(const FlowTable& table,
+                                        const Rule& old_version,
+                                        const Rule& new_version) {
+  assert(old_version.match == new_version.match &&
+         old_version.priority == new_version.priority);
+  ModificationSpec spec;
+  const std::uint16_t p = old_version.priority;
+  const std::uint16_t new_p = (p == 0) ? 1 : p;
+  const std::uint16_t old_p = (p == 0) ? 0 : p - 1;
+  for (const Rule& r : table.rules()) {
+    if (r.priority == p && r.match == old_version.match) continue;  // the slot
+    if (r.priority > p || (p == 0 && r.priority > 0)) {
+      spec.altered.add(r);
+    } else if (r.priority == p) {
+      spec.altered.add(r);  // equal-priority peers stay (conservative)
+    }
+    // Rules with strictly lower priority are dropped (§4.1): the probe will
+    // always hit one of the two versions.
+  }
+  Rule probed = new_version;
+  probed.priority = new_p;
+  spec.altered.add(probed);
+  Rule old_copy = old_version;
+  old_copy.priority = old_p;
+  if (old_copy.cookie == probed.cookie) {
+    old_copy.cookie ^= 0x8000000000000000ull;
+  }
+  spec.altered.add(old_copy);
+  spec.probed = probed;
+  return spec;
+}
+
+}  // namespace monocle

@@ -1,0 +1,56 @@
+// Host-environment abstractions for the Monitor proxy.
+//
+// The Monitor is event-driven and needs three services from its host: a
+// clock, one-shot timers, and a view of the physical topology (which switch
+// sits behind which port).  The discrete-event simulator implements these;
+// a production deployment would back them with an event loop and LLDP-style
+// discovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netbase/time.hpp"
+
+namespace monocle {
+
+using SwitchId = std::uint64_t;
+
+/// Clock + one-shot timer service.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Current time.
+  [[nodiscard]] virtual netbase::SimTime now() const = 0;
+
+  /// Schedules `fn` to run after `delay`; returns a cancellation handle.
+  virtual std::uint64_t schedule(netbase::SimTime delay,
+                                 std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer (no-op if already fired).
+  virtual void cancel(std::uint64_t timer_id) = 0;
+};
+
+/// The far end of a switch port.
+struct PortPeer {
+  SwitchId sw = 0;
+  std::uint16_t port = 0;
+};
+
+/// Who-is-where knowledge: port-level topology of the switch fabric.
+class NetworkView {
+ public:
+  virtual ~NetworkView() = default;
+
+  /// The switch attached to (`sw`, `port`), or nullopt for hosts/edge ports.
+  [[nodiscard]] virtual std::optional<PortPeer> peer(
+      SwitchId sw, std::uint16_t port) const = 0;
+
+  /// All (data-plane) ports of `sw`.
+  [[nodiscard]] virtual std::vector<std::uint16_t> ports(SwitchId sw) const = 0;
+};
+
+}  // namespace monocle

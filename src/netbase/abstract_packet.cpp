@@ -1,0 +1,155 @@
+#include "netbase/abstract_packet.hpp"
+
+#include <cstdio>
+
+namespace monocle::netbase {
+
+namespace {
+
+// Conditional-inclusion table (§5.2).  The VLAN PCP is only meaningful on
+// tagged frames; L3 fields require an IPv4 or ARP ethertype; L4 fields
+// require IPv4 with a transport protocol OpenFlow knows how to parse.
+//
+// "Presence" of VlanId itself is special: the field always has a value, with
+// kVlanNone denoting the untagged encoding, so it is treated as
+// unconditionally present.
+constexpr std::uint64_t kNoValue = ~std::uint64_t{0};
+
+constexpr InclusionRule kRules[] = {
+    {Field::VlanPcp, Field::VlanId, {kVlanNone, 0, 0}, -1},  // present iff != kVlanNone
+    {Field::IpSrc, Field::EthType, {kEthTypeIpv4, kEthTypeArp, 0}, 2},
+    {Field::IpDst, Field::EthType, {kEthTypeIpv4, kEthTypeArp, 0}, 2},
+    {Field::IpProto, Field::EthType, {kEthTypeIpv4, kEthTypeArp, 0}, 2},
+    {Field::IpTos, Field::EthType, {kEthTypeIpv4, 0, 0}, 1},
+    {Field::TpSrc, Field::IpProto, {kIpProtoIcmp, kIpProtoTcp, kIpProtoUdp}, 3},
+    {Field::TpDst, Field::IpProto, {kIpProtoIcmp, kIpProtoTcp, kIpProtoUdp}, 3},
+};
+
+}  // namespace
+
+std::optional<InclusionRule> inclusion_rule(Field f) {
+  for (const auto& r : kRules) {
+    if (r.child == f) return r;
+  }
+  return std::nullopt;
+}
+
+bool AbstractPacket::bit(int header_bit) const {
+  for (const auto& info : kFieldTable) {
+    if (header_bit >= info.bit_offset && header_bit < info.bit_offset + info.width) {
+      const int from_msb = header_bit - info.bit_offset;
+      const int shift = info.width - 1 - from_msb;
+      return (get(info.id) >> shift) & 1;
+    }
+  }
+  return false;
+}
+
+void AbstractPacket::set_bit(int header_bit, bool value) {
+  for (const auto& info : kFieldTable) {
+    if (header_bit >= info.bit_offset && header_bit < info.bit_offset + info.width) {
+      const int from_msb = header_bit - info.bit_offset;
+      const int shift = info.width - 1 - from_msb;
+      std::uint64_t v = get(info.id);
+      if (value) {
+        v |= (std::uint64_t{1} << shift);
+      } else {
+        v &= ~(std::uint64_t{1} << shift);
+      }
+      set(info.id, v);
+      return;
+    }
+  }
+}
+
+bool AbstractPacket::present(Field f) const {
+  const auto rule = inclusion_rule(f);
+  if (!rule) return true;
+  // VlanPcp uses an exclusion encoding: present iff parent != kVlanNone.
+  if (rule->enabling_count == -1) {
+    if (get(rule->parent) == rule->enabling_values[0]) return false;
+    // A tagged frame's PCP also requires the frame itself to be "taggable";
+    // VlanId has no parent so this is sufficient.
+    return true;
+  }
+  bool parent_ok = false;
+  for (int i = 0; i < rule->enabling_count; ++i) {
+    if (get(rule->parent) == rule->enabling_values[i]) parent_ok = true;
+  }
+  if (!parent_ok) return false;
+  // Presence is transitive: the parent itself must be present.  (tp_src
+  // requires nw_proto present, which requires an IPv4/ARP ethertype; and ARP
+  // has no transport header at all.)
+  if (f == Field::TpSrc || f == Field::TpDst) {
+    return get(Field::EthType) == kEthTypeIpv4 && present(Field::IpProto);
+  }
+  return present(rule->parent);
+}
+
+AbstractPacket AbstractPacket::normalized() const {
+  AbstractPacket out = *this;
+  for (Field f : kAllFields) {
+    if (!out.present(f)) {
+      // Canonical value for excluded fields.  VlanId keeps its kVlanNone
+      // sentinel; everything else resets to zero.
+      out.set(f, f == Field::VlanId ? kVlanNone : 0);
+    }
+  }
+  return out;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+std::string mac_to_string(std::uint64_t mac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((mac >> 40) & 0xFF),
+                static_cast<unsigned>((mac >> 32) & 0xFF),
+                static_cast<unsigned>((mac >> 24) & 0xFF),
+                static_cast<unsigned>((mac >> 16) & 0xFF),
+                static_cast<unsigned>((mac >> 8) & 0xFF),
+                static_cast<unsigned>(mac & 0xFF));
+  return buf;
+}
+
+std::string AbstractPacket::to_string() const {
+  std::string out;
+  char buf[96];
+  for (Field f : kAllFields) {
+    if (!present(f)) continue;
+    const auto& info = field_info(f);
+    switch (f) {
+      case Field::IpSrc:
+      case Field::IpDst:
+        std::snprintf(buf, sizeof(buf), "%.*s=%s ",
+                      static_cast<int>(info.name.size()), info.name.data(),
+                      ipv4_to_string(static_cast<std::uint32_t>(get(f))).c_str());
+        break;
+      case Field::EthSrc:
+      case Field::EthDst:
+        std::snprintf(buf, sizeof(buf), "%.*s=%s ",
+                      static_cast<int>(info.name.size()), info.name.data(),
+                      mac_to_string(get(f)).c_str());
+        break;
+      case Field::EthType:
+        std::snprintf(buf, sizeof(buf), "%.*s=0x%llx ",
+                      static_cast<int>(info.name.size()), info.name.data(),
+                      static_cast<unsigned long long>(get(f)));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%.*s=%llu ",
+                      static_cast<int>(info.name.size()), info.name.data(),
+                      static_cast<unsigned long long>(get(f)));
+    }
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace monocle::netbase

@@ -1,0 +1,112 @@
+// Abstract packet view (paper §5.1).
+//
+// An AbstractPacket assigns a concrete value to every abstract header field.
+// Not every field is *present* in the eventual wire packet: e.g. tp_src only
+// exists when the packet is IPv4 and carries TCP/UDP/ICMP.  The paper calls
+// such fields "conditionally-included" and proves (§5.2, second lemma) that
+// dropping conditionally-excluded fields from a SAT solution preserves the
+// validity of Matches() against well-formed rules.  `normalized()` implements
+// that elimination.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netbase/fields.hpp"
+
+namespace monocle::netbase {
+
+/// A fully concrete abstract header: one value per field.
+///
+/// Values are stored masked to the field width.  Use `normalized()` before
+/// crafting a wire packet so conditionally-excluded fields hold canonical
+/// values (and comparisons between logically identical packets succeed).
+class AbstractPacket {
+ public:
+  /// Constructs the canonical all-zero packet: untagged, non-IP.
+  constexpr AbstractPacket() {
+    values_.fill(0);
+    set(Field::VlanId, kVlanNone);
+  }
+
+  /// Returns the value of field `f` (masked to the field width).
+  [[nodiscard]] constexpr std::uint64_t get(Field f) const {
+    return values_[static_cast<int>(f)];
+  }
+
+  /// Sets field `f` to `value` (masked to the field width).
+  constexpr void set(Field f, std::uint64_t value) {
+    values_[static_cast<int>(f)] = value & field_mask(f);
+  }
+
+  /// Fluent setter, convenient for building test packets.
+  constexpr AbstractPacket& with(Field f, std::uint64_t value) {
+    set(f, value);
+    return *this;
+  }
+
+  /// Value of bit `i` of the abstract header (0 = MSB of in_port, ...).
+  /// Bits index the header as laid out by `kFieldTable`.
+  [[nodiscard]] bool bit(int header_bit) const;
+
+  /// Sets bit `i` of the abstract header.
+  void set_bit(int header_bit, bool value);
+
+  /// Whether field `f` is present in the wire encoding of this packet
+  /// (conditional-inclusion rules of §5.2).
+  [[nodiscard]] bool present(Field f) const;
+
+  /// Returns a copy with all conditionally-excluded fields reset to their
+  /// canonical value (0).  Per the §5.2 lemma this does not change
+  /// Matches(P, R) for any well-formed rule R.
+  [[nodiscard]] AbstractPacket normalized() const;
+
+  /// True if the packet carries an 802.1Q tag.
+  [[nodiscard]] constexpr bool has_vlan_tag() const {
+    return get(Field::VlanId) != kVlanNone;
+  }
+
+  /// True if the packet is IPv4.
+  [[nodiscard]] constexpr bool is_ipv4() const {
+    return get(Field::EthType) == kEthTypeIpv4;
+  }
+
+  /// True if the packet is ARP.
+  [[nodiscard]] constexpr bool is_arp() const {
+    return get(Field::EthType) == kEthTypeArp;
+  }
+
+  /// Human-readable rendering, e.g. "in_port=3 dl_type=0x800 nw_src=10.0.0.1 ...".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const AbstractPacket&,
+                                   const AbstractPacket&) = default;
+
+ private:
+  std::array<std::uint64_t, kFieldCount> values_{};
+};
+
+/// The parent relationship behind conditional inclusion: which field (and
+/// which of its values) enables the presence of `f`.  Fields with no parent
+/// (L2 fields) are always present.
+struct InclusionRule {
+  Field child;
+  Field parent;
+  /// Child is present iff parent's value is in this set (small, inlined).
+  std::array<std::uint64_t, 3> enabling_values;
+  int enabling_count;
+};
+
+/// Returns the inclusion rule governing `f`, or std::nullopt when `f` is
+/// unconditionally present.
+std::optional<InclusionRule> inclusion_rule(Field f);
+
+/// Renders an IPv4 address in dotted-quad form.
+std::string ipv4_to_string(std::uint32_t addr);
+
+/// Renders a MAC address in colon-hex form.
+std::string mac_to_string(std::uint64_t mac);
+
+}  // namespace monocle::netbase

@@ -1,0 +1,123 @@
+// Big-endian (network byte order) serialization helpers.
+//
+// All wire formats in this library (Ethernet/IP/TCP/UDP and the OpenFlow-ish
+// control protocol) are big-endian.  These helpers bounds-check via assert in
+// debug builds and are branch-free in release builds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace monocle::netbase {
+
+/// Append-only big-endian byte writer over a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  /// Writes the low 48 bits of `v` (MAC addresses).
+  void u48(std::uint64_t v) {
+    u16(static_cast<std::uint16_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  /// Patches a previously written big-endian u16 at absolute offset `at`.
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    assert(at + 2 <= buf_.size());
+    buf_[at] = static_cast<std::uint8_t>(v >> 8);
+    buf_[at + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential big-endian byte reader over a borrowed buffer.
+///
+/// Out-of-range reads set the error flag and return zero instead of invoking
+/// undefined behaviour; callers check `ok()` once at the end of parsing.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!require(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  std::uint64_t u48() {
+    const std::uint64_t hi = u16();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  /// Returns a view of the next `n` bytes and advances.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!require(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    if (require(n)) pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool require(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace monocle::netbase

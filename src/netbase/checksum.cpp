@@ -1,0 +1,41 @@
+#include "netbase/checksum.hpp"
+
+namespace monocle::netbase {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint16_t>(data[i] << 8);
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xFFFF) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src_ip);
+  acc.add_u32(dst_ip);
+  acc.add_u16(protocol);
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace monocle::netbase

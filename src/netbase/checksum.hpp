@@ -1,0 +1,42 @@
+// Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace monocle::netbase {
+
+/// One's-complement sum accumulator for incremental checksum computation.
+class ChecksumAccumulator {
+ public:
+  /// Folds `data` into the running sum.  Handles odd lengths; an odd-length
+  /// chunk must be the final chunk added (the last byte is padded with zero).
+  void add(std::span<const std::uint8_t> data);
+
+  /// Adds a single big-endian 16-bit word.
+  void add_u16(std::uint16_t word) { sum_ += word; }
+
+  /// Adds a 32-bit value as two 16-bit words (for pseudo-header addresses).
+  void add_u32(std::uint32_t v) {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v));
+  }
+
+  /// Returns the final folded, inverted checksum in host order.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// Checksum of a single contiguous buffer (e.g. an IPv4 header with its
+/// checksum field zeroed).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP/UDP checksum over pseudo-header {src, dst, 0, proto, length} plus the
+/// transport header and payload (`segment`, with its checksum field zeroed).
+std::uint16_t transport_checksum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace monocle::netbase

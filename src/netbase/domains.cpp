@@ -1,0 +1,51 @@
+#include "netbase/domains.hpp"
+
+#include <algorithm>
+
+namespace monocle::netbase {
+
+void DomainFixup::set_domain(Field f, std::vector<std::uint64_t> valid) {
+  domains_[static_cast<int>(f)] = std::move(valid);
+}
+
+void DomainFixup::note_used(Field f, std::uint64_t value) {
+  used_[static_cast<int>(f)].insert(value & field_mask(f));
+}
+
+DomainFixup DomainFixup::openflow10_defaults() {
+  DomainFixup d;
+  d.set_domain(Field::EthType,
+               {kEthTypeIpv4, kEthTypeArp, kEthTypeExperimental});
+  return d;
+}
+
+bool DomainFixup::is_valid(Field f, std::uint64_t value) const {
+  const auto it = domains_.find(static_cast<int>(f));
+  if (it == domains_.end()) return true;
+  const auto& valid = it->second;
+  return std::find(valid.begin(), valid.end(), value & field_mask(f)) !=
+         valid.end();
+}
+
+bool DomainFixup::apply(AbstractPacket& p) const {
+  for (const auto& [field_idx, valid] : domains_) {
+    const Field f = static_cast<Field>(field_idx);
+    if (is_valid(f, p.get(f))) continue;
+    // Out-of-domain: look for a spare — a valid value no rule matches on.
+    const auto used_it = used_.find(field_idx);
+    const auto* used = used_it == used_.end() ? nullptr : &used_it->second;
+    bool substituted = false;
+    for (const std::uint64_t candidate : valid) {
+      if (used != nullptr && used->contains(candidate & field_mask(f))) {
+        continue;
+      }
+      p.set(f, candidate);
+      substituted = true;
+      break;
+    }
+    if (!substituted) return false;
+  }
+  return true;
+}
+
+}  // namespace monocle::netbase

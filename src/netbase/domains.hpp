@@ -1,0 +1,58 @@
+// Limited field domains and the spare-value substitution lemma (paper §5.2).
+//
+// Some abstract fields cannot take arbitrary values in a *valid* wire packet
+// (the paper's examples: DL_TYPE, NW_TOS, the input port).  Two remedies
+// exist:
+//   1. small domains — add a "must be one of these values" constraint to the
+//      SAT instance (the probe generator does this for in_port);
+//   2. large domains — run the solver unconstrained and, if the solution
+//      contains an out-of-domain value, replace it with a *spare* value: a
+//      valid value used by no rule in the flow table.  The §5.2 lemma proves
+//      the substitution preserves every Matches(probe, R) test, provided the
+//      field is only ever fully wildcarded or fully specified by rules.
+//
+// DomainFixup implements remedy 2.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/abstract_packet.hpp"
+
+namespace monocle::netbase {
+
+/// Per-field domain knowledge plus the set of values used by installed rules;
+/// applies the spare-value substitution to SAT solutions.
+class DomainFixup {
+ public:
+  /// Declares the set of valid values for `f`.  Fields without a declared
+  /// domain accept any value.  The order of `valid` determines spare-value
+  /// preference.
+  void set_domain(Field f, std::vector<std::uint64_t> valid);
+
+  /// Records that some rule in the flow table exactly matches `f`=`value`
+  /// (used values are never eligible as spares).
+  void note_used(Field f, std::uint64_t value);
+
+  /// Convenience: the default domains for OpenFlow 1.0 probing — DL_TYPE
+  /// limited to {IPv4, ARP, experimental}; everything else unrestricted.
+  static DomainFixup openflow10_defaults();
+
+  /// Applies the substitution lemma to `p`: every field whose value lies
+  /// outside its declared domain is replaced by a spare value.  Returns false
+  /// (leaving `p` partially updated) if some field is out-of-domain but all
+  /// valid values are used by rules — i.e. no spare exists and the probe
+  /// cannot be made valid this way.
+  [[nodiscard]] bool apply(AbstractPacket& p) const;
+
+  /// True if `value` is valid for `f` under the declared domains.
+  [[nodiscard]] bool is_valid(Field f, std::uint64_t value) const;
+
+ private:
+  std::unordered_map<int, std::vector<std::uint64_t>> domains_;
+  std::unordered_map<int, std::unordered_set<std::uint64_t>> used_;
+};
+
+}  // namespace monocle::netbase

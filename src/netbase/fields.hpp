@@ -1,0 +1,121 @@
+// Field catalogue for the abstract packet view (paper §5.1).
+//
+// Monocle formulates probe-generation constraints over an *abstract* packet:
+// a fixed sequence of protocol header fields, mirroring the OpenFlow 1.0
+// 12-tuple.  Every field occupies a contiguous range of bits in a single
+// abstract header bit-string; SAT variable (bit_offset + i + 1) corresponds to
+// bit i of the field (most-significant bit first).  This file is the single
+// source of truth for field ids, widths and bit offsets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace monocle::netbase {
+
+/// Abstract header fields, in wire-ish order.  Matches the OpenFlow 1.0
+/// match 12-tuple (ofp_match).
+enum class Field : std::uint8_t {
+  InPort = 0,   ///< ingress port (16 bits in OF 1.0)
+  EthSrc = 1,   ///< Ethernet source MAC (48 bits)
+  EthDst = 2,   ///< Ethernet destination MAC (48 bits)
+  EthType = 3,  ///< Ethertype (16 bits)
+  VlanId = 4,   ///< 802.1Q VLAN id (12 bits); kVlanNone means "untagged"
+  VlanPcp = 5,  ///< 802.1Q priority code point (3 bits)
+  IpSrc = 6,    ///< IPv4 source (32 bits); ARP SPA when EthType==ARP
+  IpDst = 7,    ///< IPv4 destination (32 bits); ARP TPA when EthType==ARP
+  IpProto = 8,  ///< IPv4 protocol (8 bits); ARP opcode low byte when ARP
+  IpTos = 9,    ///< IPv4 DSCP (6 bits, as in OF 1.0)
+  TpSrc = 10,   ///< TCP/UDP source port, or ICMP type (16 bits)
+  TpDst = 11,   ///< TCP/UDP destination port, or ICMP code (16 bits)
+};
+
+inline constexpr int kFieldCount = 12;
+
+/// Sentinel VLAN id meaning "no 802.1Q tag present".  OpenFlow 1.0 uses
+/// OFP_VLAN_NONE=0xffff on the wire; our abstract field is 12 bits wide so we
+/// reserve the (invalid for 802.1Q) id 0xFFF instead.
+inline constexpr std::uint64_t kVlanNone = 0xFFF;
+
+/// Well-known ethertypes used throughout the library.
+inline constexpr std::uint64_t kEthTypeIpv4 = 0x0800;
+inline constexpr std::uint64_t kEthTypeArp = 0x0806;
+inline constexpr std::uint64_t kEthTypeVlan = 0x8100;
+/// IEEE 802 local experimental ethertype; used for opaque L2 payloads.
+inline constexpr std::uint64_t kEthTypeExperimental = 0x88B5;
+
+/// IP protocol numbers relevant to OpenFlow 1.0 matching.
+inline constexpr std::uint64_t kIpProtoIcmp = 1;
+inline constexpr std::uint64_t kIpProtoTcp = 6;
+inline constexpr std::uint64_t kIpProtoUdp = 17;
+
+/// Static description of one abstract field.
+struct FieldInfo {
+  Field id;
+  std::string_view name;
+  int width;       ///< bit width of the abstract field
+  int bit_offset;  ///< offset of the field's MSB in the abstract header
+};
+
+namespace detail {
+consteval std::array<FieldInfo, kFieldCount> make_field_table() {
+  std::array<FieldInfo, kFieldCount> t{};
+  int off = 0;
+  auto add = [&](Field f, std::string_view name, int width) {
+    t[static_cast<int>(f)] = FieldInfo{f, name, width, off};
+    off += width;
+  };
+  add(Field::InPort, "in_port", 16);
+  add(Field::EthSrc, "dl_src", 48);
+  add(Field::EthDst, "dl_dst", 48);
+  add(Field::EthType, "dl_type", 16);
+  add(Field::VlanId, "dl_vlan", 12);
+  add(Field::VlanPcp, "dl_vlan_pcp", 3);
+  add(Field::IpSrc, "nw_src", 32);
+  add(Field::IpDst, "nw_dst", 32);
+  add(Field::IpProto, "nw_proto", 8);
+  add(Field::IpTos, "nw_tos", 6);
+  add(Field::TpSrc, "tp_src", 16);
+  add(Field::TpDst, "tp_dst", 16);
+  return t;
+}
+}  // namespace detail
+
+inline constexpr std::array<FieldInfo, kFieldCount> kFieldTable =
+    detail::make_field_table();
+
+/// Total number of bits in the abstract header (== number of SAT variables
+/// needed to describe a packet).
+inline constexpr int kHeaderBits =
+    kFieldTable[kFieldCount - 1].bit_offset + kFieldTable[kFieldCount - 1].width;
+
+/// Returns the static description of `f`.
+constexpr const FieldInfo& field_info(Field f) {
+  return kFieldTable[static_cast<int>(f)];
+}
+
+/// Returns the bit width of `f`.
+constexpr int field_width(Field f) { return field_info(f).width; }
+
+/// Returns the offset of the MSB of `f` within the abstract header.
+constexpr int field_offset(Field f) { return field_info(f).bit_offset; }
+
+/// Returns the human-readable OpenFlow-style name of `f` ("nw_src", ...).
+constexpr std::string_view field_name(Field f) { return field_info(f).name; }
+
+/// Mask with the low `width(f)` bits set; every abstract value of `f` must
+/// satisfy `value == (value & field_mask(f))`.
+constexpr std::uint64_t field_mask(Field f) {
+  const int w = field_width(f);
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+/// Iteration helper: all fields in abstract-header order.
+inline constexpr std::array<Field, kFieldCount> kAllFields = {
+    Field::InPort, Field::EthSrc,  Field::EthDst, Field::EthType,
+    Field::VlanId, Field::VlanPcp, Field::IpSrc,  Field::IpDst,
+    Field::IpProto, Field::IpTos,  Field::TpSrc,  Field::TpDst,
+};
+
+}  // namespace monocle::netbase

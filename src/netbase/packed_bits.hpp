@@ -1,0 +1,98 @@
+// Packed bit-vector view of the abstract header.
+//
+// Matching, overlap checks and rewrite application all operate on the header
+// as a flat bit string (paper Tables 3 & 4 are per-bit).  PackedBits stores
+// kHeaderBits bits in a few machine words so those operations are a handful
+// of AND/XOR instructions — important because overlap checking dominates
+// probe-generation time (paper §8.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netbase/abstract_packet.hpp"
+#include "netbase/fields.hpp"
+
+namespace monocle::netbase {
+
+inline constexpr int kHeaderWords = (kHeaderBits + 63) / 64;
+
+/// Fixed-width bit vector covering the abstract header.  Bit 0 is the MSB of
+/// the first field, stored at the MSB end of word 0 for cache-friendly
+/// word-parallel operations.
+struct PackedBits {
+  std::array<std::uint64_t, kHeaderWords> w{};
+
+  [[nodiscard]] constexpr bool get(int bit) const {
+    return (w[static_cast<std::size_t>(bit >> 6)] >>
+            (63 - (bit & 63))) & 1;
+  }
+  constexpr void set(int bit, bool value) {
+    const std::uint64_t mask = std::uint64_t{1} << (63 - (bit & 63));
+    auto& word = w[static_cast<std::size_t>(bit >> 6)];
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  constexpr PackedBits operator&(const PackedBits& o) const {
+    PackedBits r;
+    for (int i = 0; i < kHeaderWords; ++i) r.w[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(i)] & o.w[static_cast<std::size_t>(i)];
+    return r;
+  }
+  constexpr PackedBits operator|(const PackedBits& o) const {
+    PackedBits r;
+    for (int i = 0; i < kHeaderWords; ++i) r.w[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(i)] | o.w[static_cast<std::size_t>(i)];
+    return r;
+  }
+  constexpr PackedBits operator^(const PackedBits& o) const {
+    PackedBits r;
+    for (int i = 0; i < kHeaderWords; ++i) r.w[static_cast<std::size_t>(i)] =
+        w[static_cast<std::size_t>(i)] ^ o.w[static_cast<std::size_t>(i)];
+    return r;
+  }
+  constexpr PackedBits operator~() const {
+    PackedBits r;
+    for (int i = 0; i < kHeaderWords; ++i)
+      r.w[static_cast<std::size_t>(i)] = ~w[static_cast<std::size_t>(i)];
+    return r;
+  }
+  [[nodiscard]] constexpr bool any() const {
+    for (const auto word : w) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+  friend constexpr bool operator==(const PackedBits&, const PackedBits&) = default;
+};
+
+/// Packs an abstract packet's field values into header bit-string form.
+inline PackedBits pack_header(const AbstractPacket& p) {
+  PackedBits out;
+  for (const auto& info : kFieldTable) {
+    const std::uint64_t v = p.get(info.id);
+    for (int i = 0; i < info.width; ++i) {
+      out.set(info.bit_offset + i, (v >> (info.width - 1 - i)) & 1);
+    }
+  }
+  return out;
+}
+
+/// Unpacks a header bit string back into an abstract packet.
+inline AbstractPacket unpack_header(const PackedBits& bits) {
+  AbstractPacket p;
+  for (const auto& info : kFieldTable) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < info.width; ++i) {
+      v = (v << 1) | (bits.get(info.bit_offset + i) ? 1 : 0);
+    }
+    p.set(info.id, v);
+  }
+  return p;
+}
+
+}  // namespace monocle::netbase

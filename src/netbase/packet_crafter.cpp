@@ -1,0 +1,268 @@
+#include "netbase/packet_crafter.hpp"
+
+#include <algorithm>
+
+#include "netbase/byteio.hpp"
+#include "netbase/checksum.hpp"
+
+namespace monocle::netbase {
+
+namespace {
+
+constexpr std::uint8_t kDefaultTtl = 64;
+
+// Builds the IPv4 header + transport header + payload into `w`, starting at
+// the current write position.  Returns nothing; all checksums are patched in
+// place.
+void craft_ipv4(ByteWriter& w, const AbstractPacket& h,
+                std::span<const std::uint8_t> payload) {
+  const auto proto = static_cast<std::uint8_t>(h.get(Field::IpProto));
+  const auto src = static_cast<std::uint32_t>(h.get(Field::IpSrc));
+  const auto dst = static_cast<std::uint32_t>(h.get(Field::IpDst));
+
+  // Transport segment first (so its length is known for the IP header).
+  ByteWriter seg;
+  switch (proto) {
+    case kIpProtoTcp: {
+      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
+      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
+      seg.u32(0);           // seq
+      seg.u32(0);           // ack
+      seg.u8(5 << 4);       // data offset = 5 words, no options
+      seg.u8(0x02);         // SYN — a self-contained, inoffensive flag choice
+      seg.u16(0xFFFF);      // window
+      seg.u16(0);           // checksum placeholder
+      seg.u16(0);           // urgent pointer
+      seg.bytes(payload);
+      auto bytes = seg.take();
+      const std::uint16_t csum = transport_checksum(src, dst, proto, bytes);
+      bytes[16] = static_cast<std::uint8_t>(csum >> 8);
+      bytes[17] = static_cast<std::uint8_t>(csum);
+      seg = ByteWriter{};
+      seg.bytes(bytes);
+      break;
+    }
+    case kIpProtoUdp: {
+      const auto len = static_cast<std::uint16_t>(8 + payload.size());
+      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
+      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
+      seg.u16(len);
+      seg.u16(0);  // checksum placeholder
+      seg.bytes(payload);
+      auto bytes = seg.take();
+      std::uint16_t csum = transport_checksum(src, dst, proto, bytes);
+      if (csum == 0) csum = 0xFFFF;  // RFC 768: transmitted 0 means "none"
+      bytes[6] = static_cast<std::uint8_t>(csum >> 8);
+      bytes[7] = static_cast<std::uint8_t>(csum);
+      seg = ByteWriter{};
+      seg.bytes(bytes);
+      break;
+    }
+    case kIpProtoIcmp: {
+      // OpenFlow 1.0 maps tp_src/tp_dst to ICMP type/code.
+      seg.u8(static_cast<std::uint8_t>(h.get(Field::TpSrc)));
+      seg.u8(static_cast<std::uint8_t>(h.get(Field::TpDst)));
+      seg.u16(0);      // checksum placeholder
+      seg.u16(0x4D4E);  // identifier ("MN")
+      seg.u16(1);      // sequence
+      seg.bytes(payload);
+      auto bytes = seg.take();
+      const std::uint16_t csum = internet_checksum(bytes);
+      bytes[2] = static_cast<std::uint8_t>(csum >> 8);
+      bytes[3] = static_cast<std::uint8_t>(csum);
+      seg = ByteWriter{};
+      seg.bytes(bytes);
+      break;
+    }
+    default:
+      // Unknown transport: payload rides directly above IP.
+      seg.bytes(payload);
+  }
+
+  const auto seg_bytes = seg.data();
+  const auto total_len = static_cast<std::uint16_t>(20 + seg_bytes.size());
+
+  ByteWriter ip;
+  ip.u8(0x45);  // version 4, IHL 5
+  ip.u8(static_cast<std::uint8_t>(h.get(Field::IpTos) << 2));  // DSCP in high 6 bits
+  ip.u16(total_len);
+  ip.u16(0);       // identification
+  ip.u16(0x4000);  // DF, no fragmentation
+  ip.u8(kDefaultTtl);
+  ip.u8(proto);
+  ip.u16(0);  // header checksum placeholder
+  ip.u32(src);
+  ip.u32(dst);
+  auto ip_bytes = ip.take();
+  const std::uint16_t csum = internet_checksum(ip_bytes);
+  ip_bytes[10] = static_cast<std::uint8_t>(csum >> 8);
+  ip_bytes[11] = static_cast<std::uint8_t>(csum);
+
+  w.bytes(ip_bytes);
+  w.bytes(seg_bytes);
+}
+
+void craft_arp(ByteWriter& w, const AbstractPacket& h,
+               std::span<const std::uint8_t> payload) {
+  w.u16(1);       // htype: Ethernet
+  w.u16(0x0800);  // ptype: IPv4
+  w.u8(6);        // hlen
+  w.u8(4);        // plen
+  // OpenFlow 1.0 matches the ARP opcode via nw_proto's low byte.
+  w.u16(static_cast<std::uint16_t>(h.get(Field::IpProto) & 0xFF));
+  w.u48(h.get(Field::EthSrc));                              // sender MAC
+  w.u32(static_cast<std::uint32_t>(h.get(Field::IpSrc)));   // sender IP (SPA)
+  w.u48(h.get(Field::EthDst));                              // target MAC
+  w.u32(static_cast<std::uint32_t>(h.get(Field::IpDst)));   // target IP (TPA)
+  w.bytes(payload);  // trailer bytes carry probe metadata
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
+                                       std::span<const std::uint8_t> payload) {
+  const AbstractPacket h = header.normalized();
+  ByteWriter w(128 + payload.size());
+
+  w.u48(h.get(Field::EthDst));
+  w.u48(h.get(Field::EthSrc));
+  if (h.has_vlan_tag()) {
+    w.u16(static_cast<std::uint16_t>(kEthTypeVlan));
+    const auto tci = static_cast<std::uint16_t>(
+        (h.get(Field::VlanPcp) << 13) | (h.get(Field::VlanId) & 0xFFF));
+    w.u16(tci);
+  }
+  w.u16(static_cast<std::uint16_t>(h.get(Field::EthType)));
+
+  if (h.is_ipv4()) {
+    craft_ipv4(w, h, payload);
+  } else if (h.is_arp()) {
+    craft_arp(w, h, payload);
+  } else {
+    w.bytes(payload);
+  }
+
+  // Pad to the Ethernet minimum frame size (without FCS): 60 bytes.
+  if (w.size() < 60) {
+    w.zeros(60 - w.size());
+  }
+  return w.take();
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  ParsedPacket out;
+  AbstractPacket& h = out.header;
+
+  h.set(Field::EthDst, r.u48());
+  h.set(Field::EthSrc, r.u48());
+  std::uint16_t ethertype = r.u16();
+  if (ethertype == kEthTypeVlan) {
+    const std::uint16_t tci = r.u16();
+    h.set(Field::VlanId, tci & 0xFFF);
+    h.set(Field::VlanPcp, (tci >> 13) & 0x7);
+    ethertype = r.u16();
+  } else {
+    h.set(Field::VlanId, kVlanNone);
+  }
+  h.set(Field::EthType, ethertype);
+  if (!r.ok()) return std::nullopt;
+
+  if (ethertype == kEthTypeIpv4) {
+    const std::size_t ip_start = r.position();
+    const std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    const std::size_t ihl = (ver_ihl & 0xF) * std::size_t{4};
+    if (ihl < 20) return std::nullopt;
+    const std::uint8_t tos = r.u8();
+    h.set(Field::IpTos, tos >> 2);
+    const std::uint16_t total_len = r.u16();
+    r.skip(4);  // id, flags/frag
+    r.skip(1);  // ttl
+    const std::uint8_t proto = r.u8();
+    h.set(Field::IpProto, proto);
+    r.skip(2);  // checksum (validated below over the whole header)
+    h.set(Field::IpSrc, r.u32());
+    h.set(Field::IpDst, r.u32());
+    r.skip(ihl - 20);
+    if (!r.ok()) return std::nullopt;
+    if (ip_start + ihl <= wire.size()) {
+      out.checksums_valid =
+          internet_checksum(wire.subspan(ip_start, ihl)) == 0;
+    }
+    if (total_len < ihl || ip_start + total_len > wire.size()) {
+      return std::nullopt;
+    }
+    const std::size_t l4_start = ip_start + ihl;
+    const std::size_t l4_len = total_len - ihl;
+    auto segment = wire.subspan(l4_start, l4_len);
+    ByteReader l4(segment);
+    switch (proto) {
+      case kIpProtoTcp: {
+        if (segment.size() < 20) return std::nullopt;
+        h.set(Field::TpSrc, l4.u16());
+        h.set(Field::TpDst, l4.u16());
+        l4.skip(8);
+        const std::size_t data_off = (l4.u8() >> 4) * std::size_t{4};
+        if (data_off < 20 || data_off > segment.size()) return std::nullopt;
+        out.checksums_valid =
+            out.checksums_valid &&
+            transport_checksum(static_cast<std::uint32_t>(h.get(Field::IpSrc)),
+                               static_cast<std::uint32_t>(h.get(Field::IpDst)),
+                               proto, segment) == 0;
+        out.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(data_off),
+                           segment.end());
+        break;
+      }
+      case kIpProtoUdp: {
+        if (segment.size() < 8) return std::nullopt;
+        h.set(Field::TpSrc, l4.u16());
+        h.set(Field::TpDst, l4.u16());
+        const std::uint16_t udp_len = l4.u16();
+        const std::uint16_t wire_csum = l4.u16();
+        if (udp_len < 8 || udp_len > segment.size()) return std::nullopt;
+        if (wire_csum != 0) {
+          out.checksums_valid =
+              out.checksums_valid &&
+              transport_checksum(
+                  static_cast<std::uint32_t>(h.get(Field::IpSrc)),
+                  static_cast<std::uint32_t>(h.get(Field::IpDst)), proto,
+                  segment.subspan(0, udp_len)) == 0;
+        }
+        out.payload.assign(segment.begin() + 8,
+                           segment.begin() + udp_len);
+        break;
+      }
+      case kIpProtoIcmp: {
+        if (segment.size() < 8) return std::nullopt;
+        h.set(Field::TpSrc, l4.u8());
+        h.set(Field::TpDst, l4.u8());
+        out.checksums_valid =
+            out.checksums_valid && internet_checksum(segment) == 0;
+        out.payload.assign(segment.begin() + 8, segment.end());
+        break;
+      }
+      default:
+        out.payload.assign(segment.begin(), segment.end());
+    }
+  } else if (ethertype == kEthTypeArp) {
+    r.skip(6);  // htype, ptype, hlen, plen
+    h.set(Field::IpProto, r.u16() & 0xFF);
+    r.skip(6);  // sender MAC (already in EthSrc)
+    h.set(Field::IpSrc, r.u32());
+    r.skip(6);  // target MAC
+    h.set(Field::IpDst, r.u32());
+    if (!r.ok()) return std::nullopt;
+    out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                       wire.end());
+  } else {
+    out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                       wire.end());
+  }
+
+  if (!r.ok()) return std::nullopt;
+  out.header = h.normalized();
+  return out;
+}
+
+}  // namespace monocle::netbase

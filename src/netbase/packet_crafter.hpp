@@ -1,0 +1,45 @@
+// Raw packet crafting (paper §5.2, "Creating raw packets").
+//
+// Converts an abstract header (the SAT solution, in abstract field space)
+// plus a payload into a fully valid wire packet: Ethernet, optional 802.1Q
+// tag, then IPv4+{TCP,UDP,ICMP}, ARP, or an opaque experimental-ethertype
+// frame.  All lengths and checksums are computed here, which is exactly the
+// work the paper delegates to "existing packet generation libraries".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/abstract_packet.hpp"
+
+namespace monocle::netbase {
+
+/// Crafts a wire packet from `header` and `payload`.
+///
+/// `header` should already be normalized; the crafter normalizes defensively.
+/// The payload is placed after the innermost header this packet carries
+/// (L4 for TCP/UDP/ICMP, L3 for other IPv4, L2 for ARP/opaque frames — for
+/// ARP the payload follows the fixed ARP body as trailer bytes, which is
+/// legal on Ethernet and preserved by switches).
+std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
+                                       std::span<const std::uint8_t> payload);
+
+/// Result of parsing a wire packet back into abstract space.
+struct ParsedPacket {
+  AbstractPacket header;               ///< abstract view (in_port left as 0)
+  std::vector<std::uint8_t> payload;   ///< bytes after the innermost header
+  bool checksums_valid = true;         ///< IPv4 + transport checksums
+};
+
+/// Parses a wire packet produced by `craft_packet` (or any well-formed
+/// Ethernet/IPv4 frame).  Returns std::nullopt on truncated/garbled input.
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire);
+
+/// Minimum payload the crafter always has room for.  Ethernet minimum frame
+/// size is respected by padding; parse_packet strips padding only for IPv4
+/// (where total_length is authoritative).
+inline constexpr std::size_t kMinEthernetPayload = 46;
+
+}  // namespace monocle::netbase

@@ -1,0 +1,33 @@
+#include "netbase/probe_metadata.hpp"
+
+#include "netbase/byteio.hpp"
+
+namespace monocle::netbase {
+
+std::vector<std::uint8_t> encode_probe_metadata(const ProbeMetadata& meta) {
+  ByteWriter w(ProbeMetadata::kWireSize);
+  w.u32(ProbeMetadata::kMagic);
+  w.u64(meta.switch_id);
+  w.u64(meta.rule_cookie);
+  w.u32(meta.generation);
+  w.u32(meta.expected);
+  w.u32(meta.nonce);
+  return w.take();
+}
+
+std::optional<ProbeMetadata> decode_probe_metadata(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < ProbeMetadata::kWireSize) return std::nullopt;
+  ByteReader r(payload);
+  if (r.u32() != ProbeMetadata::kMagic) return std::nullopt;
+  ProbeMetadata meta;
+  meta.switch_id = r.u64();
+  meta.rule_cookie = r.u64();
+  meta.generation = r.u32();
+  meta.expected = r.u32();
+  meta.nonce = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return meta;
+}
+
+}  // namespace monocle::netbase

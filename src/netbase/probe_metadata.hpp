@@ -1,0 +1,42 @@
+// Probe payload metadata (paper §4.2).
+//
+// Monocle monitors many rules concurrently, so after catching a probe it must
+// map the packet back to the rule under test.  The paper solves this by
+// embedding metadata "such as rule under test and expected result to the
+// probe packet payload that cannot be touched by the switches".  This module
+// defines that payload record and its wire encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace monocle::netbase {
+
+/// Fixed-size metadata record carried in every probe packet's payload.
+struct ProbeMetadata {
+  /// Magic constant identifying Monocle probes ("MNCL").
+  static constexpr std::uint32_t kMagic = 0x4D4E434C;
+  /// Serialized size in bytes.
+  static constexpr std::size_t kWireSize = 4 + 8 + 8 + 4 + 4 + 4;
+
+  std::uint64_t switch_id = 0;    ///< datapath id of the probed switch
+  std::uint64_t rule_cookie = 0;  ///< cookie of the rule under test
+  std::uint32_t generation = 0;   ///< probe generation; stale probes are ignored
+  std::uint32_t expected = 0;     ///< hash of the expected outcome
+  std::uint32_t nonce = 0;        ///< per-injection uniquifier
+
+  friend bool operator==(const ProbeMetadata&, const ProbeMetadata&) = default;
+};
+
+/// Serializes `meta` (big-endian, kWireSize bytes).
+std::vector<std::uint8_t> encode_probe_metadata(const ProbeMetadata& meta);
+
+/// Parses a probe payload.  Returns std::nullopt when `payload` is too short
+/// or does not start with the probe magic — i.e. the packet is not (or no
+/// longer recognizable as) a Monocle probe.
+std::optional<ProbeMetadata> decode_probe_metadata(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace monocle::netbase

@@ -1,0 +1,25 @@
+// Simulated-time conventions shared by the monitor and the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace monocle::netbase {
+
+/// Simulation timestamp / duration in nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Converts a duration to (fractional) seconds for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to (fractional) milliseconds for reporting.
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace monocle::netbase

@@ -1,0 +1,93 @@
+#include "openflow/actions.hpp"
+
+#include <algorithm>
+
+#include "netbase/fields.hpp"
+
+namespace monocle::openflow {
+
+using netbase::field_info;
+using netbase::field_mask;
+
+void RewriteVec::set_field(Field f, std::uint64_t v) {
+  const auto& info = field_info(f);
+  const std::uint64_t masked = v & field_mask(f);
+  for (int i = 0; i < info.width; ++i) {
+    mask.set(info.bit_offset + i, true);
+    value.set(info.bit_offset + i, (masked >> (info.width - 1 - i)) & 1);
+  }
+}
+
+std::vector<std::uint16_t> Outcome::forwarding_set() const {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(emissions.size());
+  for (const auto& [port, rewrite] : emissions) ports.push_back(port);
+  std::sort(ports.begin(), ports.end());
+  ports.erase(std::unique(ports.begin(), ports.end()), ports.end());
+  return ports;
+}
+
+std::optional<RewriteVec> Outcome::rewrite_on_port(std::uint16_t port) const {
+  for (const auto& [p, rewrite] : emissions) {
+    if (p == port) return rewrite;
+  }
+  return std::nullopt;
+}
+
+Outcome compute_outcome(const ActionList& actions) {
+  Outcome out;
+  RewriteVec current;
+  bool has_ecmp = false;
+  for (const Action& a : actions) {
+    switch (a.type) {
+      case Action::Type::kOutput:
+        out.emissions.emplace_back(a.port, current);
+        break;
+      case Action::Type::kSetField:
+        current.set_field(a.field, a.value);
+        break;
+      case Action::Type::kEcmpGroup:
+        has_ecmp = true;
+        for (const std::uint16_t p : a.ecmp_ports) {
+          out.emissions.emplace_back(p, current);
+        }
+        break;
+    }
+  }
+  out.kind = has_ecmp ? ForwardKind::kEcmp : ForwardKind::kMulticast;
+  return out;
+}
+
+std::string actions_to_string(const ActionList& actions) {
+  if (actions.empty()) return "drop";
+  std::string out;
+  for (const Action& a : actions) {
+    if (!out.empty()) out.push_back(',');
+    switch (a.type) {
+      case Action::Type::kOutput:
+        if (a.port == kPortController) {
+          out += "out(ctrl)";
+        } else {
+          out += "out(" + std::to_string(a.port) + ")";
+        }
+        break;
+      case Action::Type::kSetField:
+        out += "set(";
+        out += field_info(a.field).name;
+        out += "=" + std::to_string(a.value) + ")";
+        break;
+      case Action::Type::kEcmpGroup: {
+        out += "ecmp(";
+        for (std::size_t i = 0; i < a.ecmp_ports.size(); ++i) {
+          if (i != 0) out.push_back('|');
+          out += std::to_string(a.ecmp_ports[i]);
+        }
+        out += ")";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace monocle::openflow

@@ -1,0 +1,133 @@
+// OpenFlow 1.0-style actions plus the ECMP group extension (paper §3.4).
+//
+// A rule carries an ordered action list.  OpenFlow 1.0 semantics: set-field
+// actions rewrite the working copy of the packet; each output action emits
+// the *current* working copy, so a list may emit differently-rewritten copies
+// on different ports.  ECMP is modeled as a select-one-of-ports action (the
+// OpenFlow 1.0 era realized this with vendor extensions or hashing NORMAL
+// forwarding; the paper treats it abstractly as a forwarding set).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/abstract_packet.hpp"
+#include "netbase/packed_bits.hpp"
+
+namespace monocle::openflow {
+
+using netbase::AbstractPacket;
+using netbase::Field;
+using netbase::PackedBits;
+
+/// Reserved OpenFlow 1.0 port numbers (subset we use).
+inline constexpr std::uint16_t kPortMax = 0xFF00;
+inline constexpr std::uint16_t kPortInPort = 0xFFF8;
+inline constexpr std::uint16_t kPortTable = 0xFFF9;
+inline constexpr std::uint16_t kPortFlood = 0xFFFB;
+inline constexpr std::uint16_t kPortAll = 0xFFFC;
+inline constexpr std::uint16_t kPortController = 0xFFFD;
+inline constexpr std::uint16_t kPortNone = 0xFFFF;
+
+/// One action in an action list.
+struct Action {
+  enum class Type : std::uint8_t {
+    kOutput,    ///< emit working packet on `port`
+    kSetField,  ///< rewrite `field` to `value`
+    kEcmpGroup  ///< emit working packet on ONE of `ecmp_ports` (switch-chosen)
+  };
+
+  Type type = Type::kOutput;
+  std::uint16_t port = 0;                  // kOutput
+  Field field = Field::InPort;             // kSetField
+  std::uint64_t value = 0;                 // kSetField
+  std::vector<std::uint16_t> ecmp_ports;   // kEcmpGroup
+
+  static Action output(std::uint16_t port) {
+    Action a;
+    a.type = Type::kOutput;
+    a.port = port;
+    return a;
+  }
+  static Action set_field(Field f, std::uint64_t v) {
+    Action a;
+    a.type = Type::kSetField;
+    a.field = f;
+    a.value = v;
+    return a;
+  }
+  static Action ecmp(std::vector<std::uint16_t> ports) {
+    Action a;
+    a.type = Type::kEcmpGroup;
+    a.ecmp_ports = std::move(ports);
+    return a;
+  }
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+using ActionList = std::vector<Action>;
+
+/// Header rewrite in per-bit ternary form: where `mask` is set the output bit
+/// equals `value`; elsewhere the input bit passes through.  This is exactly
+/// the BitRewrite function of paper §3.2 / Table 4.
+struct RewriteVec {
+  PackedBits mask;   // bits overwritten
+  PackedBits value;  // value of overwritten bits
+
+  /// Applies the rewrite to packed header bits.
+  [[nodiscard]] PackedBits apply(const PackedBits& in) const {
+    return (in & ~mask) | (value & mask);
+  }
+
+  /// Composes: first apply *this, then `later` (later wins on conflicts).
+  [[nodiscard]] RewriteVec then(const RewriteVec& later) const {
+    RewriteVec out;
+    out.mask = mask | later.mask;
+    out.value = (value & ~later.mask) | later.value;
+    return out;
+  }
+
+  /// Adds a set-field rewrite for `f` = `v`.
+  void set_field(Field f, std::uint64_t v);
+
+  friend bool operator==(const RewriteVec&, const RewriteVec&) = default;
+};
+
+/// Forwarding taxonomy from paper §3.4: drop and unicast are special cases
+/// of multicast with |F| ∈ {0, 1}; ECMP sends to one member of F.
+enum class ForwardKind : std::uint8_t {
+  kMulticast,  ///< packet appears on ALL ports of the forwarding set (0, 1, or more)
+  kEcmp,       ///< packet appears on exactly ONE (unknown) port of the set
+};
+
+/// The observable data-plane outcome of a rule's action list: which ports can
+/// emit the packet, with which rewrite applied at each, plus the taxonomy
+/// kind.  `controller` is treated as a port (kPortController).
+struct Outcome {
+  ForwardKind kind = ForwardKind::kMulticast;
+  /// Ports that (can) emit, each with its accumulated rewrite.
+  std::vector<std::pair<std::uint16_t, RewriteVec>> emissions;
+
+  [[nodiscard]] std::vector<std::uint16_t> forwarding_set() const;
+  [[nodiscard]] bool is_drop() const { return emissions.empty(); }
+  [[nodiscard]] bool is_unicast() const {
+    return kind == ForwardKind::kMulticast && emissions.size() == 1;
+  }
+  /// Rewrite observed on `port`, or nullopt when `port` is not in the set.
+  [[nodiscard]] std::optional<RewriteVec> rewrite_on_port(
+      std::uint16_t port) const;
+};
+
+/// Computes the outcome model of an action list (OpenFlow 1.0 semantics:
+/// sequential application, set-fields affect subsequent outputs only).
+/// An action list with both plain outputs and an ECMP group is modeled as
+/// ECMP over the union (conservative; validated against in tests).
+Outcome compute_outcome(const ActionList& actions);
+
+/// Renders an action list, e.g. "set(nw_tos=4),out(2)"; "drop" when empty.
+std::string actions_to_string(const ActionList& actions);
+
+}  // namespace monocle::openflow

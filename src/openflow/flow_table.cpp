@@ -1,0 +1,107 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace monocle::openflow {
+
+void FlowTable::add(const Rule& rule) {
+  // Replace identical (match, priority) if present.
+  for (Rule& r : rules_) {
+    if (r.priority == rule.priority && r.match == rule.match) {
+      r = rule;
+      return;
+    }
+  }
+  // Insert before the first rule with strictly lower priority, keeping the
+  // vector sorted descending and ties in insertion order.
+  const auto pos = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+    return r.priority < rule.priority;
+  });
+  rules_.insert(pos, rule);
+}
+
+bool FlowTable::modify_strict(const Rule& rule) {
+  for (Rule& r : rules_) {
+    if (r.priority == rule.priority && r.match == rule.match) {
+      r.actions = rule.actions;
+      r.cookie = rule.cookie;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlowTable::remove_strict(const Match& match, std::uint16_t priority) {
+  const auto pos = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+    return r.priority == priority && r.match == match;
+  });
+  if (pos == rules_.end()) return false;
+  rules_.erase(pos);
+  return true;
+}
+
+std::size_t FlowTable::remove_matching(const Match& pattern) {
+  const std::size_t before = rules_.size();
+  std::erase_if(rules_, [&](const Rule& r) { return pattern.subsumes(r.match); });
+  return before - rules_.size();
+}
+
+bool FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const std::size_t before = rules_.size();
+  std::erase_if(rules_, [&](const Rule& r) { return r.cookie == cookie; });
+  return rules_.size() != before;
+}
+
+const Rule* FlowTable::lookup(const PackedBits& packet_bits) const {
+  for (const Rule& r : rules_) {
+    if (r.match.matches(packet_bits)) return &r;
+  }
+  return nullptr;
+}
+
+const Rule* FlowTable::lookup(const AbstractPacket& packet) const {
+  return lookup(netbase::pack_header(packet));
+}
+
+const Rule* FlowTable::lookup_excluding(const PackedBits& packet_bits,
+                                        std::uint64_t skip_cookie) const {
+  for (const Rule& r : rules_) {
+    if (r.cookie == skip_cookie) continue;
+    if (r.match.matches(packet_bits)) return &r;
+  }
+  return nullptr;
+}
+
+FlowTable::OverlapSets FlowTable::overlapping(const Rule& rule) const {
+  OverlapSets out;
+  for (const Rule& r : rules_) {
+    if (r.priority == rule.priority && r.match == rule.match) {
+      continue;  // the rule's own slot
+    }
+    if (!r.match.overlaps(rule.match)) continue;
+    if (r.priority >= rule.priority) {
+      // Same-priority overlap goes to `higher` (conservative, see header).
+      out.higher.push_back(&r);
+    } else {
+      out.lower.push_back(&r);
+    }
+  }
+  return out;
+}
+
+const Rule* FlowTable::find_by_cookie(std::uint64_t cookie) const {
+  for (const Rule& r : rules_) {
+    if (r.cookie == cookie) return &r;
+  }
+  return nullptr;
+}
+
+const Rule* FlowTable::find_strict(const Match& match,
+                                   std::uint16_t priority) const {
+  for (const Rule& r : rules_) {
+    if (r.priority == priority && r.match == match) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace monocle::openflow

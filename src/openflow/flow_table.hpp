@@ -1,0 +1,81 @@
+// Priority-ordered flow table with OpenFlow 1.0 FlowMod semantics.
+//
+// The table is both the switch's data-plane structure (lookup) and Monocle's
+// expected-state mirror (paper §2: the proxy "maintains the (expected)
+// contents of flow tables in each switch").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "openflow/rule.hpp"
+
+namespace monocle::openflow {
+
+/// Priority-ordered rule container.
+///
+/// Rules are kept sorted by descending priority; insertion order breaks ties
+/// (the OpenFlow spec leaves overlapping same-priority behaviour undefined —
+/// paper footnote 1 — so any deterministic order is acceptable).
+class FlowTable {
+ public:
+  /// OFPFC_ADD: inserts `rule`; replaces an existing entry with identical
+  /// match and priority (OpenFlow overlap-replace semantics).
+  void add(const Rule& rule);
+
+  /// OFPFC_MODIFY_STRICT: replaces actions of the entry with identical match
+  /// and priority; returns false if absent (no-op then, per OF 1.0 the mod
+  /// behaves as an add — callers decide).
+  bool modify_strict(const Rule& rule);
+
+  /// OFPFC_DELETE_STRICT: removes the entry with identical match & priority.
+  bool remove_strict(const Match& match, std::uint16_t priority);
+
+  /// OFPFC_DELETE: removes every rule whose match set is a subset of
+  /// `pattern` (OpenFlow non-strict delete).  Returns the removed count.
+  std::size_t remove_matching(const Match& pattern);
+
+  /// Removes the rule with this cookie; returns true if found.
+  bool remove_by_cookie(std::uint64_t cookie);
+
+  /// Highest-priority rule matching `packet`, or nullptr (table miss).
+  [[nodiscard]] const Rule* lookup(const AbstractPacket& packet) const;
+  [[nodiscard]] const Rule* lookup(const PackedBits& packet_bits) const;
+
+  /// Highest-priority matching rule *excluding* the rule with `skip_cookie` —
+  /// "what would happen if the probed rule were missing" (paper §3.1).
+  [[nodiscard]] const Rule* lookup_excluding(const PackedBits& packet_bits,
+                                             std::uint64_t skip_cookie) const;
+
+  /// All rules overlapping `rule`, split by priority relative to it.
+  /// Same-priority overlapping rules are reported in `higher` (conservative:
+  /// the spec leaves their interaction undefined, so probes must avoid them).
+  struct OverlapSets {
+    std::vector<const Rule*> higher;  // descending priority
+    std::vector<const Rule*> lower;   // descending priority
+  };
+  [[nodiscard]] OverlapSets overlapping(const Rule& rule) const;
+
+  [[nodiscard]] const Rule* find_by_cookie(std::uint64_t cookie) const;
+  [[nodiscard]] const Rule* find_strict(const Match& match,
+                                        std::uint16_t priority) const;
+
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+  void clear() { rules_.clear(); }
+
+  /// Applies `fn` to every rule (descending priority).
+  void for_each(const std::function<void(const Rule&)>& fn) const {
+    for (const Rule& r : rules_) fn(r);
+  }
+
+ private:
+  // Descending priority; stable insertion order within equal priorities.
+  std::vector<Rule> rules_;
+};
+
+}  // namespace monocle::openflow

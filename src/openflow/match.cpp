@@ -1,0 +1,136 @@
+#include "openflow/match.hpp"
+
+#include <cassert>
+
+namespace monocle::openflow {
+
+using netbase::field_info;
+using netbase::field_mask;
+using netbase::field_width;
+
+void Match::write_field_bits(Field f, std::uint64_t value, int care_bits) {
+  const auto& info = field_info(f);
+  assert(care_bits >= 0 && care_bits <= info.width);
+  for (int i = 0; i < info.width; ++i) {
+    const bool cared = i < care_bits;
+    care_.set(info.bit_offset + i, cared);
+    const bool bit = (value >> (info.width - 1 - i)) & 1;
+    value_.set(info.bit_offset + i, cared && bit);
+  }
+}
+
+Match& Match::set_exact(Field f, std::uint64_t value) {
+  write_field_bits(f, value & field_mask(f), field_width(f));
+  return *this;
+}
+
+Match& Match::set_prefix(Field f, std::uint32_t addr, int prefix_len) {
+  assert(f == Field::IpSrc || f == Field::IpDst);
+  assert(prefix_len >= 0 && prefix_len <= 32);
+  const std::uint64_t masked =
+      prefix_len == 0
+          ? 0
+          : (static_cast<std::uint64_t>(addr) &
+             (~std::uint64_t{0} << (32 - prefix_len)) & 0xFFFFFFFFull);
+  write_field_bits(f, masked, prefix_len);
+  return *this;
+}
+
+Match& Match::set_wildcard(Field f) {
+  write_field_bits(f, 0, 0);
+  return *this;
+}
+
+Match& Match::set_ternary(Field f, std::uint64_t value, std::uint64_t care_mask) {
+  const auto& info = field_info(f);
+  const std::uint64_t mv = value & field_mask(f);
+  const std::uint64_t mc = care_mask & field_mask(f);
+  for (int i = 0; i < info.width; ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << (info.width - 1 - i);
+    care_.set(info.bit_offset + i, (mc & bit) != 0);
+    value_.set(info.bit_offset + i, (mc & bit) != 0 && (mv & bit) != 0);
+  }
+  return *this;
+}
+
+bool Match::is_wildcard(Field f) const {
+  const auto& info = field_info(f);
+  for (int i = 0; i < info.width; ++i) {
+    if (care_.get(info.bit_offset + i)) return false;
+  }
+  return true;
+}
+
+bool Match::is_exact(Field f) const {
+  const auto& info = field_info(f);
+  for (int i = 0; i < info.width; ++i) {
+    if (!care_.get(info.bit_offset + i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t Match::value(Field f) const {
+  const auto& info = field_info(f);
+  std::uint64_t v = 0;
+  for (int i = 0; i < info.width; ++i) {
+    v = (v << 1) | (value_.get(info.bit_offset + i) ? 1 : 0);
+  }
+  return v;
+}
+
+int Match::prefix_len(Field f) const {
+  const auto& info = field_info(f);
+  int n = 0;
+  for (int i = 0; i < info.width; ++i) {
+    if (care_.get(info.bit_offset + i)) ++n;
+  }
+  return n;
+}
+
+bool Match::matches(const PackedBits& packet_bits) const {
+  // Mismatch iff some cared bit differs.
+  return !(((packet_bits ^ value_) & care_).any());
+}
+
+bool Match::matches(const AbstractPacket& packet) const {
+  return matches(netbase::pack_header(packet));
+}
+
+bool Match::overlaps(const Match& other) const {
+  // A common packet exists iff no bit is cared by both with opposite values.
+  return !(((value_ ^ other.value_) & care_ & other.care_).any());
+}
+
+bool Match::subsumes(const Match& other) const {
+  // Every bit we care about must be cared about by `other` with equal value.
+  if (((care_ & other.care_) == care_) == false) return false;
+  return !(((value_ ^ other.value_) & care_).any());
+}
+
+std::string Match::to_string() const {
+  std::string out;
+  for (const Field f : netbase::kAllFields) {
+    if (is_wildcard(f)) continue;
+    const auto& info = field_info(f);
+    out.append(info.name);
+    out.push_back('=');
+    if (f == Field::IpSrc || f == Field::IpDst) {
+      out += netbase::ipv4_to_string(static_cast<std::uint32_t>(value(f)));
+      const int plen = prefix_len(f);
+      if (plen < 32) {
+        out.push_back('/');
+        out += std::to_string(plen);
+      }
+    } else if (f == Field::EthSrc || f == Field::EthDst) {
+      out += netbase::mac_to_string(value(f));
+    } else {
+      out += std::to_string(value(f));
+    }
+    out.push_back(' ');
+  }
+  if (out.empty()) return "*";
+  out.pop_back();
+  return out;
+}
+
+}  // namespace monocle::openflow

@@ -1,0 +1,93 @@
+// OpenFlow 1.0 match (ofp_match) with wildcard semantics.
+//
+// A Match constrains the abstract header: every non-L3 field is either fully
+// wildcarded or exactly specified; nw_src/nw_dst support CIDR prefixes, as in
+// OpenFlow 1.0.  Matches expose a per-bit ternary view (care mask + value)
+// that drives data-plane lookup, overlap checks, and the SAT encoding of
+// Matches(P, R) (paper Table 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netbase/abstract_packet.hpp"
+#include "netbase/packed_bits.hpp"
+
+namespace monocle::openflow {
+
+using netbase::AbstractPacket;
+using netbase::Field;
+using netbase::PackedBits;
+
+/// Ternary match over the abstract header.
+class Match {
+ public:
+  /// The all-wildcard match.
+  Match() = default;
+
+  /// Exactly matches field `f` = `value`.  For nw_src/nw_dst this is a /32.
+  Match& set_exact(Field f, std::uint64_t value);
+
+  /// Matches an IPv4 prefix on nw_src or nw_dst.  `prefix_len` in [0, 32];
+  /// 0 reverts the field to a full wildcard.
+  Match& set_prefix(Field f, std::uint32_t addr, int prefix_len);
+
+  /// Reverts field `f` to wildcard.
+  Match& set_wildcard(Field f);
+
+  /// Arbitrary per-bit ternary match on `f`: bits set in `care_mask` must
+  /// equal the corresponding bit of `value`.  This exceeds what OpenFlow 1.0
+  /// can express on the wire for most fields (simulation/analysis only; used
+  /// by the Appendix A NP-hardness reduction) — wire encoding of such
+  /// matches is lossy.
+  Match& set_ternary(Field f, std::uint64_t value, std::uint64_t care_mask);
+
+  /// True if `f` is (fully) wildcarded.
+  [[nodiscard]] bool is_wildcard(Field f) const;
+
+  /// True if `f` is exactly specified (prefix length 32 for IP fields).
+  [[nodiscard]] bool is_exact(Field f) const;
+
+  /// The exact value for `f`; only meaningful when !is_wildcard(f).  For
+  /// prefix matches, returns the (masked) prefix bits.
+  [[nodiscard]] std::uint64_t value(Field f) const;
+
+  /// Prefix length for nw_src/nw_dst in [0,32]; non-IP fields report their
+  /// width when exact and 0 when wildcarded.
+  [[nodiscard]] int prefix_len(Field f) const;
+
+  /// Per-bit care mask / value view for bit-level algorithms.
+  [[nodiscard]] const PackedBits& care() const { return care_; }
+  [[nodiscard]] const PackedBits& bits() const { return value_; }
+
+  /// Does `packet` match?
+  [[nodiscard]] bool matches(const AbstractPacket& packet) const;
+  [[nodiscard]] bool matches(const PackedBits& packet_bits) const;
+
+  /// Do the match sets of `*this` and `other` intersect?  (paper §5.4:
+  /// rules overlap iff some packet matches both.)
+  [[nodiscard]] bool overlaps(const Match& other) const;
+
+  /// Is every packet matched by `other` also matched by `*this`?
+  [[nodiscard]] bool subsumes(const Match& other) const;
+
+  /// Structural equality (same wildcards, same values) — used for the
+  /// OpenFlow "strict" FlowMod variants.
+  friend bool operator==(const Match&, const Match&) = default;
+
+  /// "dl_type=0x800 nw_src=10.0.0.0/24 ..." (wildcarded fields omitted);
+  /// "*" for the all-wildcard match.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void write_field_bits(Field f, std::uint64_t value, int care_bits);
+
+  PackedBits care_;   // bit cared about (exact-match bit)
+  PackedBits value_;  // the value required where care_ is set
+};
+
+/// True if a packet exists matching both a and b.
+inline bool overlap(const Match& a, const Match& b) { return a.overlaps(b); }
+
+}  // namespace monocle::openflow

@@ -1,0 +1,76 @@
+#include "openflow/messages.hpp"
+
+namespace monocle::openflow {
+
+MsgType message_type(const MessageBody& body) {
+  return std::visit(
+      [](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, Hello>) return MsgType::kHello;
+        if constexpr (std::is_same_v<T, EchoRequest>) return MsgType::kEchoRequest;
+        if constexpr (std::is_same_v<T, EchoReply>) return MsgType::kEchoReply;
+        if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          return MsgType::kFeaturesRequest;
+        }
+        if constexpr (std::is_same_v<T, FeaturesReply>) {
+          return MsgType::kFeaturesReply;
+        }
+        if constexpr (std::is_same_v<T, PacketIn>) return MsgType::kPacketIn;
+        if constexpr (std::is_same_v<T, FlowRemoved>) return MsgType::kFlowRemoved;
+        if constexpr (std::is_same_v<T, PacketOut>) return MsgType::kPacketOut;
+        if constexpr (std::is_same_v<T, FlowMod>) return MsgType::kFlowMod;
+        if constexpr (std::is_same_v<T, BarrierRequest>) {
+          return MsgType::kBarrierRequest;
+        }
+        if constexpr (std::is_same_v<T, BarrierReply>) return MsgType::kBarrierReply;
+        if constexpr (std::is_same_v<T, ErrorMsg>) return MsgType::kError;
+      },
+      body);
+}
+
+std::string message_to_string(const Message& msg) {
+  std::string out;
+  std::visit(
+      [&](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          out = "HELLO";
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          out = "ECHO_REQUEST";
+        } else if constexpr (std::is_same_v<T, EchoReply>) {
+          out = "ECHO_REPLY";
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          out = "FEATURES_REQUEST";
+        } else if constexpr (std::is_same_v<T, FeaturesReply>) {
+          out = "FEATURES_REPLY(dpid=" + std::to_string(b.datapath_id) + ")";
+        } else if constexpr (std::is_same_v<T, PacketIn>) {
+          out = "PACKET_IN(in_port=" + std::to_string(b.in_port) +
+                " len=" + std::to_string(b.data.size()) + ")";
+        } else if constexpr (std::is_same_v<T, FlowRemoved>) {
+          out = "FLOW_REMOVED(" + b.match.to_string() + ")";
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          out = "PACKET_OUT(" + actions_to_string(b.actions) +
+                " len=" + std::to_string(b.data.size()) + ")";
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          static constexpr const char* kCmd[] = {"add", "mod", "mod_strict",
+                                                 "del", "del_strict"};
+          const auto idx = static_cast<std::size_t>(b.command);
+          out = std::string("FLOW_MOD(") + (idx < 5 ? kCmd[idx] : "?") +
+                " prio=" + std::to_string(b.priority) + " " +
+                b.match.to_string() + " -> " + actions_to_string(b.actions) +
+                ")";
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          out = "BARRIER_REQUEST";
+        } else if constexpr (std::is_same_v<T, BarrierReply>) {
+          out = "BARRIER_REPLY";
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          out = "ERROR(type=" + std::to_string(b.type) +
+                " code=" + std::to_string(b.code) + ")";
+        }
+      },
+      msg.body);
+  out += " xid=" + std::to_string(msg.xid);
+  return out;
+}
+
+}  // namespace monocle::openflow

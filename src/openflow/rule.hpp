@@ -1,0 +1,46 @@
+// Flow rule: priority + match + action list (+ cookie for identification).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+
+namespace monocle::openflow {
+
+/// One flow-table entry.
+struct Rule {
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;  ///< controller-assigned id; Monocle keys on this
+  Match match;
+  ActionList actions;
+
+  /// The observable outcome model of this rule's actions.
+  [[nodiscard]] Outcome outcome() const { return compute_outcome(actions); }
+
+  /// True if this rule can match some packet that `other` also matches.
+  [[nodiscard]] bool overlaps(const Rule& other) const {
+    return match.overlaps(other.match);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "prio=" + std::to_string(priority) + " " + match.to_string() +
+           " -> " + actions_to_string(actions);
+  }
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// Convenience builder for tests and examples.
+inline Rule make_rule(std::uint16_t priority, Match match, ActionList actions,
+                      std::uint64_t cookie = 0) {
+  Rule r;
+  r.priority = priority;
+  r.cookie = cookie;
+  r.match = std::move(match);
+  r.actions = std::move(actions);
+  return r;
+}
+
+}  // namespace monocle::openflow

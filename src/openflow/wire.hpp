@@ -1,0 +1,53 @@
+// OpenFlow 1.0 binary wire format: encode/decode + stream framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "openflow/messages.hpp"
+
+namespace monocle::openflow {
+
+/// Serializes `msg` into a complete OpenFlow 1.0 frame (header + body).
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Decodes one complete frame.  Returns std::nullopt on malformed input
+/// (bad version, truncated body, unknown mandatory fields).
+std::optional<Message> decode_message(std::span<const std::uint8_t> frame);
+
+/// Reassembles OpenFlow frames from a byte stream (TCP-style delivery).
+/// Feed arbitrary chunks; complete messages pop out in order.
+class FrameBuffer {
+ public:
+  /// Appends stream bytes.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete, decodable message.  Skips frames that fail
+  /// to decode (after consuming their advertised length).  Returns
+  /// std::nullopt when no complete frame is buffered.
+  std::optional<Message> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Encodes `match` into the 40-byte ofp_match layout (exposed for tests).
+void encode_ofp_match(const Match& match, std::vector<std::uint8_t>& out);
+
+/// Decodes a 40-byte ofp_match.
+std::optional<Match> decode_ofp_match(std::span<const std::uint8_t> bytes);
+
+/// Encodes an action list as OpenFlow 1.0 TLVs (exposed for tests).
+std::vector<std::uint8_t> encode_actions(const ActionList& actions);
+
+/// Decodes an action TLV list.
+std::optional<ActionList> decode_actions(std::span<const std::uint8_t> bytes);
+
+}  // namespace monocle::openflow

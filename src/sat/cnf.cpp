@@ -1,0 +1,71 @@
+#include "sat/cnf.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace monocle::sat {
+
+void CnfFormula::add_clause(std::span<const Lit> lits) {
+  begin_clause();
+  for (const Lit l : lits) push_lit(l);
+  end_clause();
+}
+
+std::string CnfFormula::to_dimacs() const {
+  std::string out;
+  out += "p cnf " + std::to_string(num_vars_) + " " +
+         std::to_string(num_clauses_) + "\n";
+  char buf[16];
+  for (const Lit l : data_) {
+    if (l == 0) {
+      out += "0\n";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d ", l);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+CnfFormula parse_dimacs(const std::string& text) {
+  CnfFormula f;
+  std::istringstream in(text);
+  std::string tok;
+  bool have_header = false;
+  std::vector<Lit> clause;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      long vars = 0, clauses = 0;
+      if (!(in >> fmt >> vars >> clauses) || fmt != "cnf") {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      f.reserve_vars(static_cast<Var>(vars));
+      have_header = true;
+      continue;
+    }
+    Lit l = 0;
+    try {
+      l = static_cast<Lit>(std::stol(tok));
+    } catch (const std::exception&) {
+      throw std::runtime_error("dimacs: bad token '" + tok + "'");
+    }
+    if (!have_header) throw std::runtime_error("dimacs: literal before header");
+    if (l == 0) {
+      f.add_clause(clause);
+      clause.clear();
+    } else {
+      clause.push_back(l);
+    }
+  }
+  if (!clause.empty()) throw std::runtime_error("dimacs: unterminated clause");
+  return f;
+}
+
+}  // namespace monocle::sat

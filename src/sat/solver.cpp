@@ -1,0 +1,524 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace monocle::sat {
+
+Solver::Solver() = default;
+
+Solver::Solver(const CnfFormula& formula) { load(formula); }
+
+void Solver::reserve_vars(Var n) {
+  if (static_cast<std::size_t>(n) <= num_vars_) return;
+  num_vars_ = static_cast<std::size_t>(n);
+  vars_.resize(num_vars_);
+  watches_.resize(2 * num_vars_);
+  heap_index_.resize(num_vars_, -1);
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    if (heap_index_[v] < 0 && vars_[v].assign == kUndef) heap_insert(v);
+  }
+}
+
+void Solver::load(const CnfFormula& formula) {
+  reserve_vars(formula.num_vars());
+  std::vector<Lit> clause;
+  for (const Lit l : formula.raw()) {
+    if (l == 0) {
+      add_clause(clause);
+      clause.clear();
+    } else {
+      clause.push_back(l);
+    }
+  }
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  // Normalize: dedupe, drop tautologies.
+  std::vector<ILit> ils;
+  ils.reserve(lits.size());
+  Var max_var = 0;
+  for (const Lit l : lits) {
+    max_var = std::max(max_var, l > 0 ? l : -l);
+  }
+  reserve_vars(max_var);
+  for (const Lit l : lits) {
+    ils.push_back(ilit(l));
+  }
+  std::sort(ils.begin(), ils.end());
+  ils.erase(std::unique(ils.begin(), ils.end()), ils.end());
+  for (std::size_t i = 0; i + 1 < ils.size(); ++i) {
+    if (ils[i] == neg(ils[i + 1])) return true;  // tautology
+  }
+  if (ils.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (ils.size() == 1) {
+    unit_queue_.push_back(ils[0]);
+    return true;
+  }
+  const std::uint32_t ref = alloc_clause(ils, /*learned=*/false);
+  clause_refs_.push_back(ref);
+  return true;
+}
+
+std::uint32_t Solver::alloc_clause(std::span<const ILit> lits, bool learned) {
+  const std::uint32_t ref = static_cast<std::uint32_t>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                   (learned ? kLearnedFlag : 0));
+  for (const ILit l : lits) arena_.push_back(l);
+  // Watch the first two literals.
+  watches_[neg(lits[0])].push_back({ref, lits[1]});
+  watches_[neg(lits[1])].push_back({ref, lits[0]});
+  return ref;
+}
+
+void Solver::enqueue(ILit l, std::uint32_t reason) {
+  VarState& vs = vars_[var_of(l)];
+  assert(vs.assign == kUndef);
+  vs.assign = static_cast<std::uint8_t>(l & 1);  // literal 2v+1 => var false
+  vs.level = static_cast<std::uint32_t>(trail_lim_.size());
+  vs.reason = reason;
+  trail_.push_back(l);
+}
+
+std::uint32_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const ILit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      const std::uint32_t ref = w.clause_ref;
+      const std::uint32_t size = clause_size(ref);
+      ILit* lits = clause_lits(ref);
+      // Ensure the falsified literal is in slot 1.
+      const ILit not_p = neg(p);
+      if (lits[0] == not_p) std::swap(lits[0], lits[1]);
+      if (value(lits[0]) == kTrue) {
+        ws[keep++] = {ref, lits[0]};
+        continue;
+      }
+      // Find a new watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[neg(lits[1])].push_back({ref, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      ws[keep++] = {ref, lits[0]};
+      if (value(lits[0]) == kFalse) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return ref;
+      }
+      enqueue(lits[0], ref);
+    }
+    ws.resize(keep);
+  }
+  return UINT32_MAX;
+}
+
+void Solver::bump_var(std::uint32_t v) {
+  vars_[v].activity += var_inc_;
+  if (vars_[v].activity > 1e100) {
+    for (auto& vs : vars_) vs.activity *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_index_[v] >= 0) heap_sift_up(static_cast<std::size_t>(heap_index_[v]));
+}
+
+void Solver::bump_clause(std::uint32_t ref) {
+  // Find index in learned_refs_ lazily is too slow; store activity via map
+  // from ref. We instead bump by scanning only when reducing; keep a simple
+  // per-ref activity in a hash-free way: learned clause activity lives in
+  // clause_activity_ parallel to learned_refs_, located by binary search
+  // (learned_refs_ is append-only and sorted by construction).
+  const auto it = std::lower_bound(learned_refs_.begin(), learned_refs_.end(), ref);
+  if (it != learned_refs_.end() && *it == ref) {
+    const std::size_t idx = static_cast<std::size_t>(it - learned_refs_.begin());
+    clause_activity_[idx] += clause_inc_;
+    if (clause_activity_[idx] > 1e20) {
+      for (auto& a : clause_activity_) a *= 1e-20;
+      clause_inc_ *= 1e-20;
+    }
+  }
+}
+
+bool Solver::literal_redundant(ILit l, std::uint32_t abstract_levels) {
+  // Iterative self-subsumption check (simplified MiniSat minimization).
+  std::vector<ILit> stack{l};
+  std::vector<std::uint32_t> to_clear;
+  while (!stack.empty()) {
+    const ILit q = stack.back();
+    stack.pop_back();
+    const VarState& vs = vars_[var_of(q)];
+    if (vs.reason == UINT32_MAX) {
+      for (const std::uint32_t v : to_clear) vars_[v].seen = 0;
+      return false;
+    }
+    const std::uint32_t size = clause_size(vs.reason);
+    const ILit* lits = clause_lits(vs.reason);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const ILit r = lits[i];
+      const std::uint32_t v = var_of(r);
+      if (v == var_of(q) || vars_[v].seen || vars_[v].level == 0) continue;
+      if (vars_[v].reason == UINT32_MAX ||
+          ((1u << (vars_[v].level & 31)) & abstract_levels) == 0) {
+        for (const std::uint32_t w : to_clear) vars_[w].seen = 0;
+        return false;
+      }
+      vars_[v].seen = 1;
+      to_clear.push_back(v);
+      stack.push_back(r);
+    }
+  }
+  // Clear the marks set during this check; analyze() owns the others.
+  for (const std::uint32_t v : to_clear) vars_[v].seen = 0;
+  return true;
+}
+
+void Solver::analyze(std::uint32_t conflict, std::vector<ILit>& learned,
+                     std::uint32_t& backjump_level) {
+  learned.clear();
+  learned.push_back(0);  // slot for the asserting literal
+  const std::uint32_t current_level =
+      static_cast<std::uint32_t>(trail_lim_.size());
+  std::uint32_t counter = 0;
+  ILit p = UINT32_MAX;
+  std::uint32_t reason = conflict;
+  std::size_t index = trail_.size();
+  std::vector<std::uint32_t> seen_vars;
+
+  for (;;) {
+    const std::uint32_t size = clause_size(reason);
+    const ILit* lits = clause_lits(reason);
+    if (clause_learned(reason)) bump_clause(reason);
+    const std::uint32_t start = (p == UINT32_MAX) ? 0 : 1;
+    for (std::uint32_t i = start; i < size; ++i) {
+      const ILit q = lits[i];
+      const std::uint32_t v = var_of(q);
+      if (vars_[v].seen || vars_[v].level == 0) continue;
+      vars_[v].seen = 1;
+      seen_vars.push_back(v);
+      bump_var(v);
+      if (vars_[v].level == current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --index;
+    } while (!vars_[var_of(trail_[index])].seen);
+    p = trail_[index];
+    vars_[var_of(p)].seen = 0;
+    reason = vars_[var_of(p)].reason;
+    if (--counter == 0) break;
+  }
+  learned[0] = neg(p);
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    abstract_levels |= 1u << (vars_[var_of(learned[i])].level & 31);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const std::uint32_t v = var_of(learned[i]);
+    if (vars_[v].reason == UINT32_MAX ||
+        !literal_redundant(learned[i], abstract_levels)) {
+      learned[kept++] = learned[i];
+    }
+  }
+  learned.resize(kept);
+
+  for (const std::uint32_t v : seen_vars) vars_[v].seen = 0;
+
+  // Backjump level: highest level among non-asserting literals.
+  backjump_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const std::uint32_t lvl = vars_[var_of(learned[i])].level;
+    if (lvl > backjump_level) {
+      backjump_level = lvl;
+      max_i = i;
+    }
+  }
+  if (learned.size() > 1) {
+    std::swap(learned[1], learned[max_i]);  // second watch at backjump level
+  }
+  ++stats_.learned_clauses;
+  stats_.learned_literals += learned.size();
+}
+
+void Solver::backtrack(std::uint32_t level) {
+  if (trail_lim_.size() <= level) return;
+  const std::size_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const std::uint32_t v = var_of(trail_[i]);
+    vars_[v].saved_phase = vars_[v].assign;
+    vars_[v].assign = kUndef;
+    vars_[v].reason = UINT32_MAX;
+    if (heap_index_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  propagate_head_ = trail_.size();
+}
+
+Solver::ILit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const std::uint32_t v = heap_pop();
+    if (vars_[v].assign == kUndef) {
+      ++stats_.decisions;
+      return static_cast<ILit>(2 * v + vars_[v].saved_phase);
+    }
+  }
+  return UINT32_MAX;
+}
+
+void Solver::reduce_learned_db() {
+  if (learned_refs_.size() < 2) return;
+  // Keep the most active half.  Binary reasons cannot be removed safely if
+  // they are reasons of current assignments; with level-0 backtrack before
+  // reduce (we only reduce right after a restart) nothing is locked except
+  // level-0 implications whose reasons we clear.
+  std::vector<std::size_t> order(learned_refs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return clause_activity_[a] > clause_activity_[b];
+  });
+  const std::size_t keep_count = learned_refs_.size() / 2;
+  std::vector<bool> keep(learned_refs_.size(), false);
+  for (std::size_t i = 0; i < keep_count; ++i) keep[order[i]] = true;
+  // Clauses that are reasons for level-0 assignments must stay.
+  for (const ILit l : trail_) {
+    const std::uint32_t reason = vars_[var_of(l)].reason;
+    if (reason == UINT32_MAX) continue;
+    const auto it =
+        std::lower_bound(learned_refs_.begin(), learned_refs_.end(), reason);
+    if (it != learned_refs_.end() && *it == reason) {
+      keep[static_cast<std::size_t>(it - learned_refs_.begin())] = true;
+    }
+  }
+
+  // Rebuild arena and watches.
+  std::vector<std::uint32_t> new_arena;
+  new_arena.reserve(arena_.size());
+  std::vector<std::uint32_t> remap(arena_.size(), UINT32_MAX);
+  auto copy_clause = [&](std::uint32_t ref) {
+    const std::uint32_t new_ref = static_cast<std::uint32_t>(new_arena.size());
+    const std::uint32_t size = clause_size(ref);
+    new_arena.push_back(arena_[ref]);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      new_arena.push_back(arena_[ref + 1 + i]);
+    }
+    remap[ref] = new_ref;
+    return new_ref;
+  };
+  for (auto& ref : clause_refs_) ref = copy_clause(ref);
+  std::vector<std::uint32_t> new_learned;
+  std::vector<double> new_activity;
+  for (std::size_t i = 0; i < learned_refs_.size(); ++i) {
+    if (keep[i]) {
+      new_learned.push_back(copy_clause(learned_refs_[i]));
+      new_activity.push_back(clause_activity_[i]);
+    }
+  }
+  learned_refs_ = std::move(new_learned);
+  clause_activity_ = std::move(new_activity);
+  arena_ = std::move(new_arena);
+  // Remap reasons.
+  for (auto& vs : vars_) {
+    if (vs.reason != UINT32_MAX) {
+      assert(remap[vs.reason] != UINT32_MAX);
+      vs.reason = remap[vs.reason];
+    }
+  }
+  // Rebuild watch lists.
+  for (auto& w : watches_) w.clear();
+  auto rewatch = [&](std::uint32_t ref) {
+    const ILit* lits = clause_lits(ref);
+    watches_[neg(lits[0])].push_back({ref, lits[1]});
+    watches_[neg(lits[1])].push_back({ref, lits[0]});
+  };
+  for (const auto ref : clause_refs_) rewatch(ref);
+  for (const auto ref : learned_refs_) rewatch(ref);
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (0-based index)
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1ull << seq;
+}
+
+SolveResult Solver::solve(std::int64_t conflict_budget) {
+  if (unsat_) return SolveResult::kUnsat;
+  // Top-level units.
+  for (const ILit l : unit_queue_) {
+    if (value(l) == kFalse) {
+      unsat_ = true;
+      return SolveResult::kUnsat;
+    }
+    if (value(l) == kUndef) enqueue(l, UINT32_MAX);
+  }
+  unit_queue_.clear();
+  if (propagate() != UINT32_MAX) {
+    unsat_ = true;
+    return SolveResult::kUnsat;
+  }
+
+  std::vector<ILit> learned;
+  std::uint64_t restart_number = 0;
+  std::uint64_t conflicts_until_restart = 32 * luby(restart_number);
+  std::uint64_t conflicts_in_run = 0;
+  std::int64_t remaining = conflict_budget;
+  std::size_t reduce_threshold = 4000;
+
+  for (;;) {
+    const std::uint32_t conflict = propagate();
+    if (conflict != UINT32_MAX) {
+      ++stats_.conflicts;
+      ++conflicts_in_run;
+      if (remaining >= 0 && --remaining < 0) {
+        backtrack(0);
+        return SolveResult::kUnknown;
+      }
+      if (trail_lim_.empty()) return SolveResult::kUnsat;
+      std::uint32_t backjump_level = 0;
+      analyze(conflict, learned, backjump_level);
+      backtrack(backjump_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], UINT32_MAX);
+      } else {
+        const std::uint32_t ref = alloc_clause(learned, /*learned=*/true);
+        learned_refs_.push_back(ref);
+        clause_activity_.push_back(clause_inc_);
+        enqueue(learned[0], ref);
+      }
+      decay_var_activity();
+      clause_inc_ /= 0.999;
+    } else {
+      if (conflicts_in_run >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_number;
+        conflicts_in_run = 0;
+        conflicts_until_restart = 32 * luby(restart_number);
+        backtrack(0);
+        if (learned_refs_.size() > reduce_threshold) {
+          reduce_learned_db();
+          reduce_threshold = reduce_threshold * 3 / 2;
+        }
+        continue;
+      }
+      const ILit next = pick_branch();
+      if (next == UINT32_MAX) return SolveResult::kSat;  // all assigned
+      trail_lim_.push_back(trail_.size());
+      enqueue(next, UINT32_MAX);
+    }
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  assert(v >= 1 && static_cast<std::size_t>(v) <= num_vars_);
+  return vars_[static_cast<std::size_t>(v - 1)].assign == kTrue;
+}
+
+// ---- indexed heap ----------------------------------------------------------
+
+void Solver::heap_insert(std::uint32_t v) {
+  heap_index_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+std::uint32_t Solver::heap_pop() {
+  const std::uint32_t top = heap_[0];
+  heap_index_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_index_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const std::uint32_t v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && heap_less(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_index_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_index_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::rebuild_heap() {
+  heap_.clear();
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    heap_index_[v] = -1;
+    if (vars_[v].assign == kUndef) heap_insert(v);
+  }
+}
+
+SolveOutcome solve_formula(const CnfFormula& formula,
+                           std::int64_t conflict_budget) {
+  Solver solver(formula);
+  const SolveResult r = solver.solve(conflict_budget);
+  SolveOutcome out{r, {}};
+  if (r == SolveResult::kSat) {
+    out.model.resize(static_cast<std::size_t>(formula.num_vars()) + 1, false);
+    for (Var v = 1; v <= formula.num_vars(); ++v) {
+      out.model[static_cast<std::size_t>(v)] = solver.model_value(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace monocle::sat

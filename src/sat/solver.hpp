@@ -1,0 +1,161 @@
+// CDCL SAT solver (PicoSAT substitute, paper §7).
+//
+// A conflict-driven clause-learning solver with the standard modern
+// machinery: two-watched-literal propagation with blockers, VSIDS branching
+// with phase saving, first-UIP conflict analysis with clause minimization,
+// Luby restarts and activity-based learned-clause deletion.  Probe-generation
+// instances are small (hundreds of variables), but the solver is general and
+// also powers the NP-hardness cross-check tests on random 3-SAT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace monocle::sat {
+
+/// Outcome of a solve() call.
+enum class SolveResult : std::uint8_t {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< conflict budget exhausted
+};
+
+/// Aggregate solver statistics, exposed for the micro benchmarks.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+};
+
+/// CDCL solver.  Construct, add clauses (or load a CnfFormula), call solve(),
+/// then read the model.  The solver is single-shot per formula but solve()
+/// may be re-invoked with a larger budget after kUnknown.
+class Solver {
+ public:
+  Solver();
+  explicit Solver(const CnfFormula& formula);
+
+  /// Ensures variables 1..n exist.
+  void reserve_vars(Var n);
+
+  /// Adds a clause; tautologies are dropped, duplicates within the clause are
+  /// merged.  Returns false if the clause is empty (formula trivially UNSAT).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Loads every clause of `formula`.
+  void load(const CnfFormula& formula);
+
+  /// Runs CDCL search.  `conflict_budget` < 0 means unbounded.
+  SolveResult solve(std::int64_t conflict_budget = -1);
+
+  /// Value of variable `v` in the model; valid only after kSat.
+  [[nodiscard]] bool model_value(Var v) const;
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+  [[nodiscard]] Var num_vars() const { return static_cast<Var>(num_vars_); }
+
+ private:
+  // Internal literal encoding: variable v (1-based) -> 2*(v-1) + (sign?1:0).
+  using ILit = std::uint32_t;
+  static constexpr ILit ilit(Lit l) {
+    const Var v = l > 0 ? l : -l;
+    return static_cast<ILit>(2 * (v - 1) + (l < 0 ? 1 : 0));
+  }
+  static constexpr ILit neg(ILit l) { return l ^ 1; }
+  static constexpr std::uint32_t var_of(ILit l) { return l >> 1; }
+
+  enum : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+  struct Watcher {
+    std::uint32_t clause_ref;  // offset into arena_
+    ILit blocker;
+  };
+
+  struct VarState {
+    std::uint8_t assign = kUndef;   // current assignment of the literal 2v
+    std::uint8_t saved_phase = 1;   // 1 = last assigned false (default)
+    std::uint8_t seen = 0;          // scratch for conflict analysis
+    std::uint32_t level = 0;
+    std::uint32_t reason = UINT32_MAX;  // clause ref, or UINT32_MAX for decision
+    double activity = 0.0;
+  };
+
+  // Clause arena entry: [header][lit0][lit1]...  header = (size<<2)|flags.
+  static constexpr std::uint32_t kLearnedFlag = 1;
+  std::uint32_t alloc_clause(std::span<const ILit> lits, bool learned);
+  std::uint32_t clause_size(std::uint32_t ref) const {
+    return arena_[ref] >> 2;
+  }
+  bool clause_learned(std::uint32_t ref) const {
+    return (arena_[ref] & kLearnedFlag) != 0;
+  }
+  ILit* clause_lits(std::uint32_t ref) { return &arena_[ref + 1]; }
+  const ILit* clause_lits(std::uint32_t ref) const { return &arena_[ref + 1]; }
+
+  std::uint8_t value(ILit l) const {
+    const std::uint8_t a = vars_[var_of(l)].assign;
+    if (a == kUndef) return kUndef;
+    return static_cast<std::uint8_t>(a ^ (l & 1));
+  }
+
+  void enqueue(ILit l, std::uint32_t reason);
+  std::uint32_t propagate();  // returns conflicting clause ref or UINT32_MAX
+  void analyze(std::uint32_t conflict, std::vector<ILit>& learned,
+               std::uint32_t& backjump_level);
+  bool literal_redundant(ILit l, std::uint32_t abstract_levels);
+  void backtrack(std::uint32_t level);
+  void bump_var(std::uint32_t v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void bump_clause(std::uint32_t ref);
+  ILit pick_branch();
+  void reduce_learned_db();
+  void rebuild_heap();
+
+  // Indexed max-heap keyed by variable activity.
+  void heap_insert(std::uint32_t v);
+  std::uint32_t heap_pop();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  bool heap_less(std::uint32_t a, std::uint32_t b) const {
+    return vars_[a].activity < vars_[b].activity;
+  }
+
+  static std::uint64_t luby(std::uint64_t i);
+
+  std::size_t num_vars_ = 0;
+  std::vector<std::uint32_t> arena_;  // clause storage
+  std::vector<std::uint32_t> clause_refs_;          // original clauses
+  std::vector<std::uint32_t> learned_refs_;         // learned clauses
+  std::vector<double> clause_activity_;             // parallel to learned_refs_
+  std::vector<std::vector<Watcher>> watches_;       // per internal literal
+  std::vector<VarState> vars_;
+  std::vector<ILit> trail_;
+  std::vector<std::size_t> trail_lim_;  // decision level -> trail index
+  std::size_t propagate_head_ = 0;
+  std::vector<std::uint32_t> heap_;       // variable heap
+  std::vector<std::int32_t> heap_index_;  // var -> heap position or -1
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  bool unsat_ = false;
+  SolverStats stats_;
+  std::vector<ILit> unit_queue_;  // top-level units added before solving
+};
+
+/// Convenience one-shot: solve `formula`, returning the result and (if SAT)
+/// the model as a vector indexed by variable (index 0 unused).
+struct SolveOutcome {
+  SolveResult result;
+  std::vector<bool> model;
+};
+SolveOutcome solve_formula(const CnfFormula& formula,
+                           std::int64_t conflict_budget = -1);
+
+}  // namespace monocle::sat

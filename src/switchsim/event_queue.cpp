@@ -1,0 +1,53 @@
+#include "switchsim/event_queue.hpp"
+
+namespace monocle::switchsim {
+
+std::uint64_t EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  live_.insert(id);
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::run_one() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = live_.find(ev.id);
+    if (it == live_.end()) continue;  // cancelled
+    live_.erase(it);
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (!live_.contains(queue_.top().id)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::uint64_t EventQueue::run_all(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (executed < max_events && run_one()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace monocle::switchsim

@@ -1,0 +1,70 @@
+// Discrete-event simulation core.
+//
+// A deterministic event queue with cancellable one-shot events; doubles as
+// the monocle::Runtime implementation that backs Monitor timers.  Events at
+// equal timestamps run in scheduling order (FIFO), which keeps control
+// message ordering faithful.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+#include "netbase/time.hpp"
+
+namespace monocle::switchsim {
+
+using netbase::SimTime;
+
+class EventQueue final : public Runtime {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  std::uint64_t schedule(SimTime delay, std::function<void()> fn) override {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules at an absolute time (clamped to `now`).
+  std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; harmless for already-fired ids.
+  void cancel(std::uint64_t timer_id) override { live_.erase(timer_id); }
+
+  /// Runs the next pending event; returns false when the queue is empty.
+  bool run_one();
+
+  /// Runs events until the queue empties or simulated time would exceed
+  /// `until`; simulated time ends at exactly `until` if the queue drains.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs to quiescence (or `max_events`, as a runaway guard).
+  std::uint64_t run_all(std::uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // ids not yet fired or cancelled
+};
+
+}  // namespace monocle::switchsim

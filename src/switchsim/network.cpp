@@ -1,0 +1,105 @@
+#include "switchsim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace monocle::switchsim {
+
+SimSwitch* Network::add_switch(SwitchId id, SwitchModel model) {
+  assert(!switches_.contains(id));
+  auto sw = std::make_unique<SimSwitch>(id, std::move(model), clock_, this);
+  SimSwitch* ptr = sw.get();
+  switches_.emplace(id, std::move(sw));
+  return ptr;
+}
+
+SimSwitch* Network::at(SwitchId id) const {
+  const auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : it->second.get();
+}
+
+void Network::connect(SwitchId a, std::uint16_t port_a, SwitchId b,
+                      std::uint16_t port_b) {
+  assert(switches_.contains(a) && switches_.contains(b));
+  links_[{a, port_a}] = {b, port_b};
+  links_[{b, port_b}] = {a, port_a};
+}
+
+void Network::attach_host(SwitchId sw, std::uint16_t port,
+                          std::function<void(const SimPacket&)> sink) {
+  hosts_[{sw, port}] = std::move(sink);
+}
+
+void Network::send_from_host(SwitchId sw, std::uint16_t port,
+                             SimPacket packet) {
+  SimSwitch* s = at(sw);
+  if (s == nullptr) return;
+  const SimTime latency = s->model().link_latency;
+  clock_->schedule(latency, [s, port, packet = std::move(packet)] {
+    s->receive_packet(port, packet);
+  });
+}
+
+void Network::send_to_switch(SwitchId sw, const openflow::Message& msg) {
+  SimSwitch* s = at(sw);
+  if (s == nullptr) return;
+  clock_->schedule(s->model().control_latency,
+                   [s, msg] { s->on_control_message(msg); });
+}
+
+void Network::fail_link(SwitchId sw, std::uint16_t port) {
+  failed_.insert({sw, port});
+  const auto it = links_.find({sw, port});
+  if (it != links_.end()) failed_.insert(it->second);
+}
+
+void Network::restore_link(SwitchId sw, std::uint16_t port) {
+  failed_.erase({sw, port});
+  const auto it = links_.find({sw, port});
+  if (it != links_.end()) failed_.erase(it->second);
+}
+
+void Network::emit(SwitchId from, std::uint16_t port, const SimPacket& packet) {
+  const EndPoint ep{from, port};
+  if (failed_.contains(ep)) {
+    ++lost_on_failed_links_;
+    return;
+  }
+  const SimSwitch* s = at(from);
+  const SimTime latency =
+      s != nullptr ? s->model().link_latency : 20 * netbase::kMicrosecond;
+
+  if (const auto host = hosts_.find(ep); host != hosts_.end()) {
+    clock_->schedule(latency, [sink = host->second, packet] { sink(packet); });
+    return;
+  }
+  const auto link = links_.find(ep);
+  if (link == links_.end()) return;  // unconnected port: packet leaves the net
+  const auto [peer_sw, peer_port] = link->second;
+  SimSwitch* target = at(peer_sw);
+  if (target == nullptr) return;
+  clock_->schedule(latency, [target, peer_port = peer_port, packet] {
+    target->receive_packet(peer_port, packet);
+  });
+}
+
+std::optional<PortPeer> Network::peer(SwitchId sw, std::uint16_t port) const {
+  const auto it = links_.find({sw, port});
+  if (it == links_.end()) return std::nullopt;
+  return PortPeer{it->second.first, it->second.second};
+}
+
+std::vector<std::uint16_t> Network::ports(SwitchId sw) const {
+  std::vector<std::uint16_t> out;
+  for (const auto& [ep, peer] : links_) {
+    if (ep.first == sw) out.push_back(ep.second);
+  }
+  for (const auto& [ep, sink] : hosts_) {
+    if (ep.first == sw) out.push_back(ep.second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace monocle::switchsim

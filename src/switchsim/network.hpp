@@ -1,0 +1,74 @@
+// The simulated network: switches, links, hosts (paper's testbeds).
+//
+// Implements monocle::NetworkView so Monitors and the Multiplexer can reason
+// about port-level topology, and provides fault injection (link failures)
+// for the Figure 4 experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+#include "switchsim/sim_switch.hpp"
+
+namespace monocle::switchsim {
+
+class Network final : public NetworkView {
+ public:
+  explicit Network(EventQueue* clock) : clock_(clock) {}
+
+  /// Creates a switch; ids must be unique.
+  SimSwitch* add_switch(SwitchId id, SwitchModel model);
+
+  [[nodiscard]] SimSwitch* at(SwitchId id) const;
+
+  /// Connects (`a`, `port_a`) <-> (`b`, `port_b`) with a bidirectional link.
+  void connect(SwitchId a, std::uint16_t port_a, SwitchId b,
+               std::uint16_t port_b);
+
+  /// Attaches a host sink to (`sw`, `port`): packets emitted there are
+  /// delivered to `sink` instead of another switch.
+  void attach_host(SwitchId sw, std::uint16_t port,
+                   std::function<void(const SimPacket&)> sink);
+
+  /// Host-side injection: the packet enters `sw` on `port`.
+  void send_from_host(SwitchId sw, std::uint16_t port, SimPacket packet);
+
+  /// Sends a controller-side message to `sw` through its control channel
+  /// (applies the model's control latency).
+  void send_to_switch(SwitchId sw, const openflow::Message& msg);
+
+  /// Fails/restores the link attached at (`sw`, `port`) in both directions.
+  void fail_link(SwitchId sw, std::uint16_t port);
+  void restore_link(SwitchId sw, std::uint16_t port);
+
+  /// Called by switches to emit a data-plane packet on a port.
+  void emit(SwitchId from, std::uint16_t port, const SimPacket& packet);
+
+  /// --- NetworkView -------------------------------------------------------
+  [[nodiscard]] std::optional<PortPeer> peer(
+      SwitchId sw, std::uint16_t port) const override;
+  [[nodiscard]] std::vector<std::uint16_t> ports(SwitchId sw) const override;
+
+  [[nodiscard]] EventQueue* clock() const { return clock_; }
+  [[nodiscard]] std::uint64_t packets_lost_to_failed_links() const {
+    return lost_on_failed_links_;
+  }
+
+ private:
+  using EndPoint = std::pair<SwitchId, std::uint16_t>;
+
+  EventQueue* clock_;
+  std::map<SwitchId, std::unique_ptr<SimSwitch>> switches_;
+  std::map<EndPoint, EndPoint> links_;
+  std::map<EndPoint, std::function<void(const SimPacket&)>> hosts_;
+  std::set<EndPoint> failed_;
+  std::uint64_t lost_on_failed_links_ = 0;
+};
+
+}  // namespace monocle::switchsim

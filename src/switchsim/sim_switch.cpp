@@ -1,0 +1,253 @@
+#include "switchsim/sim_switch.hpp"
+
+#include <algorithm>
+
+#include "netbase/packet_crafter.hpp"
+#include "switchsim/network.hpp"
+
+namespace monocle::switchsim {
+
+using openflow::Action;
+using openflow::ActionList;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Message;
+
+SimSwitch::SimSwitch(SwitchId id, SwitchModel model, EventQueue* clock,
+                     Network* net)
+    : id_(id), model_(std::move(model)), clock_(clock), net_(net),
+      rng_(id * 0x9E3779B97F4A7C15ull + 1) {}
+
+void SimSwitch::on_control_message(const Message& msg) {
+  if (msg.is<openflow::FlowMod>()) {
+    process_flow_mod(msg.as<openflow::FlowMod>());
+    return;
+  }
+  if (msg.is<openflow::BarrierRequest>()) {
+    ++stats_.barriers_processed;
+    // Barrier semantics: reply once all previously accepted FlowMods are
+    // done.  Premature-ack switches answer when the update *engine* is done;
+    // honest switches wait for the data-plane commit too.
+    SimTime done = engine_busy_until_;
+    if (!model_.premature_ack) {
+      if (model_.lag == DataplaneLag::kRateLimited) {
+        done = std::max(done, dataplane_busy_until_);
+      }
+      // kBatched + honest ack is not a modeled combination (Pica8 is
+      // premature); kInstant needs nothing extra.
+    }
+    done = std::max(done, clock_->now());
+    const std::uint32_t xid = msg.xid;
+    clock_->schedule_at(done + model_.control_latency, [this, xid] {
+      if (sink_) sink_(openflow::make_message(xid, openflow::BarrierReply{}));
+    });
+    return;
+  }
+  if (msg.is<openflow::PacketOut>()) {
+    ++stats_.packet_outs;
+    const auto& po = msg.as<openflow::PacketOut>();
+    // Messaging path serializes PacketOuts at packetout_rate...
+    const SimTime cost = seconds(model_.packetout_cost_s());
+    msg_busy_until_ = std::max(msg_busy_until_, clock_->now()) + cost;
+    // ...and steals update-engine time per the coupling factor (Figure 6).
+    engine_busy_until_ =
+        std::max(engine_busy_until_, clock_->now()) +
+        seconds(model_.packetout_coupling * model_.packetout_cost_s());
+    const auto parsed = netbase::parse_packet(po.data);
+    if (!parsed) return;
+    SimPacket pkt{parsed->header, parsed->payload};
+    const ActionList actions = po.actions;
+    const std::uint16_t in_port = po.in_port;
+    clock_->schedule_at(msg_busy_until_, [this, actions, in_port, pkt] {
+      execute_actions(actions, in_port, pkt);
+    });
+    return;
+  }
+  if (msg.is<openflow::EchoRequest>()) {
+    if (sink_) {
+      sink_(openflow::make_message(
+          msg.xid, openflow::EchoReply{msg.as<openflow::EchoRequest>().payload}));
+    }
+    return;
+  }
+  if (msg.is<openflow::FeaturesRequest>()) {
+    openflow::FeaturesReply fr;
+    fr.datapath_id = id_;
+    fr.n_tables = 1;
+    for (const std::uint16_t p : net_->ports(id_)) {
+      fr.ports.push_back({p, 0x020000000000ull | (id_ << 8) | p,
+                          "port" + std::to_string(p)});
+    }
+    if (sink_) sink_(openflow::make_message(msg.xid, std::move(fr)));
+    return;
+  }
+  // Hello & everything else: ignored.
+}
+
+void SimSwitch::process_flow_mod(const FlowMod& fm) {
+  ++stats_.flowmods_processed;
+  const SimTime done = std::max(engine_busy_until_, clock_->now()) +
+                       seconds(model_.flowmod_cost_s());
+  engine_busy_until_ = done;
+  switch (model_.lag) {
+    case DataplaneLag::kInstant:
+      clock_->schedule_at(done, [this, fm] { commit_flow_mod(fm); });
+      break;
+    case DataplaneLag::kRateLimited: {
+      const SimTime committed = std::max(dataplane_busy_until_, done) +
+                                seconds(1.0 / model_.dataplane_rate);
+      dataplane_busy_until_ = committed;
+      clock_->schedule_at(committed, [this, fm] { commit_flow_mod(fm); });
+      break;
+    }
+    case DataplaneLag::kBatched:
+      clock_->schedule_at(done, [this, fm] {
+        pending_batch_.push_back(fm);
+        schedule_batch_commit();
+      });
+      break;
+  }
+}
+
+void SimSwitch::schedule_batch_commit() {
+  if (batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  clock_->schedule(model_.batch_interval, [this] {
+    batch_timer_armed_ = false;
+    auto batch = std::move(pending_batch_);
+    pending_batch_.clear();
+    if (model_.reorder_batches) {
+      std::shuffle(batch.begin(), batch.end(), rng_);  // [16]'s reordering
+    }
+    for (const FlowMod& fm : batch) commit_flow_mod(fm);
+    if (!pending_batch_.empty()) schedule_batch_commit();
+  });
+}
+
+void SimSwitch::commit_flow_mod(const FlowMod& fm) {
+  switch (fm.command) {
+    case FlowModCommand::kAdd:
+      table_.add(fm.rule());
+      break;
+    case FlowModCommand::kModify:
+    case FlowModCommand::kModifyStrict:
+      if (!table_.modify_strict(fm.rule())) table_.add(fm.rule());
+      break;
+    case FlowModCommand::kDelete:
+      table_.remove_matching(fm.match);
+      break;
+    case FlowModCommand::kDeleteStrict:
+      table_.remove_strict(fm.match, fm.priority);
+      break;
+  }
+}
+
+void SimSwitch::receive_packet(std::uint16_t in_port, const SimPacket& packet) {
+  SimPacket pkt = packet;
+  pkt.header.set(netbase::Field::InPort, in_port);
+  const openflow::Rule* rule = table_.lookup(pkt.header);
+  if (rule == nullptr || rule->actions.empty()) {
+    ++stats_.packets_dropped;  // table miss (default drop) or drop rule
+    return;
+  }
+  ++stats_.packets_forwarded;
+  execute_actions(rule->actions, in_port, pkt);
+}
+
+std::uint16_t SimSwitch::pick_ecmp_port(const std::vector<std::uint16_t>& ports,
+                                        const SimPacket& packet) const {
+  // Deterministic per-flow hash over the packed header (real ECMP hashes the
+  // 5-tuple; the packed header subsumes it).
+  const auto bits = netbase::pack_header(packet.header);
+  std::uint64_t h = 1469598103934665603ull ^ id_;
+  for (const auto w : bits.w) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return ports[h % ports.size()];
+}
+
+void SimSwitch::execute_actions(const ActionList& actions,
+                                std::uint16_t in_port, const SimPacket& packet) {
+  SimPacket working = packet;
+  for (const Action& a : actions) {
+    switch (a.type) {
+      case Action::Type::kSetField:
+        working.header.set(a.field, a.value);
+        break;
+      case Action::Type::kOutput: {
+        std::uint16_t port = a.port;
+        if (port == openflow::kPortInPort) port = in_port;
+        if (port == openflow::kPortController) {
+          emit_packet_in(in_port, working);
+        } else if (port == openflow::kPortTable) {
+          // OFPP_TABLE (PacketOut self-injection): run the flow table.
+          receive_packet(in_port, working);
+        } else if (port == openflow::kPortFlood || port == openflow::kPortAll) {
+          for (const std::uint16_t p : net_->ports(id_)) {
+            if (p != in_port || port == openflow::kPortAll) {
+              net_->emit(id_, p, working);
+            }
+          }
+        } else {
+          net_->emit(id_, port, working);
+        }
+        break;
+      }
+      case Action::Type::kEcmpGroup: {
+        if (!a.ecmp_ports.empty()) {
+          net_->emit(id_, pick_ecmp_port(a.ecmp_ports, working), working);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void SimSwitch::emit_packet_in(std::uint16_t in_port, const SimPacket& packet) {
+  // PacketIn rate limiting (§8.3.1: beyond the max rate, switches drop).
+  const SimTime cost = seconds(model_.packetin_cost_s());
+  const SimTime now = clock_->now();
+  if (packetin_free_at_ > now + cost * 4) {
+    ++stats_.packet_ins_dropped;  // queue too deep: switch drops PacketIns
+    return;
+  }
+  packetin_free_at_ = std::max(packetin_free_at_, now) + cost;
+  // PacketIn handling also steals update-engine time (Figure 7 coupling).
+  engine_busy_until_ = std::max(engine_busy_until_, now) +
+                       seconds(model_.packetin_coupling * model_.packetin_cost_s());
+  ++stats_.packet_ins_sent;
+
+  openflow::PacketIn pi;
+  pi.buffer_id = 0xFFFFFFFF;
+  pi.in_port = in_port;
+  pi.reason = openflow::PacketInReason::kAction;
+  pi.data = netbase::craft_packet(packet.header, packet.payload);
+  pi.total_len = static_cast<std::uint16_t>(pi.data.size());
+  const SimTime deliver_at = packetin_free_at_ + model_.control_latency;
+  auto msg = openflow::make_message(0, std::move(pi));
+  clock_->schedule_at(deliver_at, [this, msg] {
+    if (sink_) sink_(msg);
+  });
+}
+
+bool SimSwitch::fail_rule(std::uint64_t cookie) {
+  return table_.remove_by_cookie(cookie);
+}
+
+std::size_t SimSwitch::fail_rules_to_port(std::uint16_t port) {
+  std::size_t failed = 0;
+  std::vector<std::pair<openflow::Match, std::uint16_t>> victims;
+  for (const openflow::Rule& r : table_.rules()) {
+    const auto ports = r.outcome().forwarding_set();
+    if (ports.size() == 1 && ports.front() == port) {
+      victims.emplace_back(r.match, r.priority);
+    }
+  }
+  for (const auto& [match, priority] : victims) {
+    failed += table_.remove_strict(match, priority) ? 1 : 0;
+  }
+  return failed;
+}
+
+}  // namespace monocle::switchsim

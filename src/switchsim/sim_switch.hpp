@@ -1,0 +1,114 @@
+// Simulated OpenFlow switch: control plane (per SwitchModel) + data plane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+#include "netbase/abstract_packet.hpp"
+#include "openflow/flow_table.hpp"
+#include "openflow/messages.hpp"
+#include "switchsim/event_queue.hpp"
+#include "switchsim/switch_model.hpp"
+
+namespace monocle::switchsim {
+
+class Network;
+
+/// A packet traveling through the simulated data plane: parsed header plus
+/// the opaque payload (probe metadata or application bytes).  Wire bytes are
+/// only materialized at PacketIn boundaries.
+struct SimPacket {
+  netbase::AbstractPacket header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Per-switch counters.
+struct SwitchStats {
+  std::uint64_t flowmods_processed = 0;
+  std::uint64_t barriers_processed = 0;
+  std::uint64_t packet_outs = 0;
+  std::uint64_t packet_ins_sent = 0;
+  std::uint64_t packet_ins_dropped = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_dropped = 0;  // table miss or drop rule
+};
+
+/// The simulated switch.
+///
+/// Control messages arrive via on_control_message (the Network applies
+/// channel latency); replies/PacketIns leave via the control sink.  Data
+/// plane packets arrive via receive_packet and leave through the Network.
+class SimSwitch {
+ public:
+  SimSwitch(SwitchId id, SwitchModel model, EventQueue* clock, Network* net);
+
+  [[nodiscard]] SwitchId id() const { return id_; }
+  [[nodiscard]] const SwitchModel& model() const { return model_; }
+
+  /// Wires the switch→controller direction.
+  void set_control_sink(std::function<void(const openflow::Message&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Controller→switch message entry point (already past channel latency).
+  void on_control_message(const openflow::Message& msg);
+
+  /// Data-plane packet entry point.
+  void receive_packet(std::uint16_t in_port, const SimPacket& packet);
+
+  /// --- fault injection (the control plane never learns about these) ----
+  /// Removes a rule from the data plane only (a "failed rule", §8.1.1).
+  bool fail_rule(std::uint64_t cookie);
+  /// Removes all rules forwarding (solely) to `port` — models the data-plane
+  /// effect of a dead line card; use Network::fail_link for link failures.
+  std::size_t fail_rules_to_port(std::uint16_t port);
+
+  /// Direct data-plane access for tests/harnesses.
+  [[nodiscard]] const openflow::FlowTable& dataplane() const { return table_; }
+  openflow::FlowTable& mutable_dataplane() { return table_; }
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+
+  /// Time at which the update engine will have drained everything queued so
+  /// far (exposed for tests of the performance model).
+  [[nodiscard]] SimTime engine_free_at() const { return engine_busy_until_; }
+
+ private:
+  void process_flow_mod(const openflow::FlowMod& fm);
+  void commit_flow_mod(const openflow::FlowMod& fm);
+  void schedule_batch_commit();
+  void execute_actions(const openflow::ActionList& actions,
+                       std::uint16_t in_port, const SimPacket& packet);
+  void emit_packet_in(std::uint16_t in_port, const SimPacket& packet);
+  std::uint16_t pick_ecmp_port(const std::vector<std::uint16_t>& ports,
+                               const SimPacket& packet) const;
+  SimTime seconds(double s) const {
+    return static_cast<SimTime>(s * 1e9);
+  }
+
+  SwitchId id_;
+  SwitchModel model_;
+  EventQueue* clock_;
+  Network* net_;
+  std::function<void(const openflow::Message&)> sink_;
+
+  openflow::FlowTable table_;  // the data plane
+
+  // Virtual-time servers.
+  SimTime engine_busy_until_ = 0;     // update engine
+  SimTime dataplane_busy_until_ = 0;  // kRateLimited commit engine
+  SimTime msg_busy_until_ = 0;        // PacketOut messaging path
+  SimTime packetin_free_at_ = 0;      // PacketIn rate limiter
+
+  std::vector<openflow::FlowMod> pending_batch_;  // kBatched commits
+  bool batch_timer_armed_ = false;
+  std::mt19937_64 rng_;
+
+  SwitchStats stats_;
+};
+
+}  // namespace monocle::switchsim

@@ -1,0 +1,84 @@
+// Switch control-plane behaviour models.
+//
+// Each model captures the *observable* control/data-plane behaviour of one
+// of the paper's switches, parameterized with the paper's own measurements
+// (§8.3.1 rates; §8.1.2 premature acknowledgments; [16]'s Pica8 batch
+// commits and rule reordering).  The processing model:
+//
+//   update engine   — serializes FlowMods at 1/flowmod_rate each; PacketOut
+//                     and PacketIn handling steal engine time scaled by the
+//                     coupling factors (calibrated so Figures 6 and 7
+//                     reproduce: ≥85% throughput at 5 PacketOuts/FlowMod,
+//                     only the same-priority Dell S4810 sensitive to
+//                     PacketIns).
+//   data plane lag  — `kInstant`: rules active when the update engine
+//                     finishes (ideal switches); `kRateLimited`: a slower
+//                     commit engine drains updates at dataplane_rate (HP);
+//                     `kBatched`: commits accumulate and apply every
+//                     batch_interval, optionally reordered (Pica8 per [16]).
+//   premature_ack   — BarrierReply sent when the update engine is done,
+//                     even though the data plane lags (HP, Pica8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netbase/time.hpp"
+
+namespace monocle::switchsim {
+
+using netbase::SimTime;
+
+/// How control-plane completions propagate to the data plane.
+enum class DataplaneLag : std::uint8_t {
+  kInstant,      ///< active as soon as the update engine finishes
+  kRateLimited,  ///< separate commit engine at dataplane_rate rules/s
+  kBatched,      ///< periodic batch commit every batch_interval
+};
+
+struct SwitchModel {
+  std::string name = "ideal";
+
+  // §8.3.1 measured rates.
+  double flowmod_rate = 2000.0;    ///< FlowMods/s the update engine sustains
+  double packetout_rate = 20000.0; ///< max PacketOut/s
+  double packetin_rate = 20000.0;  ///< max PacketIn/s (beyond: drops)
+
+  // Interference couplings (calibrated; see EXPERIMENTS.md).
+  double packetout_coupling = 0.0; ///< α: engine time charged per PacketOut
+  double packetin_coupling = 0.0;  ///< β: engine time charged per PacketIn
+
+  bool premature_ack = false;      ///< barrier replies before data plane commit
+
+  DataplaneLag lag = DataplaneLag::kInstant;
+  double dataplane_rate = 0.0;         ///< kRateLimited: rules/s
+  SimTime batch_interval = 0;          ///< kBatched: commit period
+  bool reorder_batches = false;        ///< kBatched: shuffle within batch
+
+  SimTime control_latency = 200 * netbase::kMicrosecond;
+  SimTime link_latency = 20 * netbase::kMicrosecond;
+
+  [[nodiscard]] double flowmod_cost_s() const { return 1.0 / flowmod_rate; }
+  [[nodiscard]] double packetout_cost_s() const { return 1.0 / packetout_rate; }
+  [[nodiscard]] double packetin_cost_s() const { return 1.0 / packetin_rate; }
+
+  /// An ideal switch with reliable (data-plane-accurate) acknowledgments —
+  /// the §8.4 comparison baseline and the hypervisor edge switches.
+  static SwitchModel ideal();
+  /// HP ProCurve 5406zl: 7006 PacketOut/s, 5531 PacketIn/s, premature acks,
+  /// data plane trailing the control plane (§8.1.2, Figure 5a).
+  static SwitchModel hp5406zl();
+  /// Pica8 behaviour emulation (the paper's own §7 proxy): premature
+  /// barriers, periodic batched data-plane commits with rule reordering.
+  static SwitchModel pica8_emulated();
+  /// Dell S4810, distinct-priority configuration: 850 PacketOut/s,
+  /// 401 PacketIn/s.
+  static SwitchModel dell_s4810();
+  /// Dell S4810 with all rules at equal priority (the figures' "**"): much
+  /// higher baseline FlowMod rate, strongly PacketIn-sensitive.
+  static SwitchModel dell_s4810_same_priority();
+  /// Dell 8132F with experimental OpenFlow: 9128 PacketOut/s, 1105 PacketIn/s.
+  static SwitchModel dell_8132f();
+};
+
+}  // namespace monocle::switchsim

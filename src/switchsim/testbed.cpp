@@ -1,0 +1,126 @@
+#include "switchsim/testbed.hpp"
+
+namespace monocle::switchsim {
+
+Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
+                 const SwitchModel& model, Options options)
+    : clock_(clock), options_(std::move(options)) {
+  net_ = std::make_unique<Network>(clock_);
+  mux_ = std::make_unique<Multiplexer>(net_.get());
+
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    dpids_.push_back(dpid_of(n));
+    net_->add_switch(dpid_of(n),
+                     options_.model_for ? options_.model_for(n) : model);
+    next_port_[n] = 1;
+  }
+  const std::vector<SwitchId>& dpids = dpids_;
+  // Instantiate links; port numbers assigned first-come per node.
+  for (topo::NodeId a = 0; a < topo.node_count(); ++a) {
+    for (const topo::NodeId b : topo.neighbors(a)) {
+      if (b < a) continue;  // each undirected edge once
+      const std::uint16_t pa = next_port_[a]++;
+      const std::uint16_t pb = next_port_[b]++;
+      ports_.port[{a, b}] = pa;
+      ports_.port[{b, a}] = pb;
+      net_->connect(dpid_of(a), pa, dpid_of(b), pb);
+    }
+  }
+
+  plan_ = CatchPlan::build(topo, dpids, options_.strategy);
+
+  if (!options_.with_monocle) {
+    // Vanilla mode: wire switches straight to the controller handler.
+    for (const SwitchId id : dpids) {
+      net_->at(id)->set_control_sink([this, id](const openflow::Message& m) {
+        if (controller_handler_) controller_handler_(id, m);
+      });
+    }
+    return;
+  }
+
+  for (const SwitchId id : dpids) {
+    if (options_.monocle_for && !options_.monocle_for(id - 1)) {
+      // Unproxied switch (e.g. hypervisor with reliable acks) — but probes
+      // caught by its catching rules must still reach the Multiplexer.
+      net_->at(id)->set_control_sink([this, id](const openflow::Message& m) {
+        if (m.is<openflow::PacketIn>() &&
+            mux_->on_packet_in(id, m.as<openflow::PacketIn>())) {
+          return;
+        }
+        if (controller_handler_) controller_handler_(id, m);
+      });
+      mux_->set_switch_sender(id, [this, id](const openflow::Message& m) {
+        net_->send_to_switch(id, m);
+      });
+      continue;
+    }
+    Monitor::Config cfg = options_.monitor;
+    cfg.switch_id = id;
+    Monitor::Hooks hooks;
+    hooks.to_switch = [this, id](const openflow::Message& m) {
+      net_->send_to_switch(id, m);
+    };
+    hooks.to_controller = [this, id](const openflow::Message& m) {
+      if (controller_handler_) controller_handler_(id, m);
+    };
+    hooks.inject = [this, id](std::uint16_t in_port,
+                              std::vector<std::uint8_t> bytes) {
+      return mux_->inject(id, in_port, std::move(bytes));
+    };
+    auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
+                                             std::move(hooks));
+    mux_->register_monitor(id, monitor.get());
+    mux_->set_switch_sender(
+        id, [this, id](const openflow::Message& m) { net_->send_to_switch(id, m); });
+    // Switch -> Monocle: probes peel off to the Multiplexer, the rest goes
+    // through the Monitor to the controller.
+    Monitor* mon = monitor.get();
+    net_->at(id)->set_control_sink([this, id, mon](const openflow::Message& m) {
+      if (m.is<openflow::PacketIn>() &&
+          mux_->on_packet_in(id, m.as<openflow::PacketIn>())) {
+        return;  // consumed as a probe
+      }
+      mon->on_switch_message(m);
+    });
+    monitors_.emplace(id, std::move(monitor));
+  }
+}
+
+void Testbed::start_monitoring() {
+  for (auto& [id, monitor] : monitors_) {
+    monitor->install_infrastructure();
+    monitor->start();
+  }
+  // Unproxied switches still carry catching rules so probes for monitored
+  // neighbors can be collected there.
+  if (options_.with_monocle) {
+    for (const SwitchId id : dpids_) {
+      if (monitors_.contains(id)) continue;
+      for (const openflow::FlowMod& fm : plan_.rules_for(id)) {
+        net_->send_to_switch(id, openflow::make_message(0, fm));
+      }
+    }
+  }
+}
+
+void Testbed::controller_send(SwitchId sw, const openflow::Message& msg) {
+  const auto it = monitors_.find(sw);
+  if (it != monitors_.end()) {
+    it->second->on_controller_message(msg);
+  } else {
+    net_->send_to_switch(sw, msg);
+  }
+}
+
+Monitor* Testbed::monitor(SwitchId sw) const {
+  const auto it = monitors_.find(sw);
+  return it == monitors_.end() ? nullptr : it->second.get();
+}
+
+std::uint16_t Testbed::host_port(topo::NodeId n) const {
+  const auto it = next_port_.find(n);
+  return it == next_port_.end() ? 1 : it->second;
+}
+
+}  // namespace monocle::switchsim

@@ -1,0 +1,94 @@
+// Testbed: wires a Network, per-switch Monocle proxies (Monitor chain +
+// Multiplexer) and a scripted controller — the common scaffolding behind the
+// paper's experiments, the examples and the integration tests.
+//
+// Message flow (paper Figure 1 / §7):
+//   controller --> Monitor.on_controller_message --> Network.send_to_switch
+//   switch sink --> Multiplexer.on_packet_in (probes)
+//               \-> Monitor.on_switch_message --> controller handler
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "monocle/catching.hpp"
+#include "monocle/monitor.hpp"
+#include "monocle/multiplexer.hpp"
+#include "switchsim/event_queue.hpp"
+#include "switchsim/network.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle::switchsim {
+
+/// Port assignment used when instantiating a topo::Topology as a Network:
+/// node n's i-th adjacency (in edge insertion order) gets port i+1.
+struct TopologyPorts {
+  /// port_of[node][neighbor] -> port on node facing neighbor.
+  std::map<std::pair<topo::NodeId, topo::NodeId>, std::uint16_t> port;
+  [[nodiscard]] std::uint16_t of(topo::NodeId a, topo::NodeId b) const {
+    return port.at({a, b});
+  }
+};
+
+class Testbed {
+ public:
+  struct Options {
+    Monitor::Config monitor;      ///< per-switch base config (switch_id set per switch)
+    CatchStrategy strategy = CatchStrategy::kSingleField;
+    bool with_monocle = true;     ///< false: controller talks straight to switches
+    /// Optional per-node model override (e.g. Figure 8: Pica8 fabric with
+    /// ideal hypervisor switches at the edge).
+    std::function<SwitchModel(topo::NodeId)> model_for;
+    /// Optional per-node Monocle enablement: nodes where this returns false
+    /// are wired straight to the controller (Figure 8's hypervisor switches,
+    /// which already provide reliable acknowledgments).  Only consulted when
+    /// with_monocle is true.
+    std::function<bool(topo::NodeId)> monocle_for;
+  };
+
+  /// Builds switches (dpid = node id + 1) and links from `topo`; every
+  /// switch gets `model` unless overridden afterwards via models map.
+  Testbed(EventQueue* clock, const topo::Topology& topo,
+          const SwitchModel& model, Options options);
+
+  /// Installs catching rules on every switch and starts steady-state
+  /// monitoring (when enabled in the config).
+  void start_monitoring();
+
+  /// Controller-side send to a switch (passes through its Monitor when
+  /// Monocle is enabled).
+  void controller_send(SwitchId sw, const openflow::Message& msg);
+
+  /// Messages emerging on the controller side (barrier replies, PacketIns).
+  void set_controller_handler(
+      std::function<void(SwitchId, const openflow::Message&)> handler) {
+    controller_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] SwitchId dpid_of(topo::NodeId n) const { return n + 1; }
+  [[nodiscard]] Monitor* monitor(SwitchId sw) const;
+  [[nodiscard]] SimSwitch* sw(SwitchId id) const { return net_->at(id); }
+  [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] Multiplexer& mux() { return *mux_; }
+  [[nodiscard]] const CatchPlan& plan() const { return plan_; }
+  [[nodiscard]] const TopologyPorts& topology_ports() const { return ports_; }
+  [[nodiscard]] EventQueue& clock() { return *clock_; }
+  /// First free port number on node `n` for host attachment.
+  [[nodiscard]] std::uint16_t host_port(topo::NodeId n) const;
+
+ private:
+  EventQueue* clock_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Multiplexer> mux_;
+  CatchPlan plan_;
+  Options options_;
+  TopologyPorts ports_;
+  std::vector<SwitchId> dpids_;
+  std::map<SwitchId, std::unique_ptr<Monitor>> monitors_;
+  std::map<topo::NodeId, std::uint16_t> next_port_;
+  std::function<void(SwitchId, const openflow::Message&)> controller_handler_;
+};
+
+}  // namespace monocle::switchsim

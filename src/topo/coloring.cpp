@@ -1,0 +1,223 @@
+#include "topo/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace monocle::topo {
+
+Coloring greedy_coloring(const Topology& g, const std::vector<NodeId>& order) {
+  Coloring out;
+  out.color.assign(g.node_count(), -1);
+  std::vector<int> used;  // scratch: colors used by neighbors
+  for (const NodeId n : order) {
+    used.clear();
+    for (const NodeId m : g.neighbors(n)) {
+      if (out.color[m] >= 0) used.push_back(out.color[m]);
+    }
+    std::sort(used.begin(), used.end());
+    int c = 0;
+    for (const int uc : used) {
+      if (uc == c) {
+        ++c;
+      } else if (uc > c) {
+        break;
+      }
+    }
+    out.color[n] = c;
+    out.color_count = std::max(out.color_count, c + 1);
+  }
+  return out;
+}
+
+Coloring largest_first_coloring(const Topology& g) {
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return greedy_coloring(g, order);
+}
+
+Coloring dsatur_coloring(const Topology& g) {
+  const std::size_t n = g.node_count();
+  Coloring out;
+  out.color.assign(n, -1);
+  if (n == 0) return out;
+
+  std::vector<int> saturation(n, 0);
+  std::vector<std::vector<bool>> neighbor_colors(n);  // grown lazily
+  std::vector<bool> colored(n, false);
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Pick the uncolored node with max saturation; tie-break on degree.
+    NodeId best = 0;
+    int best_sat = -1;
+    std::size_t best_deg = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (colored[v]) continue;
+      if (saturation[v] > best_sat ||
+          (saturation[v] == best_sat && g.degree(v) > best_deg)) {
+        best = v;
+        best_sat = saturation[v];
+        best_deg = g.degree(v);
+      }
+    }
+    // Smallest color not used by neighbors.
+    auto& nc = neighbor_colors[best];
+    int c = 0;
+    while (static_cast<std::size_t>(c) < nc.size() && nc[c]) ++c;
+    out.color[best] = c;
+    out.color_count = std::max(out.color_count, c + 1);
+    colored[best] = true;
+    for (const NodeId m : g.neighbors(best)) {
+      if (colored[m]) continue;
+      auto& mc = neighbor_colors[m];
+      if (static_cast<std::size_t>(c) >= mc.size()) mc.resize(c + 1, false);
+      if (!mc[c]) {
+        mc[c] = true;
+        ++saturation[m];
+      }
+    }
+  }
+  return out;
+}
+
+int greedy_clique_bound(const Topology& g) {
+  // Grow a clique starting from each of the top-degree vertices.
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  int best = g.node_count() > 0 ? 1 : 0;
+  const std::size_t tries = std::min<std::size_t>(8, order.size());
+  for (std::size_t t = 0; t < tries; ++t) {
+    std::vector<NodeId> clique{order[t]};
+    for (const NodeId cand : g.neighbors(order[t])) {
+      bool adjacent_to_all = true;
+      for (const NodeId member : clique) {
+        if (member != cand && !g.has_edge(member, cand)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) clique.push_back(cand);
+    }
+    best = std::max(best, static_cast<int>(clique.size()));
+  }
+  return best;
+}
+
+namespace {
+
+/// Branch-and-bound state for exact coloring.
+struct ExactSearch {
+  const Topology& g;
+  std::uint64_t budget;
+  std::uint64_t nodes = 0;
+  int best_count;               // colors in the incumbent
+  std::vector<int> best_color;  // incumbent
+  std::vector<int> color;       // working assignment
+  int lower_bound;
+  bool exhausted = false;
+
+  ExactSearch(const Topology& graph, const Coloring& incumbent, int lb,
+              std::uint64_t node_budget)
+      : g(graph),
+        budget(node_budget),
+        best_count(incumbent.color_count),
+        best_color(incumbent.color),
+        color(graph.node_count(), -1),
+        lower_bound(lb) {}
+
+  // Returns the uncolored vertex with maximum saturation (DSATUR branching).
+  std::optional<NodeId> pick() const {
+    std::optional<NodeId> best;
+    int best_sat = -1;
+    std::size_t best_deg = 0;
+    std::vector<bool> seen_colors;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (color[v] >= 0) continue;
+      seen_colors.assign(static_cast<std::size_t>(best_count) + 1, false);
+      int sat = 0;
+      for (const NodeId m : g.neighbors(v)) {
+        if (color[m] >= 0 && !seen_colors[static_cast<std::size_t>(color[m])]) {
+          seen_colors[static_cast<std::size_t>(color[m])] = true;
+          ++sat;
+        }
+      }
+      if (sat > best_sat || (sat == best_sat && g.degree(v) > best_deg)) {
+        best = v;
+        best_sat = sat;
+        best_deg = g.degree(v);
+      }
+    }
+    return best;
+  }
+
+  void search(int used_colors) {
+    if (exhausted) return;
+    if (++nodes > budget) {
+      exhausted = true;
+      return;
+    }
+    if (used_colors >= best_count) return;  // cannot improve
+    const auto picked = pick();
+    if (!picked) {
+      // Complete, strictly better coloring.
+      best_count = used_colors;
+      best_color = color;
+      return;
+    }
+    const NodeId v = *picked;
+    std::vector<bool> forbidden(static_cast<std::size_t>(used_colors) + 1, false);
+    for (const NodeId m : g.neighbors(v)) {
+      if (color[m] >= 0 && color[m] <= used_colors) {
+        forbidden[static_cast<std::size_t>(color[m])] = true;
+      }
+    }
+    // Try existing colors, then (at most) one fresh color.
+    const int try_up_to = std::min(used_colors, best_count - 1);
+    for (int c = 0; c <= try_up_to && !exhausted; ++c) {
+      if (c < used_colors && forbidden[static_cast<std::size_t>(c)]) continue;
+      if (c == used_colors && used_colors + 1 >= best_count) break;
+      color[v] = c;
+      search(std::max(used_colors, c + 1));
+      color[v] = -1;
+      if (best_count == lower_bound) return;  // provably optimal
+    }
+  }
+};
+
+}  // namespace
+
+Coloring exact_coloring(const Topology& g, std::uint64_t node_budget) {
+  Coloring heuristic = dsatur_coloring(g);
+  const Coloring lf = largest_first_coloring(g);
+  if (lf.color_count < heuristic.color_count) heuristic = lf;
+  const int lb = greedy_clique_bound(g);
+  if (heuristic.color_count == lb || g.node_count() == 0) {
+    heuristic.exact = true;
+    return heuristic;
+  }
+  ExactSearch search(g, heuristic, lb, node_budget);
+  search.search(0);
+  Coloring out;
+  out.color = std::move(search.best_color);
+  out.color_count = search.best_count;
+  out.exact = !search.exhausted;
+  return out;
+}
+
+bool is_proper_coloring(const Topology& g, const Coloring& c) {
+  if (c.color.size() != g.node_count()) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (c.color[v] < 0 || c.color[v] >= c.color_count) return false;
+    for (const NodeId m : g.neighbors(v)) {
+      if (c.color[v] == c.color[m]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace monocle::topo

@@ -1,0 +1,50 @@
+// Vertex coloring for catching-rule assignment (paper §6, §8.3.2).
+//
+// Strategy 1 needs a proper coloring of the topology (no two adjacent
+// switches share an id); strategy 2 needs a proper coloring of the square
+// graph.  The paper solves small instances exactly with an ILP and falls
+// back to a greedy heuristic when the exact method runs out of resources
+// (their ILP ran out of memory on Rocketfuel squares).  We mirror that:
+// a DSATUR-based exact branch-and-bound with a node budget, falling back to
+// greedy orderings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace monocle::topo {
+
+/// A coloring: color per node, colors dense in [0, color_count).
+struct Coloring {
+  std::vector<int> color;
+  int color_count = 0;
+  bool exact = false;  ///< true if produced by the exact solver (proved optimal)
+};
+
+/// Greedy coloring in the given node order (first-fit).
+Coloring greedy_coloring(const Topology& g, const std::vector<NodeId>& order);
+
+/// Greedy coloring with largest-degree-first ordering.
+Coloring largest_first_coloring(const Topology& g);
+
+/// DSATUR heuristic (saturation-degree greedy) — usually near-optimal on
+/// sparse network graphs.
+Coloring dsatur_coloring(const Topology& g);
+
+/// Exact chromatic-number search: DSATUR-style branch-and-bound seeded with
+/// the heuristic solution and a greedy-clique lower bound.  Explores at most
+/// `node_budget` search nodes; on exhaustion returns the best (heuristic or
+/// improved) coloring with `exact == false`.  This is the stand-in for the
+/// paper's ILP formulation.
+Coloring exact_coloring(const Topology& g, std::uint64_t node_budget = 2'000'000);
+
+/// Verifies that `c` is a proper coloring of `g`.
+bool is_proper_coloring(const Topology& g, const Coloring& c);
+
+/// Size of a greedily grown clique (lower bound for the chromatic number).
+int greedy_clique_bound(const Topology& g);
+
+}  // namespace monocle::topo

@@ -1,0 +1,294 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace monocle::topo {
+
+Topology make_star(std::size_t leaves) {
+  Topology g(leaves + 1);
+  g.name = "star-" + std::to_string(leaves);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Topology make_triangle() {
+  Topology g(3);
+  g.name = "triangle";
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  return g;
+}
+
+Topology make_ring(std::size_t n) {
+  Topology g(n);
+  g.name = "ring-" + std::to_string(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Topology make_line(std::size_t n) {
+  Topology g(n);
+  g.name = "line-" + std::to_string(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Topology make_grid(std::size_t w, std::size_t h) {
+  Topology g(w * h);
+  g.name = "grid-" + std::to_string(w) + "x" + std::to_string(h);
+  const auto at = [w](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * w + x);
+  };
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_edge(at(x, y), at(x + 1, y));
+      if (y + 1 < h) g.add_edge(at(x, y), at(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Topology make_fattree(int k) {
+  assert(k >= 2 && k % 2 == 0);
+  const FatTreeIndex idx{k};
+  Topology g(idx.switch_count());
+  g.name = "fattree-k" + std::to_string(k);
+  const int half = k / 2;
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      // Aggregation a in this pod connects to core switches [a*half, (a+1)*half).
+      for (int c = 0; c < half; ++c) {
+        g.add_edge(idx.agg(pod, a), idx.core(a * half + c));
+      }
+      // ... and to every edge switch in the pod.
+      for (int e = 0; e < half; ++e) {
+        g.add_edge(idx.agg(pod, a), idx.edge(pod, e));
+      }
+    }
+  }
+  return g;
+}
+
+Topology make_waxman(std::size_t n, double alpha, double beta,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {unit(rng), unit(rng)};
+  Topology g(n);
+  g.name = "waxman-" + std::to_string(n);
+  const double max_dist = std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = alpha * std::exp(-d / (beta * max_dist));
+      if (unit(rng) < p) {
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+  // Force connectivity with a chain over a random permutation.
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(perm[i], perm[i + 1]);
+  return g;
+}
+
+Topology make_barabasi_albert(std::size_t n, int m, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Topology g(n);
+  g.name = "ba-" + std::to_string(n);
+  if (n == 0) return g;
+  // Endpoint pool: each edge contributes both endpoints, giving
+  // degree-proportional sampling.
+  std::vector<NodeId> pool;
+  const std::size_t seed_nodes = std::max<std::size_t>(static_cast<std::size_t>(m), 2);
+  for (std::size_t i = 0; i + 1 < std::min(seed_nodes, n); ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+    pool.push_back(static_cast<NodeId>(i));
+    pool.push_back(static_cast<NodeId>(i + 1));
+  }
+  for (std::size_t v = seed_nodes; v < n; ++v) {
+    std::vector<NodeId> targets;
+    int attempts = 0;
+    while (targets.size() < static_cast<std::size_t>(m) && attempts < 10 * m) {
+      ++attempts;
+      const NodeId t = pool[std::uniform_int_distribution<std::size_t>(
+          0, pool.size() - 1)(rng)];
+      if (t != v &&
+          std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const NodeId t : targets) {
+      g.add_edge(static_cast<NodeId>(v), t);
+      pool.push_back(static_cast<NodeId>(v));
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Topology make_ring_with_chords(std::size_t n, std::size_t chords,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Topology g = make_ring(n);
+  g.name = "ringchord-" + std::to_string(n);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (std::size_t c = 0; c < chords; ++c) {
+    g.add_edge(static_cast<NodeId>(pick(rng)), static_cast<NodeId>(pick(rng)));
+  }
+  return g;
+}
+
+Topology make_hub_and_spoke(std::size_t hubs, std::size_t leaves,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Topology g(hubs + leaves);
+  g.name = "hub-" + std::to_string(hubs) + "-" + std::to_string(leaves);
+  for (std::size_t i = 0; i < hubs; ++i) {
+    for (std::size_t j = i + 1; j < hubs; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, hubs - 1);
+  for (std::size_t l = 0; l < leaves; ++l) {
+    g.add_edge(static_cast<NodeId>(hubs + l), static_cast<NodeId>(pick(rng)));
+  }
+  return g;
+}
+
+std::vector<Topology> zoo_like_suite(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Topology> suite;
+  suite.reserve(261);
+  // Size distribution modeled on the Zoo: heavy mass in [10, 60], a tail to
+  // a few hundred, one 754-node outlier (Kdl).
+  std::lognormal_distribution<double> size_dist(3.2, 0.75);
+  auto sample_size = [&](std::size_t lo, std::size_t hi) {
+    const double s = size_dist(rng);
+    return std::clamp<std::size_t>(static_cast<std::size_t>(s), lo, hi);
+  };
+  int i = 0;
+  while (suite.size() < 261) {
+    const std::uint64_t sub_seed = rng();
+    const int family = i++ % 20;
+    Topology g;
+    if (family < 11) {
+      // Sparse WAN backbone: ring with a few chords.
+      const std::size_t n = sample_size(4, 300);
+      g = make_ring_with_chords(n, std::max<std::size_t>(1, n / 6), sub_seed);
+    } else if (family < 15) {
+      // Geographic mesh.
+      const std::size_t n = sample_size(8, 200);
+      g = make_waxman(n, 0.25, 0.2, sub_seed);
+    } else if (family < 18) {
+      // Hub-and-spoke access network; hub degree can be large.
+      const std::size_t hubs = 2 + (sub_seed % 4);
+      const std::size_t n = sample_size(10, 120);
+      g = make_hub_and_spoke(hubs, n, sub_seed);
+    } else if (family == 18) {
+      // Denser core: small clique with trees hanging off (drives the
+      // chromatic number toward the Zoo's observed maximum of ~9).
+      std::mt19937_64 r2(sub_seed);
+      const std::size_t core = 4 + (sub_seed % 6);  // clique of 4..9
+      const std::size_t n = sample_size(core + 4, 100);
+      Topology dense(n);
+      for (std::size_t a = 0; a < core; ++a) {
+        for (std::size_t b = a + 1; b < core; ++b) {
+          dense.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+        }
+      }
+      std::uniform_int_distribution<std::size_t> parent(0, core - 1);
+      for (std::size_t v = core; v < n; ++v) {
+        dense.add_edge(static_cast<NodeId>(v),
+                       static_cast<NodeId>(parent(r2) % v));
+      }
+      dense.name = "densecore-" + std::to_string(n);
+      g = std::move(dense);
+    } else {
+      // Star-like metro networks with a very high degree hub — these drive
+      // the strategy-2 (square graph) color counts up to ~59.
+      const std::size_t leaves = 10 + (sub_seed % 49);  // hub degree 10..58
+      g = make_star(leaves);
+    }
+    suite.push_back(std::move(g));
+  }
+  // The Kdl-like outlier: 754 nodes, sparse.
+  suite[17] = make_ring_with_chords(754, 160, seed ^ 0x9E3779B97F4A7C15ull);
+  suite[17].name = "kdl-like-754";
+  // Ensure one network hits hub degree 58 exactly (paper max 59 colors).
+  suite[19] = make_star(58);
+  suite[19].name = "metro-hub-58";
+  for (std::size_t t = 0; t < suite.size(); ++t) {
+    if (suite[t].name.empty()) suite[t].name = "zoo-" + std::to_string(t);
+  }
+  return suite;
+}
+
+std::vector<Topology> rocketfuel_like_suite(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::size_t sizes[] = {121, 315, 604, 960, 2914, 3257, 4755, 6461, 7018, 11800};
+  // Router-level ISP maps top out around degree ~257 (Rocketfuel's largest
+  // hub; the paper's strategy-2 maximum of 258 colors follows from it) and
+  // contain small dense PoP cores that preferential attachment alone lacks.
+  constexpr std::size_t kMaxDegree = 257;
+  std::vector<Topology> suite;
+  suite.reserve(10);
+  for (const std::size_t n : sizes) {
+    Topology g = make_barabasi_albert(n, 2, rng());
+    // Trim hubs by rewiring is complex; instead regenerate attachment-limited:
+    // drop the raw BA edges above the cap by rebuilding with rejection.
+    if (g.max_degree() > kMaxDegree) {
+      std::mt19937_64 r2(rng());
+      Topology capped(n);
+      std::vector<NodeId> pool;
+      capped.add_edge(0, 1);
+      pool.push_back(0);
+      pool.push_back(1);
+      for (NodeId v = 2; v < n; ++v) {
+        int placed = 0;
+        int attempts = 0;
+        while (placed < 2 && attempts < 64) {
+          ++attempts;
+          const NodeId t = pool[std::uniform_int_distribution<std::size_t>(
+              0, pool.size() - 1)(r2)];
+          if (t == v || capped.has_edge(v, t) || capped.degree(t) >= kMaxDegree) {
+            continue;
+          }
+          capped.add_edge(v, t);
+          pool.push_back(v);
+          pool.push_back(t);
+          ++placed;
+        }
+      }
+      g = std::move(capped);
+    }
+    // Dense PoP core: a small clique among the first nodes (raises the
+    // chromatic number toward Rocketfuel's observed <= 8).
+    const std::size_t core = std::min<std::size_t>(4 + (n / 2000), 8);
+    for (std::size_t a = 0; a < core; ++a) {
+      for (std::size_t b = a + 1; b < core; ++b) {
+        g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      }
+    }
+    g.name = "rocketfuel-like-" + std::to_string(n);
+    suite.push_back(std::move(g));
+  }
+  return suite;
+}
+
+}  // namespace monocle::topo

@@ -1,0 +1,81 @@
+// Topology generators.
+//
+// Includes the concrete experiment topologies (star, triangle, FatTree) and
+// the synthetic stand-ins for the paper's datasets: an Internet-Topology-Zoo-
+// like suite (261 WAN graphs, 4..754 nodes) and a Rocketfuel-like suite
+// (10 power-law router-level graphs, up to ~11800 nodes).  See DESIGN.md for
+// why these substitutions preserve the Figure 9 behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace monocle::topo {
+
+/// Star: node 0 is the hub, nodes 1..n are leaves.
+Topology make_star(std::size_t leaves);
+
+/// Triangle of three switches (the Figure 5 testbed shape).
+Topology make_triangle();
+
+/// Cycle of n nodes.
+Topology make_ring(std::size_t n);
+
+/// Path of n nodes.
+Topology make_line(std::size_t n);
+
+/// w x h grid.
+Topology make_grid(std::size_t w, std::size_t h);
+
+/// k-ary FatTree: k^2/4 core + k pods of (k/2 agg + k/2 edge) switches.
+/// k=4 yields the paper's 20-switch network (§8.4).  Nodes are ordered:
+/// core [0, k^2/4), then per pod: aggregation, then edge.
+Topology make_fattree(int k);
+
+/// Node index helpers for make_fattree.
+struct FatTreeIndex {
+  int k;
+  [[nodiscard]] std::size_t core_count() const {
+    return static_cast<std::size_t>(k) * k / 4;
+  }
+  [[nodiscard]] std::size_t switch_count() const {
+    return core_count() + static_cast<std::size_t>(k) * k;
+  }
+  [[nodiscard]] NodeId core(int i) const { return static_cast<NodeId>(i); }
+  [[nodiscard]] NodeId agg(int pod, int i) const {
+    return static_cast<NodeId>(core_count() + static_cast<std::size_t>(pod) * k +
+                               static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] NodeId edge(int pod, int i) const {
+    return static_cast<NodeId>(core_count() + static_cast<std::size_t>(pod) * k +
+                               static_cast<std::size_t>(k) / 2 +
+                               static_cast<std::size_t>(i));
+  }
+};
+
+/// Waxman random graph (geometric), forced connected by a spanning chain.
+Topology make_waxman(std::size_t n, double alpha, double beta,
+                     std::uint64_t seed);
+
+/// Barabasi–Albert preferential attachment with m edges per new node.
+Topology make_barabasi_albert(std::size_t n, int m, std::uint64_t seed);
+
+/// Ring with `chords` random chords (a common WAN shape in Topology Zoo).
+Topology make_ring_with_chords(std::size_t n, std::size_t chords,
+                               std::uint64_t seed);
+
+/// Hub-and-spoke: `hubs` fully meshed hubs, leaves attached round-robin.
+Topology make_hub_and_spoke(std::size_t hubs, std::size_t leaves,
+                            std::uint64_t seed);
+
+/// 261 synthetic Topology-Zoo-like graphs (sizes and densities matched to
+/// the Zoo's distribution; includes the 754-node outlier and a few
+/// high-degree-hub networks).
+std::vector<Topology> zoo_like_suite(std::uint64_t seed);
+
+/// 10 synthetic Rocketfuel-like power-law graphs, largest ~11800 nodes.
+std::vector<Topology> rocketfuel_like_suite(std::uint64_t seed);
+
+}  // namespace monocle::topo

@@ -1,0 +1,83 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+
+namespace monocle::topo {
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  if (a == b) return;
+  if (a >= adj_.size() || b >= adj_.size()) return;
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++edge_count_;
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  const auto& smaller = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const NodeId target = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+bool Topology::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId m : adj_[n]) {
+      if (!seen[m]) {
+        seen[m] = true;
+        ++visited;
+        stack.push_back(m);
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+Topology Topology::square() const {
+  // Collect original + two-hop edges as pairs, then sort/unique: much faster
+  // than per-insert duplicate checks on large power-law graphs (Rocketfuel
+  // hubs create ~degree^2 clique edges).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(edge_count_ * 4);
+  auto push = [&edges](NodeId a, NodeId b) {
+    if (a == b) return;
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  };
+  for (NodeId n = 0; n < adj_.size(); ++n) {
+    const auto& nbrs = adj_[n];
+    for (const NodeId m : nbrs) push(n, m);
+    // Clique over the neighbors of n (the paper's "fake edges between all
+    // pairs of its peers").
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        push(nbrs[i], nbrs[j]);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Topology sq(adj_.size());
+  sq.name = name.empty() ? "" : name + "^2";
+  for (const auto& [a, b] : edges) {
+    sq.adj_[a].push_back(b);
+    sq.adj_[b].push_back(a);
+    ++sq.edge_count_;
+  }
+  return sq;
+}
+
+}  // namespace monocle::topo

@@ -1,0 +1,60 @@
+// Undirected network topology graph (paper §6).
+//
+// Catching-rule planning reduces to vertex coloring of the switch adjacency
+// graph (strategy 1) or of its square (strategy 2: any two switches with a
+// common neighbor must also differ).  Topology is a plain adjacency-list
+// graph with the operations those algorithms need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace monocle::topo {
+
+using NodeId = std::uint32_t;
+
+/// Simple undirected graph; nodes are dense ids [0, node_count).
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t node_count) : adj_(node_count) {}
+
+  /// Adds `count` isolated nodes, returning the first new id.
+  NodeId add_nodes(std::size_t count = 1) {
+    const NodeId first = static_cast<NodeId>(adj_.size());
+    adj_.resize(adj_.size() + count);
+    return first;
+  }
+
+  /// Adds an undirected edge; duplicate edges and self-loops are ignored.
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const {
+    return adj_[n];
+  }
+  [[nodiscard]] std::size_t degree(NodeId n) const { return adj_[n].size(); }
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// True if the graph is connected (or empty).
+  [[nodiscard]] bool connected() const;
+
+  /// The square graph: same nodes; an edge wherever distance <= 2.  This is
+  /// exactly the paper's construction for strategy-2 coloring ("for each
+  /// switch, add fake edges between all pairs of its peers").
+  [[nodiscard]] Topology square() const;
+
+  /// Optional display name (used by the Figure 9 harness).
+  std::string name;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace monocle::topo

@@ -1,0 +1,137 @@
+#include "workloads/acl_generator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <random>
+
+namespace monocle::workloads {
+
+using netbase::Field;
+using openflow::Action;
+using openflow::Match;
+using openflow::Rule;
+
+AclProfile stanford_profile(std::uint64_t seed) {
+  AclProfile p;
+  p.rule_count = 2755;
+  p.seed = seed;
+  p.src_wildcard = 0.25;
+  p.dst_wildcard = 0.05;
+  p.exact_host = 0.20;   // router ACLs: mostly prefixes
+  p.with_ports = 0.35;
+  p.tcp_fraction = 0.55;
+  p.udp_fraction = 0.25;
+  p.deny_fraction = 0.30;
+  p.sites = 16;
+  return p;
+}
+
+AclProfile campus_profile(std::uint64_t seed) {
+  AclProfile p;
+  p.rule_count = 10958;
+  p.seed = seed;
+  p.src_wildcard = 0.12;
+  p.dst_wildcard = 0.08;
+  p.exact_host = 0.40;   // firewall ACLs: many host-specific entries
+  p.with_ports = 0.65;
+  p.tcp_fraction = 0.62;
+  p.udp_fraction = 0.28;
+  p.deny_fraction = 0.40;
+  p.sites = 40;
+  return p;
+}
+
+std::vector<Rule> generate_acl(const AclProfile& profile) {
+  std::mt19937_64 rng(profile.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> site(0, profile.sites - 1);
+  std::uniform_int_distribution<int> host(1, 0xFFFE);
+  std::uniform_int_distribution<int> out_port(1, profile.ports);
+  // Well-known service ports dominate real ACLs.
+  const std::uint16_t services[] = {80, 443, 22, 53, 25, 110, 143, 3389, 8080, 123};
+  std::uniform_int_distribution<std::size_t> service(0, std::size(services) - 1);
+
+  auto pick_prefix = [&](bool wildcard, Field f, Match& m) {
+    if (wildcard) return;
+    // Site base 10.{site}.0.0/16; refine to /24 or /32 (broad /16 entries
+    // are rare in real ACLs).
+    const std::uint32_t base =
+        0x0A000000u | (static_cast<std::uint32_t>(site(rng)) << 16);
+    const double r = unit(rng);
+    if (r < profile.exact_host) {
+      m.set_prefix(f, base | static_cast<std::uint32_t>(host(rng)), 32);
+    } else if (r < profile.exact_host + 0.55) {
+      m.set_prefix(f, base | (static_cast<std::uint32_t>(host(rng) & 0xFF) << 8),
+                   24);
+    } else {
+      m.set_prefix(f, base, 16);
+    }
+  };
+
+  std::vector<Rule> rules;
+  rules.reserve(profile.rule_count + 1);
+  const std::size_t body =
+      profile.default_rule ? profile.rule_count - 1 : profile.rule_count;
+  for (std::size_t i = 0; i < body; ++i) {
+    Match m;
+    m.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    pick_prefix(unit(rng) < profile.src_wildcard, Field::IpSrc, m);
+    pick_prefix(unit(rng) < profile.dst_wildcard, Field::IpDst, m);
+
+    const double proto_roll = unit(rng);
+    const bool tcp = proto_roll < profile.tcp_fraction;
+    const bool udp = !tcp && proto_roll < profile.tcp_fraction + profile.udp_fraction;
+    if (tcp || udp) {
+      m.set_exact(Field::IpProto,
+                  tcp ? netbase::kIpProtoTcp : netbase::kIpProtoUdp);
+      if (unit(rng) < profile.with_ports) {
+        m.set_exact(Field::TpDst, services[service(rng)]);
+        if (unit(rng) < 0.2) {
+          m.set_exact(Field::TpSrc, services[service(rng)]);
+        }
+      }
+    }
+
+    Rule r;
+    r.match = m;
+    if (unit(rng) < profile.deny_fraction) {
+      r.actions = {};  // deny == drop
+    } else {
+      r.actions = {Action::output(static_cast<std::uint16_t>(out_port(rng)))};
+    }
+    rules.push_back(std::move(r));
+  }
+
+  // Real ACLs are first-match-wins with specific entries before broad ones;
+  // order by specificity (total cared bits) so broad rules sit at low
+  // priority.  This ordering is what keeps most rules probe-able (Table 2:
+  // probes exist for the vast majority of rules).
+  std::stable_sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    auto care_bits = [](const Rule& r) {
+      int n = 0;
+      for (const auto w : r.match.care().w) n += std::popcount(w);
+      return n;
+    };
+    return care_bits(a) > care_bits(b);
+  });
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rules[i].priority = static_cast<std::uint16_t>(profile.rule_count - i);
+    rules[i].cookie = i + 1;
+  }
+
+  if (profile.default_rule) {
+    Rule def;
+    def.priority = 0;
+    def.cookie = profile.rule_count;
+    def.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    if (profile.default_permit) {
+      def.actions = {Action::output(1)};
+    } else {
+      def.actions = {};
+    }
+    rules.push_back(std::move(def));
+  }
+  return rules;
+}
+
+}  // namespace monocle::workloads

@@ -1,0 +1,58 @@
+// Synthetic ACL rule-set generator (ClassBench-inspired).
+//
+// Stand-in for the paper's Table 2 datasets: the Stanford backbone "yoza"
+// ACL configuration (2755 rules) and a large campus network's ACLs (10958
+// rules).  The originals are not redistributable here, so we synthesize
+// rule sets with the same size and the structural properties that drive
+// probe-generation cost: prefix-pair matches of mixed specificity, port and
+// protocol fields that are either exact or wildcarded, permit/deny actions,
+// descending priorities with a catch-all default, and realistic overlap
+// density (the paper notes generation time "depends mostly on the number of
+// rules" and on overlap checking — §8.2).  See DESIGN.md's substitution
+// table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "openflow/rule.hpp"
+
+namespace monocle::workloads {
+
+/// Tunable generator profile.
+struct AclProfile {
+  std::size_t rule_count = 1000;
+  std::uint64_t seed = 1;
+
+  // Field-structure mix (fractions in [0,1]).
+  double src_wildcard = 0.15;  ///< fully wildcarded nw_src
+  double dst_wildcard = 0.10;
+  double exact_host = 0.30;    ///< /32 (vs shorter prefixes)
+  double with_ports = 0.55;    ///< exact tp_src/tp_dst given proto tcp/udp
+  double tcp_fraction = 0.60;
+  double udp_fraction = 0.25;  ///< remainder: ip-any (no L4 match)
+  double deny_fraction = 0.35; ///< drop action (ACL deny)
+
+  /// Number of distinct /16 "sites" prefixes are drawn from (drives overlap
+  /// density: fewer sites => more overlapping rules).
+  int sites = 24;
+  /// Output ports available for permit actions.
+  int ports = 4;
+  /// Append a catch-all default rule (priority 0).
+  bool default_rule = true;
+  bool default_permit = true;
+};
+
+/// Profile matching the Stanford backbone "yoza" dataset's scale
+/// (2755 rules, router ACLs: prefix-heavy, fewer port matches).
+AclProfile stanford_profile(std::uint64_t seed = 42);
+
+/// Profile matching the large-campus dataset's scale (10958 rules,
+/// firewall-style 5-tuple ACLs).
+AclProfile campus_profile(std::uint64_t seed = 7);
+
+/// Generates the rule set: priorities descend from rule_count down to 1
+/// (default rule at 0), cookies are 1-based rule indices.
+std::vector<openflow::Rule> generate_acl(const AclProfile& profile);
+
+}  // namespace monocle::workloads

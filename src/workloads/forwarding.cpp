@@ -1,0 +1,98 @@
+#include "workloads/forwarding.hpp"
+
+#include <deque>
+#include <random>
+
+namespace monocle::workloads {
+
+using netbase::Field;
+using openflow::Action;
+using openflow::Rule;
+using topo::NodeId;
+
+std::vector<Rule> l3_host_routes(std::size_t count,
+                                 const std::vector<std::uint16_t>& out_ports,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rule r;
+    r.priority = 10;
+    r.cookie = i + 1;
+    r.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    // 10.0.x.y with x.y spanning the rule index (unique hosts).
+    r.match.set_prefix(Field::IpDst,
+                       0x0A000000u + static_cast<std::uint32_t>(i + 1), 32);
+    r.actions = {
+        Action::output(out_ports[rng() % out_ports.size()])};
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+std::vector<NodeId> shortest_path(const topo::Topology& topo, NodeId from,
+                                  NodeId to) {
+  if (from == to) return {from};
+  std::vector<NodeId> parent(topo.node_count(), UINT32_MAX);
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (const NodeId m : topo.neighbors(n)) {
+      if (parent[m] != UINT32_MAX) continue;
+      parent[m] = n;
+      if (m == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId at = to; at != from;) {
+          at = parent[at];
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(m);
+    }
+  }
+  return {};
+}
+
+std::vector<PathUpdate> random_path_updates(
+    const topo::Topology& topo, std::size_t count,
+    const std::function<std::uint16_t(NodeId, NodeId)>& port_of,
+    const std::function<std::uint16_t(NodeId)>& egress_port,
+    std::uint64_t seed, std::uint32_t base_src, std::uint32_t base_dst) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(
+      0, static_cast<NodeId>(topo.node_count() - 1));
+  std::vector<PathUpdate> updates;
+  updates.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId a = pick(rng);
+    NodeId b = pick(rng);
+    while (b == a) b = pick(rng);
+    const auto path = shortest_path(topo, a, b);
+    if (path.size() < 2) continue;
+
+    PathUpdate pu;
+    pu.flow_id = i;
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      Rule r;
+      r.priority = 100;
+      r.cookie = (static_cast<std::uint64_t>(i + 1) << 16) | h;
+      r.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+      r.match.set_prefix(Field::IpSrc, base_src + i, 32);
+      r.match.set_prefix(Field::IpDst, base_dst + i, 32);
+      const std::uint16_t out = (h + 1 < path.size())
+                                    ? port_of(path[h], path[h + 1])
+                                    : egress_port(path[h]);
+      r.actions = {Action::output(out)};
+      pu.hops.push_back({path[h], std::move(r)});
+    }
+    updates.push_back(std::move(pu));
+  }
+  return updates;
+}
+
+}  // namespace monocle::workloads

@@ -1,0 +1,49 @@
+// Forwarding-table and path-update workloads (Figures 4, 5 and 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "openflow/rule.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle::workloads {
+
+/// `count` layer-3 host routes: nw_dst = 10.0.x.y/32 -> output one of
+/// `out_ports` (round-robin), priority 10.  Cookie = 1-based index.
+/// This is the Figure 4 flow table (1000 L3 forwarding rules).
+std::vector<openflow::Rule> l3_host_routes(
+    std::size_t count, const std::vector<std::uint16_t>& out_ports,
+    std::uint64_t seed = 1);
+
+/// One hop of a path installation.
+struct PathHop {
+  topo::NodeId node;
+  openflow::Rule rule;
+};
+
+/// A two-phase consistent path update (§8.4): install hops[1..] first
+/// (egress toward ingress), confirm, then install hops[0] (the ingress
+/// rule).  Flow i matches (nw_src=base_src+i, nw_dst=base_dst+i).
+struct PathUpdate {
+  std::uint32_t flow_id = 0;
+  std::vector<PathHop> hops;  // hops[0] = ingress switch
+};
+
+/// Generates `count` random paths through `topo` between distinct random
+/// nodes (BFS shortest paths; 2..diameter hops).  `port_of(a, b)` must
+/// return the port on `a` facing neighbor `b`; `egress_port(n)` the
+/// host-facing port used at the final hop.
+std::vector<PathUpdate> random_path_updates(
+    const topo::Topology& topo, std::size_t count,
+    const std::function<std::uint16_t(topo::NodeId, topo::NodeId)>& port_of,
+    const std::function<std::uint16_t(topo::NodeId)>& egress_port,
+    std::uint64_t seed = 1, std::uint32_t base_src = 0x0A010000,
+    std::uint32_t base_dst = 0x0A020000);
+
+/// BFS shortest path (sequence of nodes) or empty when unreachable.
+std::vector<topo::NodeId> shortest_path(const topo::Topology& topo,
+                                        topo::NodeId from, topo::NodeId to);
+
+}  // namespace monocle::workloads

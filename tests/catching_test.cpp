@@ -1,0 +1,153 @@
+// Catching-rule planner tests (paper §6): color-derived tags, per-switch
+// rule sets for both strategies, collect matches, drop-postponing support.
+#include <gtest/gtest.h>
+
+#include "monocle/catching.hpp"
+#include "topo/generators.hpp"
+
+namespace monocle {
+namespace {
+
+using netbase::Field;
+using openflow::FlowMod;
+
+std::vector<SwitchId> dpids(const topo::Topology& t) {
+  std::vector<SwitchId> ids;
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) ids.push_back(n + 1);
+  return ids;
+}
+
+TEST(CatchPlan, NeighborsGetDistinctTags) {
+  const auto topo = topo::make_ring(7);
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  ASSERT_TRUE(plan.valid());
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    for (const topo::NodeId m : topo.neighbors(n)) {
+      EXPECT_NE(plan.tag_of(n + 1), plan.tag_of(m + 1));
+    }
+  }
+  // Odd ring: 3 reserved values.
+  EXPECT_EQ(plan.reserved_value_count(), 3);
+}
+
+TEST(CatchPlan, Strategy1RulesPerSwitch) {
+  const auto topo = topo::make_triangle();
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  EXPECT_EQ(plan.reserved_value_count(), 3);
+  const auto rules = plan.rules_for(1);
+  // One catch rule per foreign reserved value + the drop-postponing tag rule.
+  ASSERT_EQ(rules.size(), 3u);
+  int catches = 0;
+  for (const FlowMod& fm : rules) {
+    if (fm.priority == kCatchPriority) {
+      ++catches;
+      EXPECT_FALSE(fm.match.is_wildcard(Field::VlanId));
+      EXPECT_NE(fm.match.value(Field::VlanId), plan.tag_of(1));
+      ASSERT_EQ(fm.actions.size(), 1u);
+      EXPECT_EQ(fm.actions[0].port, openflow::kPortController);
+    }
+  }
+  EXPECT_EQ(catches, 2);
+}
+
+TEST(CatchPlan, CollectMatchUsesProbedSwitchTag) {
+  const auto topo = topo::make_triangle();
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  const auto m = plan.collect_match_for(2);
+  EXPECT_EQ(m.value(Field::VlanId), plan.tag_of(2));
+  // Strategy 1: only one field constrained.
+  EXPECT_TRUE(m.is_wildcard(Field::IpTos));
+}
+
+TEST(CatchPlan, ProbeWithOwnTagAvoidsLocalCatchesAndHitsRemote) {
+  const auto topo = topo::make_ring(4);
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  const SwitchId probed = 1;
+  // A packet carrying the probed switch's tag...
+  netbase::AbstractPacket pkt;
+  pkt.set(Field::VlanId, plan.tag_of(probed));
+  // ...must not match any catching rule at the probed switch...
+  for (const FlowMod& fm : plan.rules_for(probed)) {
+    if (fm.priority == kCatchPriority) {
+      EXPECT_FALSE(fm.match.matches(pkt));
+    }
+  }
+  // ...and must match exactly one catching rule at each neighbor.
+  for (const topo::NodeId nbr : topo.neighbors(0)) {  // node 0 == dpid 1
+    int hits = 0;
+    for (const FlowMod& fm : plan.rules_for(nbr + 1)) {
+      if (fm.priority == kCatchPriority && fm.match.matches(pkt)) ++hits;
+    }
+    EXPECT_EQ(hits, 1);
+  }
+}
+
+TEST(CatchPlan, Strategy2SquareColoring) {
+  // On a star, strategy 2 must give every switch a distinct tag (hub square
+  // = clique).
+  const auto topo = topo::make_star(5);
+  const auto plan = CatchPlan::build(topo, dpids(topo), CatchStrategy::kTwoFields);
+  ASSERT_TRUE(plan.valid());
+  EXPECT_EQ(plan.reserved_value_count(), 6);
+  std::set<std::uint64_t> tags;
+  for (SwitchId id = 1; id <= 6; ++id) tags.insert(plan.tag_of(id));
+  EXPECT_EQ(tags.size(), 6u);
+}
+
+TEST(CatchPlan, Strategy2RuleShape) {
+  const auto topo = topo::make_triangle();
+  const auto plan = CatchPlan::build(topo, dpids(topo), CatchStrategy::kTwoFields);
+  const auto rules = plan.rules_for(2);
+  int catch_rules = 0, filter_rules = 0, drop_tag_rules = 0;
+  for (const FlowMod& fm : rules) {
+    if (fm.priority == kCatchPriority) {
+      ++catch_rules;
+      // Catch matches H2 (IpTos) = own tag.
+      EXPECT_FALSE(fm.match.is_wildcard(Field::IpTos));
+      EXPECT_TRUE(fm.match.is_wildcard(Field::VlanId));
+    } else if (fm.priority == kFilterPriority) {
+      ++filter_rules;
+      EXPECT_FALSE(fm.match.is_wildcard(Field::VlanId));
+      EXPECT_TRUE(fm.actions.empty());  // drop
+    } else if (fm.priority == kDropTagPriority) {
+      ++drop_tag_rules;
+    }
+  }
+  EXPECT_EQ(catch_rules, 1);
+  EXPECT_EQ(filter_rules, plan.reserved_value_count() - 1);
+  EXPECT_EQ(drop_tag_rules, 1);
+}
+
+TEST(CatchPlan, Strategy2CollectConstrainsBothFields) {
+  const auto topo = topo::make_triangle();
+  const auto plan = CatchPlan::build(topo, dpids(topo), CatchStrategy::kTwoFields);
+  const auto m = plan.collect_match_for(1, 2);
+  EXPECT_FALSE(m.is_wildcard(Field::VlanId));
+  EXPECT_FALSE(m.is_wildcard(Field::IpTos));
+  EXPECT_EQ(m.value(Field::VlanId), plan.tag_of(1));
+}
+
+TEST(CatchPlan, DropTagRulePresent) {
+  const auto topo = topo::make_triangle();
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  bool found = false;
+  for (const FlowMod& fm : plan.rules_for(3)) {
+    if (fm.priority == kDropTagPriority) {
+      found = true;
+      EXPECT_EQ(fm.match.value(Field::VlanId), kDropTag);
+      EXPECT_TRUE(fm.actions.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CatchPlan, FatTreeSmallColorCount) {
+  const auto topo = topo::make_fattree(4);
+  const auto plan = CatchPlan::build(topo, dpids(topo));
+  ASSERT_TRUE(plan.valid());
+  // FatTrees are bipartite-ish (core-agg-edge layering): 2 colors suffice.
+  EXPECT_LE(plan.reserved_value_count(), 3);
+}
+
+}  // namespace
+}  // namespace monocle

@@ -1,0 +1,209 @@
+// Edge-case and failure-injection tests across modules: Monitor robustness
+// (stale probes, give-up, barriers with no pending work), framing
+// resilience, byte-reader bounds, and modification-spec corners.
+#include <gtest/gtest.h>
+
+#include "monocle/monitor.hpp"
+#include "netbase/byteio.hpp"
+#include "openflow/wire.hpp"
+#include "switchsim/testbed.hpp"
+#include "topo/generators.hpp"
+
+namespace monocle {
+namespace {
+
+using netbase::Field;
+using netbase::kMillisecond;
+using netbase::kSecond;
+using netbase::SimTime;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Message;
+using switchsim::EventQueue;
+using switchsim::SwitchModel;
+using switchsim::Testbed;
+
+FlowMod route(std::uint32_t i, std::uint16_t port, std::uint16_t prio = 10) {
+  FlowMod fm;
+  fm.command = FlowModCommand::kAdd;
+  fm.priority = prio;
+  fm.cookie = 7000 + i;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpDst, 0x0A000000u + i, 32);
+  fm.actions = {Action::output(port)};
+  return fm;
+}
+
+TEST(MonitorEdge, UpdateGiveUpFiresWhenSwitchNeverInstalls) {
+  EventQueue eq;
+  Testbed::Options opts;
+  opts.monitor.steady_probe_rate = 0;
+  opts.monitor.update_give_up = 500 * kMillisecond;
+  Testbed bed(&eq, topo::make_star(4), SwitchModel::ideal(), opts);
+  Monitor* hub = bed.monitor(1);
+  std::vector<std::uint64_t> failed;
+  hub->hooks_for_test().on_update_failed = [&](std::uint64_t cookie, SimTime) {
+    failed.push_back(cookie);
+  };
+  bed.start_monitoring();
+  eq.run_until(300 * kMillisecond);
+
+  // Black-hole the switch: drop everything the monitor sends to it.
+  hub->hooks_for_test().to_switch = [](const Message&) {};
+  bed.controller_send(1, openflow::make_message(1, route(1, 2)));
+  eq.run_until(eq.now() + 2 * kSecond);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 7001u);
+  EXPECT_EQ(hub->rule_state(7001), RuleState::kFailed);
+  EXPECT_EQ(hub->pending_update_count(), 0u);
+}
+
+TEST(MonitorEdge, BarrierWithNoPendingUpdatesPassesStraightThrough) {
+  EventQueue eq;
+  Testbed::Options opts;
+  opts.monitor.steady_probe_rate = 0;
+  Testbed bed(&eq, topo::make_star(4), SwitchModel::ideal(), opts);
+  std::vector<Message> ctrl;
+  bed.set_controller_handler([&](SwitchId, const Message& m) {
+    ctrl.push_back(m);
+  });
+  bed.start_monitoring();
+  eq.run_until(100 * kMillisecond);
+  bed.controller_send(1, openflow::make_message(42, openflow::BarrierRequest{}));
+  eq.run_until(eq.now() + 100 * kMillisecond);
+  ASSERT_FALSE(ctrl.empty());
+  EXPECT_TRUE(ctrl.back().is<openflow::BarrierReply>());
+  EXPECT_EQ(ctrl.back().xid, 42u);
+}
+
+TEST(MonitorEdge, NonStrictDeleteConfirmsEveryVictim) {
+  EventQueue eq;
+  Testbed::Options opts;
+  opts.monitor.steady_probe_rate = 0;
+  Testbed bed(&eq, topo::make_star(4), SwitchModel::ideal(), opts);
+  Monitor* hub = bed.monitor(1);
+  std::vector<std::uint64_t> confirmed;
+  hub->hooks_for_test().on_update_confirmed =
+      [&](std::uint64_t cookie, SimTime) { confirmed.push_back(cookie); };
+  bed.start_monitoring();
+  eq.run_until(300 * kMillisecond);
+
+  // Two rules in 10.0.0.0/30, one outside.
+  bed.controller_send(1, openflow::make_message(1, route(0, 2, 20)));
+  bed.controller_send(1, openflow::make_message(2, route(1, 3, 30)));
+  bed.controller_send(1, openflow::make_message(3, route(9, 4, 40)));
+  eq.run_until(eq.now() + 1 * kSecond);
+  EXPECT_EQ(confirmed.size(), 3u);
+  confirmed.clear();
+
+  FlowMod del;
+  del.command = FlowModCommand::kDelete;  // non-strict
+  del.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  del.match.set_prefix(Field::IpDst, 0x0A000000u, 30);  // covers rules 0 and 1
+  bed.controller_send(1, openflow::make_message(4, del));
+  eq.run_until(eq.now() + 1 * kSecond);
+  // §4.1: the multi-rule delete is confirmed per-rule.
+  EXPECT_EQ(confirmed.size(), 2u);
+  EXPECT_EQ(hub->expected_table().find_by_cookie(7000), nullptr);
+  EXPECT_EQ(hub->expected_table().find_by_cookie(7001), nullptr);
+  EXPECT_NE(hub->expected_table().find_by_cookie(7009), nullptr);
+  EXPECT_EQ(bed.sw(1)->dataplane().find_by_cookie(7000), nullptr);
+}
+
+TEST(MonitorEdge, StaleProbesAreCountedNotActedOn) {
+  EventQueue eq;
+  Testbed::Options opts;
+  opts.monitor.steady_probe_rate = 200.0;
+  opts.monitor.steady_warmup = 50 * kMillisecond;
+  Testbed bed(&eq, topo::make_star(4), SwitchModel::ideal(), opts);
+  Monitor* hub = bed.monitor(1);
+  const auto rules =
+      std::vector<FlowMod>{route(0, 1), route(1, 2), route(2, 3)};
+  for (const auto& fm : rules) {
+    hub->seed_rule(fm.rule());
+    bed.sw(1)->mutable_dataplane().add(fm.rule());
+  }
+  bed.start_monitoring();
+  eq.run_until(1 * kSecond);
+  const auto caught = hub->stats().probes_caught;
+  EXPECT_GT(caught, 0u);
+  // Updating an overlapping rule invalidates in-flight probes; any that were
+  // airborne come back stale and must be ignored, not misclassified.
+  bed.controller_send(1, openflow::make_message(9, route(1, 4, 50)));
+  eq.run_until(eq.now() + 1 * kSecond);
+  EXPECT_EQ(hub->failed_rule_count(), 0u);  // no false alarms from stale probes
+}
+
+TEST(WireEdge, FrameBufferSurvivesCorruptLengthField) {
+  openflow::FrameBuffer fb;
+  // A header announcing an 8-byte frame but with garbage type is skipped;
+  // a frame with length < 8 poisons the stream and is discarded safely.
+  std::vector<std::uint8_t> bogus{0x01, 0x63, 0x00, 0x04, 0, 0, 0, 0};
+  fb.feed(bogus);
+  EXPECT_FALSE(fb.next().has_value());
+  // Fresh buffer still works after the reset.
+  openflow::FrameBuffer fb2;
+  const auto bytes =
+      openflow::encode_message(openflow::make_message(5, openflow::Hello{}));
+  fb2.feed(bytes);
+  const auto msg = fb2.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->is<openflow::Hello>());
+}
+
+TEST(WireEdge, UnknownActionTypeRejected) {
+  netbase::ByteWriter w;
+  w.u16(0x7777);  // no such action
+  w.u16(8);
+  w.u32(0);
+  EXPECT_FALSE(openflow::decode_actions(w.data()).has_value());
+}
+
+TEST(WireEdge, ActionLengthOverrunRejected) {
+  netbase::ByteWriter w;
+  w.u16(0);    // OUTPUT
+  w.u16(64);   // claims 64 bytes but only 8 present
+  w.u16(1);
+  w.u16(0);
+  EXPECT_FALSE(openflow::decode_actions(w.data()).has_value());
+}
+
+TEST(ByteIo, ReaderBoundsAreSafe) {
+  const std::uint8_t data[] = {1, 2, 3};
+  netbase::ByteReader r(data);
+  EXPECT_EQ(r.u16(), 0x0102u);
+  EXPECT_EQ(r.u32(), 0u);  // would overrun: returns 0, flags error
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteIo, WriterPatching) {
+  netbase::ByteWriter w;
+  w.u16(0);
+  w.u32(0xAABBCCDD);
+  w.patch_u16(0, 0x1234);
+  EXPECT_EQ(w.data()[0], 0x12);
+  EXPECT_EQ(w.data()[1], 0x34);
+  EXPECT_EQ(w.size(), 6u);
+}
+
+TEST(ModificationEdge, EqualPriorityPeersSurviveAlteredTable) {
+  openflow::FlowTable t;
+  openflow::Rule peer = route(5, 2, 40).rule();
+  peer.cookie = 50;
+  t.add(peer);
+  openflow::Rule old_version = route(6, 3, 40).rule();
+  old_version.cookie = 60;
+  t.add(old_version);
+  openflow::Rule new_version = old_version;
+  new_version.actions = {Action::output(4)};
+  const ModificationSpec spec = make_modification_spec(t, old_version, new_version);
+  // The equal-priority peer is kept (conservative; it constrains Hit).
+  EXPECT_NE(spec.altered.find_by_cookie(50), nullptr);
+  // Old version sits one priority below the new one.
+  EXPECT_NE(spec.altered.find_strict(old_version.match, 39), nullptr);
+  EXPECT_EQ(spec.probed.priority, 40);
+}
+
+}  // namespace
+}  // namespace monocle

@@ -1,0 +1,433 @@
+// Monitor integration tests on the simulated testbed: steady-state failure
+// detection (§3, §8.1.1), dynamic update confirmation with premature-ack
+// switches (§4, §8.1.2), barrier holding, overlap queueing (§4.2),
+// deletions, drop-postponing (§4.3) and the Multiplexer plumbing.
+#include <gtest/gtest.h>
+
+#include "monocle/monitor.hpp"
+#include "switchsim/testbed.hpp"
+#include "topo/generators.hpp"
+#include "workloads/forwarding.hpp"
+
+namespace monocle {
+namespace {
+
+using netbase::Field;
+using netbase::kMillisecond;
+using netbase::kSecond;
+using netbase::SimTime;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Message;
+using openflow::Rule;
+using switchsim::SimPacket;
+using switchsim::SwitchModel;
+using switchsim::Testbed;
+
+Monitor::Config fast_config() {
+  Monitor::Config cfg;
+  cfg.steady_probe_rate = 1000.0;
+  cfg.steady_warmup = 50 * kMillisecond;
+  cfg.probe_timeout = 150 * kMillisecond;
+  cfg.probe_retries = 3;
+  cfg.generation_delay = 1 * kMillisecond;
+  cfg.update_probe_interval = 2 * kMillisecond;
+  return cfg;
+}
+
+FlowMod route_flowmod(std::uint32_t i, std::uint16_t port,
+                      std::uint16_t priority = 10) {
+  FlowMod fm;
+  fm.command = FlowModCommand::kAdd;
+  fm.priority = priority;
+  fm.cookie = 1000 + i;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpDst, 0x0A000000u + i, 32);
+  fm.actions = {Action::output(port)};
+  return fm;
+}
+
+/// Star testbed rig: dpid 1 = hub (monitored), dpids 2..5 = leaves.
+struct CallbackRig {
+  switchsim::EventQueue eq;
+  std::unique_ptr<Testbed> bed;
+  std::vector<RuleAlarm> alarms;
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  std::vector<std::pair<std::uint64_t, SimTime>> failed;
+
+  explicit CallbackRig(const topo::Topology& topo,
+                       Monitor::Config cfg = fast_config(),
+                       SwitchModel model = SwitchModel::ideal()) {
+    Testbed::Options opts;
+    opts.monitor = cfg;
+    bed = std::make_unique<Testbed>(&eq, topo, model, opts);
+  }
+};
+
+}  // namespace
+
+// Accessor used by tests to attach callbacks to a Testbed monitor.
+// (Hooks are owned by the Monitor; we extend them here.)
+class MonitorTestPeer {
+ public:
+  static void attach_callbacks(
+      Monitor& m, std::function<void(const RuleAlarm&)> on_alarm,
+      std::function<void(std::uint64_t, SimTime)> on_confirmed,
+      std::function<void(std::uint64_t, SimTime)> on_failed = {}) {
+    m.hooks_for_test().on_alarm = std::move(on_alarm);
+    m.hooks_for_test().on_update_confirmed = std::move(on_confirmed);
+    if (on_failed) m.hooks_for_test().on_update_failed = std::move(on_failed);
+  }
+};
+
+namespace {
+
+TEST(MonitorSteady, DetectsFailedRuleWithinDetectionWindow) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<RuleAlarm> alarms;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), [&](const RuleAlarm& a) { alarms.push_back(a); },
+      {});
+
+  // 40 L3 rules: seed the monitor and load the hub's data plane directly.
+  const auto rules = workloads::l3_host_routes(40, {1, 2, 3, 4}, 5);
+  for (const Rule& r : rules) {
+    rig.bed->monitor(1)->seed_rule(r);
+    rig.bed->sw(1)->mutable_dataplane().add(r);
+  }
+  rig.bed->start_monitoring();
+  // Let the catch rules commit and one full cycle pass (40 rules @1000/s).
+  rig.eq.run_until(500 * kMillisecond);
+  EXPECT_TRUE(alarms.empty()) << "false alarm on a healthy table";
+  const auto caught_before = rig.bed->monitor(1)->stats().probes_caught;
+  EXPECT_GT(caught_before, 30u);
+
+  // Fail one rule in the data plane only (§8.1.1).
+  ASSERT_TRUE(rig.bed->sw(1)->fail_rule(rules[7].cookie));
+  const SimTime failed_at = rig.eq.now();
+  rig.eq.run_until(failed_at + 2 * kSecond);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_EQ(alarms.front().cookie, rules[7].cookie);
+  const SimTime detection = alarms.front().when - failed_at;
+  // Paper: detection between the timeout (150 ms) and one cycle + timeout.
+  EXPECT_GE(detection, 100 * kMillisecond);
+  EXPECT_LE(detection, 150 * kMillisecond + 40 * kMillisecond + 60 * kMillisecond);
+  EXPECT_EQ(rig.bed->monitor(1)->rule_state(rules[7].cookie), RuleState::kFailed);
+}
+
+TEST(MonitorSteady, AlarmThresholdGatesReporting) {
+  Monitor::Config cfg = fast_config();
+  cfg.alarm_threshold = 3;
+  CallbackRig rig(topo::make_star(4), cfg);
+  std::vector<RuleAlarm> alarms;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), [&](const RuleAlarm& a) { alarms.push_back(a); },
+      {});
+  const auto rules = workloads::l3_host_routes(30, {1, 2, 3, 4}, 6);
+  for (const Rule& r : rules) {
+    rig.bed->monitor(1)->seed_rule(r);
+    rig.bed->sw(1)->mutable_dataplane().add(r);
+  }
+  rig.bed->start_monitoring();
+  rig.eq.run_until(400 * kMillisecond);
+
+  // Two failures: below threshold, silent.
+  rig.bed->sw(1)->fail_rule(rules[0].cookie);
+  rig.bed->sw(1)->fail_rule(rules[1].cookie);
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  EXPECT_TRUE(alarms.empty());
+  // Third failure crosses the threshold.
+  rig.bed->sw(1)->fail_rule(rules[2].cookie);
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_GE(alarms.front().failed_rule_count, 3u);
+}
+
+TEST(MonitorSteady, RecoveredRuleClearsFailure) {
+  CallbackRig rig(topo::make_star(4));
+  const auto rules = workloads::l3_host_routes(10, {1, 2, 3, 4}, 7);
+  for (const Rule& r : rules) {
+    rig.bed->monitor(1)->seed_rule(r);
+    rig.bed->sw(1)->mutable_dataplane().add(r);
+  }
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+  rig.bed->sw(1)->fail_rule(rules[3].cookie);
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  EXPECT_EQ(rig.bed->monitor(1)->failed_rule_count(), 1u);
+  // Rule comes back (e.g. line card recovers).
+  rig.bed->sw(1)->mutable_dataplane().add(rules[3]);
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  EXPECT_EQ(rig.bed->monitor(1)->failed_rule_count(), 0u);
+  EXPECT_EQ(rig.bed->monitor(1)->rule_state(rules[3].cookie),
+            RuleState::kConfirmed);
+}
+
+TEST(MonitorDynamic, UpdateConfirmedOnlyAfterDataplaneCommit) {
+  // HP-style switch: premature control-plane acks, lagging data plane.
+  CallbackRig rig(topo::make_star(4), fast_config(), SwitchModel::hp5406zl());
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  const SimTime sent_at = rig.eq.now();
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(1, 2)));
+  // Find when the rule actually lands in the data plane.
+  SimTime committed_at = 0;
+  while (rig.eq.run_one() && rig.eq.now() < sent_at + 5 * kSecond) {
+    if (committed_at == 0 &&
+        rig.bed->sw(1)->dataplane().find_by_cookie(1001) != nullptr) {
+      committed_at = rig.eq.now();
+    }
+    if (!confirmed.empty()) break;
+  }
+  ASSERT_FALSE(confirmed.empty());
+  ASSERT_GT(committed_at, 0u);
+  EXPECT_GE(confirmed.front().second, committed_at);
+  // Confirmation lag = probe round trip + injection cadence: a few ms
+  // (paper §8.1.2: "only several ms of delay").
+  EXPECT_LE(confirmed.front().second - committed_at, 15 * kMillisecond);
+}
+
+TEST(MonitorDynamic, BarrierHeldUntilConfirmed) {
+  CallbackRig rig(topo::make_star(4), fast_config(), SwitchModel::hp5406zl());
+  std::vector<std::pair<SimTime, Message>> ctrl_msgs;
+  rig.bed->set_controller_handler([&](SwitchId, const Message& m) {
+    ctrl_msgs.emplace_back(rig.eq.now(), m);
+  });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  rig.bed->controller_send(1, openflow::make_message(7, route_flowmod(2, 3)));
+  rig.bed->controller_send(1, openflow::make_message(8, openflow::BarrierRequest{}));
+  SimTime committed_at = 0;
+  SimTime reply_at = 0;
+  while (rig.eq.run_one() && rig.eq.now() < 5 * kSecond) {
+    if (committed_at == 0 &&
+        rig.bed->sw(1)->dataplane().find_by_cookie(1002) != nullptr) {
+      committed_at = rig.eq.now();
+    }
+    for (const auto& [when, m] : ctrl_msgs) {
+      if (m.is<openflow::BarrierReply>() && m.xid == 8) reply_at = when;
+    }
+    if (reply_at != 0) break;
+  }
+  ASSERT_GT(reply_at, 0u) << "barrier reply never released";
+  ASSERT_GT(committed_at, 0u);
+  // The whole point: the premature switch ack is held back until the data
+  // plane provably has the rule.
+  EXPECT_GE(reply_at, committed_at);
+}
+
+TEST(MonitorDynamic, VanillaBarrierIsPremature) {
+  // Control experiment: without Monocle the HP's barrier reply arrives
+  // before the data plane commit (the §8.1.2 blackhole source).
+  switchsim::EventQueue eq;
+  Testbed::Options opts;
+  opts.with_monocle = false;
+  Testbed bed(&eq, topo::make_star(4), SwitchModel::hp5406zl(), opts);
+  SimTime reply_at = 0;
+  bed.set_controller_handler([&](SwitchId, const Message& m) {
+    if (m.is<openflow::BarrierReply>()) reply_at = eq.now();
+  });
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    bed.controller_send(1, openflow::make_message(i, route_flowmod(i, 2)));
+  }
+  bed.controller_send(1, openflow::make_message(99, openflow::BarrierRequest{}));
+  SimTime committed_all = 0;
+  while (eq.run_one()) {
+    if (committed_all == 0 && bed.sw(1)->dataplane().size() == 20) {
+      committed_all = eq.now();
+    }
+  }
+  ASSERT_GT(reply_at, 0u);
+  ASSERT_GT(committed_all, 0u);
+  EXPECT_LT(reply_at, committed_all);  // premature!
+}
+
+TEST(MonitorDynamic, OverlappingUpdatesAreQueued) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  // Two overlapping updates (§4.2's example shape): same dst, different
+  // priorities.
+  FlowMod first = route_flowmod(5, 2, 10);
+  FlowMod second = route_flowmod(5, 3, 20);
+  second.cookie = 2001;
+  rig.bed->controller_send(1, openflow::make_message(1, first));
+  rig.bed->controller_send(1, openflow::make_message(2, second));
+  EXPECT_EQ(rig.bed->monitor(1)->stats().updates_queued, 1u);
+  EXPECT_EQ(rig.bed->monitor(1)->pending_update_count(), 1u);
+
+  rig.eq.run_until(rig.eq.now() + 2 * kSecond);
+  // Both eventually confirm, first one first.
+  ASSERT_EQ(confirmed.size(), 2u);
+  EXPECT_EQ(confirmed[0].first, 1005u);
+  EXPECT_EQ(confirmed[1].first, 2001u);
+  EXPECT_LT(confirmed[0].second, confirmed[1].second);
+}
+
+TEST(MonitorDynamic, DeletionConfirmedByAbsentOutcome) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  // Underlying low-priority route to port 2, probed rule to port 3.
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(9, 2, 5)));
+  FlowMod high = route_flowmod(9, 3, 50);
+  high.cookie = 3001;
+  rig.bed->controller_send(1, openflow::make_message(2, high));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  ASSERT_EQ(confirmed.size(), 2u);
+  confirmed.clear();
+
+  FlowMod del = high;
+  del.command = FlowModCommand::kDeleteStrict;
+  rig.bed->controller_send(1, openflow::make_message(3, del));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].first, 3001u);
+  EXPECT_EQ(rig.bed->monitor(1)->expected_table().find_by_cookie(3001), nullptr);
+  EXPECT_EQ(rig.bed->sw(1)->dataplane().find_by_cookie(3001), nullptr);
+}
+
+TEST(MonitorDynamic, ModificationConfirmed) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(4, 2)));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  ASSERT_EQ(confirmed.size(), 1u);
+  confirmed.clear();
+
+  FlowMod mod = route_flowmod(4, 3);  // same match & priority, new port
+  mod.command = FlowModCommand::kModifyStrict;
+  rig.bed->controller_send(1, openflow::make_message(2, mod));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  ASSERT_EQ(confirmed.size(), 1u);
+  const Rule* updated = rig.bed->sw(1)->dataplane().find_by_cookie(1004);
+  ASSERT_NE(updated, nullptr);
+  EXPECT_EQ(updated->actions[0].port, 3);
+}
+
+TEST(MonitorDynamic, DropPostponingInstallsTagRuleThenRealDrop) {
+  Monitor::Config cfg = fast_config();
+  cfg.drop_postponing = true;
+  CallbackRig rig(topo::make_star(4), cfg);
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  // Underlying forwarding rule, then a drop rule above it.
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(6, 2, 5)));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  confirmed.clear();
+
+  FlowMod drop = route_flowmod(6, 0, 50);
+  drop.cookie = 4001;
+  drop.actions = {};  // drop
+  rig.bed->controller_send(1, openflow::make_message(2, drop));
+
+  // While unconfirmed, the data plane must pass through the §4.3
+  // tag-and-forward staging rule; watch every event for it.
+  bool saw_staged = false;
+  const SimTime deadline = rig.eq.now() + 2 * kSecond;
+  while (rig.eq.now() < deadline && confirmed.empty() && rig.eq.run_one()) {
+    const Rule* staged = rig.bed->sw(1)->dataplane().find_by_cookie(4001);
+    if (staged != nullptr && !staged->actions.empty()) saw_staged = true;
+  }
+  EXPECT_TRUE(saw_staged) << "expected tag-and-forward staging";
+  rig.eq.run_until(rig.eq.now() + 2 * kSecond);
+  ASSERT_EQ(confirmed.size(), 1u);
+  // After confirmation the real drop rule replaces the staged one.
+  const Rule* final_rule = rig.bed->sw(1)->dataplane().find_by_cookie(4001);
+  ASSERT_NE(final_rule, nullptr);
+  EXPECT_TRUE(final_rule->actions.empty());
+}
+
+TEST(MonitorDynamic, NegativeConfirmationForDropWithoutPostponing) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<std::pair<std::uint64_t, SimTime>> confirmed;
+  MonitorTestPeer::attach_callbacks(
+      *rig.bed->monitor(1), {},
+      [&](std::uint64_t cookie, SimTime when) { confirmed.emplace_back(cookie, when); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(8, 2, 5)));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  confirmed.clear();
+
+  FlowMod drop = route_flowmod(8, 0, 50);
+  drop.cookie = 5001;
+  drop.actions = {};
+  rig.bed->controller_send(1, openflow::make_message(2, drop));
+  rig.eq.run_until(rig.eq.now() + 2 * kSecond);
+  ASSERT_EQ(confirmed.size(), 1u);  // §3.3 negative probing confirms
+  EXPECT_EQ(confirmed[0].first, 5001u);
+}
+
+TEST(MonitorDynamic, PassThroughOfNonProbePacketIns) {
+  CallbackRig rig(topo::make_star(4));
+  std::vector<Message> ctrl;
+  rig.bed->set_controller_handler(
+      [&](SwitchId, const Message& m) { ctrl.push_back(m); });
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  // A production rule punting to the controller.
+  FlowMod punt = route_flowmod(3, 0, 60);
+  punt.actions = {Action::output(openflow::kPortController)};
+  rig.bed->controller_send(1, openflow::make_message(1, punt));
+  rig.eq.run_until(rig.eq.now() + 500 * kMillisecond);
+
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  pkt.header.set(Field::IpDst, 0x0A000003);
+  pkt.payload = {1, 2, 3};  // no probe magic
+  rig.bed->network().send_from_host(1, 9, pkt);
+  rig.eq.run_until(rig.eq.now() + 100 * kMillisecond);
+  bool got_packet_in = false;
+  for (const Message& m : ctrl) {
+    if (m.is<openflow::PacketIn>()) got_packet_in = true;
+  }
+  EXPECT_TRUE(got_packet_in);
+}
+
+TEST(MonitorDynamic, StatsAccounting) {
+  CallbackRig rig(topo::make_star(4));
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+  rig.bed->controller_send(1, openflow::make_message(1, route_flowmod(1, 2)));
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);
+  const MonitorStats& st = rig.bed->monitor(1)->stats();
+  EXPECT_GE(st.flowmods_forwarded, 1u);
+  EXPECT_GE(st.probes_injected, 1u);
+  EXPECT_GE(st.probes_caught, 1u);
+  EXPECT_EQ(st.updates_confirmed, 1u);
+  EXPECT_GE(st.probe_generations, 1u);
+}
+
+}  // namespace
+}  // namespace monocle

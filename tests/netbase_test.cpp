@@ -1,0 +1,332 @@
+// Packet substrate tests: field catalogue, abstract packets, conditional
+// inclusion (§5.2), wire crafting/parsing with checksums, probe metadata,
+// packed bits, and the spare-value domain lemma.
+#include <gtest/gtest.h>
+
+#include "netbase/abstract_packet.hpp"
+#include "netbase/checksum.hpp"
+#include "netbase/domains.hpp"
+#include "netbase/fields.hpp"
+#include "netbase/packed_bits.hpp"
+#include "netbase/packet_crafter.hpp"
+#include "netbase/probe_metadata.hpp"
+
+namespace monocle::netbase {
+namespace {
+
+TEST(Fields, LayoutIsContiguous) {
+  int expected_offset = 0;
+  for (const auto& info : kFieldTable) {
+    EXPECT_EQ(info.bit_offset, expected_offset)
+        << "field " << info.name << " misplaced";
+    expected_offset += info.width;
+  }
+  EXPECT_EQ(kHeaderBits, expected_offset);
+  EXPECT_EQ(kHeaderBits, 253);  // OF 1.0 12-tuple
+}
+
+TEST(Fields, Masks) {
+  EXPECT_EQ(field_mask(Field::VlanId), 0xFFFu);
+  EXPECT_EQ(field_mask(Field::EthSrc), 0xFFFFFFFFFFFFull);
+  EXPECT_EQ(field_mask(Field::VlanPcp), 0x7u);
+  EXPECT_EQ(field_mask(Field::IpTos), 0x3Fu);
+}
+
+TEST(AbstractPacket, DefaultIsUntaggedNonIp) {
+  const AbstractPacket p;
+  EXPECT_FALSE(p.has_vlan_tag());
+  EXPECT_FALSE(p.is_ipv4());
+  EXPECT_EQ(p.get(Field::VlanId), kVlanNone);
+}
+
+TEST(AbstractPacket, SetMasksValue) {
+  AbstractPacket p;
+  p.set(Field::VlanPcp, 0xFF);
+  EXPECT_EQ(p.get(Field::VlanPcp), 0x7u);
+}
+
+TEST(AbstractPacket, BitAccessRoundTrip) {
+  AbstractPacket p;
+  p.set(Field::IpSrc, 0xC0A80101);  // 192.168.1.1
+  const auto& info = field_info(Field::IpSrc);
+  std::uint64_t reconstructed = 0;
+  for (int i = 0; i < info.width; ++i) {
+    reconstructed = (reconstructed << 1) | (p.bit(info.bit_offset + i) ? 1 : 0);
+  }
+  EXPECT_EQ(reconstructed, 0xC0A80101u);
+  p.set_bit(info.bit_offset, true);  // flip MSB on
+  EXPECT_EQ(p.get(Field::IpSrc), 0xC0A80101u | 0x80000000u);
+}
+
+TEST(AbstractPacket, ConditionalInclusionL4) {
+  AbstractPacket p;
+  p.set(Field::EthType, kEthTypeIpv4);
+  p.set(Field::IpProto, kIpProtoTcp);
+  EXPECT_TRUE(p.present(Field::TpSrc));
+  p.set(Field::IpProto, 42);  // exotic protocol: no L4 header
+  EXPECT_FALSE(p.present(Field::TpSrc));
+  p.set(Field::EthType, kEthTypeExperimental);  // not IP at all
+  EXPECT_FALSE(p.present(Field::IpProto));
+  EXPECT_FALSE(p.present(Field::TpSrc));
+}
+
+TEST(AbstractPacket, ArpHasL3NoTosNoL4) {
+  AbstractPacket p;
+  p.set(Field::EthType, kEthTypeArp);
+  p.set(Field::IpProto, 1);  // ARP request opcode
+  EXPECT_TRUE(p.present(Field::IpSrc));
+  EXPECT_TRUE(p.present(Field::IpProto));
+  EXPECT_FALSE(p.present(Field::IpTos));
+  EXPECT_FALSE(p.present(Field::TpSrc));
+}
+
+TEST(AbstractPacket, VlanPcpPresence) {
+  AbstractPacket p;
+  EXPECT_FALSE(p.present(Field::VlanPcp));
+  p.set(Field::VlanId, 100);
+  EXPECT_TRUE(p.present(Field::VlanPcp));
+}
+
+TEST(AbstractPacket, NormalizedClearsExcluded) {
+  AbstractPacket p;
+  p.set(Field::EthType, kEthTypeExperimental);
+  p.set(Field::IpSrc, 0xDEADBEEF);
+  p.set(Field::TpDst, 99);
+  const AbstractPacket n = p.normalized();
+  EXPECT_EQ(n.get(Field::IpSrc), 0u);
+  EXPECT_EQ(n.get(Field::TpDst), 0u);
+  EXPECT_EQ(n.get(Field::EthType), kEthTypeExperimental);
+}
+
+TEST(PackedBits, RoundTrip) {
+  AbstractPacket p;
+  p.set(Field::InPort, 7);
+  p.set(Field::EthSrc, 0x0200DEADBEEFull);
+  p.set(Field::EthType, kEthTypeIpv4);
+  p.set(Field::IpSrc, 0x0A000001);
+  p.set(Field::IpDst, 0x0A000002);
+  p.set(Field::IpProto, kIpProtoUdp);
+  p.set(Field::TpSrc, 1234);
+  p.set(Field::TpDst, 80);
+  const PackedBits bits = pack_header(p);
+  EXPECT_EQ(unpack_header(bits), p);
+}
+
+TEST(PackedBits, BitOps) {
+  PackedBits a, b;
+  a.set(0, true);
+  a.set(100, true);
+  b.set(100, true);
+  b.set(200, true);
+  EXPECT_TRUE((a & b).get(100));
+  EXPECT_FALSE((a & b).get(0));
+  EXPECT_TRUE((a | b).get(200));
+  EXPECT_TRUE((a ^ b).get(0));
+  EXPECT_FALSE((a ^ b).get(100));
+  EXPECT_TRUE(a.any());
+  EXPECT_FALSE(PackedBits{}.any());
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Canonical example: {0x0001, 0xf203, 0xf4f5, 0xf6f7} -> sum 0xddf2,
+  // checksum ~0xddf2 = 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Checksum, OddLength) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xFBFD
+  EXPECT_EQ(internet_checksum(data), 0xFBFD);
+}
+
+AbstractPacket tcp_probe_header() {
+  AbstractPacket p;
+  p.set(Field::EthSrc, 0x020000000001ull);
+  p.set(Field::EthDst, 0x020000000002ull);
+  p.set(Field::EthType, kEthTypeIpv4);
+  p.set(Field::VlanId, 0xF03);
+  p.set(Field::VlanPcp, 5);
+  p.set(Field::IpSrc, 0x0A000001);
+  p.set(Field::IpDst, 0x0A000002);
+  p.set(Field::IpTos, 12);
+  p.set(Field::IpProto, kIpProtoTcp);
+  p.set(Field::TpSrc, 31337);
+  p.set(Field::TpDst, 443);
+  return p;
+}
+
+TEST(PacketCrafter, TcpRoundTripWithVlan) {
+  const AbstractPacket h = tcp_probe_header();
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto wire = craft_packet(h, payload);
+  ASSERT_GE(wire.size(), 60u);  // min Ethernet frame
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksums_valid);
+  // in_port is not on the wire; compare everything else.
+  AbstractPacket expect = h.normalized();
+  expect.set(Field::InPort, 0);
+  EXPECT_EQ(parsed->header, expect);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(PacketCrafter, UdpRoundTrip) {
+  AbstractPacket h = tcp_probe_header();
+  h.set(Field::VlanId, kVlanNone);  // untagged this time
+  h.set(Field::IpProto, kIpProtoUdp);
+  const std::vector<std::uint8_t> payload{9, 9, 9};
+  const auto wire = craft_packet(h, payload);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksums_valid);
+  EXPECT_EQ(parsed->header.get(Field::TpSrc), 31337u);
+  EXPECT_EQ(parsed->payload, payload);
+  EXPECT_FALSE(parsed->header.has_vlan_tag());
+}
+
+TEST(PacketCrafter, IcmpUsesTpFieldsAsTypeCode) {
+  AbstractPacket h = tcp_probe_header();
+  h.set(Field::VlanId, kVlanNone);
+  h.set(Field::IpProto, kIpProtoIcmp);
+  h.set(Field::TpSrc, 8);  // echo request
+  h.set(Field::TpDst, 0);
+  const auto wire = craft_packet(h, {});
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksums_valid);
+  EXPECT_EQ(parsed->header.get(Field::TpSrc), 8u);
+  EXPECT_EQ(parsed->header.get(Field::TpDst), 0u);
+}
+
+TEST(PacketCrafter, ArpRoundTrip) {
+  AbstractPacket h;
+  h.set(Field::EthSrc, 0x020000000011ull);
+  h.set(Field::EthDst, 0xFFFFFFFFFFFFull);
+  h.set(Field::EthType, kEthTypeArp);
+  h.set(Field::IpProto, 1);
+  h.set(Field::IpSrc, 0x0A000001);
+  h.set(Field::IpDst, 0x0A0000FE);
+  const std::vector<std::uint8_t> payload{0xAA, 0xBB};
+  const auto wire = craft_packet(h, payload);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.get(Field::IpSrc), 0x0A000001u);
+  EXPECT_EQ(parsed->header.get(Field::IpDst), 0x0A0000FEu);
+  EXPECT_EQ(parsed->header.get(Field::IpProto), 1u);
+  // ARP trailer bytes are preserved (probe metadata rides there).
+  ASSERT_GE(parsed->payload.size(), 2u);
+  EXPECT_EQ(parsed->payload[0], 0xAA);
+  EXPECT_EQ(parsed->payload[1], 0xBB);
+}
+
+TEST(PacketCrafter, OpaqueEthertype) {
+  AbstractPacket h;
+  h.set(Field::EthType, kEthTypeExperimental);
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const auto parsed = parse_packet(craft_packet(h, payload));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_GE(parsed->payload.size(), 3u);  // may include padding
+  EXPECT_EQ(parsed->payload[0], 1);
+}
+
+TEST(PacketCrafter, CorruptedChecksumDetected) {
+  const std::vector<std::uint8_t> pl{1, 2, 3};
+  auto wire = craft_packet(tcp_probe_header(), pl);
+  wire[30] ^= 0xFF;  // flip a byte inside the IP header area
+  const auto parsed = parse_packet(wire);
+  if (parsed) {
+    EXPECT_FALSE(parsed->checksums_valid);
+  }
+}
+
+TEST(PacketCrafter, TruncatedReturnsNullopt) {
+  const std::vector<std::uint8_t> pl{1, 2, 3};
+  auto wire = craft_packet(tcp_probe_header(), pl);
+  for (const std::size_t cut : {3u, 13u, 20u, 33u}) {
+    EXPECT_FALSE(parse_packet(std::span(wire.data(), cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ProbeMetadata, RoundTrip) {
+  ProbeMetadata meta;
+  meta.switch_id = 42;
+  meta.rule_cookie = 0xDEADBEEFCAFEBABEull;
+  meta.generation = 7;
+  meta.expected = 0x12345678;
+  meta.nonce = 99;
+  const auto bytes = encode_probe_metadata(meta);
+  EXPECT_EQ(bytes.size(), ProbeMetadata::kWireSize);
+  const auto decoded = decode_probe_metadata(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, meta);
+}
+
+TEST(ProbeMetadata, RejectsNonProbe) {
+  const std::vector<std::uint8_t> junk(ProbeMetadata::kWireSize, 0xAB);
+  EXPECT_FALSE(decode_probe_metadata(junk).has_value());
+  EXPECT_FALSE(decode_probe_metadata(std::vector<std::uint8_t>{1, 2}).has_value());
+}
+
+TEST(ProbeMetadata, SurvivesCraftParse) {
+  ProbeMetadata meta;
+  meta.switch_id = 3;
+  meta.rule_cookie = 77;
+  meta.nonce = 5;
+  const auto payload = encode_probe_metadata(meta);
+  const auto wire = craft_packet(tcp_probe_header(), payload);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  const auto decoded = decode_probe_metadata(parsed->payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, meta);
+}
+
+TEST(Domains, InDomainValueUntouched) {
+  DomainFixup d = DomainFixup::openflow10_defaults();
+  AbstractPacket p;
+  p.set(Field::EthType, kEthTypeIpv4);
+  ASSERT_TRUE(d.apply(p));
+  EXPECT_EQ(p.get(Field::EthType), kEthTypeIpv4);
+}
+
+TEST(Domains, OutOfDomainSubstitutedWithSpare) {
+  DomainFixup d = DomainFixup::openflow10_defaults();
+  d.note_used(Field::EthType, kEthTypeIpv4);  // some rule matches IPv4
+  AbstractPacket p;
+  p.set(Field::EthType, 0x1234);  // solver garbage
+  ASSERT_TRUE(d.apply(p));
+  // Spare must be valid and unused: ARP or experimental, not IPv4.
+  EXPECT_NE(p.get(Field::EthType), 0x1234u);
+  EXPECT_NE(p.get(Field::EthType), kEthTypeIpv4);
+  EXPECT_TRUE(d.is_valid(Field::EthType, p.get(Field::EthType)));
+}
+
+TEST(Domains, NoSpareFails) {
+  DomainFixup d;
+  d.set_domain(Field::IpProto, {6, 17});
+  d.note_used(Field::IpProto, 6);
+  d.note_used(Field::IpProto, 17);
+  AbstractPacket p;
+  p.set(Field::IpProto, 42);
+  EXPECT_FALSE(d.apply(p));
+}
+
+// §5.2 lemma property: substitution never changes any per-field
+// equality/inequality against values used by rules.
+TEST(Domains, SubstitutionPreservesMatchRelations) {
+  DomainFixup d = DomainFixup::openflow10_defaults();
+  const std::vector<std::uint64_t> used{kEthTypeIpv4};
+  for (const auto u : used) d.note_used(Field::EthType, u);
+  AbstractPacket p;
+  p.set(Field::EthType, 0x4444);  // invalid, != all used values
+  ASSERT_TRUE(d.apply(p));
+  for (const auto u : used) {
+    EXPECT_NE(p.get(Field::EthType), u)
+        << "substitution changed an inequality into an equality";
+  }
+}
+
+}  // namespace
+}  // namespace monocle::netbase

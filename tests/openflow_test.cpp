@@ -1,0 +1,396 @@
+// OpenFlow substrate tests: match semantics, overlap/subsume, flow-table
+// FlowMod semantics, action outcomes, wire format round trips and framing.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "openflow/actions.hpp"
+#include "openflow/flow_table.hpp"
+#include "openflow/match.hpp"
+#include "openflow/wire.hpp"
+
+namespace monocle::openflow {
+namespace {
+
+using netbase::AbstractPacket;
+using netbase::Field;
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match m;
+  AbstractPacket p;
+  EXPECT_TRUE(m.matches(p));
+  p.set(Field::IpSrc, 0x01020304);
+  EXPECT_TRUE(m.matches(p));
+  EXPECT_EQ(m.to_string(), "*");
+}
+
+TEST(Match, ExactField) {
+  Match m;
+  m.set_exact(Field::IpSrc, 0x0A000001);
+  AbstractPacket p;
+  p.set(Field::IpSrc, 0x0A000001);
+  EXPECT_TRUE(m.matches(p));
+  p.set(Field::IpSrc, 0x0A000002);
+  EXPECT_FALSE(m.matches(p));
+  EXPECT_TRUE(m.is_exact(Field::IpSrc));
+  EXPECT_FALSE(m.is_wildcard(Field::IpSrc));
+  EXPECT_TRUE(m.is_wildcard(Field::IpDst));
+}
+
+TEST(Match, PrefixMatch) {
+  Match m;
+  m.set_prefix(Field::IpDst, 0x0A010000, 16);  // 10.1.0.0/16
+  AbstractPacket p;
+  p.set(Field::IpDst, 0x0A01FFFE);
+  EXPECT_TRUE(m.matches(p));
+  p.set(Field::IpDst, 0x0A020001);
+  EXPECT_FALSE(m.matches(p));
+  EXPECT_EQ(m.prefix_len(Field::IpDst), 16);
+}
+
+TEST(Match, PrefixMasksHostBits) {
+  Match m;
+  m.set_prefix(Field::IpDst, 0x0A0101FF, 24);  // host bits must be ignored
+  EXPECT_EQ(m.value(Field::IpDst), 0x0A010100u);
+}
+
+TEST(Match, SetWildcardReverts) {
+  Match m;
+  m.set_exact(Field::TpDst, 80);
+  m.set_wildcard(Field::TpDst);
+  EXPECT_EQ(m, Match{});
+}
+
+TEST(Match, OverlapBasics) {
+  Match a, b;
+  a.set_exact(Field::IpSrc, 0x0A000001);
+  b.set_exact(Field::IpDst, 0x0A000002);
+  EXPECT_TRUE(a.overlaps(b));  // different fields: common packet exists
+  Match c;
+  c.set_exact(Field::IpSrc, 0x0A000009);
+  EXPECT_FALSE(a.overlaps(c));  // same field, different values
+  Match d;
+  d.set_prefix(Field::IpSrc, 0x0A000000, 24);
+  EXPECT_TRUE(a.overlaps(d));  // /32 inside /24
+}
+
+TEST(Match, SubsumeSemantics) {
+  Match wide, narrow;
+  wide.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  narrow.set_prefix(Field::IpSrc, 0x0A0B0000, 16);
+  EXPECT_TRUE(wide.subsumes(narrow));
+  EXPECT_FALSE(narrow.subsumes(wide));
+  EXPECT_TRUE(Match{}.subsumes(wide));
+  EXPECT_TRUE(wide.subsumes(wide));
+}
+
+// Property: overlap(a,b) agrees with exhaustive search over the cared bits.
+TEST(Match, OverlapAgreesWithWitnessSearch) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Match a, b;
+    const std::uint16_t va = static_cast<std::uint16_t>(rng());
+    const std::uint16_t vb = static_cast<std::uint16_t>(rng());
+    if (rng() & 1) a.set_exact(Field::TpSrc, va);
+    if (rng() & 1) a.set_exact(Field::TpDst, static_cast<std::uint16_t>(rng()));
+    if (rng() & 1) b.set_exact(Field::TpSrc, vb);
+    if (rng() & 1) b.set_exact(Field::TpDst, static_cast<std::uint16_t>(rng()));
+    // Witness: fields where both care must agree.
+    bool expected = true;
+    for (const Field f : {Field::TpSrc, Field::TpDst}) {
+      if (!a.is_wildcard(f) && !b.is_wildcard(f) && a.value(f) != b.value(f)) {
+        expected = false;
+      }
+    }
+    EXPECT_EQ(a.overlaps(b), expected);
+  }
+}
+
+TEST(Actions, OutcomeUnicastWithRewrite) {
+  const ActionList acts{Action::set_field(Field::IpTos, 4), Action::output(2)};
+  const Outcome oc = compute_outcome(acts);
+  EXPECT_EQ(oc.kind, ForwardKind::kMulticast);
+  ASSERT_EQ(oc.emissions.size(), 1u);
+  EXPECT_TRUE(oc.is_unicast());
+  const auto rw = oc.rewrite_on_port(2);
+  ASSERT_TRUE(rw.has_value());
+  AbstractPacket p;
+  p.set(Field::IpTos, 63);
+  const auto out = netbase::unpack_header(rw->apply(netbase::pack_header(p)));
+  EXPECT_EQ(out.get(Field::IpTos), 4u);
+}
+
+TEST(Actions, SequentialRewritesAffectLaterOutputsOnly) {
+  // out(1), set ToS, out(2): port 1 sees the original, port 2 the rewrite.
+  const ActionList acts{Action::output(1), Action::set_field(Field::IpTos, 9),
+                        Action::output(2)};
+  const Outcome oc = compute_outcome(acts);
+  ASSERT_EQ(oc.emissions.size(), 2u);
+  EXPECT_FALSE(oc.rewrite_on_port(1)->mask.any());
+  EXPECT_TRUE(oc.rewrite_on_port(2)->mask.any());
+  EXPECT_EQ(oc.forwarding_set(), (std::vector<std::uint16_t>{1, 2}));
+}
+
+TEST(Actions, DropOutcome) {
+  const Outcome oc = compute_outcome({});
+  EXPECT_TRUE(oc.is_drop());
+  EXPECT_TRUE(oc.forwarding_set().empty());
+}
+
+TEST(Actions, EcmpOutcome) {
+  const Outcome oc = compute_outcome({Action::ecmp({3, 4, 5})});
+  EXPECT_EQ(oc.kind, ForwardKind::kEcmp);
+  EXPECT_EQ(oc.forwarding_set(), (std::vector<std::uint16_t>{3, 4, 5}));
+}
+
+TEST(Actions, RewriteCompose) {
+  RewriteVec a, b;
+  a.set_field(Field::IpTos, 1);
+  b.set_field(Field::IpTos, 2);
+  const RewriteVec ab = a.then(b);
+  AbstractPacket p;
+  const auto out = netbase::unpack_header(ab.apply(netbase::pack_header(p)));
+  EXPECT_EQ(out.get(Field::IpTos), 2u);  // later write wins
+}
+
+FlowTable small_table() {
+  FlowTable t;
+  Rule low;
+  low.priority = 1;
+  low.cookie = 1;
+  low.actions = {Action::output(1)};
+  t.add(low);
+
+  Rule mid;
+  mid.priority = 5;
+  mid.cookie = 2;
+  mid.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  mid.match.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  mid.actions = {Action::output(2)};
+  t.add(mid);
+
+  Rule high;
+  high.priority = 9;
+  high.cookie = 3;
+  high.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  high.match.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  high.match.set_prefix(Field::IpDst, 0x0A000002, 32);
+  high.actions = {};
+  t.add(high);
+  return t;
+}
+
+TEST(FlowTable, LookupHonorsPriority) {
+  const FlowTable t = small_table();
+  AbstractPacket p;
+  p.set(Field::EthType, netbase::kEthTypeIpv4);
+  p.set(Field::IpSrc, 0x0A000001);
+  p.set(Field::IpDst, 0x0A000002);
+  ASSERT_NE(t.lookup(p), nullptr);
+  EXPECT_EQ(t.lookup(p)->cookie, 3u);  // the drop rule wins
+  p.set(Field::IpDst, 0x0A000003);
+  EXPECT_EQ(t.lookup(p)->cookie, 2u);
+  p.set(Field::IpSrc, 0x0B000001);
+  EXPECT_EQ(t.lookup(p)->cookie, 1u);
+}
+
+TEST(FlowTable, LookupExcludingSkipsRule) {
+  const FlowTable t = small_table();
+  AbstractPacket p;
+  p.set(Field::EthType, netbase::kEthTypeIpv4);
+  p.set(Field::IpSrc, 0x0A000001);
+  p.set(Field::IpDst, 0x0A000002);
+  const auto bits = netbase::pack_header(p);
+  EXPECT_EQ(t.lookup_excluding(bits, 3)->cookie, 2u);
+}
+
+TEST(FlowTable, AddReplacesSameMatchPriority) {
+  FlowTable t = small_table();
+  Rule replacement;
+  replacement.priority = 5;
+  replacement.cookie = 22;
+  replacement.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  replacement.match.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  replacement.actions = {Action::output(4)};
+  t.add(replacement);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.find_strict(replacement.match, 5)->cookie, 22u);
+}
+
+TEST(FlowTable, StrictDelete) {
+  FlowTable t = small_table();
+  Match m;
+  m.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  m.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  EXPECT_FALSE(t.remove_strict(m, 4));  // wrong priority
+  EXPECT_TRUE(t.remove_strict(m, 5));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlowTable, NonStrictDeleteRemovesSubsumed) {
+  FlowTable t = small_table();
+  Match pattern;
+  pattern.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  pattern.set_prefix(Field::IpSrc, 0x0A000000, 8);
+  // Removes cookie 2 (equal) and cookie 3 (narrower), not the catch-all.
+  EXPECT_EQ(t.remove_matching(pattern), 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.find_by_cookie(1), nullptr);
+}
+
+TEST(FlowTable, OverlappingSplitsByPriority) {
+  const FlowTable t = small_table();
+  const Rule* mid = t.find_by_cookie(2);
+  ASSERT_NE(mid, nullptr);
+  const auto sets = t.overlapping(*mid);
+  ASSERT_EQ(sets.higher.size(), 1u);
+  EXPECT_EQ(sets.higher[0]->cookie, 3u);
+  ASSERT_EQ(sets.lower.size(), 1u);
+  EXPECT_EQ(sets.lower[0]->cookie, 1u);
+}
+
+TEST(Wire, MatchRoundTrip) {
+  Match m;
+  m.set_exact(Field::InPort, 3);
+  m.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  m.set_prefix(Field::IpSrc, 0x0A010000, 16);
+  m.set_exact(Field::IpProto, netbase::kIpProtoTcp);
+  m.set_exact(Field::TpDst, 80);
+  std::vector<std::uint8_t> bytes;
+  encode_ofp_match(m, bytes);
+  EXPECT_EQ(bytes.size(), 40u);  // struct ofp_match
+  const auto decoded = decode_ofp_match(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, ActionsRoundTrip) {
+  const ActionList acts{
+      Action::set_field(Field::VlanId, 0xF01),
+      Action::set_field(Field::IpTos, 12),
+      Action::set_field(Field::EthDst, 0x020000000005ull),
+      Action::output(7),
+      Action::ecmp({1, 2, 3}),
+  };
+  const auto bytes = encode_actions(acts);
+  const auto decoded = decode_actions(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, acts);
+}
+
+template <typename T>
+void roundtrip(std::uint32_t xid, T body) {
+  const Message msg = make_message(xid, std::move(body));
+  const auto bytes = encode_message(msg);
+  // Length field must equal the frame size.
+  EXPECT_EQ((bytes[2] << 8 | bytes[3]), static_cast<int>(bytes.size()));
+  const auto decoded = decode_message(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->xid, xid);
+  EXPECT_TRUE(decoded->template is<T>());
+}
+
+TEST(Wire, MessageRoundTrips) {
+  roundtrip(1, Hello{});
+  roundtrip(2, EchoRequest{{1, 2, 3}});
+  roundtrip(3, EchoReply{{4, 5}});
+  roundtrip(4, FeaturesRequest{});
+  roundtrip(5, BarrierRequest{});
+  roundtrip(6, BarrierReply{});
+  roundtrip(7, ErrorMsg{3, 2, {0xAB}});
+
+  FeaturesReply fr;
+  fr.datapath_id = 0x1122334455667788ull;
+  fr.n_buffers = 256;
+  fr.n_tables = 2;
+  fr.ports = {{1, 0x020000000001ull, "eth1"}, {2, 0x020000000002ull, "eth2"}};
+  roundtrip(8, fr);
+
+  FlowMod fm;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpDst, 0x0A000001, 32);
+  fm.cookie = 0xC00C1E;
+  fm.command = FlowModCommand::kAdd;
+  fm.priority = 77;
+  fm.actions = {Action::output(3)};
+  roundtrip(9, fm);
+
+  PacketOut po;
+  po.in_port = kPortNone;
+  po.actions = {Action::output(2)};
+  po.data = {0xDE, 0xAD};
+  roundtrip(10, po);
+
+  PacketIn pi;
+  pi.in_port = 4;
+  pi.reason = PacketInReason::kAction;
+  pi.data = {1, 2, 3, 4};
+  roundtrip(11, pi);
+
+  FlowRemoved frm;
+  frm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  frm.cookie = 5;
+  frm.priority = 9;
+  roundtrip(12, frm);
+}
+
+TEST(Wire, FlowModFieldsSurvive) {
+  FlowMod fm;
+  fm.match.set_exact(Field::InPort, 2);
+  fm.cookie = 0xAABBCCDDEEFF0011ull;
+  fm.command = FlowModCommand::kDeleteStrict;
+  fm.idle_timeout = 30;
+  fm.hard_timeout = 60;
+  fm.priority = 1234;
+  fm.out_port = 9;
+  fm.flags = kFlowModFlagSendFlowRem;
+  const auto decoded = decode_message(encode_message(make_message(77, fm)));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& got = decoded->as<FlowMod>();
+  EXPECT_EQ(got.cookie, fm.cookie);
+  EXPECT_EQ(got.command, FlowModCommand::kDeleteStrict);
+  EXPECT_EQ(got.idle_timeout, 30);
+  EXPECT_EQ(got.hard_timeout, 60);
+  EXPECT_EQ(got.priority, 1234);
+  EXPECT_EQ(got.out_port, 9);
+  EXPECT_EQ(got.flags, kFlowModFlagSendFlowRem);
+  EXPECT_EQ(got.match, fm.match);
+}
+
+TEST(Wire, FrameBufferReassemblesChunks) {
+  FrameBuffer fb;
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto bytes = encode_message(make_message(i, EchoRequest{{static_cast<std::uint8_t>(i)}}));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  // Feed in awkward chunk sizes.
+  std::size_t pos = 0;
+  std::uint32_t seen = 0;
+  const std::size_t chunk_sizes[] = {1, 3, 7, 2, 11, 64, 5, 1000};
+  std::size_t ci = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min(chunk_sizes[ci++ % 8], stream.size() - pos);
+    fb.feed(std::span(stream.data() + pos, n));
+    pos += n;
+    while (const auto msg = fb.next()) {
+      EXPECT_EQ(msg->xid, seen);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 5u);
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+}
+
+TEST(Wire, DecodeRejectsWrongVersionAndLength) {
+  auto bytes = encode_message(make_message(1, Hello{}));
+  auto bad = bytes;
+  bad[0] = 0x04;  // OF 1.3
+  EXPECT_FALSE(decode_message(bad).has_value());
+  bad = bytes;
+  bad[3] += 1;  // length mismatch
+  EXPECT_FALSE(decode_message(bad).has_value());
+}
+
+}  // namespace
+}  // namespace monocle::openflow

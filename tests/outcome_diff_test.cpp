@@ -1,0 +1,234 @@
+// DiffOutcome taxonomy truth-table tests (paper §3.4 + Table 4) and probe
+// classification semantics.
+#include <gtest/gtest.h>
+
+#include "monocle/outcome_diff.hpp"
+#include "monocle/probe.hpp"
+
+namespace monocle {
+namespace {
+
+using netbase::Field;
+using openflow::Action;
+using openflow::ActionList;
+using openflow::compute_outcome;
+using openflow::ForwardKind;
+using openflow::Outcome;
+using openflow::RewriteVec;
+
+Outcome unicast(std::uint16_t port) {
+  return compute_outcome({Action::output(port)});
+}
+Outcome multicast(std::vector<std::uint16_t> ports) {
+  ActionList acts;
+  for (const auto p : ports) acts.push_back(Action::output(p));
+  return compute_outcome(acts);
+}
+Outcome ecmp(std::vector<std::uint16_t> ports) {
+  return compute_outcome({Action::ecmp(std::move(ports))});
+}
+Outcome drop() { return compute_outcome({}); }
+
+// ---- DiffPorts truth table (paper §3.4) ---------------------------------
+
+TEST(DiffPorts, UnicastDifferentPorts) {
+  EXPECT_TRUE(diff_ports(unicast(1), unicast(2)).ports_differ);
+}
+
+TEST(DiffPorts, UnicastSamePortNeedsRewrites) {
+  const auto r = diff_ports(unicast(1), unicast(1));
+  EXPECT_FALSE(r.ports_differ);
+  EXPECT_EQ(r.common_ports, (std::vector<std::uint16_t>{1}));
+  EXPECT_EQ(r.quantifier, RewriteQuantifier::kExistsPort);
+}
+
+TEST(DiffPorts, DropVsAnythingEmitting) {
+  EXPECT_TRUE(diff_ports(drop(), unicast(1)).ports_differ);
+  EXPECT_TRUE(diff_ports(unicast(1), drop()).ports_differ);
+  EXPECT_TRUE(diff_ports(drop(), multicast({1, 2})).ports_differ);
+  EXPECT_TRUE(diff_ports(drop(), ecmp({1, 2})).ports_differ);
+}
+
+TEST(DiffPorts, DropVsDropNever) {
+  const auto r = diff_ports(drop(), drop());
+  EXPECT_FALSE(r.ports_differ);
+  EXPECT_TRUE(r.common_ports.empty());
+}
+
+TEST(DiffPorts, MulticastSetsCompareAsSets) {
+  EXPECT_TRUE(diff_ports(multicast({1, 2}), multicast({1, 3})).ports_differ);
+  EXPECT_TRUE(diff_ports(multicast({1, 2}), multicast({1})).ports_differ);
+  EXPECT_FALSE(diff_ports(multicast({1, 2}), multicast({2, 1})).ports_differ);
+  // Multicast vs unicast: unicast is |F|=1 multicast.
+  EXPECT_TRUE(diff_ports(multicast({1, 2}), unicast(1)).ports_differ);
+}
+
+TEST(DiffPorts, EcmpNeedsDisjointSets) {
+  EXPECT_TRUE(diff_ports(ecmp({1, 2}), ecmp({3, 4})).ports_differ);
+  EXPECT_FALSE(diff_ports(ecmp({1, 2}), ecmp({2, 3})).ports_differ);
+  // Quantifier for the rewrite fallback is per-port universal.
+  EXPECT_EQ(diff_ports(ecmp({1, 2}), ecmp({2, 3})).quantifier,
+            RewriteQuantifier::kForAllPort);
+  EXPECT_EQ(diff_ports(ecmp({1, 2}), ecmp({2, 3})).common_ports,
+            (std::vector<std::uint16_t>{2}));
+}
+
+TEST(DiffPorts, SingleMemberEcmpBehavesAsUnicast) {
+  // ECMP over one port IS unicast for the taxonomy.
+  EXPECT_FALSE(diff_ports(ecmp({1}), unicast(1)).ports_differ);
+  EXPECT_TRUE(diff_ports(ecmp({1}), unicast(2)).ports_differ);
+}
+
+TEST(DiffPorts, MixedMulticastEcmp) {
+  // multicast {1,3} vs ecmp {1,2}: port 3 is outside F_E -> distinguishable.
+  EXPECT_TRUE(diff_ports(multicast({1, 3}), ecmp({1, 2})).ports_differ);
+  // multicast {1,2} vs ecmp {1,2,3}: F_M \ F_E empty -> not by ports.
+  const auto r = diff_ports(multicast({1, 2}), ecmp({1, 2, 3}));
+  EXPECT_FALSE(r.ports_differ);
+  EXPECT_EQ(r.common_ports, (std::vector<std::uint16_t>{1, 2}));
+  EXPECT_EQ(r.quantifier, RewriteQuantifier::kForAllPort);
+}
+
+TEST(DiffPorts, CountBasedExceptionOnlyWhenEnabled) {
+  DiffOptions counting;
+  counting.count_based_ecmp = true;
+  // |F_M| = 2 != 1: counting receives 2 probes vs 1.
+  EXPECT_FALSE(diff_ports(multicast({1, 2}), ecmp({1, 2})).ports_differ);
+  EXPECT_TRUE(diff_ports(multicast({1, 2}), ecmp({1, 2}), counting).ports_differ);
+  // |F_M| = 1: counting cannot help (1 probe either way).
+  EXPECT_FALSE(diff_ports(unicast(1), ecmp({1, 2}), counting).ports_differ);
+}
+
+// ---- Table 4: per-bit rewrite difference --------------------------------
+
+TEST(BitRewrite, Table4Rows) {
+  const int bit = netbase::field_info(Field::IpTos).bit_offset;  // an MSB
+  RewriteVec none;
+  RewriteVec to_zero, to_one;
+  // Write the whole ToS field; the MSB of ToS is 1 for value 32+, 0 below.
+  to_zero.set_field(Field::IpTos, 0);
+  to_one.set_field(Field::IpTos, 0x3F);
+
+  // (0,0) and (1,1): never differ.
+  EXPECT_EQ(bit_rewrite_diff(to_zero, to_zero, bit), BitDiffKind::kNever);
+  EXPECT_EQ(bit_rewrite_diff(to_one, to_one, bit), BitDiffKind::kNever);
+  // (0,1) / (1,0): always differ.
+  EXPECT_EQ(bit_rewrite_diff(to_zero, to_one, bit), BitDiffKind::kAlways);
+  EXPECT_EQ(bit_rewrite_diff(to_one, to_zero, bit), BitDiffKind::kAlways);
+  // (*,0): differ iff the packet bit is 1; (*,1): iff it is 0.  Symmetric.
+  EXPECT_EQ(bit_rewrite_diff(none, to_zero, bit), BitDiffKind::kIfBitOne);
+  EXPECT_EQ(bit_rewrite_diff(none, to_one, bit), BitDiffKind::kIfBitZero);
+  EXPECT_EQ(bit_rewrite_diff(to_zero, none, bit), BitDiffKind::kIfBitOne);
+  EXPECT_EQ(bit_rewrite_diff(to_one, none, bit), BitDiffKind::kIfBitZero);
+  // (*,*): never.
+  EXPECT_EQ(bit_rewrite_diff(none, none, bit), BitDiffKind::kNever);
+}
+
+// Semantic cross-check of Table 4: the predicted kind must agree with
+// actually applying both rewrites to both bit values.
+TEST(BitRewrite, AgreesWithApplication) {
+  const auto& info = netbase::field_info(Field::TpSrc);
+  for (int variant1 = 0; variant1 < 3; ++variant1) {
+    for (int variant2 = 0; variant2 < 3; ++variant2) {
+      RewriteVec r1, r2;
+      if (variant1 == 1) r1.set_field(Field::TpSrc, 0x0000);
+      if (variant1 == 2) r1.set_field(Field::TpSrc, 0xFFFF);
+      if (variant2 == 1) r2.set_field(Field::TpSrc, 0x0000);
+      if (variant2 == 2) r2.set_field(Field::TpSrc, 0xFFFF);
+      const int bit = info.bit_offset + 3;
+      const BitDiffKind kind = bit_rewrite_diff(r1, r2, bit);
+      for (const bool packet_bit : {false, true}) {
+        netbase::PackedBits in;
+        in.set(bit, packet_bit);
+        const bool differs = r1.apply(in).get(bit) != r2.apply(in).get(bit);
+        switch (kind) {
+          case BitDiffKind::kNever:
+            EXPECT_FALSE(differs);
+            break;
+          case BitDiffKind::kAlways:
+            EXPECT_TRUE(differs);
+            break;
+          case BitDiffKind::kIfBitOne:
+            EXPECT_EQ(differs, packet_bit);
+            break;
+          case BitDiffKind::kIfBitZero:
+            EXPECT_EQ(differs, !packet_bit);
+            break;
+        }
+      }
+    }
+  }
+}
+
+// ---- Probe classification -------------------------------------------------
+
+Probe two_outcome_probe() {
+  Probe p;
+  Observation present;
+  present.output_port = 1;
+  Observation absent;
+  absent.output_port = 2;
+  p.if_present.observations = {present};
+  p.if_absent.observations = {absent};
+  return p;
+}
+
+TEST(Classify, PresentAbsentAndForeign) {
+  const Probe p = two_outcome_probe();
+  Observation seen;
+  seen.output_port = 1;
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kPresent);
+  seen.output_port = 2;
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kAbsent);
+  seen.output_port = 9;
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kInconclusive);
+}
+
+TEST(Classify, HeaderDifferenceMatters) {
+  // Same port, rewritten header distinguishes (the §3.2 case).
+  Probe p;
+  Observation present;
+  present.output_port = 1;
+  present.header.set(200, true);
+  Observation absent;
+  absent.output_port = 1;
+  p.if_present.observations = {present};
+  p.if_absent.observations = {absent};
+
+  Observation seen;
+  seen.output_port = 1;
+  seen.header.set(200, true);
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kPresent);
+  seen.header.set(200, false);
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kAbsent);
+}
+
+TEST(Classify, AmbiguousObservationIsInconclusive) {
+  // An observation in BOTH sets (should not happen for generated probes,
+  // but the classifier must be safe).
+  Probe p = two_outcome_probe();
+  p.if_absent.observations = p.if_present.observations;
+  Observation seen;
+  seen.output_port = 1;
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kInconclusive);
+}
+
+TEST(Classify, InPortBitsIgnored) {
+  const Probe p = two_outcome_probe();
+  Observation seen;
+  seen.output_port = 1;
+  // Garbage in the in_port bits must not break matching.
+  seen.header.set(0, true);
+  seen.header.set(5, true);
+  EXPECT_EQ(classify_observation(p, seen), Verdict::kPresent);
+}
+
+TEST(Classify, HashPredictionStable) {
+  const Probe a = two_outcome_probe();
+  const Probe b = two_outcome_probe();
+  EXPECT_EQ(hash_prediction(a.if_present), hash_prediction(b.if_present));
+  EXPECT_NE(hash_prediction(a.if_present), hash_prediction(a.if_absent));
+}
+
+}  // namespace
+}  // namespace monocle

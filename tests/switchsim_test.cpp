@@ -1,0 +1,317 @@
+// Simulator tests: event queue determinism, switch control-plane model
+// (rates, barriers, premature acks, batch commits), data-plane walks, link
+// failure, PacketIn rate limiting, and the Figure 6/7 interference shape.
+#include <gtest/gtest.h>
+
+#include "netbase/packet_crafter.hpp"
+#include "switchsim/event_queue.hpp"
+#include "switchsim/network.hpp"
+#include "switchsim/sim_switch.hpp"
+#include "switchsim/switch_model.hpp"
+#include "switchsim/traffic.hpp"
+
+namespace monocle::switchsim {
+namespace {
+
+using netbase::Field;
+using netbase::kMillisecond;
+using netbase::kSecond;
+using openflow::Action;
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Message;
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule(10, [&] { order.push_back(2); });
+  eq.schedule(5, [&] { order.push_back(1); });
+  eq.schedule(10, [&] { order.push_back(3); });  // same time: FIFO
+  eq.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue eq;
+  int fired = 0;
+  const auto id = eq.schedule(5, [&] { ++fired; });
+  eq.schedule(6, [&] { ++fired; });
+  eq.cancel(id);
+  eq.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule(100, [&] { ++fired; });
+  eq.run_until(50);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eq.now(), 50u);
+  eq.run_until(150);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue eq;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) eq.schedule(1, recurse);
+  };
+  eq.schedule(1, recurse);
+  eq.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(eq.now(), 5u);
+}
+
+FlowMod simple_flowmod(std::uint32_t i, std::uint16_t port = 1) {
+  FlowMod fm;
+  fm.command = FlowModCommand::kAdd;
+  fm.priority = 10;
+  fm.cookie = i + 1;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpDst, 0x0A000000u + i, 32);
+  fm.actions = {Action::output(port)};
+  return fm;
+}
+
+struct Rig {
+  EventQueue eq;
+  Network net{&eq};
+  SimSwitch* sw = nullptr;
+  std::vector<Message> from_switch;
+
+  explicit Rig(const SwitchModel& model) {
+    sw = net.add_switch(1, model);
+    net.add_switch(2, SwitchModel::ideal());
+    net.connect(1, 1, 2, 1);
+    sw->set_control_sink([this](const Message& m) { from_switch.push_back(m); });
+  }
+};
+
+TEST(SimSwitch, FlowModsCommitAtModelRate) {
+  SwitchModel m = SwitchModel::ideal();
+  m.flowmod_rate = 100.0;  // 10 ms each
+  Rig rig(m);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rig.net.send_to_switch(1, openflow::make_message(i, simple_flowmod(i)));
+  }
+  rig.eq.run_until(50 * kMillisecond);
+  // ~5 of 10 committed after 50 ms (plus channel latency).
+  EXPECT_NEAR(static_cast<double>(rig.sw->dataplane().size()), 5.0, 1.0);
+  rig.eq.run_all();
+  EXPECT_EQ(rig.sw->dataplane().size(), 10u);
+}
+
+TEST(SimSwitch, HonestBarrierWaitsForDataplane) {
+  SwitchModel m = SwitchModel::ideal();
+  m.flowmod_rate = 100.0;
+  Rig rig(m);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    rig.net.send_to_switch(1, openflow::make_message(i, simple_flowmod(i)));
+  }
+  rig.net.send_to_switch(1, openflow::make_message(99, openflow::BarrierRequest{}));
+  rig.eq.run_all();
+  ASSERT_FALSE(rig.from_switch.empty());
+  EXPECT_TRUE(rig.from_switch.back().is<openflow::BarrierReply>());
+  // Reply must arrive after the 5 * 10ms of processing.
+  EXPECT_GE(rig.eq.now(), 50 * kMillisecond);
+  EXPECT_EQ(rig.sw->dataplane().size(), 5u);
+}
+
+TEST(SimSwitch, PrematureAckRepliesBeforeDataplane) {
+  const SwitchModel m = SwitchModel::hp5406zl();
+  Rig rig(m);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    rig.net.send_to_switch(1, openflow::make_message(i, simple_flowmod(i)));
+  }
+  rig.net.send_to_switch(1, openflow::make_message(99, openflow::BarrierRequest{}));
+  SimTime reply_at = 0;
+  std::size_t rules_at_reply = 0;
+  while (rig.eq.run_one()) {
+    if (reply_at == 0 && !rig.from_switch.empty() &&
+        rig.from_switch.back().is<openflow::BarrierReply>()) {
+      reply_at = rig.eq.now();
+      rules_at_reply = rig.sw->dataplane().size();
+    }
+  }
+  ASSERT_GT(reply_at, 0u);
+  // The HP answers before all 20 rules are in the data plane (§8.1.2).
+  EXPECT_LT(rules_at_reply, 20u);
+  EXPECT_EQ(rig.sw->dataplane().size(), 20u);  // eventually all commit
+}
+
+TEST(SimSwitch, BatchedCommitAppliesPeriodically) {
+  const SwitchModel m = SwitchModel::pica8_emulated();
+  Rig rig(m);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rig.net.send_to_switch(1, openflow::make_message(i, simple_flowmod(i)));
+  }
+  rig.eq.run_until(50 * kMillisecond);
+  EXPECT_EQ(rig.sw->dataplane().size(), 0u);  // nothing before the batch tick
+  rig.eq.run_until(250 * kMillisecond);
+  EXPECT_EQ(rig.sw->dataplane().size(), 10u);
+}
+
+TEST(SimSwitch, DataplaneForwardsAlongLink) {
+  Rig rig(SwitchModel::ideal());
+  rig.net.send_to_switch(1, openflow::make_message(1, simple_flowmod(0, 1)));
+  rig.eq.run_all();
+
+  // Attach a host on switch 2 port 2 and route there.
+  std::vector<SimPacket> delivered;
+  rig.net.attach_host(2, 2, [&](const SimPacket& p) { delivered.push_back(p); });
+  FlowMod fwd = simple_flowmod(0, 2);
+  rig.net.send_to_switch(2, openflow::make_message(2, fwd));
+  rig.eq.run_all();
+
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  pkt.header.set(Field::IpDst, 0x0A000000);
+  rig.net.send_from_host(1, 7, pkt);  // ingress on an edge port of sw 1
+  rig.eq.run_all();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].header.get(Field::IpDst), 0x0A000000u);
+}
+
+TEST(SimSwitch, TableMissAndDropCount) {
+  Rig rig(SwitchModel::ideal());
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  rig.net.send_from_host(1, 3, pkt);
+  rig.eq.run_all();
+  EXPECT_EQ(rig.sw->stats().packets_dropped, 1u);
+}
+
+TEST(SimSwitch, FailRuleRemovesFromDataplaneOnly) {
+  Rig rig(SwitchModel::ideal());
+  rig.net.send_to_switch(1, openflow::make_message(1, simple_flowmod(0)));
+  rig.eq.run_all();
+  EXPECT_TRUE(rig.sw->fail_rule(1));
+  EXPECT_EQ(rig.sw->dataplane().size(), 0u);
+  EXPECT_FALSE(rig.sw->fail_rule(1));
+}
+
+TEST(SimSwitch, EcmpPicksStablePortFromSet) {
+  Rig rig(SwitchModel::ideal());
+  FlowMod fm = simple_flowmod(0);
+  fm.actions = {Action::ecmp({1, 9})};
+  rig.net.send_to_switch(1, openflow::make_message(1, fm));
+  rig.eq.run_all();
+
+  std::vector<SimPacket> on9;
+  rig.net.attach_host(1, 9, [&](const SimPacket& p) { on9.push_back(p); });
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  pkt.header.set(Field::IpDst, 0x0A000000);
+  for (int i = 0; i < 5; ++i) rig.net.send_from_host(1, 3, pkt);
+  rig.eq.run_all();
+  // Deterministic hash: all 5 packets take the same member port.
+  EXPECT_TRUE(on9.size() == 0 || on9.size() == 5);
+}
+
+TEST(SimSwitch, PacketInRateLimitDropsExcess) {
+  SwitchModel m = SwitchModel::ideal();
+  m.packetin_rate = 100.0;  // very low
+  Rig rig(m);
+  FlowMod punt = simple_flowmod(0);
+  punt.actions = {Action::output(openflow::kPortController)};
+  rig.net.send_to_switch(1, openflow::make_message(1, punt));
+  rig.eq.run_all();
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  pkt.header.set(Field::IpDst, 0x0A000000);
+  for (int i = 0; i < 50; ++i) rig.net.send_from_host(1, 3, pkt);
+  rig.eq.run_all();
+  EXPECT_GT(rig.sw->stats().packet_ins_dropped, 0u);
+  EXPECT_LT(rig.sw->stats().packet_ins_sent, 50u);
+}
+
+TEST(Network, LinkFailureDropsPackets) {
+  Rig rig(SwitchModel::ideal());
+  rig.net.send_to_switch(1, openflow::make_message(1, simple_flowmod(0, 1)));
+  rig.eq.run_all();
+  rig.net.fail_link(1, 1);
+  SimPacket pkt;
+  pkt.header.set(Field::EthType, netbase::kEthTypeIpv4);
+  pkt.header.set(Field::IpDst, 0x0A000000);
+  rig.net.send_from_host(1, 3, pkt);
+  rig.eq.run_all();
+  EXPECT_EQ(rig.net.packets_lost_to_failed_links(), 1u);
+  rig.net.restore_link(1, 1);
+  rig.net.send_from_host(1, 3, pkt);
+  rig.eq.run_all();
+  EXPECT_EQ(rig.net.packets_lost_to_failed_links(), 1u);
+}
+
+TEST(Network, PeerAndPorts) {
+  EventQueue eq;
+  Network net(&eq);
+  net.add_switch(1, SwitchModel::ideal());
+  net.add_switch(2, SwitchModel::ideal());
+  net.connect(1, 3, 2, 4);
+  net.attach_host(1, 9, [](const SimPacket&) {});
+  const auto p = net.peer(1, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->sw, 2u);
+  EXPECT_EQ(p->port, 4u);
+  EXPECT_FALSE(net.peer(1, 9).has_value());  // host port: no switch peer
+  EXPECT_EQ(net.ports(1), (std::vector<std::uint16_t>{3, 9}));
+}
+
+// Figure 6/7 shape checks at the model level: the update engine slows per
+// the coupling factors.
+TEST(SwitchModelShape, PacketOutInterferenceMatchesFormula) {
+  // Send 2 FlowMods + k PacketOuts and measure engine drain time.
+  for (const int k : {0, 5, 40}) {
+    const SwitchModel m = SwitchModel::hp5406zl();
+    Rig rig(m);
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      rig.net.send_to_switch(1, openflow::make_message(i, simple_flowmod(i)));
+    }
+    openflow::PacketOut po;
+    po.actions = {Action::output(1)};
+    po.data = netbase::craft_packet(netbase::AbstractPacket{}, std::vector<std::uint8_t>{});
+    for (int i = 0; i < k; ++i) {
+      rig.net.send_to_switch(1, openflow::make_message(100 + i, po));
+    }
+    rig.eq.run_all();
+    const double engine_s = static_cast<double>(rig.sw->engine_free_at()) / 1e9;
+    const double expected =
+        2.0 / m.flowmod_rate + k * m.packetout_coupling / m.packetout_rate;
+    EXPECT_NEAR(engine_s, expected, expected * 0.2 + 0.001) << "k=" << k;
+  }
+}
+
+TEST(Traffic, FlowsDeliverAndCount) {
+  EventQueue eq;
+  Network net(&eq);
+  net.add_switch(1, SwitchModel::ideal());
+  TrafficSet traffic(&eq, &net, 1, 10, {.flows = 3, .rate_per_flow = 100.0});
+  net.attach_host(1, 11, [&](const SimPacket& p) { traffic.deliver(p); });
+  // Route all three flows out port 11.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    FlowMod fm;
+    fm.command = FlowModCommand::kAdd;
+    fm.priority = 10;
+    fm.cookie = i + 1;
+    fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    fm.match.set_prefix(Field::IpDst, 0x0A020000u + i, 32);
+    fm.actions = {Action::output(11)};
+    net.send_to_switch(1, openflow::make_message(i, fm));
+  }
+  eq.run_until(10 * kMillisecond);
+  traffic.start();
+  eq.run_until(1 * kSecond);
+  traffic.stop();
+  eq.run_all();
+  EXPECT_GT(traffic.total_sent(), 250u);  // ~300 pkt over ~1s
+  EXPECT_EQ(traffic.total_lost(), 0u);
+  for (const auto& fs : traffic.stats()) {
+    EXPECT_GT(fs.delivered, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace monocle::switchsim

@@ -1,0 +1,197 @@
+// Topology substrate tests: graph ops, generators, square graphs, and the
+// coloring algorithms (greedy, DSATUR, exact B&B) against known chromatic
+// numbers.
+#include <gtest/gtest.h>
+
+#include "topo/coloring.hpp"
+#include "topo/generators.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle::topo {
+namespace {
+
+TEST(Topology, EdgesAndDegrees) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);  // duplicate ignored
+  g.add_edge(2, 2);  // self-loop ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Topology, Connectivity) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, SquareAddsTwoHopEdges) {
+  const Topology line = make_line(4);  // 0-1-2-3
+  const Topology sq = line.square();
+  EXPECT_TRUE(sq.has_edge(0, 2));
+  EXPECT_TRUE(sq.has_edge(1, 3));
+  EXPECT_FALSE(sq.has_edge(0, 3));
+  EXPECT_TRUE(sq.has_edge(0, 1));  // original edges kept
+}
+
+TEST(Topology, SquareOfStarIsClique) {
+  const Topology star = make_star(5);
+  const Topology sq = star.square();
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = a + 1; b < 6; ++b) {
+      EXPECT_TRUE(sq.has_edge(a, b)) << a << "-" << b;
+    }
+  }
+}
+
+TEST(Generators, FatTreeK4Has20Switches) {
+  const Topology ft = make_fattree(4);
+  EXPECT_EQ(ft.node_count(), 20u);  // the paper's §8.4 network
+  EXPECT_TRUE(ft.connected());
+  // Each aggregation switch: k/2 core + k/2 edge neighbors = 4.
+  const FatTreeIndex idx{4};
+  EXPECT_EQ(ft.degree(idx.agg(0, 0)), 4u);
+  EXPECT_EQ(ft.degree(idx.edge(0, 0)), 2u);  // up-links only (hosts separate)
+  EXPECT_EQ(ft.degree(idx.core(0)), 4u);     // one agg per pod
+}
+
+TEST(Generators, RingAndGrid) {
+  EXPECT_EQ(make_ring(10).edge_count(), 10u);
+  EXPECT_TRUE(make_ring(10).connected());
+  const Topology grid = make_grid(3, 4);
+  EXPECT_EQ(grid.node_count(), 12u);
+  EXPECT_EQ(grid.edge_count(), 3u * 3 + 2u * 4);
+  EXPECT_TRUE(grid.connected());
+}
+
+TEST(Generators, WaxmanConnected) {
+  const Topology g = make_waxman(60, 0.3, 0.2, 7);
+  EXPECT_EQ(g.node_count(), 60u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, BarabasiAlbertPowerLaw) {
+  const Topology g = make_barabasi_albert(500, 2, 11);
+  EXPECT_EQ(g.node_count(), 500u);
+  EXPECT_TRUE(g.connected());
+  // Preferential attachment must create hubs well above the mean degree.
+  EXPECT_GT(g.max_degree(), 10u);
+}
+
+TEST(Generators, ZooSuiteShape) {
+  const auto suite = zoo_like_suite(1);
+  EXPECT_EQ(suite.size(), 261u);
+  std::size_t biggest = 0;
+  for (const auto& g : suite) {
+    EXPECT_GE(g.node_count(), 4u);
+    biggest = std::max(biggest, g.node_count());
+  }
+  EXPECT_EQ(biggest, 754u);  // the Kdl-like outlier
+}
+
+TEST(Generators, RocketfuelSuiteShape) {
+  const auto suite = rocketfuel_like_suite(1);
+  EXPECT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite.back().node_count(), 11800u);
+}
+
+TEST(Coloring, GreedyProper) {
+  const Topology g = make_waxman(40, 0.4, 0.3, 3);
+  const Coloring c = largest_first_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, DsaturProper) {
+  const Topology g = make_waxman(40, 0.4, 0.3, 4);
+  const Coloring c = dsatur_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+}
+
+TEST(Coloring, BipartiteNeedsTwo) {
+  const Topology g = make_grid(4, 4);  // bipartite
+  const Coloring c = exact_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+  EXPECT_EQ(c.color_count, 2);
+  EXPECT_TRUE(c.exact);
+}
+
+TEST(Coloring, OddCycleNeedsThree) {
+  const Topology g = make_ring(7);
+  const Coloring c = exact_coloring(g);
+  EXPECT_EQ(c.color_count, 3);
+  EXPECT_TRUE(c.exact);
+}
+
+TEST(Coloring, EvenCycleNeedsTwo) {
+  const Topology g = make_ring(8);
+  const Coloring c = exact_coloring(g);
+  EXPECT_EQ(c.color_count, 2);
+}
+
+TEST(Coloring, CliqueNeedsN) {
+  Topology g(6);
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = a + 1; b < 6; ++b) g.add_edge(a, b);
+  }
+  const Coloring c = exact_coloring(g);
+  EXPECT_EQ(c.color_count, 6);
+  EXPECT_TRUE(c.exact);
+  EXPECT_GE(greedy_clique_bound(g), 6);
+}
+
+TEST(Coloring, PetersenGraphNeedsThree) {
+  // The Petersen graph: chromatic number 3 (a classic trap for greedy).
+  Topology g(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);          // outer cycle
+    g.add_edge(i + 5, ((i + 2) % 5) + 5);  // inner pentagram
+    g.add_edge(i, i + 5);                // spokes
+  }
+  const Coloring c = exact_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+  EXPECT_EQ(c.color_count, 3);
+}
+
+TEST(Coloring, StarNeedsTwoButSquareNeedsN1) {
+  const Topology star = make_star(20);
+  EXPECT_EQ(exact_coloring(star).color_count, 2);
+  // Square of a star = clique of 21 — the §6 strategy-2 cost explosion on
+  // high-degree hubs.
+  const Coloring sq = exact_coloring(star.square());
+  EXPECT_EQ(sq.color_count, 21);
+}
+
+TEST(Coloring, ExactNeverWorseThanHeuristic) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Topology g = make_waxman(30, 0.5, 0.3, seed);
+    const Coloring heur = dsatur_coloring(g);
+    const Coloring exact = exact_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, exact));
+    EXPECT_LE(exact.color_count, heur.color_count);
+  }
+}
+
+class SuiteColoring : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteColoring, ZooColoringsAreProperAndSmall) {
+  const auto suite = zoo_like_suite(2);
+  const auto& g = suite[static_cast<std::size_t>(GetParam()) * 13 % suite.size()];
+  const Coloring c = exact_coloring(g, /*node_budget=*/100'000);
+  EXPECT_TRUE(is_proper_coloring(g, c));
+  // Zoo-like WANs are sparse: strategy-1 color counts stay small (§8.3.2:
+  // at most 9 for up to 754 switches).
+  EXPECT_LE(c.color_count, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuiteColoring, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace monocle::topo
