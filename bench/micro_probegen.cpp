@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "monocle/probe_batch.hpp"
 #include "monocle/probe_generator.hpp"
 #include "netbase/packet_crafter.hpp"
 #include "netbase/probe_metadata.hpp"
@@ -76,6 +77,56 @@ void BM_ProbeGenerationNoOverlapFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProbeGenerationNoOverlapFilter)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProbeGenerationBatchSession(benchmark::State& state) {
+  // The table-session path: one incremental solver amortized over the whole
+  // table (compare against BM_ProbeGeneration at equal table sizes).  The
+  // session persists across iterations, as it does in production use.
+  const FlowTable t = acl_table(static_cast<std::size_t>(state.range(0)));
+  ProbeBatchSession session(t, collect_match(), {});
+  const std::vector<std::uint16_t> ports{1, 2, 3, 4};
+  std::size_t i = 0;
+  const auto& rules = t.rules();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.generate(rules[1 + (i++ % (rules.size() - 1))], ports));
+  }
+  state.counters["decisions"] =
+      static_cast<double>(session.solver_stats().decisions);
+  state.counters["propagations"] =
+      static_cast<double>(session.solver_stats().propagations);
+  state.counters["learned"] =
+      static_cast<double>(session.solver_stats().learned_clauses);
+}
+BENCHMARK(BM_ProbeGenerationBatchSession)
+    ->Arg(100)->Arg(1000)->Arg(5000)->Arg(10958)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAllFullTable(benchmark::State& state) {
+  // Whole-table batch generation through the worker pool (the steady-state
+  // warm-up workload): per-iteration time is one FULL table pass.
+  const FlowTable t = acl_table(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::uint16_t> ports{1, 2, 3, 4};
+  std::vector<BatchProbeRequest> requests;
+  for (const Rule& r : t.rules()) {
+    if (r.cookie == 0xCA7C000000000001ull) continue;
+    requests.push_back({&r, ports});
+  }
+  std::size_t found = 0;
+  for (auto _ : state) {
+    const auto results = generate_all(t, collect_match(), {}, requests);
+    found = 0;
+    for (const auto& r : results) {
+      if (r.ok()) ++found;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["found"] = static_cast<double>(found);
+  state.counters["rules_per_s"] = benchmark::Counter(
+      static_cast<double>(requests.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GenerateAllFullTable)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ChainSplitAblation(benchmark::State& state) {

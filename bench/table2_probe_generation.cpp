@@ -7,14 +7,25 @@
 // We regenerate the experiment on the synthetic Stanford-like and
 // Campus-like datasets (see DESIGN.md substitutions): construct the full
 // flow table, then generate a probe for every rule, reporting average and
-// maximum per-rule wall-clock time and the found ratio.  Also prints the
-// §5.4 overlap-filter ablation and the ATPG baseline (Hit+Collect only) for
-// the Related-Work comparison.
+// maximum per-rule wall-clock time and the found ratio.  Two generation
+// modes are compared:
+//
+//   fresh — ProbeGenerator::generate, one throwaway CNF + solver per rule
+//           (the paper's per-update code path);
+//   batch — generate_all / ProbeBatchSession, one incremental table-scoped
+//           solver per worker (the whole-table path steady-state monitoring
+//           and Fig. 8 need).
+//
+// The two modes must classify every rule identically; the harness checks
+// this and reports solver search statistics for both.  Also prints the §5.4
+// overlap-filter ablation and the ATPG baseline (Hit+Collect only), and
+// emits machine-readable BENCH_probegen.json.
 #include <chrono>
 #include <cstdio>
 
 #include "atpg/atpg.hpp"
 #include "bench/bench_util.hpp"
+#include "monocle/probe_batch.hpp"
 #include "monocle/probe_generator.hpp"
 #include "workloads/acl_generator.hpp"
 
@@ -42,57 +53,147 @@ Rule catch_rule() {
   return r;
 }
 
+const std::vector<std::uint16_t> kInPorts{1, 2, 3, 4};
+
 struct DatasetResult {
   double avg_ms = 0;
   double max_ms = 0;
+  double total_s = 0;
   std::size_t found = 0;
   std::size_t total = 0;
   std::size_t shadowed = 0;
   std::size_t indistinguishable = 0;
   std::size_t other_failures = 0;
+  // Aggregate solver effort.
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t learned_clauses = 0;
+  std::vector<ProbeFailure> failures;  // per rule, for the parity check
+
+  void account(std::size_t idx, const ProbeGenResult& result, double ms) {
+    max_ms = std::max(max_ms, ms);
+    failures[idx] = result.failure;
+    decisions += result.stats.decisions;
+    propagations += result.stats.propagations;
+    learned_clauses += result.stats.learned_clauses;
+    if (result.ok()) {
+      ++found;
+    } else if (result.failure == ProbeFailure::kShadowed) {
+      ++shadowed;
+    } else if (result.failure == ProbeFailure::kIndistinguishable) {
+      ++indistinguishable;
+    } else {
+      ++other_failures;
+    }
+  }
 };
 
-DatasetResult run_dataset(const std::vector<Rule>& rules,
-                          const ProbeGenerator& gen) {
+FlowTable build_table(const std::vector<Rule>& rules) {
   FlowTable table;
   table.add(catch_rule());
   for (const Rule& r : rules) table.add(r);
+  return table;
+}
 
+DatasetResult run_fresh(const std::vector<Rule>& rules,
+                        const ProbeGenerator& gen) {
+  const FlowTable table = build_table(rules);
   DatasetResult out;
   out.total = rules.size();
-  double total_ms = 0;
-  for (const Rule& r : rules) {
+  out.failures.resize(rules.size(), ProbeFailure::kNone);
+  const auto t_begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
     ProbeRequest req;
     req.table = &table;
-    req.probed = r;
+    req.probed = rules[i];
     req.collect = collect_match();
-    req.in_ports = {1, 2, 3, 4};
+    req.in_ports = kInPorts;
     const auto t0 = std::chrono::steady_clock::now();
     const ProbeGenResult result = gen.generate(req);
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-    total_ms += ms;
-    out.max_ms = std::max(out.max_ms, ms);
-    if (result.ok()) {
-      ++out.found;
-    } else if (result.failure == ProbeFailure::kShadowed) {
-      ++out.shadowed;
-    } else if (result.failure == ProbeFailure::kIndistinguishable) {
-      ++out.indistinguishable;
-    } else {
-      ++out.other_failures;
-    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    out.account(i, result, ms);
   }
-  out.avg_ms = total_ms / static_cast<double>(rules.size());
+  out.total_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t_begin)
+                    .count();
+  out.avg_ms = out.total_s * 1e3 / static_cast<double>(rules.size());
   return out;
+}
+
+DatasetResult run_batch(const std::vector<Rule>& rules,
+                        const BatchOptions& opts) {
+  const FlowTable table = build_table(rules);
+  std::vector<BatchProbeRequest> requests;
+  requests.reserve(rules.size());
+  // Request objects point at the table's own rule storage.
+  for (const Rule& r : rules) {
+    const Rule* in_table = table.find_strict(r.match, r.priority);
+    requests.push_back({in_table, kInPorts});
+  }
+  DatasetResult out;
+  out.total = rules.size();
+  out.failures.resize(rules.size(), ProbeFailure::kNone);
+  const auto t_begin = std::chrono::steady_clock::now();
+  const std::vector<ProbeGenResult> results =
+      generate_all(table, collect_match(), {}, requests, opts);
+  out.total_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t_begin)
+                    .count();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(results[i].stats.total)
+            .count();
+    out.account(i, results[i], ms);
+  }
+  out.avg_ms = out.total_s * 1e3 / static_cast<double>(rules.size());
+  return out;
+}
+
+/// Per-rule classification parity between the two modes.
+std::size_t count_mismatches(const DatasetResult& a, const DatasetResult& b) {
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    if (a.failures[i] != b.failures[i]) ++mismatches;
+  }
+  return mismatches;
+}
+
+void print_mode(const char* mode, const DatasetResult& r) {
+  std::printf(
+      "  %-6s avg %7.3f ms  max %7.3f ms  total %6.2f s  found %zu/%zu"
+      "  (shadowed %zu, indist. %zu, other %zu)\n",
+      mode, r.avg_ms, r.max_ms, r.total_s, r.found, r.total, r.shadowed,
+      r.indistinguishable, r.other_failures);
+  std::printf(
+      "         solver: %llu decisions, %llu propagations, %llu learned\n",
+      static_cast<unsigned long long>(r.decisions),
+      static_cast<unsigned long long>(r.propagations),
+      static_cast<unsigned long long>(r.learned_clauses));
+}
+
+void json_mode(std::FILE* f, const char* mode, const DatasetResult& r,
+               bool last) {
+  std::fprintf(f,
+               "      \"%s\": {\"avg_ms\": %.6f, \"max_ms\": %.6f, "
+               "\"total_s\": %.6f, \"found\": %zu, \"total\": %zu, "
+               "\"shadowed\": %zu, \"indistinguishable\": %zu, "
+               "\"other_failures\": %zu, \"decisions\": %llu, "
+               "\"propagations\": %llu, \"learned_clauses\": %llu}%s\n",
+               mode, r.avg_ms, r.max_ms, r.total_s, r.found, r.total,
+               r.shadowed, r.indistinguishable, r.other_failures,
+               static_cast<unsigned long long>(r.decisions),
+               static_cast<unsigned long long>(r.propagations),
+               static_cast<unsigned long long>(r.learned_clauses),
+               last ? "" : ",");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = monocle::bench::flag_present(argc, argv, "quick");
+  const auto threads = monocle::bench::flag_int(argc, argv, "threads", 0);
 
   std::printf("=== Table 2: time Monocle takes to generate a probe ===\n");
   std::printf("(paper: Campus avg 4.03 ms / max 5.29 ms, 10642/10958;"
@@ -109,18 +210,44 @@ int main(int argc, char** argv) {
       {"Stanford", workloads::stanford_profile(), 1.48, 3.85, 2442, 2755},
   };
 
-  std::printf("%-10s %9s %9s %9s %16s %10s %10s\n", "Data set", "avg [ms]",
-              "max [ms]", "probes", "found/total", "shadowed", "indist.");
-  const ProbeGenerator gen;
+  BatchOptions batch_opts;
+  batch_opts.threads = static_cast<int>(threads);
+
+  std::FILE* json = std::fopen("BENCH_probegen.json", "w");
+  if (json != nullptr) std::fprintf(json, "{\n  \"datasets\": {\n");
+
+  bool first_dataset = true;
   for (auto& d : datasets) {
     if (quick) d.profile.rule_count = 500;
     const auto rules = workloads::generate_acl(d.profile);
-    const DatasetResult r = run_dataset(rules, gen);
-    std::printf("%-10s %9.3f %9.3f %9zu %9zu/%-6zu %10zu %10zu\n", d.name,
-                r.avg_ms, r.max_ms, r.found, r.found, r.total, r.shadowed,
-                r.indistinguishable);
-    std::printf("%-10s %9.2f %9.2f  (paper)      %5d/%-6d\n", "", d.paper_avg,
-                d.paper_max, d.paper_found, d.paper_total);
+    std::printf("%s (%zu rules; paper: avg %.2f ms, max %.2f ms, %d/%d)\n",
+                d.name, rules.size(), d.paper_avg, d.paper_max, d.paper_found,
+                d.paper_total);
+    const DatasetResult fresh = run_fresh(rules, ProbeGenerator{});
+    print_mode("fresh", fresh);
+    const DatasetResult batch = run_batch(rules, batch_opts);
+    print_mode("batch", batch);
+    const std::size_t mismatches = count_mismatches(fresh, batch);
+    std::printf("  batch vs fresh: %.2fx avg speedup, per-rule classification"
+                " %s (%zu mismatches)\n\n",
+                fresh.avg_ms / std::max(1e-9, batch.avg_ms),
+                mismatches == 0 ? "IDENTICAL" : "DIFFERS", mismatches);
+    if (json != nullptr) {
+      std::fprintf(json, "%s    \"%s\": {\n", first_dataset ? "" : ",\n",
+                   d.name);
+      json_mode(json, "fresh", fresh, false);
+      json_mode(json, "batch", batch, false);
+      std::fprintf(json,
+                   "      \"speedup\": %.3f, \"mismatches\": %zu\n    }",
+                   fresh.avg_ms / std::max(1e-9, batch.avg_ms), mismatches);
+      first_dataset = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  },\n  \"quick\": %s\n}\n",
+                 quick ? "true" : "false");
+    std::fclose(json);
+    std::printf("(wrote BENCH_probegen.json)\n");
   }
 
   // §5.4 ablation: overlap pre-filter off (on a slice — it is much slower).
@@ -131,8 +258,8 @@ int main(int argc, char** argv) {
     const auto rules = workloads::generate_acl(p);
     ProbeGenerator::Options off;
     off.overlap_filter = false;
-    const DatasetResult with_filter = run_dataset(rules, ProbeGenerator{});
-    const DatasetResult no_filter = run_dataset(rules, ProbeGenerator{off});
+    const DatasetResult with_filter = run_fresh(rules, ProbeGenerator{});
+    const DatasetResult no_filter = run_fresh(rules, ProbeGenerator{off});
     std::printf("  filter ON : avg %7.3f ms (found %zu/%zu)\n",
                 with_filter.avg_ms, with_filter.found, with_filter.total);
     std::printf("  filter OFF: avg %7.3f ms (found %zu/%zu)  -> %0.1fx slower\n",
@@ -147,9 +274,7 @@ int main(int argc, char** argv) {
     workloads::AclProfile p = d.profile;
     p.rule_count = quick ? 300 : std::min<std::size_t>(p.rule_count, 2000);
     const auto rules = workloads::generate_acl(p);
-    openflow::FlowTable table;
-    table.add(catch_rule());
-    for (const Rule& r : rules) table.add(r);
+    openflow::FlowTable table = build_table(rules);
     const auto t0 = std::chrono::steady_clock::now();
     const auto results =
         monocle::atpg::precompute_all(table, collect_match(), {1, 2, 3, 4});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "monocle/probe_batch.hpp"
+
 namespace monocle {
 
 using netbase::ParsedPacket;
@@ -43,6 +45,12 @@ void Monitor::install_infrastructure() {
 void Monitor::start() {
   if (config_.steady_probe_rate > 0 && !steady_running_) {
     steady_running_ = true;
+    if (config_.batch_generation) {
+      // Warm-up: pre-generate every rule's probe in one batched session pass
+      // while the catching rules settle, so the steady cycle never pays a
+      // cold per-rule generation.
+      refill_probe_cache();
+    }
     runtime_->schedule(config_.steady_warmup, [this] {
       if (steady_running_) schedule_steady_tick();
     });
@@ -417,6 +425,13 @@ bool Monitor::egress_unobservable(const Probe& probe) const {
   return !observable(probe.if_present) || !observable(probe.if_absent);
 }
 
+std::uint16_t Monitor::hashed_in_port(
+    const Rule& rule, const std::vector<std::uint16_t>& all_ports) const {
+  const std::uint64_t h =
+      rule.cookie * 0x9E3779B97F4A7C15ull + config_.switch_id;
+  return all_ports[h % all_ports.size()];
+}
+
 const Probe* Monitor::probe_for(const Rule& rule) {
   auto& entry = cache_->entries[rule.cookie];
   if (entry.probe.has_value()) return &*entry.probe;
@@ -435,8 +450,7 @@ const Probe* Monitor::probe_for(const Rule& rule) {
   // across upstream neighbors instead of hammering one of them; fall back to
   // the full port set when the constraint is unsatisfiable with that port.
   if (!all_ports.empty()) {
-    const std::uint64_t h = rule.cookie * 0x9E3779B97F4A7C15ull + config_.switch_id;
-    req.in_ports = {all_ports[h % all_ports.size()]};
+    req.in_ports = {hashed_in_port(rule, all_ports)};
     gen = generator_.generate(req);
   }
   if (!gen.ok()) {
@@ -444,6 +458,12 @@ const Probe* Monitor::probe_for(const Rule& rule) {
     gen = generator_.generate(req);
   }
   stats_.generation_time += std::chrono::steady_clock::now() - t0;
+  return commit_generation_result(rule, std::move(gen));
+}
+
+const Probe* Monitor::commit_generation_result(const Rule& rule,
+                                               ProbeGenResult gen) {
+  auto& entry = cache_->entries[rule.cookie];
   ++stats_.probe_generations;
   if (!gen.ok()) {
     entry.failure = gen.failure;
@@ -459,13 +479,115 @@ const Probe* Monitor::probe_for(const Rule& rule) {
   return &*entry.probe;
 }
 
+void Monitor::batch_generate_into_cache(
+    const std::vector<std::uint64_t>& cookies) {
+  const auto all_ports = injectable_ports();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Group the rules by their Collect match: one solver session per
+  // downstream catcher (strategy 2 gives different tag constraints per
+  // downstream switch).
+  struct Group {
+    Match collect;
+    std::vector<const Rule*> rules;
+  };
+  std::vector<Group> groups;
+  for (const std::uint64_t cookie : cookies) {
+    const Rule* rule = expected_.find_by_cookie(cookie);
+    if (rule == nullptr || is_infrastructure_cookie(cookie)) continue;
+    const auto it = cache_->entries.find(cookie);
+    if (it != cache_->entries.end() &&
+        (it->second.probe.has_value() ||
+         it->second.failure != ProbeFailure::kNone)) {
+      continue;  // already resolved (e.g. by a lazy probe_for call)
+    }
+    const Match collect = plan_->collect_match_for(config_.switch_id,
+                                                   collect_downstream(*rule));
+    auto group = std::find_if(groups.begin(), groups.end(), [&](const Group& g) {
+      return g.collect == collect;
+    });
+    if (group == groups.end()) {
+      groups.push_back({collect, {}});
+      group = groups.end() - 1;
+    }
+    group->rules.push_back(rule);
+  }
+
+  BatchOptions opts;
+  opts.gen = config_.gen;
+  opts.threads = config_.batch_threads;
+  for (const Group& group : groups) {
+    // First pass constrains each probe to its rule-hashed ingress port;
+    // failures retry with the full port set — the same two-step probe_for
+    // uses, so batch and lazy generation produce identical cache contents.
+    std::vector<BatchProbeRequest> requests;
+    requests.reserve(group.rules.size());
+    for (const Rule* rule : group.rules) {
+      BatchProbeRequest req;
+      req.rule = rule;
+      if (!all_ports.empty()) req.in_ports = {hashed_in_port(*rule, all_ports)};
+      requests.push_back(std::move(req));
+    }
+    std::vector<ProbeGenResult> results =
+        generate_all(expected_, group.collect, config_.miss_actions, requests,
+                     opts);
+    std::vector<BatchProbeRequest> retries;
+    std::vector<std::size_t> retry_pos;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok() && !requests[i].in_ports.empty()) {
+        retries.push_back({group.rules[i], all_ports});
+        retry_pos.push_back(i);
+      }
+    }
+    if (!retries.empty()) {
+      std::vector<ProbeGenResult> retried = generate_all(
+          expected_, group.collect, config_.miss_actions, retries, opts);
+      for (std::size_t i = 0; i < retried.size(); ++i) {
+        results[retry_pos[i]] = std::move(retried[i]);
+      }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      commit_generation_result(*group.rules[i], std::move(results[i]));
+    }
+  }
+  stats_.generation_time += std::chrono::steady_clock::now() - t0;
+}
+
+void Monitor::refill_probe_cache() {
+  std::vector<std::uint64_t> cookies;
+  for (const Rule& r : expected_.rules()) {
+    if (!is_infrastructure_cookie(r.cookie)) cookies.push_back(r.cookie);
+  }
+  batch_generate_into_cache(cookies);
+}
+
+void Monitor::schedule_batch_refill() {
+  if (batch_refill_scheduled_) return;
+  batch_refill_scheduled_ = true;
+  // Coalesce: table-change bursts (e.g. a multi-rule delete) trigger one
+  // refill pass, charged at the same latency as a fresh generation.
+  runtime_->schedule(config_.generation_delay, [this] {
+    batch_refill_scheduled_ = false;
+    std::vector<std::uint64_t> cookies(dirty_probe_cookies_.begin(),
+                                       dirty_probe_cookies_.end());
+    dirty_probe_cookies_.clear();
+    batch_generate_into_cache(cookies);
+  });
+}
+
 void Monitor::invalidate_overlapping_probes(const Match& match) {
   ++generation_;
   for (const Rule& r : expected_.rules()) {
     if (r.match.overlaps(match)) {
-      cache_->entries.erase(r.cookie);
+      if (cache_->entries.erase(r.cookie) > 0 && config_.batch_generation &&
+          steady_running_) {
+        // Steady-state probing will need this probe again soon: refill it in
+        // a coalesced batch pass instead of a cold per-rule generation.
+        dirty_probe_cookies_.insert(r.cookie);
+      }
     }
   }
+  if (!dirty_probe_cookies_.empty()) schedule_batch_refill();
   // In-flight probes for overlapping rules become stale: their generation no
   // longer matches and their nonces are dropped here.
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {

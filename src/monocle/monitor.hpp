@@ -111,6 +111,13 @@ class Monitor {
     /// Table-miss behaviour of the switch (default: drop).
     openflow::ActionList miss_actions{};
     ProbeGenerator::Options gen;
+    /// Batched probe generation through table-scoped solver sessions
+    /// (probe_batch.hpp): pre-fills the probe cache at steady-state start
+    /// and re-fills it (coalesced) after overlapping-probe invalidation,
+    /// instead of paying a fresh SAT encoding per rule on the probing path.
+    bool batch_generation = true;
+    /// Worker threads for batch generation; 0 = hardware concurrency.
+    int batch_threads = 0;
   };
 
   /// Host-environment callbacks.  All functions must be set before start().
@@ -232,6 +239,22 @@ class Monitor {
   // Probe plumbing.
   const Probe* probe_for(const openflow::Rule& rule);
   void invalidate_overlapping_probes(const openflow::Match& match);
+  /// Batch-generates cache entries for `cookies` (rules still present and
+  /// not yet cached), grouped per Collect match into solver sessions.
+  void batch_generate_into_cache(const std::vector<std::uint64_t>& cookies);
+  /// Commits one generation result to the probe cache and rule states —
+  /// shared by the lazy (probe_for) and batch paths so their cache contents
+  /// cannot diverge.  Returns the cached probe, or nullptr if the rule was
+  /// marked unmonitorable.
+  const Probe* commit_generation_result(const openflow::Rule& rule,
+                                        ProbeGenResult gen);
+  /// Warm-up: batch-generates probes for every monitorable rule.
+  void refill_probe_cache();
+  void schedule_batch_refill();
+  /// The rule-hashed preferred ingress port (spreads injection load).
+  [[nodiscard]] std::uint16_t hashed_in_port(
+      const openflow::Rule& rule,
+      const std::vector<std::uint16_t>& all_ports) const;
   bool inject_probe_packet(const Probe& probe, std::uint32_t generation,
                            std::uint32_t nonce);
   std::optional<Observation> translate_observation(
@@ -265,6 +288,11 @@ class Monitor {
   std::uint32_t generation_ = 1;
   ProbeGenerator generator_;
   MonitorStats stats_;
+
+  // Cookies whose cached probes were invalidated; refilled in one coalesced
+  // batch-generation pass instead of per-rule on the next probing tick.
+  std::unordered_set<std::uint64_t> dirty_probe_cookies_;
+  bool batch_refill_scheduled_ = false;
 };
 
 }  // namespace monocle

@@ -1,0 +1,140 @@
+// Table-session probe generation: incremental, batched, parallel (§5, §8.2).
+//
+// ProbeGenerator::generate re-encodes the whole relevant slice of the flow
+// table into a fresh CnfFormula and a throwaway solver for every rule; over a
+// full table that is quadratic work and discards everything the solver
+// learned about the table's structure.  A ProbeBatchSession instead keeps ONE
+// incremental sat::Solver alive for a whole (table, collect-match) pair:
+//
+//  * the Collect constraint is encoded once as permanent unit clauses, and
+//    the header-bit variables, in-port selector definitions and the §5.2
+//    domain state are shared by every rule of the table;
+//  * per-query constraints (the probed match's bit implications, Hit
+//    avoidance, the Distinguish chain) are guarded by a per-query
+//    activation literal g — the selector-literal pattern of incremental
+//    SAT — and the query solves under the single assumption g;
+//  * after the query, g and every other query-local variable is retired with
+//    a top-level ¬v unit: level-0-assigned variables leave the branching
+//    universe for good, so dead queries cost later queries nothing (their
+//    clauses park on the retired literals' watch lists);
+//  * learned clauses over the header-bit structure and VSIDS scores persist
+//    across the table's rules.
+//
+// Queries return identical classifications (found / shadowed /
+// indistinguishable / ...) to the one-shot path; the table2 bench asserts
+// this.  A session is single-threaded; generate_all() shards a batch over a
+// small pool of workers, one session per worker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "monocle/probe_encoding.hpp"
+#include "monocle/probe_generator.hpp"
+#include "sat/solver.hpp"
+
+namespace monocle {
+
+class ProbeBatchSession {
+ public:
+  /// `table` must outlive the session and must not be mutated while the
+  /// session is in use (rules are identified by their table position).
+  ProbeBatchSession(const openflow::FlowTable& table, openflow::Match collect,
+                    openflow::ActionList miss_actions,
+                    ProbeGenerator::Options opts = {});
+
+  /// Generates a probe for `probed` (a rule of the session's table) entering
+  /// on one of `in_ports` (empty = unconstrained).  Semantics match
+  /// ProbeGenerator::generate for the same request.
+  ProbeGenResult generate(const openflow::Rule& probed,
+                          std::span<const std::uint16_t> in_ports = {});
+
+  /// Cumulative solver statistics over the session's queries.
+  [[nodiscard]] const sat::SolverStats& solver_stats() const {
+    return solver_.stats();
+  }
+  [[nodiscard]] std::size_t queries() const { return queries_; }
+
+ private:
+  ProbeFailure run_query(const openflow::Rule& probed,
+                         std::span<const std::uint16_t> in_ports,
+                         ProbeGenStats& stats, Probe* out);
+  sat::Lit port_selector(std::uint16_t port);
+  void add_clause(std::span<const sat::Lit> lits);
+  void add_clause(std::initializer_list<sat::Lit> lits) {
+    add_clause(std::span<const sat::Lit>(lits.begin(), lits.size()));
+  }
+
+  const openflow::FlowTable* table_;
+  openflow::Match collect_;
+  openflow::ActionList miss_;
+  ProbeGenerator::Options opts_;
+
+  /// Cached Outcome of the rule at table index `idx` (outcome computation
+  /// allocates; rules are immutable for the session's lifetime).
+  const openflow::Outcome& rule_outcome(std::size_t idx);
+
+  /// Outcome-equality class of rule `idx`: tables carry only a handful of
+  /// distinct outcomes (ACLs: drop + one per egress port), so DiffOutcome
+  /// terms are memoized per class within a query.
+  std::size_t outcome_class(std::size_t idx);
+
+  sat::Solver solver_;
+  probe_encoding::FixedBits collect_fixed_;  // bits pinned by Collect units
+  netbase::DomainFixup domains_;             // §5.2 spare-value state, shared
+  openflow::Outcome miss_outcome_;           // table-miss behaviour, cached
+  std::vector<std::optional<openflow::Outcome>> outcomes_;  // by rule index
+  std::vector<std::int32_t> outcome_class_;  // by rule index; -1 = unknown
+  std::vector<const openflow::Outcome*> class_reps_;  // class id -> outcome
+  std::vector<std::optional<probe_encoding::DiffTerm>> diff_cache_;  // /query
+
+  // Shared in-port selector definitions (sel_p -> in_port bits spell p).
+  std::unordered_map<std::uint16_t, sat::Lit> port_sel_;
+
+  std::vector<sat::Lit> assumptions_;  // scratch, reused across queries
+  std::vector<sat::Lit> clause_;       // scratch clause builder
+  std::vector<sat::Lit> cube_;         // scratch restricted cube
+  std::vector<sat::Lit> prefix_;       // scratch chain prefix
+  std::vector<sat::Lit> pending_cube_;  // scratch deferred Tseitin cube
+  openflow::FlowTable::OverlapSets overlaps_scratch_;
+  std::size_t clauses_added_ = 0;
+  std::size_t queries_ = 0;
+
+  /// Queries between top-level solver sweeps of retired clauses.  Sweeps
+  /// mainly reclaim arena memory — the watch lists self-clean during
+  /// propagation (level-0-satisfied watchers are dropped on sight) — so the
+  /// interval can be generous.
+  static constexpr std::size_t kSimplifyInterval = 48;
+
+  /// Queries whose overlap sets exceed this are delegated to the one-shot
+  /// generator: encoding dominates there, and keeping their thousands of
+  /// clauses out of the session keeps the common case fast.
+  static constexpr std::size_t kFreshFallbackOverlaps = 1536;
+};
+
+/// One rule of a batch-generation request.
+struct BatchProbeRequest {
+  const openflow::Rule* rule = nullptr;
+  /// Valid ingress ports for this rule's probe; empty = unconstrained.
+  std::vector<std::uint16_t> in_ports;
+};
+
+struct BatchOptions {
+  ProbeGenerator::Options gen;
+  /// Worker threads (one ProbeBatchSession shard each); 0 = one per
+  /// available hardware thread, capped by the request count.
+  int threads = 0;
+};
+
+/// Generates probes for `requests` against one (table, collect) pair,
+/// sharding the batch across a small pool of worker threads.  Results are
+/// positionally aligned with `requests`.
+std::vector<ProbeGenResult> generate_all(
+    const openflow::FlowTable& table, const openflow::Match& collect,
+    const openflow::ActionList& miss_actions,
+    std::span<const BatchProbeRequest> requests, const BatchOptions& opts = {});
+
+}  // namespace monocle

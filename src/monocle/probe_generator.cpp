@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <bit>
 #include <cassert>
 
+#include "monocle/probe_encoding.hpp"
 #include "netbase/packed_bits.hpp"
 #include "sat/encoder.hpp"
 #include "sat/solver.hpp"
@@ -23,200 +23,12 @@ using openflow::Rule;
 using sat::CnfFormula;
 using sat::Lit;
 
-namespace {
-
-/// SAT variable for header bit `bit` (0-based): bit + 1.
-constexpr Lit bit_var(int bit) { return bit + 1; }
-constexpr Lit bit_lit(int bit, bool value) {
-  return value ? bit_var(bit) : -bit_var(bit);
-}
-
-/// Tri-state map of header bits fixed by unit clauses (Hit + Collect).
-class FixedBits {
- public:
-  FixedBits() { fixed_.fill(-1); }
-
-  /// Fixes `bit` to `value`; returns false on conflict with a prior fix.
-  bool fix(int bit, bool value) {
-    const std::int8_t want = value ? 1 : 0;
-    if (fixed_[static_cast<std::size_t>(bit)] == -1) {
-      fixed_[static_cast<std::size_t>(bit)] = want;
-      return true;
-    }
-    return fixed_[static_cast<std::size_t>(bit)] == want;
-  }
-
-  /// -1 unknown, else 0/1.
-  [[nodiscard]] int value(int bit) const {
-    return fixed_[static_cast<std::size_t>(bit)];
-  }
-
- private:
-  std::array<std::int8_t, kHeaderBits> fixed_;
-};
-
-/// Status of a match's cube relative to the fixed bits.
-enum class CubeStatus {
-  kImpossible,  ///< a cared bit conflicts with a fixed bit (Matches ≡ False)
-  kOk,
-};
-
-/// Computes the cube of `m` restricted to bits not fixed by `fixed`.
-/// `out` receives the positive cube literals (one per undetermined cared
-/// bit); an empty cube means Matches is constant True given the fixed bits.
-CubeStatus restricted_cube(const Match& m, const FixedBits& fixed,
-                           std::vector<Lit>& out) {
-  out.clear();
-  const PackedBits& care = m.care();
-  const PackedBits& bits = m.bits();
-  for (int w = 0; w < netbase::kHeaderWords; ++w) {
-    std::uint64_t cw = care.w[static_cast<std::size_t>(w)];
-    while (cw != 0) {
-      const int lz = std::countl_zero(cw);
-      const int bit = w * 64 + lz;
-      cw &= ~(std::uint64_t{1} << (63 - lz));
-      const bool want = bits.get(bit);
-      const int fv = fixed.value(bit);
-      if (fv == -1) {
-        out.push_back(bit_lit(bit, want));
-      } else if ((fv == 1) != want) {
-        return CubeStatus::kImpossible;
-      }
-      // else: fixed to the same value — trivially satisfied, omit.
-    }
-  }
-  return CubeStatus::kOk;
-}
-
-/// A DiffOutcome term after constant folding.
-struct DiffTerm {
-  enum class Kind { kTrue, kFalse, kLits, kVar } kind = Kind::kFalse;
-  std::vector<Lit> lits;  // kLits: inline disjunction
-  Lit var = 0;            // kVar: Tseitin variable (∀-port DiffRewrite)
-};
-
-/// Builds the DiffOutcome(P, probed, other) term (paper §3.4, Table 4,
-/// Appendix B).  May allocate a Tseitin variable in `f` for the ∀-port case.
-DiffTerm build_diff_term(CnfFormula& f, const Outcome& probed_out,
-                         const Outcome& other_out, const DiffOptions& opts) {
-  const PortDiffResult pd = diff_ports(probed_out, other_out, opts);
-  DiffTerm term;
-  if (pd.ports_differ) {
-    term.kind = DiffTerm::Kind::kTrue;
-    return term;
-  }
-  if (pd.common_ports.empty()) {
-    term.kind = DiffTerm::Kind::kFalse;  // e.g. two drop rules
-    return term;
-  }
-
-  // DiffRewrite over the common ports.
-  std::vector<std::vector<Lit>> port_lits;
-  for (const std::uint16_t port : pd.common_ports) {
-    const auto w1 = probed_out.rewrite_on_port(port);
-    const auto w2 = other_out.rewrite_on_port(port);
-    assert(w1 && w2);
-    bool always = false;
-    std::vector<Lit> lits;
-    const PackedBits touched = w1->mask | w2->mask;
-    for (int w = 0; w < netbase::kHeaderWords; ++w) {
-      std::uint64_t tw = touched.w[static_cast<std::size_t>(w)];
-      while (tw != 0) {
-        const int lz = std::countl_zero(tw);
-        const int bit = w * 64 + lz;
-        tw &= ~(std::uint64_t{1} << (63 - lz));
-        switch (bit_rewrite_diff(*w1, *w2, bit)) {
-          case BitDiffKind::kAlways:
-            always = true;
-            break;
-          case BitDiffKind::kIfBitOne:
-            lits.push_back(bit_var(bit));
-            break;
-          case BitDiffKind::kIfBitZero:
-            lits.push_back(-bit_var(bit));
-            break;
-          case BitDiffKind::kNever:
-            break;
-        }
-        if (always) break;
-      }
-      if (always) break;
-    }
-    if (pd.quantifier == RewriteQuantifier::kExistsPort) {
-      if (always) {
-        term.kind = DiffTerm::Kind::kTrue;  // one always-differing port suffices
-        return term;
-      }
-      // Accumulate into one big disjunction.
-      port_lits.push_back(std::move(lits));
-    } else {  // kForAllPort
-      if (always) continue;  // this port always differs — satisfied
-      if (lits.empty()) {
-        term.kind = DiffTerm::Kind::kFalse;  // a port can never differ
-        return term;
-      }
-      port_lits.push_back(std::move(lits));
-    }
-  }
-
-  if (pd.quantifier == RewriteQuantifier::kExistsPort) {
-    std::vector<Lit> all;
-    for (auto& pl : port_lits) {
-      all.insert(all.end(), pl.begin(), pl.end());
-    }
-    std::sort(all.begin(), all.end());
-    all.erase(std::unique(all.begin(), all.end()), all.end());
-    if (all.empty()) {
-      term.kind = DiffTerm::Kind::kFalse;
-      return term;
-    }
-    term.kind = DiffTerm::Kind::kLits;
-    term.lits = std::move(all);
-    return term;
-  }
-
-  // ∀-port: conjunction of per-port disjunctions.
-  if (port_lits.empty()) {
-    term.kind = DiffTerm::Kind::kTrue;  // every common port always differs
-    return term;
-  }
-  if (port_lits.size() == 1) {
-    term.kind = DiffTerm::Kind::kLits;
-    term.lits = std::move(port_lits.front());
-    return term;
-  }
-  const Lit d = f.new_var();
-  for (const auto& pl : port_lits) {
-    sat::add_implies_clause(f, d, pl);  // d -> (port differs)
-  }
-  term.kind = DiffTerm::Kind::kVar;
-  term.var = d;
-  return term;
-}
-
-/// First rule in `table` matching `bits`, excluding the probed slot.
-const Rule* lookup_excluding_slot(const FlowTable& table, const Rule& probed,
-                                  const PackedBits& bits) {
-  for (const Rule& r : table.rules()) {
-    if (r.priority == probed.priority && r.match == probed.match) continue;
-    if (r.match.matches(bits)) return &r;
-  }
-  return nullptr;
-}
-
-/// True if the rule's outcome uses ports the generator cannot model
-/// (FLOOD/ALL expand to a switch-specific port set; TABLE re-enters lookup).
-bool outcome_unsupported(const Outcome& oc) {
-  for (const auto& [port, rewrite] : oc.emissions) {
-    if (port == openflow::kPortFlood || port == openflow::kPortAll ||
-        port == openflow::kPortTable) {
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
+using probe_encoding::bit_lit;
+using probe_encoding::bit_var;
+using probe_encoding::CubeStatus;
+using probe_encoding::DiffTerm;
+using probe_encoding::FixedBits;
+using probe_encoding::restricted_cube;
 
 const char* probe_failure_name(ProbeFailure f) {
   switch (f) {
@@ -318,11 +130,92 @@ bool verify_probe(const FlowTable& table, const Rule& probed, const Probe& probe
   }
   // Distinguish: present/absent predictions must be tellable apart.
   const OutcomePrediction present = predict_outcome(&probed, miss_actions, bits);
-  const Rule* absent_rule = lookup_excluding_slot(table, probed, bits);
+  const Rule* absent_rule =
+      probe_encoding::lookup_excluding_slot(table, probed, bits);
   const OutcomePrediction absent =
       predict_outcome(absent_rule, miss_actions, bits);
   return predictions_distinguishable(present, absent, diff_opts);
 }
+
+namespace detail {
+
+netbase::DomainFixup domain_fixup_for(const FlowTable& table) {
+  netbase::DomainFixup domains = netbase::DomainFixup::openflow10_defaults();
+  for (const Rule& r : table.rules()) {
+    if (!r.match.is_wildcard(Field::EthType)) {
+      domains.note_used(Field::EthType, r.match.value(Field::EthType));
+    }
+  }
+  return domains;
+}
+
+namespace {
+
+/// First rule matching `bits` among the overlap sets (descending priority,
+/// table order) — equivalent to lookup_excluding_slot: any rule matching a
+/// packet that matches the probed rule overlaps the probed rule, and the
+/// probed slot itself is excluded from the sets by construction.
+const Rule* first_overlap_match(const FlowTable::OverlapSets& overlaps,
+                                const PackedBits& bits) {
+  for (const Rule* r : overlaps.higher) {
+    if (r->match.matches(bits)) return r;
+  }
+  for (const Rule* r : overlaps.lower) {
+    if (r->match.matches(bits)) return r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ProbeFailure finalize_probe(const Rule& probed, const ActionList& miss_actions,
+                            const ProbeGenerator::Options& opts,
+                            const netbase::DomainFixup& domains,
+                            const FlowTable::OverlapSets& overlaps,
+                            const PackedBits& model_bits, Probe* out) {
+  // ---- Model -> abstract packet (§5.1–5.2) -----------------------------
+  AbstractPacket packet = netbase::unpack_header(model_bits);
+
+  // Limited-domain fix-up via the spare-value lemma (§5.2).  Fields fully
+  // fixed by the constraints are valid by construction; only out-of-domain
+  // leftovers are substituted.
+  if (!domains.apply(packet)) {
+    return ProbeFailure::kNoSpareValue;
+  }
+  packet = packet.normalized();
+
+  // ---- Predictions + post-verification ---------------------------------
+  const PackedBits final_bits = netbase::pack_header(packet);
+  Probe probe;
+  probe.packet = packet;
+  probe.rule_cookie = probed.cookie;
+  if (!probed.match.matches(final_bits)) {
+    // The domain fix-up / normalization broke the Hit constraint: without a
+    // probe-matches-probed guarantee the overlap-set shortcuts below do not
+    // apply, and the probe is unusable anyway.
+    return ProbeFailure::kInternalError;
+  }
+  probe.if_present = predict_outcome(&probed, miss_actions, final_bits);
+  const Rule* absent_rule = first_overlap_match(overlaps, final_bits);
+  probe.if_absent = predict_outcome(absent_rule, miss_actions, final_bits);
+
+  if (opts.verify_solutions) {
+    // Hit: no rule that would take precedence (higher priority, or equal
+    // priority — undefined interaction) may match the probe.
+    for (const Rule* r : overlaps.higher) {
+      if (r->match.matches(final_bits)) return ProbeFailure::kInternalError;
+    }
+    // Distinguish: present/absent predictions must be tellable apart.
+    if (!predictions_distinguishable(probe.if_present, probe.if_absent,
+                                     opts.diff)) {
+      return ProbeFailure::kInternalError;
+    }
+  }
+  *out = std::move(probe);
+  return ProbeFailure::kNone;
+}
+
+}  // namespace detail
 
 ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
   const auto t_start = std::chrono::steady_clock::now();
@@ -338,7 +231,7 @@ ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
   const Rule& probed = req.probed;
   const Outcome probed_outcome = probed.outcome();
 
-  if (outcome_unsupported(probed_outcome)) {
+  if (probe_encoding::outcome_unsupported(probed_outcome)) {
     return finish(ProbeFailure::kUnsupported);
   }
   // The probed rule must not rewrite the probe-tag bits the Collect match
@@ -372,24 +265,16 @@ ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
   f.reserve_vars(kHeaderBits);
   FixedBits fixed;
   {
-    const PackedBits& care = probed.match.care();
-    const PackedBits& bits = probed.match.bits();
-    for (int b = 0; b < kHeaderBits; ++b) {
-      if (care.get(b) && !fixed.fix(b, bits.get(b))) {
-        return finish(ProbeFailure::kUnsat);
-      }
+    if (!fixed.fix_match(probed.match)) {
+      return finish(ProbeFailure::kUnsat);
     }
-    const PackedBits& ccare = req.collect.care();
-    const PackedBits& cbits = req.collect.bits();
-    for (int b = 0; b < kHeaderBits; ++b) {
-      if (ccare.get(b) && !fixed.fix(b, cbits.get(b))) {
-        // Probed rule matches inside the reserved probe-tag space.
-        return finish(ProbeFailure::kUnsat);
-      }
+    if (!fixed.fix_match(req.collect)) {
+      // Probed rule matches inside the reserved probe-tag space.
+      return finish(ProbeFailure::kUnsat);
     }
-    for (int b = 0; b < kHeaderBits; ++b) {
-      if (fixed.value(b) != -1) f.add_unit(bit_lit(b, fixed.value(b) == 1));
-    }
+    netbase::for_each_set_bit(fixed.mask(), [&](int b) {
+      f.add_unit(bit_lit(b, fixed.value(b) == 1));
+    });
   }
 
   // ---- Hit: avoid overlapping higher-priority rules ------------------
@@ -452,8 +337,8 @@ ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
     if (restricted_cube(r->match, fixed, cube) == CubeStatus::kImpossible) {
       continue;  // e.g. the rule conflicts with the Collect tag bits
     }
-    const DiffTerm diff = build_diff_term(f, probed_outcome, r->outcome(),
-                                          opts_.diff);
+    const DiffTerm diff = probe_encoding::build_diff_term(
+        f, probed_outcome, r->outcome(), opts_.diff);
     if (diff.kind == DiffTerm::Kind::kFalse) any_const_false_diff = true;
     if (cube.empty()) {
       // m_k is constant True under Hit: this rule always matches the probe,
@@ -480,7 +365,7 @@ ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
 
   if (!chain_ended_with_const_true_match) {
     // Table-miss else-term.
-    const DiffTerm diff = build_diff_term(
+    const DiffTerm diff = probe_encoding::build_diff_term(
         f, probed_outcome, openflow::compute_outcome(miss), opts_.diff);
     if (diff.kind == DiffTerm::Kind::kFalse) any_const_false_diff = true;
     if (diff.kind != DiffTerm::Kind::kTrue) {
@@ -505,48 +390,36 @@ ProbeGenResult ProbeGenerator::generate(const ProbeRequest& req) const {
 
   // ---- Solve -----------------------------------------------------------
   const auto t_solve = std::chrono::steady_clock::now();
-  const sat::SolveOutcome solved = sat::solve_formula(f);
+  sat::Solver solver(f);
+  const sat::SolveResult solved = solver.solve();
   result.stats.solve = std::chrono::steady_clock::now() - t_solve;
-  if (solved.result != sat::SolveResult::kSat) {
+  result.stats.decisions = solver.stats().decisions;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.learned_clauses = solver.stats().learned_clauses;
+  if (solved != sat::SolveResult::kSat) {
     return finish(any_const_false_diff ? ProbeFailure::kIndistinguishable
                                        : ProbeFailure::kUnsat);
   }
 
-  // ---- Model -> abstract packet (§5.1–5.2) -----------------------------
   PackedBits bits;
   for (int b = 0; b < kHeaderBits; ++b) {
-    bits.set(b, solved.model[static_cast<std::size_t>(bit_var(b))]);
+    bits.set(b, solver.model_value(bit_var(b)));
   }
-  AbstractPacket packet = netbase::unpack_header(bits);
-
-  // Limited-domain fix-up via the spare-value lemma (§5.2).  Fields fully
-  // fixed by the constraints are valid by construction; only out-of-domain
-  // leftovers are substituted.
-  netbase::DomainFixup domains = netbase::DomainFixup::openflow10_defaults();
-  for (const Rule& r : table.rules()) {
-    if (!r.match.is_wildcard(Field::EthType)) {
-      domains.note_used(Field::EthType, r.match.value(Field::EthType));
-    }
-  }
-  if (!domains.apply(packet)) {
-    return finish(ProbeFailure::kNoSpareValue);
-  }
-  packet = packet.normalized();
-
-  // ---- Predictions + post-verification ---------------------------------
-  const PackedBits final_bits = netbase::pack_header(packet);
   Probe probe;
-  probe.packet = packet;
-  probe.rule_cookie = probed.cookie;
-  probe.if_present = predict_outcome(&probed, miss, final_bits);
-  const Rule* absent_rule = lookup_excluding_slot(table, probed, final_bits);
-  probe.if_absent = predict_outcome(absent_rule, miss, final_bits);
-
-  if (opts_.verify_solutions &&
-      !verify_probe(table, probed, probe, miss, opts_.diff)) {
-    return finish(ProbeFailure::kInternalError);
+  // Bind the caller's cached domain state by reference when provided (a
+  // ternary would deep-copy it into a temporary).
+  netbase::DomainFixup local_domains;
+  const netbase::DomainFixup* domains = req.domains;
+  if (domains == nullptr) {
+    local_domains = detail::domain_fixup_for(table);
+    domains = &local_domains;
   }
-
+  const ProbeFailure tail = detail::finalize_probe(
+      probed, miss, opts_, *domains, overlaps, bits, &probe);
+  if (tail != ProbeFailure::kNone) {
+    return finish(tail);
+  }
   result.probe = std::move(probe);
   return finish(ProbeFailure::kNone);
 }

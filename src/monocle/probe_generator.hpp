@@ -57,6 +57,11 @@ struct ProbeGenStats {
   std::size_t overlapping_lower = 0;
   int sat_vars = 0;
   std::size_t sat_clauses = 0;
+  // Solver search effort for this call (batch mode reports per-query deltas).
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
 };
 
 /// Inputs for one probe-generation call.
@@ -73,6 +78,10 @@ struct ProbeRequest {
   std::vector<std::uint16_t> in_ports;
   /// Table-miss behaviour (default: drop, as on most hardware).
   openflow::ActionList miss_actions;
+  /// Optional precomputed §5.2 domain state for `table` (the used-EthType
+  /// scan is O(table) per call otherwise); batch sessions cache one per
+  /// table and pass it when delegating overlap-heavy rules.
+  const netbase::DomainFixup* domains = nullptr;
 };
 
 struct ProbeGenResult {
@@ -89,7 +98,7 @@ class ProbeGenerator {
  public:
   struct Options {
     bool overlap_filter = true;   ///< §5.4 optimization (ablation switch)
-    int chain_split = 64;         ///< Distinguish-chain chunk size
+    int chain_split = 16;         ///< Distinguish-chain chunk size
     DiffOptions diff;             ///< taxonomy options (§3.4)
     bool verify_solutions = true; ///< re-check SAT models against the table
   };
@@ -132,5 +141,29 @@ bool verify_probe(const openflow::FlowTable& table, const openflow::Rule& probed
 OutcomePrediction predict_outcome(const openflow::Rule* rule,
                                   const openflow::ActionList& miss_actions,
                                   const netbase::PackedBits& bits);
+
+namespace detail {
+
+/// Shared model→probe tail of both generation paths (one-shot and batch):
+/// spare-value domain fix-up (§5.2), prediction computation and the optional
+/// post-verification.  `model_bits` is the header assignment extracted from
+/// the SAT model; on success `*out` is filled and kNone returned.
+///
+/// `overlaps` are the probed rule's overlap sets: a packet matching the
+/// probed rule can only be matched by rules that overlap it, so the Hit
+/// re-check and the absent-rule lookup walk the (small) overlap sets —
+/// the flow table itself is not consulted, with a provably identical
+/// result.
+ProbeFailure finalize_probe(const openflow::Rule& probed,
+                            const openflow::ActionList& miss_actions,
+                            const ProbeGenerator::Options& opts,
+                            const netbase::DomainFixup& domains,
+                            const openflow::FlowTable::OverlapSets& overlaps,
+                            const netbase::PackedBits& model_bits, Probe* out);
+
+/// The used-EthType scan feeding finalize_probe's domain fix-up.
+netbase::DomainFixup domain_fixup_for(const openflow::FlowTable& table);
+
+}  // namespace detail
 
 }  // namespace monocle

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <type_traits>
 
 #include "netbase/abstract_packet.hpp"
 #include "netbase/fields.hpp"
@@ -69,6 +71,28 @@ struct PackedBits {
   }
   friend constexpr bool operator==(const PackedBits&, const PackedBits&) = default;
 };
+
+/// Invokes `fn(bit)` for every set bit of `bits`, in increasing bit order,
+/// using countl_zero to skip over zero runs word-parallel.  `fn` may return
+/// void, or bool where false stops the iteration early.  Returns false iff
+/// the iteration was stopped.
+template <typename Fn>
+constexpr bool for_each_set_bit(const PackedBits& bits, Fn&& fn) {
+  for (int w = 0; w < kHeaderWords; ++w) {
+    std::uint64_t word = bits.w[static_cast<std::size_t>(w)];
+    while (word != 0) {
+      const int lz = std::countl_zero(word);
+      word &= ~(std::uint64_t{1} << (63 - lz));
+      const int bit = w * 64 + lz;
+      if constexpr (std::is_void_v<std::invoke_result_t<Fn&, int>>) {
+        fn(bit);
+      } else {
+        if (!fn(bit)) return false;
+      }
+    }
+  }
+  return true;
+}
 
 /// Packs an abstract packet's field values into header bit-string form.
 inline PackedBits pack_header(const AbstractPacket& p) {

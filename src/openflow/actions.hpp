@@ -119,6 +119,10 @@ struct Outcome {
   /// Rewrite observed on `port`, or nullopt when `port` is not in the set.
   [[nodiscard]] std::optional<RewriteVec> rewrite_on_port(
       std::uint16_t port) const;
+
+  /// Structural equality; flow tables carry few distinct outcomes, which
+  /// the batch probe sessions exploit to memoize DiffOutcome terms.
+  friend bool operator==(const Outcome&, const Outcome&) = default;
 };
 
 /// Computes the outcome model of an action list (OpenFlow 1.0 semantics:

@@ -8,7 +8,7 @@ void FlowTable::add(const Rule& rule) {
   // Replace identical (match, priority) if present.
   for (Rule& r : rules_) {
     if (r.priority == rule.priority && r.match == rule.match) {
-      r = rule;
+      r = rule;  // same match: overlap index stays valid
       return;
     }
   }
@@ -18,6 +18,7 @@ void FlowTable::add(const Rule& rule) {
     return r.priority < rule.priority;
   });
   rules_.insert(pos, rule);
+  index_dirty_.store(true, std::memory_order_relaxed);
 }
 
 bool FlowTable::modify_strict(const Rule& rule) {
@@ -25,7 +26,7 @@ bool FlowTable::modify_strict(const Rule& rule) {
     if (r.priority == rule.priority && r.match == rule.match) {
       r.actions = rule.actions;
       r.cookie = rule.cookie;
-      return true;
+      return true;  // match unchanged: overlap index stays valid
     }
   }
   return false;
@@ -37,19 +38,25 @@ bool FlowTable::remove_strict(const Match& match, std::uint16_t priority) {
   });
   if (pos == rules_.end()) return false;
   rules_.erase(pos);
+  index_dirty_.store(true, std::memory_order_relaxed);
   return true;
 }
 
 std::size_t FlowTable::remove_matching(const Match& pattern) {
   const std::size_t before = rules_.size();
   std::erase_if(rules_, [&](const Rule& r) { return pattern.subsumes(r.match); });
+  if (rules_.size() != before) index_dirty_.store(true, std::memory_order_relaxed);
   return before - rules_.size();
 }
 
 bool FlowTable::remove_by_cookie(std::uint64_t cookie) {
   const std::size_t before = rules_.size();
   std::erase_if(rules_, [&](const Rule& r) { return r.cookie == cookie; });
-  return rules_.size() != before;
+  if (rules_.size() != before) {
+    index_dirty_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 const Rule* FlowTable::lookup(const PackedBits& packet_bits) const {
@@ -72,21 +79,114 @@ const Rule* FlowTable::lookup_excluding(const PackedBits& packet_bits,
   return nullptr;
 }
 
-FlowTable::OverlapSets FlowTable::overlapping(const Rule& rule) const {
-  OverlapSets out;
-  for (const Rule& r : rules_) {
-    if (r.priority == rule.priority && r.match == rule.match) {
-      continue;  // the rule's own slot
+// ---------------------------------------------------------------------------
+// Overlap index
+// ---------------------------------------------------------------------------
+
+std::optional<std::uint64_t> FlowTable::index_key(const Match& m,
+                                                  int bit_offset,
+                                                  int key_bits) {
+  const PackedBits& care = m.care();
+  const PackedBits& value = m.bits();
+  std::uint64_t key = 0;
+  for (int i = 0; i < key_bits; ++i) {
+    const int bit = bit_offset + i;
+    if (!care.get(bit)) return std::nullopt;
+    key = (key << 1) | (value.get(bit) ? 1u : 0u);
+  }
+  return key;
+}
+
+void FlowTable::rebuild_overlap_index() const {
+  index_.clear();
+  index_.reserve(netbase::kFieldCount);
+  for (const auto& info : netbase::kFieldTable) {
+    FieldIndex fi;
+    // Key on the top 16 bits at most: covers exact matches on the short
+    // fields and the site-level (/16) head of IP prefixes and MACs.
+    fi.key_bits = std::min(info.width, 16);
+    fi.bit_offset = info.bit_offset;
+    index_.push_back(std::move(fi));
+  }
+  for (std::uint32_t idx = 0; idx < rules_.size(); ++idx) {
+    const Match& m = rules_[idx].match;
+    for (FieldIndex& fi : index_) {
+      if (const auto key = index_key(m, fi.bit_offset, fi.key_bits)) {
+        fi.buckets[*key].push_back(idx);
+      } else {
+        fi.loose.push_back(idx);
+      }
     }
-    if (!r.match.overlaps(rule.match)) continue;
+  }
+}
+
+void FlowTable::ensure_overlap_index() const {
+  // Fast path: the common case (clean index, batch workers querying) needs
+  // no lock at all.  The mutex only serializes a rebuild.
+  if (!index_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_dirty_.load(std::memory_order_relaxed)) {
+    rebuild_overlap_index();
+    index_dirty_.store(false, std::memory_order_release);
+  }
+}
+
+void FlowTable::overlapping_into(const Rule& rule, OverlapSets& out) const {
+  out.higher.clear();
+  out.lower.clear();
+  ensure_overlap_index();
+
+  // Pick the indexed field with the smallest candidate set for this query.
+  const std::vector<std::uint32_t>* best_bucket = nullptr;
+  const std::vector<std::uint32_t>* best_loose = nullptr;
+  std::size_t best_count = rules_.size();
+  static const std::vector<std::uint32_t> kEmpty;
+  for (const FieldIndex& fi : index_) {
+    const auto key = index_key(rule.match, fi.bit_offset, fi.key_bits);
+    if (!key) continue;  // query wildcards part of the key: field can't prune
+    const auto it = fi.buckets.find(*key);
+    const std::vector<std::uint32_t>& bucket =
+        it != fi.buckets.end() ? it->second : kEmpty;
+    const std::size_t count = bucket.size() + fi.loose.size();
+    if (count < best_count) {
+      best_count = count;
+      best_bucket = &bucket;
+      best_loose = &fi.loose;
+    }
+  }
+
+  auto consider = [&](const Rule& r) {
+    if (r.priority == rule.priority && r.match == rule.match) {
+      return;  // the rule's own slot
+    }
+    if (!r.match.overlaps(rule.match)) return;
     if (r.priority >= rule.priority) {
       // Same-priority overlap goes to `higher` (conservative, see header).
       out.higher.push_back(&r);
     } else {
       out.lower.push_back(&r);
     }
+  };
+
+  if (best_bucket == nullptr) {
+    // Every indexed field is (partly) wildcarded by the query: full scan.
+    for (const Rule& r : rules_) consider(r);
+    return;
   }
-  return out;
+  // Merge the two ascending index lists so rules are visited in table order
+  // (descending priority), exactly as the linear scan would.
+  std::size_t bi = 0;
+  std::size_t li = 0;
+  while (bi < best_bucket->size() || li < best_loose->size()) {
+    std::uint32_t idx;
+    if (li >= best_loose->size() ||
+        (bi < best_bucket->size() && (*best_bucket)[bi] < (*best_loose)[li])) {
+      idx = (*best_bucket)[bi++];
+    } else {
+      idx = (*best_loose)[li++];
+    }
+    consider(rules_[idx]);
+  }
 }
 
 const Rule* FlowTable::find_by_cookie(std::uint64_t cookie) const {

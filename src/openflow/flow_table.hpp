@@ -5,9 +5,12 @@
 // contents of flow tables in each switch").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "openflow/rule.hpp"
@@ -21,6 +24,29 @@ namespace monocle::openflow {
 /// paper footnote 1 — so any deterministic order is acceptable).
 class FlowTable {
  public:
+  FlowTable() = default;
+  // The lazily built overlap index (and its guard mutex) is derived state;
+  // copies and moves transfer the rules only.  The moved-from table's index
+  // must be marked stale too: its cached rule positions refer to the rules
+  // that just moved away.
+  FlowTable(const FlowTable& o) : rules_(o.rules_) {}
+  FlowTable(FlowTable&& o) noexcept : rules_(std::move(o.rules_)) {
+    o.index_dirty_.store(true, std::memory_order_relaxed);
+  }
+  FlowTable& operator=(const FlowTable& o) {
+    if (this != &o) {
+      rules_ = o.rules_;
+      index_dirty_.store(true, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  FlowTable& operator=(FlowTable&& o) noexcept {
+    rules_ = std::move(o.rules_);
+    index_dirty_.store(true, std::memory_order_relaxed);
+    o.index_dirty_.store(true, std::memory_order_relaxed);
+    return *this;
+  }
+
   /// OFPFC_ADD: inserts `rule`; replaces an existing entry with identical
   /// match and priority (OpenFlow overlap-replace semantics).
   void add(const Rule& rule);
@@ -52,11 +78,30 @@ class FlowTable {
   /// All rules overlapping `rule`, split by priority relative to it.
   /// Same-priority overlapping rules are reported in `higher` (conservative:
   /// the spec leaves their interaction undefined, so probes must avoid them).
+  ///
+  /// Backed by a lazily built per-field value index: candidates are drawn
+  /// from the bucket of the query's most discriminating indexed field plus
+  /// that field's loose rules, instead of scanning the whole table — the
+  /// dominant cost of whole-table probe generation (§8.2).  Results are
+  /// identical to a linear scan, in descending-priority table order.
   struct OverlapSets {
     std::vector<const Rule*> higher;  // descending priority
     std::vector<const Rule*> lower;   // descending priority
   };
-  [[nodiscard]] OverlapSets overlapping(const Rule& rule) const;
+  [[nodiscard]] OverlapSets overlapping(const Rule& rule) const {
+    OverlapSets out;
+    overlapping_into(rule, out);
+    return out;
+  }
+
+  /// overlapping() into a caller-owned result, so per-query callers can
+  /// reuse the vectors' capacity.
+  void overlapping_into(const Rule& rule, OverlapSets& out) const;
+
+  /// Builds the overlap index now if it is stale.  overlapping() does this
+  /// on demand (thread-safely); batch probe generation calls it once up
+  /// front so worker threads never contend on the build.
+  void ensure_overlap_index() const;
 
   [[nodiscard]] const Rule* find_by_cookie(std::uint64_t cookie) const;
   [[nodiscard]] const Rule* find_strict(const Match& match,
@@ -74,8 +119,34 @@ class FlowTable {
   }
 
  private:
+  // One per-field posting structure of the overlap index.  A rule whose
+  // match fully specifies the top `key_bits` of the field lands in the
+  // bucket keyed by those bits; every other rule (wildcard, short prefix,
+  // exotic ternary mask) is "loose" on this field.  Two rules can only
+  // overlap if they share a bucket key or one of them is loose, so
+  // bucket[key] ∪ loose is a complete candidate set for keyable queries.
+  struct FieldIndex {
+    int key_bits = 0;
+    int bit_offset = 0;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    std::vector<std::uint32_t> loose;  // rule indices, ascending (= priority order)
+  };
+
+  void rebuild_overlap_index() const;
+  /// Extracts the index key of `m` on the field at `offset`/`key_bits`;
+  /// nullopt when the match does not fully specify those bits.
+  static std::optional<std::uint64_t> index_key(const Match& m, int bit_offset,
+                                                int key_bits);
+
   // Descending priority; stable insertion order within equal priorities.
   std::vector<Rule> rules_;
+
+  // Lazily (re)built overlap index; the dirty flag is atomic so queries on
+  // a clean index (the batch workers' steady state) skip the mutex, which
+  // only serializes the rebuild itself.
+  mutable std::mutex index_mutex_;
+  mutable std::atomic<bool> index_dirty_{true};
+  mutable std::vector<FieldIndex> index_;
 };
 
 }  // namespace monocle::openflow

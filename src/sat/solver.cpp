@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace monocle::sat {
@@ -9,15 +10,14 @@ Solver::Solver() = default;
 
 Solver::Solver(const CnfFormula& formula) { load(formula); }
 
-void Solver::reserve_vars(Var n) {
-  if (static_cast<std::size_t>(n) <= num_vars_) return;
+void Solver::grow_vars(Var n) {
   num_vars_ = static_cast<std::size_t>(n);
   vars_.resize(num_vars_);
   watches_.resize(2 * num_vars_);
+  lit_stamp_.resize(2 * num_vars_, 0);
   heap_index_.resize(num_vars_, -1);
-  for (std::uint32_t v = 0; v < num_vars_; ++v) {
-    if (heap_index_[v] < 0 && vars_[v].assign == kUndef) heap_insert(v);
-  }
+  // New variables enter the heap on their first clause occurrence.
+  occurs_.resize(num_vars_, 0);
 }
 
 void Solver::load(const CnfFormula& formula) {
@@ -34,21 +34,59 @@ void Solver::load(const CnfFormula& formula) {
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
-  // Normalize: dedupe, drop tautologies.
-  std::vector<ILit> ils;
-  ils.reserve(lits.size());
+  assert(trail_lim_.empty() && "clauses may only be added between solves");
+  if (unsat_) return false;
   Var max_var = 0;
   for (const Lit l : lits) {
     max_var = std::max(max_var, l > 0 ? l : -l);
   }
   reserve_vars(max_var);
-  for (const Lit l : lits) {
-    ils.push_back(ilit(l));
+  // Fast paths for the unit/binary clauses incremental sessions add in bulk
+  // (guard retirements and one-directional Tseitin definitions): no scratch
+  // vector, no epoch stamping.
+  if (lits.size() == 1) {
+    const ILit a = ilit(lits[0]);
+    const std::uint8_t va = value(a);
+    if (va == kTrue) return true;
+    if (va == kFalse) {
+      unsat_ = true;
+      return false;
+    }
+    unit_queue_.push_back(a);
+    return true;
   }
-  std::sort(ils.begin(), ils.end());
-  ils.erase(std::unique(ils.begin(), ils.end()), ils.end());
-  for (std::size_t i = 0; i + 1 < ils.size(); ++i) {
-    if (ils[i] == neg(ils[i + 1])) return true;  // tautology
+  if (lits.size() == 2) {
+    const ILit a = ilit(lits[0]);
+    const ILit b = ilit(lits[1]);
+    if (a == neg(b)) return true;  // tautology
+    const std::uint8_t va = value(a);
+    const std::uint8_t vb = value(b);
+    if (va == kTrue || vb == kTrue) return true;  // satisfied at top level
+    if (a == b || vb == kFalse) return add_clause({lits[0]});
+    if (va == kFalse) return add_clause({lits[1]});
+    add_binary_implicit(a, b);
+    return true;
+  }
+  // Normalize in ONE pass that preserves the caller's literal order: dedupe
+  // and tautology-check via an epoch-stamped mark per literal, and drop
+  // literals already falsified at the top level (between solves the trail
+  // holds only level-0 assignments; a clause watched on an already-propagated
+  // literal would miss its implication).  Preserving order matters for the
+  // incremental sessions: they put guard/selector literals first so those
+  // become the watched literals, keeping retired and inactive clauses off
+  // the hot header-bit watch lists.
+  next_epoch();
+  std::vector<ILit>& ils = add_scratch_;
+  ils.clear();
+  ils.reserve(lits.size());
+  for (const Lit l : lits) {
+    const ILit il = ilit(l);
+    if (lit_stamp_[il] == stamp_epoch_) continue;          // duplicate
+    if (lit_stamp_[neg(il)] == stamp_epoch_) return true;  // tautology
+    lit_stamp_[il] = stamp_epoch_;
+    const std::uint8_t v = value(il);
+    if (v == kTrue) return true;  // satisfied at the top level forever
+    if (v == kUndef) ils.push_back(il);
   }
   if (ils.empty()) {
     unsat_ = true;
@@ -58,20 +96,103 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     unit_queue_.push_back(ils[0]);
     return true;
   }
+  if (ils.size() == 2) {
+    add_binary_implicit(ils[0], ils[1]);
+    return true;
+  }
   const std::uint32_t ref = alloc_clause(ils, /*learned=*/false);
   clause_refs_.push_back(ref);
   return true;
 }
 
+bool Solver::add_clause_trusted(std::span<const Lit> lits) {
+  assert(trail_lim_.empty());
+  if (unsat_) return false;
+  Var max_var = 0;
+  for (const Lit l : lits) {
+    max_var = std::max(max_var, l > 0 ? l : -l);
+  }
+  reserve_vars(max_var);
+  std::vector<ILit>& ils = add_scratch_;
+  ils.clear();
+  ils.reserve(lits.size());
+  for (const Lit l : lits) {
+    const ILit il = ilit(l);
+    const std::uint8_t v = value(il);
+    if (v == kTrue) return true;  // satisfied at the top level forever
+    if (v == kUndef) ils.push_back(il);
+  }
+  if (ils.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (ils.size() == 1) {
+    unit_queue_.push_back(ils[0]);
+    return true;
+  }
+  if (ils.size() == 2) {
+    // A trusted clause may still be a duplicated-literal tautology shape;
+    // both literals are distinct undefined ones here, so implicit storage
+    // is safe (an (l, l) pair cannot reach this point: duplicates only
+    // arise across cube/diff parts of clauses longer than two).
+    add_binary_implicit(ils[0], ils[1]);
+    return true;
+  }
+  clause_refs_.push_back(alloc_clause(ils, /*learned=*/false));
+  return true;
+}
+
+void Solver::add_implies_cube(Lit v, std::span<const Lit> cube) {
+  assert(trail_lim_.empty());
+  if (unsat_) return;
+  Var max_var = v > 0 ? v : -v;
+  for (const Lit l : cube) {
+    max_var = std::max(max_var, l > 0 ? l : -l);
+  }
+  reserve_vars(max_var);
+  const ILit nv = neg(ilit(v));
+  assert(value(nv) == kUndef);
+  std::vector<ILit>& ils = add_scratch_;
+  ils.clear();
+  for (const Lit l : cube) {
+    const ILit il = ilit(l);
+    const std::uint8_t vl = value(il);
+    if (vl == kTrue) continue;  // that implication holds at the top level
+    if (vl == kFalse) {         // (¬v ∨ l) reduces to unit ¬v
+      unit_queue_.push_back(nv);
+      return;
+    }
+    ils.push_back(il);
+  }
+  for (const ILit il : ils) {
+    add_binary_implicit(nv, il);
+  }
+}
+
 std::uint32_t Solver::alloc_clause(std::span<const ILit> lits, bool learned) {
   const std::uint32_t ref = static_cast<std::uint32_t>(arena_.size());
+  assert(ref < kBinaryFlag && "arena outgrew the watcher tag space");
   arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                    (learned ? kLearnedFlag : 0));
-  for (const ILit l : lits) arena_.push_back(l);
+  if (learned) arena_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+  for (const ILit l : lits) {
+    mark_occurs(var_of(l));
+    arena_.push_back(l);
+  }
   // Watch the first two literals.
   watches_[neg(lits[0])].push_back({ref, lits[1]});
   watches_[neg(lits[1])].push_back({ref, lits[0]});
   return ref;
+}
+
+float Solver::clause_activity(std::uint32_t ref) const {
+  assert(clause_learned(ref));
+  return std::bit_cast<float>(arena_[ref + 1]);
+}
+
+void Solver::set_clause_activity(std::uint32_t ref, float activity) {
+  assert(clause_learned(ref));
+  arena_[ref + 1] = std::bit_cast<std::uint32_t>(activity);
 }
 
 void Solver::enqueue(ILit l, std::uint32_t reason) {
@@ -92,6 +213,23 @@ std::uint32_t Solver::propagate() {
     for (std::size_t i = 0; i < ws.size(); ++i) {
       const Watcher w = ws[i];
       if (value(w.blocker) == kTrue) {
+        // Satisfied at level 0 means satisfied forever (retired session
+        // clauses in particular): drop the watcher instead of re-walking it
+        // on every future propagation of this literal.
+        if (vars_[var_of(w.blocker)].level != 0) ws[keep++] = w;
+        continue;
+      }
+      if (w.clause_ref & kBinaryFlag) {
+        // Implicit binary (¬p ∨ blocker): blocker is not true here.
+        if (value(w.blocker) == kFalse) {
+          binary_conflict_[0] = w.blocker;
+          binary_conflict_[1] = neg(p);
+          for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+          ws.resize(keep);
+          propagate_head_ = trail_.size();
+          return kBinaryConflict;
+        }
+        enqueue(w.blocker, kBinaryFlag | neg(p));
         ws[keep++] = w;
         continue;
       }
@@ -102,7 +240,7 @@ std::uint32_t Solver::propagate() {
       const ILit not_p = neg(p);
       if (lits[0] == not_p) std::swap(lits[0], lits[1]);
       if (value(lits[0]) == kTrue) {
-        ws[keep++] = {ref, lits[0]};
+        if (vars_[var_of(lits[0])].level != 0) ws[keep++] = {ref, lits[0]};
         continue;
       }
       // Find a new watch.
@@ -142,19 +280,14 @@ void Solver::bump_var(std::uint32_t v) {
 }
 
 void Solver::bump_clause(std::uint32_t ref) {
-  // Find index in learned_refs_ lazily is too slow; store activity via map
-  // from ref. We instead bump by scanning only when reducing; keep a simple
-  // per-ref activity in a hash-free way: learned clause activity lives in
-  // clause_activity_ parallel to learned_refs_, located by binary search
-  // (learned_refs_ is append-only and sorted by construction).
-  const auto it = std::lower_bound(learned_refs_.begin(), learned_refs_.end(), ref);
-  if (it != learned_refs_.end() && *it == ref) {
-    const std::size_t idx = static_cast<std::size_t>(it - learned_refs_.begin());
-    clause_activity_[idx] += clause_inc_;
-    if (clause_activity_[idx] > 1e20) {
-      for (auto& a : clause_activity_) a *= 1e-20;
-      clause_inc_ *= 1e-20;
+  const float bumped =
+      clause_activity(ref) + static_cast<float>(clause_inc_);
+  set_clause_activity(ref, bumped);
+  if (bumped > 1e20f) {
+    for (const std::uint32_t r : learned_refs_) {
+      set_clause_activity(r, clause_activity(r) * 1e-20f);
     }
+    clause_inc_ *= 1e-20;
   }
 }
 
@@ -170,8 +303,18 @@ bool Solver::literal_redundant(ILit l, std::uint32_t abstract_levels) {
       for (const std::uint32_t v : to_clear) vars_[v].seen = 0;
       return false;
     }
-    const std::uint32_t size = clause_size(vs.reason);
-    const ILit* lits = clause_lits(vs.reason);
+    ILit bin[2];
+    const ILit* lits;
+    std::uint32_t size;
+    if (vs.reason & kBinaryFlag) {
+      bin[0] = q;  // skipped via the var_of(q) test below
+      bin[1] = vs.reason & ~kBinaryFlag;
+      lits = bin;
+      size = 2;
+    } else {
+      size = clause_size(vs.reason);
+      lits = clause_lits(vs.reason);
+    }
     for (std::uint32_t i = 0; i < size; ++i) {
       const ILit r = lits[i];
       const std::uint32_t v = var_of(r);
@@ -203,10 +346,24 @@ void Solver::analyze(std::uint32_t conflict, std::vector<ILit>& learned,
   std::size_t index = trail_.size();
   std::vector<std::uint32_t> seen_vars;
 
+  ILit bin[2] = {0, 0};
   for (;;) {
-    const std::uint32_t size = clause_size(reason);
-    const ILit* lits = clause_lits(reason);
-    if (clause_learned(reason)) bump_clause(reason);
+    const ILit* lits;
+    std::uint32_t size;
+    if (reason == kBinaryConflict) {
+      lits = binary_conflict_;
+      size = 2;
+    } else if (reason & kBinaryFlag) {
+      // Implicit binary reason (p ∨ other): slot 0 is the propagated
+      // literal, skipped below via start == 1.
+      bin[1] = reason & ~kBinaryFlag;
+      lits = bin;
+      size = 2;
+    } else {
+      size = clause_size(reason);
+      lits = clause_lits(reason);
+      if (clause_learned(reason)) bump_clause(reason);
+    }
     const std::uint32_t start = (p == UINT32_MAX) ? 0 : 1;
     for (std::uint32_t i = start; i < size; ++i) {
       const ILit q = lits[i];
@@ -274,7 +431,7 @@ void Solver::backtrack(std::uint32_t level) {
     vars_[v].saved_phase = vars_[v].assign;
     vars_[v].assign = kUndef;
     vars_[v].reason = UINT32_MAX;
-    if (heap_index_[v] < 0) heap_insert(v);
+    if (occurs_[v] && heap_index_[v] < 0) heap_insert(v);
   }
   trail_.resize(bound);
   trail_lim_.resize(level);
@@ -292,16 +449,46 @@ Solver::ILit Solver::pick_branch() {
   return UINT32_MAX;
 }
 
+void Solver::snapshot_model() {
+  const std::size_t limit =
+      model_limit_ == 0 ? num_vars_ : std::min(model_limit_, num_vars_);
+  model_.resize(limit);
+  for (std::size_t v = 0; v < limit; ++v) {
+    model_[v] = vars_[v].assign == kTrue ? 1 : 0;
+  }
+}
+
+void Solver::compact_watchlists_for(const std::vector<std::uint32_t>& refs) {
+  // Remove every arena-backed watcher (and dead binaries) from the lists of
+  // the given clauses' watched literals, visiting each list at most once.
+  // Implicit live binaries are preserved — unlike a blanket clear, this
+  // keeps them valid across arena rebuilds.
+  next_epoch();
+  for (const std::uint32_t ref : refs) {
+    const ILit* lits = clause_lits(ref);
+    for (int side = 0; side < 2; ++side) {
+      const ILit w = neg(lits[side]);
+      if (lit_stamp_[w] == stamp_epoch_) continue;
+      lit_stamp_[w] = stamp_epoch_;
+      std::erase_if(watches_[w], [&](const Watcher& entry) {
+        if (!(entry.clause_ref & kBinaryFlag)) return true;  // arena-backed
+        return value(entry.blocker) == kTrue &&
+               vars_[var_of(entry.blocker)].level == 0;  // dead binary
+      });
+    }
+  }
+}
+
 void Solver::reduce_learned_db() {
   if (learned_refs_.size() < 2) return;
   // Keep the most active half.  Binary reasons cannot be removed safely if
   // they are reasons of current assignments; with level-0 backtrack before
   // reduce (we only reduce right after a restart) nothing is locked except
-  // level-0 implications whose reasons we clear.
+  // level-0 implications whose reasons we keep below.
   std::vector<std::size_t> order(learned_refs_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return clause_activity_[a] > clause_activity_[b];
+    return clause_activity(learned_refs_[a]) > clause_activity(learned_refs_[b]);
   });
   const std::size_t keep_count = learned_refs_.size() / 2;
   std::vector<bool> keep(learned_refs_.size(), false);
@@ -309,7 +496,7 @@ void Solver::reduce_learned_db() {
   // Clauses that are reasons for level-0 assignments must stay.
   for (const ILit l : trail_) {
     const std::uint32_t reason = vars_[var_of(l)].reason;
-    if (reason == UINT32_MAX) continue;
+    if (reason & kBinaryFlag) continue;  // implicit binary or no reason
     const auto it =
         std::lower_bound(learned_refs_.begin(), learned_refs_.end(), reason);
     if (it != learned_refs_.end() && *it == reason) {
@@ -317,41 +504,40 @@ void Solver::reduce_learned_db() {
     }
   }
 
-  // Rebuild arena and watches.
+  // Drop every stale arena-backed watcher while the old refs and arena are
+  // still intact; live implicit-binary watchers are preserved in place.
+  compact_watchlists_for(clause_refs_);
+  compact_watchlists_for(learned_refs_);
+
+  // Rebuild the arena.
   std::vector<std::uint32_t> new_arena;
   new_arena.reserve(arena_.size());
   std::vector<std::uint32_t> remap(arena_.size(), UINT32_MAX);
   auto copy_clause = [&](std::uint32_t ref) {
     const std::uint32_t new_ref = static_cast<std::uint32_t>(new_arena.size());
-    const std::uint32_t size = clause_size(ref);
-    new_arena.push_back(arena_[ref]);
-    for (std::uint32_t i = 0; i < size; ++i) {
-      new_arena.push_back(arena_[ref + 1 + i]);
+    const std::uint32_t words = clause_words(ref);
+    for (std::uint32_t i = 0; i < words; ++i) {
+      new_arena.push_back(arena_[ref + i]);
     }
     remap[ref] = new_ref;
     return new_ref;
   };
   for (auto& ref : clause_refs_) ref = copy_clause(ref);
   std::vector<std::uint32_t> new_learned;
-  std::vector<double> new_activity;
   for (std::size_t i = 0; i < learned_refs_.size(); ++i) {
-    if (keep[i]) {
-      new_learned.push_back(copy_clause(learned_refs_[i]));
-      new_activity.push_back(clause_activity_[i]);
-    }
+    if (keep[i]) new_learned.push_back(copy_clause(learned_refs_[i]));
   }
   learned_refs_ = std::move(new_learned);
-  clause_activity_ = std::move(new_activity);
   arena_ = std::move(new_arena);
-  // Remap reasons.
+  // Remap reasons.  Binary reasons and UINT32_MAX both carry kBinaryFlag and
+  // reference no arena clause.
   for (auto& vs : vars_) {
-    if (vs.reason != UINT32_MAX) {
+    if (!(vs.reason & kBinaryFlag)) {
       assert(remap[vs.reason] != UINT32_MAX);
       vs.reason = remap[vs.reason];
     }
   }
-  // Rebuild watch lists.
-  for (auto& w : watches_) w.clear();
+  // Re-register the surviving clauses' watches.
   auto rewatch = [&](std::uint32_t ref) {
     const ILit* lits = clause_lits(ref);
     watches_[neg(lits[0])].push_back({ref, lits[1]});
@@ -359,6 +545,88 @@ void Solver::reduce_learned_db() {
   };
   for (const auto ref : clause_refs_) rewatch(ref);
   for (const auto ref : learned_refs_) rewatch(ref);
+}
+
+bool Solver::simplify() {
+  assert(trail_lim_.empty());
+  if (unsat_) return false;
+  // Flush pending top-level units so retirement units take effect now.
+  for (const ILit l : unit_queue_) {
+    if (value(l) == kFalse) {
+      unsat_ = true;
+      return false;
+    }
+    if (value(l) == kUndef) enqueue(l, UINT32_MAX);
+  }
+  unit_queue_.clear();
+  if (propagate() != UINT32_MAX) {
+    unsat_ = true;
+    return false;
+  }
+  // Level-0 assignments are permanent; conflict analysis never walks their
+  // reasons, so the reasons can be cleared before clauses move around.
+  for (const ILit l : trail_) vars_[var_of(l)].reason = UINT32_MAX;
+
+  std::vector<std::uint32_t> new_arena;
+  new_arena.reserve(arena_.size());
+  auto sweep = [&](std::vector<std::uint32_t>& refs) {
+    std::size_t kept_clauses = 0;
+    for (const std::uint32_t ref : refs) {
+      const std::uint32_t size = clause_size(ref);
+      ILit* lits = clause_lits(ref);
+      std::uint32_t kept = 0;
+      bool satisfied = false;
+      for (std::uint32_t i = 0; i < size && !satisfied; ++i) {
+        const std::uint8_t v = value(lits[i]);
+        if (v == kTrue) {
+          satisfied = true;
+        } else if (v == kUndef) {
+          lits[kept++] = lits[i];
+        }
+        // kFalse at level 0: drop the literal.
+      }
+      if (satisfied) continue;
+      assert(kept >= 2 && "units/conflicts are found by propagate above");
+      const std::uint32_t new_ref =
+          static_cast<std::uint32_t>(new_arena.size());
+      new_arena.push_back((kept << 2) | (arena_[ref] & kLearnedFlag));
+      if (clause_learned(ref)) new_arena.push_back(arena_[ref + 1]);
+      for (std::uint32_t i = 0; i < kept; ++i) new_arena.push_back(lits[i]);
+      refs[kept_clauses++] = new_ref;
+    }
+    refs.resize(kept_clauses);
+  };
+  // Free the watch lists of variables assigned at level 0 since the last
+  // sweep (retired session variables): those variables never propagate
+  // again, so their lists — holding the parked watchers of dead clauses —
+  // are unreachable, and live clauses cannot watch a top-level-assigned
+  // literal (add_clause filters them, the sweep below removes them).
+  for (std::size_t i = dead_var_sweep_pos_; i < trail_.size(); ++i) {
+    const std::uint32_t v = var_of(trail_[i]);
+    std::vector<Watcher>().swap(watches_[2 * v]);
+    std::vector<Watcher>().swap(watches_[2 * v + 1]);
+  }
+  dead_var_sweep_pos_ = trail_.size();
+
+  // Drop stale arena-backed watchers from the remaining touched lists (at
+  // most once per list); live implicit binaries stay in place — the watched
+  // literals are always lits[0] and lits[1], an invariant propagate
+  // maintains, so only those lists need visiting.
+  compact_watchlists_for(clause_refs_);
+  compact_watchlists_for(learned_refs_);
+
+  sweep(clause_refs_);
+  sweep(learned_refs_);
+  arena_ = std::move(new_arena);
+
+  auto rewatch = [&](std::uint32_t ref) {
+    const ILit* lits = clause_lits(ref);
+    watches_[neg(lits[0])].push_back({ref, lits[1]});
+    watches_[neg(lits[1])].push_back({ref, lits[0]});
+  };
+  for (const auto ref : clause_refs_) rewatch(ref);
+  for (const auto ref : learned_refs_) rewatch(ref);
+  return true;
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) {
@@ -377,9 +645,16 @@ std::uint64_t Solver::luby(std::uint64_t i) {
   return 1ull << seq;
 }
 
-SolveResult Solver::solve(std::int64_t conflict_budget) {
+SolveResult Solver::solve(std::span<const Lit> assumptions,
+                          std::int64_t conflict_budget) {
   if (unsat_) return SolveResult::kUnsat;
-  // Top-level units.
+  assert(trail_lim_.empty());
+  ++stats_.solve_calls;
+  for (const Lit a : assumptions) {
+    assert(a != 0);
+    reserve_vars(a > 0 ? a : -a);
+  }
+  // Top-level units queued since the last call.
   for (const ILit l : unit_queue_) {
     if (value(l) == kFalse) {
       unsat_ = true;
@@ -398,7 +673,6 @@ SolveResult Solver::solve(std::int64_t conflict_budget) {
   std::uint64_t conflicts_until_restart = 32 * luby(restart_number);
   std::uint64_t conflicts_in_run = 0;
   std::int64_t remaining = conflict_budget;
-  std::size_t reduce_threshold = 4000;
 
   for (;;) {
     const std::uint32_t conflict = propagate();
@@ -409,16 +683,26 @@ SolveResult Solver::solve(std::int64_t conflict_budget) {
         backtrack(0);
         return SolveResult::kUnknown;
       }
-      if (trail_lim_.empty()) return SolveResult::kUnsat;
+      if (trail_lim_.empty()) {
+        // Conflict with no decisions at all: the formula itself is UNSAT
+        // (assumptions sit at decision levels >= 1 and have been undone).
+        unsat_ = true;
+        return SolveResult::kUnsat;
+      }
       std::uint32_t backjump_level = 0;
       analyze(conflict, learned, backjump_level);
       backtrack(backjump_level);
       if (learned.size() == 1) {
         enqueue(learned[0], UINT32_MAX);
+      } else if (learned.size() == 2) {
+        // Learned binaries are implicit too; they are kept forever (never
+        // part of the learned-DB reduction), the standard treatment.
+        add_binary_implicit(learned[0], learned[1]);
+        enqueue(learned[0], kBinaryFlag | learned[1]);
       } else {
         const std::uint32_t ref = alloc_clause(learned, /*learned=*/true);
+        set_clause_activity(ref, static_cast<float>(clause_inc_));
         learned_refs_.push_back(ref);
-        clause_activity_.push_back(clause_inc_);
         enqueue(learned[0], ref);
       }
       decay_var_activity();
@@ -430,14 +714,40 @@ SolveResult Solver::solve(std::int64_t conflict_budget) {
         conflicts_in_run = 0;
         conflicts_until_restart = 32 * luby(restart_number);
         backtrack(0);
-        if (learned_refs_.size() > reduce_threshold) {
+        if (learned_refs_.size() > reduce_threshold_) {
           reduce_learned_db();
-          reduce_threshold = reduce_threshold * 3 / 2;
+          reduce_threshold_ = reduce_threshold_ * 3 / 2;
         }
         continue;
       }
-      const ILit next = pick_branch();
-      if (next == UINT32_MAX) return SolveResult::kSat;  // all assigned
+      // Re-assert any assumptions not currently on the trail (a backjump or
+      // restart may have undone them).  Each gets its own decision level so
+      // conflict analysis treats it as a regular decision.
+      ILit next = UINT32_MAX;
+      while (trail_lim_.size() < assumptions.size()) {
+        const ILit a = ilit(assumptions[trail_lim_.size()]);
+        const std::uint8_t v = value(a);
+        if (v == kTrue) {
+          trail_lim_.push_back(trail_.size());  // already implied: empty level
+        } else if (v == kFalse) {
+          // The formula forces the negation of this assumption: UNSAT under
+          // assumptions, but the solver stays usable.
+          backtrack(0);
+          return SolveResult::kUnsat;
+        } else {
+          next = a;
+          ++stats_.decisions;
+          break;
+        }
+      }
+      if (next == UINT32_MAX) {
+        next = pick_branch();
+        if (next == UINT32_MAX) {  // all variables assigned
+          snapshot_model();
+          backtrack(0);
+          return SolveResult::kSat;
+        }
+      }
       trail_lim_.push_back(trail_.size());
       enqueue(next, UINT32_MAX);
     }
@@ -445,8 +755,8 @@ SolveResult Solver::solve(std::int64_t conflict_budget) {
 }
 
 bool Solver::model_value(Var v) const {
-  assert(v >= 1 && static_cast<std::size_t>(v) <= num_vars_);
-  return vars_[static_cast<std::size_t>(v - 1)].assign == kTrue;
+  assert(v >= 1 && static_cast<std::size_t>(v) <= model_.size());
+  return model_[static_cast<std::size_t>(v - 1)] != 0;
 }
 
 // ---- indexed heap ----------------------------------------------------------
@@ -503,7 +813,7 @@ void Solver::rebuild_heap() {
   heap_.clear();
   for (std::uint32_t v = 0; v < num_vars_; ++v) {
     heap_index_[v] = -1;
-    if (vars_[v].assign == kUndef) heap_insert(v);
+    if (occurs_[v] && vars_[v].assign == kUndef) heap_insert(v);
   }
 }
 
