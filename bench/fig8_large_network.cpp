@@ -1,4 +1,5 @@
-// Figure 8 reproduction: batched path updates in a larger network.
+// Figure 8 reproduction: batched path updates in a larger network — plus
+// the fleet steady-state extension.
 //
 // Paper (§8.4, Figure 8): a k=4 FatTree of 20 Pica8-emulated switches, with
 // a hypervisor switch (reliable acknowledgments) under each of the 8 ToR
@@ -7,12 +8,24 @@
 // new path updates every 10 ms.  Monocle's probing competes with rule
 // modifications for control bandwidth, yet the whole update finishes only
 // ~350 ms later than on a network of 28 ideal switches.
+//
+// Fleet extension (not in the paper): the same 20-switch fabric monitored
+// network-wide through monocle::Fleet, comparing the per-switch sequential
+// round schedule (one switch probes at a time) against the coloring-driven
+// schedule (all switches of one color class probe concurrently; conflict
+// radius 2, so co-scheduled switches share no catcher).  Rounds are timed
+// from injection to the last probe resolving; results also land in
+// BENCH_fleet.json.
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <random>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "monocle/fleet.hpp"
 #include "monocle/monitor.hpp"
+#include "monocle/schedule.hpp"
 #include "switchsim/testbed.hpp"
 #include "topo/generators.hpp"
 #include "workloads/forwarding.hpp"
@@ -228,6 +241,111 @@ RunResult run(bool with_monocle, std::size_t n_paths, std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet steady-state phase: sequential vs coloring rounds
+// ---------------------------------------------------------------------------
+
+struct FleetRunResult {
+  std::size_t shards = 0;
+  std::size_t schedule_rounds = 0;   // rounds in one schedule rotation
+  std::size_t rounds_driven = 0;     // rounds until full coverage
+  std::vector<double> round_ms;      // per-round latency (inject -> drained)
+  double coverage_s = 0;             // time to probe every rule once
+  std::uint64_t probes = 0;
+  std::size_t rules = 0;
+};
+
+/// Times fleet probe rounds on a k=4 FatTree of Pica8-emulated switches:
+/// each round is injected, then the sim runs until every probe of the round
+/// resolved (caught or timed out).  Coverage = every monitorable rule
+/// probed at least once.
+FleetRunResult run_fleet(bool coloring, std::size_t rules_per_switch) {
+  EventQueue eq;
+  const topo::Topology topo = topo::make_fattree(kFatTreeK);
+
+  Testbed::Options opts;
+  opts.use_fleet = true;
+  opts.monitor.probe_timeout = 150 * kMillisecond;
+  opts.fleet.probes_per_switch = 4;
+  opts.model_for = [](topo::NodeId) { return SwitchModel::pica8_emulated(); };
+  Testbed bed(&eq, topo, SwitchModel::pica8_emulated(), opts);
+  Fleet& fleet = *bed.fleet();
+
+  std::vector<SwitchId> dpids;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    const SwitchId sw = bed.dpid_of(n);
+    dpids.push_back(sw);
+    // Round-robin routes over the switch's real ports so probes exercise
+    // every link.
+    for (const openflow::Rule& r : workloads::l3_host_routes_even(
+             rules_per_switch, bed.network().ports(sw))) {
+      bed.monitor(sw)->seed_rule(r);
+      bed.sw(sw)->mutable_dataplane().add(r);
+    }
+  }
+  if (!coloring) {
+    fleet.set_schedule(monocle::RoundSchedule::sequential(dpids));
+  }  // else: the coloring schedule built by the Testbed stays in place
+
+  fleet.prepare();
+  eq.run_until(300 * kMillisecond);  // catching rules settle
+
+  FleetRunResult out;
+  out.shards = fleet.shard_count();
+  out.schedule_rounds = fleet.schedule().round_count();
+  out.rules = fleet.monitorable_rule_count();
+  const SimTime t0 = eq.now();
+  // Drive rounds back-to-back (next round as soon as the previous drained)
+  // until every rule was probed once; time each round individually.
+  while (fleet.stats().probes_injected < out.rules) {
+    const SimTime round_start = eq.now();
+    if (fleet.start_round() == 0) continue;  // empty color class
+    const SimTime horizon = round_start + 2 * kSecond;
+    while (fleet.outstanding_probes() > 0 && eq.now() < horizon &&
+           eq.run_one()) {
+    }
+    out.round_ms.push_back(netbase::to_millis(eq.now() - round_start));
+    ++out.rounds_driven;
+  }
+  out.coverage_s = netbase::to_seconds(eq.now() - t0);
+  out.probes = fleet.stats().probes_injected;
+  return out;
+}
+
+double max_round_ms(const FleetRunResult& r) {
+  return r.round_ms.empty()
+             ? 0.0
+             : *std::max_element(r.round_ms.begin(), r.round_ms.end());
+}
+
+void print_fleet(const char* label, const FleetRunResult& r) {
+  std::printf("  %-12s %zu shards, %4zu rules, %3zu-round schedule: "
+              "%4zu rounds to full coverage in %6.1f ms; per-round latency "
+              "mean %6.2f ms, max %6.2f ms\n",
+              label, r.shards, r.rules, r.schedule_rounds, r.rounds_driven,
+              r.coverage_s * 1e3, monocle::bench::mean(r.round_ms),
+              max_round_ms(r));
+}
+
+void json_fleet(std::FILE* f, const char* key, const FleetRunResult& r,
+                bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\n"
+               "      \"shards\": %zu,\n"
+               "      \"rules\": %zu,\n"
+               "      \"schedule_rounds\": %zu,\n"
+               "      \"rounds_to_coverage\": %zu,\n"
+               "      \"coverage_ms\": %.3f,\n"
+               "      \"round_latency_ms_mean\": %.3f,\n"
+               "      \"round_latency_ms_max\": %.3f,\n"
+               "      \"probes_injected\": %llu\n"
+               "    }%s\n",
+               key, r.shards, r.rules, r.schedule_rounds, r.rounds_driven,
+               r.coverage_s * 1e3, monocle::bench::mean(r.round_ms),
+               max_round_ms(r),
+               static_cast<unsigned long long>(r.probes), last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,5 +369,42 @@ int main(int argc, char** argv) {
               "(+%.0f ms; paper: +350 ms)\n",
               ideal.total_s, monocle_run.total_s,
               (monocle_run.total_s - ideal.total_s) * 1e3);
-  return 0;
+
+  // --- Fleet steady-state phase -----------------------------------------
+  const auto rules_per_switch = static_cast<std::size_t>(
+      monocle::bench::flag_int(argc, argv, "fleet-rules", 40));
+  std::printf("\n=== Fleet steady state: sequential vs coloring rounds "
+              "(%zu rules/switch) ===\n",
+              rules_per_switch);
+  const FleetRunResult sequential = run_fleet(false, rules_per_switch);
+  const FleetRunResult colored = run_fleet(true, rules_per_switch);
+  print_fleet("sequential", sequential);
+  print_fleet("coloring", colored);
+  const double seq_mean = monocle::bench::mean(sequential.round_ms);
+  const double col_mean = monocle::bench::mean(colored.round_ms);
+  // Acceptance: coloring rounds probe several switches concurrently yet a
+  // round must not take longer than the one-switch sequential baseline
+  // (co-scheduled switches share no catcher).  10% tolerance for the
+  // virtual-time rate-limiter interleavings.
+  const bool no_worse = col_mean <= seq_mean * 1.10;
+  const double speedup = colored.coverage_s > 0
+                             ? sequential.coverage_s / colored.coverage_s
+                             : 1.0;  // degenerate 0-rule run
+  std::printf("  per-round latency: coloring %.2f ms vs sequential %.2f ms "
+              "-> %s; full-coverage speedup %.2fx\n",
+              col_mean, seq_mean, no_worse ? "NO WORSE (pass)" : "WORSE (FAIL)",
+              speedup);
+
+  if (std::FILE* json = std::fopen("BENCH_fleet.json", "w")) {
+    std::fprintf(json, "{\n  \"fig8_fleet\": {\n");
+    json_fleet(json, "sequential", sequential, false);
+    json_fleet(json, "coloring", colored, false);
+    std::fprintf(json,
+                 "    \"round_latency_no_worse\": %s,\n"
+                 "    \"coverage_speedup\": %.3f\n  }\n}\n",
+                 no_worse ? "true" : "false", speedup);
+    std::fclose(json);
+    std::printf("  (wrote BENCH_fleet.json)\n");
+  }
+  return no_worse ? 0 : 1;
 }

@@ -10,11 +10,19 @@
 //
 // We run the same three series on the synthetic suites and print the CDF
 // breakpoints (value -> fraction of topologies needing <= value).
+//
+// Fleet extension: the same square-graph coloring drives the Fleet's probe
+// rounds (monocle::RoundSchedule, conflict radius 2) — the color count is
+// the schedule length, and n/colors the average probing parallelism per
+// round.  A fourth series reports rounds and parallelism across the
+// Zoo-like suite plus the concrete FatTrees, machine-readably in
+// BENCH_fleet_rounds.json.
 #include <algorithm>
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.hpp"
+#include "monocle/schedule.hpp"
 #include "topo/coloring.hpp"
 #include "topo/generators.hpp"
 
@@ -71,21 +79,72 @@ int main(int argc, char** argv) {
   {
     auto suite = topo::zoo_like_suite(2026);
     if (quick) suite.resize(60);
-    Series none, c1, c2;
+    Series none, c1, c2, rounds;
+    double parallelism_sum = 0;
+    std::size_t schedules_checked = 0;
     for (const auto& g : suite) {
       none.add(static_cast<int>(g.node_count()));
       c1.add(coloring1_colors(g));
       c2.add(coloring2_colors(g));
+      // Fleet probe-round schedule over the same square coloring.
+      std::vector<monocle::SwitchId> ids;
+      ids.reserve(g.node_count());
+      for (topo::NodeId n = 0; n < g.node_count(); ++n) ids.push_back(n + 1);
+      const monocle::RoundSchedule sched = monocle::RoundSchedule::build(g, ids);
+      if (!sched.valid()) {
+        std::fprintf(stderr, "BUG: invalid round schedule for %s\n",
+                     g.name.c_str());
+        return 1;
+      }
+      ++schedules_checked;
+      rounds.add(static_cast<int>(sched.round_count()));
+      parallelism_sum += static_cast<double>(g.node_count()) /
+                         static_cast<double>(sched.round_count());
     }
     std::printf("Topology-Zoo-like suite (%zu networks, 4..754 switches):\n",
                 suite.size());
     none.print_cdf("No coloring");
     c1.print_cdf("Coloring (1)");
     c2.print_cdf("Coloring (2)");
+    rounds.print_cdf("Fleet rounds");
     std::printf("  paper: coloring(1) max 9 at up to 754 switches; "
                 "coloring(2) max 59\n");
-    std::printf("  measured: coloring(1) max %d; coloring(2) max %d\n\n",
+    std::printf("  measured: coloring(1) max %d; coloring(2) max %d\n",
                 c1.max(), c2.max());
+    std::printf("  fleet: %zu/%zu schedules proper; max %d rounds; avg "
+                "probing parallelism %.1f switches/round\n\n",
+                schedules_checked, suite.size(), rounds.max(),
+                parallelism_sum / static_cast<double>(suite.size()));
+
+    // FatTree schedules (the fig8 fabric and two larger ones).
+    if (std::FILE* json = std::fopen("BENCH_fleet_rounds.json", "w")) {
+      std::fprintf(json,
+                   "{\n  \"zoo_like\": {\n    \"networks\": %zu,\n"
+                   "    \"max_rounds\": %d,\n"
+                   "    \"avg_parallelism\": %.3f\n  },\n  \"fattree\": {\n",
+                   suite.size(), rounds.max(),
+                   parallelism_sum / static_cast<double>(suite.size()));
+      bool first = true;
+      for (const int k : {4, 6, 8}) {
+        const topo::Topology ft = topo::make_fattree(k);
+        std::vector<monocle::SwitchId> ids;
+        for (topo::NodeId n = 0; n < ft.node_count(); ++n) ids.push_back(n + 1);
+        const monocle::RoundSchedule sched =
+            monocle::RoundSchedule::build(ft, ids);
+        std::printf("  fattree k=%d: %zu switches -> %zu rounds "
+                    "(max %zu switches/round)%s\n",
+                    k, ft.node_count(), sched.round_count(),
+                    sched.max_round_size(), sched.valid() ? "" : " INVALID");
+        std::fprintf(json, "%s    \"k%d\": {\"switches\": %zu, \"rounds\": %zu, "
+                     "\"max_round_size\": %zu}",
+                     first ? "" : ",\n", k, ft.node_count(),
+                     sched.round_count(), sched.max_round_size());
+        first = false;
+      }
+      std::fprintf(json, "\n  }\n}\n");
+      std::fclose(json);
+      std::printf("  (wrote BENCH_fleet_rounds.json)\n\n");
+    }
   }
 
   {

@@ -1,0 +1,190 @@
+#include "monocle/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace monocle {
+
+Fleet::Fleet(Config config, Runtime* runtime, const NetworkView* view,
+             const CatchPlan* plan)
+    : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan) {}
+
+Fleet::~Fleet() { stop(); }
+
+Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
+  Monitor::Config cfg = config_.monitor;
+  cfg.switch_id = sw;
+  cfg.steady_probe_rate = 0;  // the Fleet paces probing via rounds
+  cfg.batch_threads = 1;      // the warm-up pool parallelizes ACROSS shards
+  // Chain the alarm hook: the Fleet sees every alarm first (debounced
+  // localization), then the caller's observer runs.
+  auto user_alarm = std::move(hooks.on_alarm);
+  hooks.on_alarm = [this, user_alarm = std::move(user_alarm)](
+                       const RuleAlarm& alarm) {
+    ++stats_.alarms;
+    note_alarm();
+    if (user_alarm) user_alarm(alarm);
+  };
+  auto monitor =
+      std::make_unique<Monitor>(cfg, runtime_, view_, plan_, std::move(hooks));
+  Monitor* raw = monitor.get();
+  shards_[sw] = std::move(monitor);
+  return raw;
+}
+
+bool Fleet::remove_shard(SwitchId sw) {
+  const auto it = shards_.find(sw);
+  if (it == shards_.end()) return false;
+  it->second->stop();
+  shards_.erase(it);
+  if (config_.on_shard_removed) config_.on_shard_removed(sw);
+  return true;
+}
+
+Monitor* Fleet::monitor(SwitchId sw) const {
+  const auto it = shards_.find(sw);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+void Fleet::set_schedule(RoundSchedule schedule) {
+  schedule_ = std::move(schedule);
+  cursor_ = 0;
+}
+
+void Fleet::warm_caches() {
+  if (!config_.monitor.batch_generation) return;  // lazy path stays lazy
+  std::vector<Monitor*> work;
+  work.reserve(shards_.size());
+  for (auto& [sw, monitor] : shards_) work.push_back(monitor.get());
+  if (work.empty()) return;
+
+  std::size_t threads = config_.warmup_threads > 0
+                            ? static_cast<std::size_t>(config_.warmup_threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, work.size());
+  if (threads <= 1) {
+    for (Monitor* monitor : work) monitor->warm_probe_cache();
+    return;
+  }
+  // Shared pool: each worker warms whole shards (a shard's batch session
+  // pipeline is single-threaded, so shards are the unit of parallelism).
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < work.size();
+           i = next.fetch_add(1)) {
+        work[i]->warm_probe_cache();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+void Fleet::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  if (schedule_.round_count() == 0) {
+    // Sequential fallback: one shard per round, ascending switch id.
+    std::vector<SwitchId> ids;
+    ids.reserve(shards_.size());
+    for (const auto& [sw, monitor] : shards_) ids.push_back(sw);
+    schedule_ = RoundSchedule::sequential(ids);
+  }
+  for (auto& [sw, monitor] : shards_) monitor->install_infrastructure();
+  warm_caches();
+  for (auto& [sw, monitor] : shards_) monitor->start_externally_paced();
+}
+
+void Fleet::start() {
+  if (running_) return;
+  prepare();
+  running_ = true;
+  round_timer_ = runtime_->schedule(config_.warmup, [this] {
+    round_timer_ = 0;
+    if (!running_) return;
+    start_round();
+    schedule_next_round();
+  });
+}
+
+void Fleet::schedule_next_round() {
+  round_timer_ = runtime_->schedule(config_.round_interval, [this] {
+    round_timer_ = 0;
+    if (!running_) return;
+    start_round();
+    schedule_next_round();
+  });
+}
+
+void Fleet::stop() {
+  running_ = false;
+  runtime_->cancel(round_timer_);
+  round_timer_ = 0;
+  runtime_->cancel(diag_timer_);
+  diag_timer_ = 0;
+  for (auto& [sw, monitor] : shards_) monitor->stop();
+}
+
+std::size_t Fleet::start_round() {
+  if (schedule_.round_count() == 0) return 0;
+  const std::vector<SwitchId>& round = schedule_.round(cursor_);
+  cursor_ = (cursor_ + 1) % schedule_.round_count();
+  ++stats_.rounds_started;
+  std::size_t injected = 0;
+  for (const SwitchId sw : round) {
+    const auto it = shards_.find(sw);
+    if (it == shards_.end()) continue;  // scheduled but unmonitored switch
+    injected += it->second->steady_probe_burst(config_.probes_per_switch);
+  }
+  stats_.probes_injected += injected;
+  return injected;
+}
+
+void Fleet::note_alarm() {
+  if (!config_.on_diagnosis) return;
+  if (diag_timer_ != 0) return;  // a pass is already pending
+  diag_timer_ = runtime_->schedule(config_.localize_debounce, [this] {
+    diag_timer_ = 0;
+    ++stats_.diagnoses;
+    config_.on_diagnosis(diagnose());
+  });
+}
+
+NetworkDiagnosis Fleet::diagnose() const {
+  std::vector<SwitchFailureReport> reports;
+  reports.reserve(shards_.size());
+  for (const auto& [sw, monitor] : shards_) {
+    reports.push_back({sw, &monitor->expected_table(), &monitor->failed_rules()});
+  }
+  return localize_network(reports, *view_, config_.localizer);
+}
+
+std::size_t Fleet::outstanding_probes() const {
+  std::size_t total = 0;
+  for (const auto& [sw, monitor] : shards_) {
+    total += monitor->outstanding_probe_count();
+  }
+  return total;
+}
+
+std::size_t Fleet::failed_rule_count() const {
+  std::size_t total = 0;
+  for (const auto& [sw, monitor] : shards_) {
+    total += monitor->failed_rule_count();
+  }
+  return total;
+}
+
+std::size_t Fleet::monitorable_rule_count() const {
+  std::size_t total = 0;
+  for (const auto& [sw, monitor] : shards_) {
+    total += monitor->monitorable_rule_count();
+  }
+  return total;
+}
+
+}  // namespace monocle

@@ -1,0 +1,165 @@
+// Network-wide monitoring fleet: one Monitor shard per switch, orchestrated
+// as a single system.
+//
+// The paper runs "one Monocle instance per switch" (§7) but leaves their
+// coordination to the operator.  The Fleet closes that gap with three
+// pieces:
+//
+//  * a coloring-driven probe scheduler (schedule.hpp): switches are
+//    partitioned into non-interfering rounds via the same vertex-coloring
+//    machinery that plans the catching rules (§6, §8.3.2), and the Fleet
+//    rotates through the rounds on the Runtime timer service — rounds are
+//    pipelined, i.e. round r+1 starts on the interval whether or not round
+//    r's probes have all returned (per-probe timeouts stay per-Monitor);
+//  * shared batch generation: shard warm-up runs each shard's
+//    ProbeBatchSession::generate_all() pass on a fleet-wide worker pool
+//    (one single-threaded session pipeline per shard at a time), so a
+//    20-switch fabric warms up in parallel without oversubscribing;
+//  * cross-switch failure localization (localizer.hpp): per-probe verdicts
+//    accumulate in each shard's failed-rule set via the Multiplexer/
+//    Catching path; on the first steady-state alarm the Fleet waits a
+//    debounce interval for the failure pattern to fill in, then feeds every
+//    shard's report plus NetworkView topology into localize_network() and
+//    publishes a link/switch-level NetworkDiagnosis instead of raw per-rule
+//    alarms.
+//
+// Lifecycle: add_shard() per switch, set_schedule() (or let start() fall
+// back to the sequential baseline), then either start() for the
+// self-scheduling pipeline or prepare() + start_round() to drive rounds
+// manually (benches do this to time rounds).  stop()/remove_shard() cancel
+// every pending timer — mid-round teardown leaves nothing dangling
+// (tests/fleet_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "monocle/catching.hpp"
+#include "monocle/localizer.hpp"
+#include "monocle/monitor.hpp"
+#include "monocle/runtime.hpp"
+#include "monocle/schedule.hpp"
+
+namespace monocle {
+
+class Fleet {
+ public:
+  struct Config {
+    /// Base per-shard configuration.  switch_id is set per shard;
+    /// steady_probe_rate is forced to 0 (the Fleet paces probing) and
+    /// batch_threads to 1 (the fleet-wide warm-up pool parallelizes across
+    /// shards instead of within one).
+    Monitor::Config monitor;
+    /// Interval between successive probe rounds.
+    netbase::SimTime round_interval = 10 * netbase::kMillisecond;
+    /// Probes injected per co-scheduled switch per round (capped by the
+    /// switch's monitorable-rule cycle).
+    std::size_t probes_per_switch = 4;
+    /// Delay between prepare() and the first round of start(), so
+    /// pre-installed catching rules provably reach the data plane.
+    netbase::SimTime warmup = 200 * netbase::kMillisecond;
+    /// Worker threads of the shared warm-up pool; 0 = hardware concurrency
+    /// (capped by the shard count).
+    int warmup_threads = 0;
+    NetworkLocalizerOptions localizer;
+    /// Settle time between the first shard alarm and the network-wide
+    /// localization pass (lets a link failure fail all its rules first).
+    netbase::SimTime localize_debounce = 300 * netbase::kMillisecond;
+    /// Receives the NetworkDiagnosis of each (debounced) localization pass.
+    std::function<void(const NetworkDiagnosis&)> on_diagnosis;
+    /// Runs after remove_shard destroyed a shard, so the host can drop its
+    /// own references to the dead Monitor (the Testbed unregisters it from
+    /// the Multiplexer and rewires the switch's control sink).
+    std::function<void(SwitchId)> on_shard_removed;
+  };
+
+  struct Stats {
+    std::uint64_t rounds_started = 0;
+    std::uint64_t probes_injected = 0;
+    std::uint64_t alarms = 0;     ///< shard alarms observed
+    std::uint64_t diagnoses = 0;  ///< localization passes published
+  };
+
+  Fleet(Config config, Runtime* runtime, const NetworkView* view,
+        const CatchPlan* plan);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Creates and owns the Monitor shard for `sw`.  The shard's on_alarm
+  /// hook is chained: the Fleet observes every alarm (for debounced
+  /// localization) before forwarding to the hook given here.
+  Monitor* add_shard(SwitchId sw, Monitor::Hooks hooks);
+
+  /// Stops and destroys the shard for `sw` (cancels its timers; in-flight
+  /// probes are forgotten).  Returns false when no such shard exists.
+  bool remove_shard(SwitchId sw);
+
+  [[nodiscard]] Monitor* monitor(SwitchId sw) const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const std::map<SwitchId, std::unique_ptr<Monitor>>& shards()
+      const {
+    return shards_;
+  }
+
+  /// Installs the round schedule (see RoundSchedule::build).  Switches in
+  /// the schedule without a shard are skipped at round time; shards missing
+  /// from the schedule never probe.
+  void set_schedule(RoundSchedule schedule);
+  [[nodiscard]] const RoundSchedule& schedule() const { return schedule_; }
+
+  /// Installs catching infrastructure on every shard, warms all probe
+  /// caches through the shared worker pool, and marks shards externally
+  /// paced.  Falls back to a sequential schedule when none was set.
+  /// Idempotent; called by start().
+  void prepare();
+
+  /// prepare() + the self-scheduling round pipeline (first round after
+  /// config.warmup, then one round per round_interval).
+  void start();
+
+  /// Cancels the round pipeline, any pending localization pass, and every
+  /// shard's timers.  Terminal, like Monitor::stop().
+  void stop();
+
+  /// Manually starts the next round (cursor advances round-robin); returns
+  /// the number of probes injected.  Benches use this to time rounds.
+  std::size_t start_round();
+  [[nodiscard]] std::size_t round_cursor() const { return cursor_; }
+
+  /// Runs the cross-switch localization pipeline over all shards now.
+  [[nodiscard]] NetworkDiagnosis diagnose() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Sum of outstanding (unresolved) probes across shards.
+  [[nodiscard]] std::size_t outstanding_probes() const;
+  /// Sum of currently-failed rules across shards.
+  [[nodiscard]] std::size_t failed_rule_count() const;
+  /// Sum of monitorable rules across shards.
+  [[nodiscard]] std::size_t monitorable_rule_count() const;
+
+ private:
+  void warm_caches();
+  void schedule_next_round();
+  void note_alarm();
+
+  Config config_;
+  Runtime* runtime_;
+  const NetworkView* view_;
+  const CatchPlan* plan_;
+
+  std::map<SwitchId, std::unique_ptr<Monitor>> shards_;
+  RoundSchedule schedule_;
+  std::size_t cursor_ = 0;
+  bool prepared_ = false;
+  bool running_ = false;
+  // Zeroed on fire/cancel per the Runtime timer contract (runtime.hpp).
+  std::uint64_t round_timer_ = 0;
+  std::uint64_t diag_timer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace monocle

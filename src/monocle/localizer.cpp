@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 namespace monocle {
 
@@ -49,6 +50,107 @@ Diagnosis localize_failures(const openflow::FlowTable& expected,
     if (!explained.contains(cookie)) out.isolated_rules.push_back(cookie);
   }
   std::sort(out.isolated_rules.begin(), out.isolated_rules.end());
+  return out;
+}
+
+NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
+                                  const NetworkView& view,
+                                  const NetworkLocalizerOptions& options) {
+  NetworkDiagnosis out;
+
+  // Per-switch localization, then port->link translation.  A link is keyed
+  // by its canonically ordered endpoints so the two endpoint monitors'
+  // independent suspicions land on the same entry (= corroboration).
+  using LinkKey = std::tuple<SwitchId, std::uint16_t, SwitchId, std::uint16_t>;
+  std::map<LinkKey, LinkDiagnosis> links;
+  for (const SwitchFailureReport& rep : reports) {
+    if (rep.expected == nullptr || rep.failed == nullptr) continue;
+    const Diagnosis local =
+        localize_failures(*rep.expected, *rep.failed, options.per_switch);
+    for (const LinkSuspect& suspect : local.failed_links) {
+      SwitchId a = rep.sw;
+      std::uint16_t port_a = suspect.port;
+      SwitchId b = 0;
+      std::uint16_t port_b = 0;
+      if (const auto peer = view.peer(rep.sw, suspect.port)) {
+        b = peer->sw;
+        port_b = peer->port;
+      }
+      const bool flip = b != 0 && b < a;
+      const LinkKey key = flip ? LinkKey{b, port_b, a, port_a}
+                               : LinkKey{a, port_a, b, port_b};
+      auto [it, inserted] = links.try_emplace(key);
+      LinkDiagnosis& link = it->second;
+      if (inserted) {
+        link.a = std::get<0>(key);
+        link.port_a = std::get<1>(key);
+        link.b = std::get<2>(key);
+        link.port_b = std::get<3>(key);
+      } else {
+        link.corroborated = true;  // the other endpoint reported it too
+      }
+      link.failed_rules += suspect.failed_rules;
+      link.fraction = std::max(link.fraction, suspect.fraction());
+    }
+    for (const std::uint64_t cookie : local.isolated_rules) {
+      out.isolated.push_back({rep.sw, cookie});
+    }
+  }
+
+  // Switch promotion: a switch most of whose inter-switch links are suspect
+  // has itself failed (dead switch / line card), not n independent cables.
+  // Host-facing suspects (b == 0) stay out of the tally on both sides: the
+  // denominator below counts only ports with a switch peer, and a bad edge
+  // port says nothing about the fabric side of the switch.
+  struct PerSwitch {
+    std::size_t suspect_links = 0;
+    std::size_t failed_rules = 0;
+  };
+  std::map<SwitchId, PerSwitch> by_switch;
+  for (const auto& [key, link] : links) {
+    if (link.b == 0) continue;
+    by_switch[link.a].suspect_links += 1;
+    by_switch[link.a].failed_rules += link.failed_rules;
+    by_switch[link.b].suspect_links += 1;
+    by_switch[link.b].failed_rules += link.failed_rules;
+  }
+  std::unordered_set<SwitchId> blamed;
+  for (const auto& [sw, acc] : by_switch) {
+    if (acc.suspect_links < options.min_suspect_links) continue;
+    std::size_t total_links = 0;
+    for (const std::uint16_t port : view.ports(sw)) {
+      if (view.peer(sw, port).has_value()) ++total_links;
+    }
+    if (total_links == 0) continue;
+    const double fraction = static_cast<double>(acc.suspect_links) /
+                            static_cast<double>(total_links);
+    if (fraction < options.switch_threshold) continue;
+    blamed.insert(sw);
+    out.switches.push_back({sw, acc.suspect_links, total_links,
+                            acc.failed_rules});
+  }
+  std::sort(out.switches.begin(), out.switches.end(),
+            [](const SwitchSuspect& x, const SwitchSuspect& y) {
+              return x.suspect_links > y.suspect_links;
+            });
+
+  // Links incident to a blamed switch are subsumed by its diagnosis.
+  for (const auto& [key, link] : links) {
+    if (blamed.contains(link.a) || (link.b != 0 && blamed.contains(link.b))) {
+      continue;
+    }
+    out.links.push_back(link);
+  }
+  std::sort(out.links.begin(), out.links.end(),
+            [](const LinkDiagnosis& x, const LinkDiagnosis& y) {
+              if (x.corroborated != y.corroborated) return x.corroborated;
+              return x.fraction > y.fraction;
+            });
+
+  std::sort(out.isolated.begin(), out.isolated.end(),
+            [](const IsolatedRuleFault& x, const IsolatedRuleFault& y) {
+              return x.sw != y.sw ? x.sw < y.sw : x.cookie < y.cookie;
+            });
   return out;
 }
 

@@ -8,12 +8,26 @@
 // diagnoses a link (port) failure when a large fraction of that port's rules
 // failed together; leftover failures are reported as isolated rule faults
 // (soft errors, firmware bugs).
+// Two layers:
+//
+//  * localize_failures — the single-switch heuristic (failed rules grouped
+//    by output port; a port whose rules failed together implicates the link
+//    behind it);
+//  * localize_network — the fleet-level pipeline: it consumes one failure
+//    report per monitored switch (expected table + failed cookies, i.e. the
+//    per-probe verdicts accumulated through the Multiplexer/Catching path),
+//    maps blamed ports to links through the NetworkView, corroborates
+//    suspicions reported independently by both endpoints of a link, and
+//    promotes a switch whose links are (almost) all suspect to a
+//    whole-switch diagnosis.  The Fleet (fleet.hpp) runs this after alarms.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "monocle/runtime.hpp"
 #include "openflow/flow_table.hpp"
 
 namespace monocle {
@@ -58,5 +72,73 @@ struct LocalizerOptions {
 Diagnosis localize_failures(const openflow::FlowTable& expected,
                             const std::unordered_set<std::uint64_t>& failed,
                             const LocalizerOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Network-wide localization (fleet pipeline)
+// ---------------------------------------------------------------------------
+
+/// Per-switch input to network-wide localization: what one Monitor shard
+/// knows.  Both pointers must outlive the localize_network call.
+struct SwitchFailureReport {
+  SwitchId sw = 0;
+  const openflow::FlowTable* expected = nullptr;
+  const std::unordered_set<std::uint64_t>* failed = nullptr;
+};
+
+/// A suspected inter-switch link, named by both endpoints.
+struct LinkDiagnosis {
+  SwitchId a = 0;               ///< lower endpoint (a < b when both known)
+  std::uint16_t port_a = 0;
+  SwitchId b = 0;               ///< 0 when the port faces a host/edge
+  std::uint16_t port_b = 0;
+  /// Both endpoints' monitors independently blamed this link.
+  bool corroborated = false;
+  std::size_t failed_rules = 0;  ///< failed rules forwarding into the link
+  double fraction = 0.0;         ///< worst per-endpoint failed/total ratio
+};
+
+/// A switch whose incident links are (almost) all suspect — the failure
+/// pattern of a dead switch or line card rather than one bad cable.
+struct SwitchSuspect {
+  SwitchId sw = 0;
+  std::size_t suspect_links = 0;  ///< incident links under suspicion
+  std::size_t total_links = 0;    ///< incident inter-switch links
+  std::size_t failed_rules = 0;   ///< failed rules across those links
+};
+
+/// One failed rule no link/switch pattern explains (soft error, firmware
+/// bug) — the paper's original per-rule alarm, now with its switch attached.
+struct IsolatedRuleFault {
+  SwitchId sw = 0;
+  std::uint64_t cookie = 0;
+};
+
+/// Fleet-level localization result.
+struct NetworkDiagnosis {
+  std::vector<LinkDiagnosis> links;        ///< corroborated first, then by fraction
+  std::vector<SwitchSuspect> switches;     ///< subsume their incident links
+  std::vector<IsolatedRuleFault> isolated; ///< sorted by (switch, cookie)
+
+  [[nodiscard]] bool healthy() const {
+    return links.empty() && switches.empty() && isolated.empty();
+  }
+};
+
+struct NetworkLocalizerOptions {
+  LocalizerOptions per_switch;
+  /// Fraction of a switch's inter-switch links that must be suspect before
+  /// the switch itself (not its cables) is blamed.
+  double switch_threshold = 0.75;
+  /// ... and at least this many of them (degree-2 switches should not be
+  /// declared dead on one bad link).
+  std::size_t min_suspect_links = 3;
+};
+
+/// Diagnoses the whole fabric from per-switch failure reports.  `view`
+/// supplies the port-level topology used to name links and to corroborate
+/// the two independent per-endpoint suspicions of one link.
+NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
+                                  const NetworkView& view,
+                                  const NetworkLocalizerOptions& options = {});
 
 }  // namespace monocle

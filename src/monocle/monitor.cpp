@@ -51,10 +51,68 @@ void Monitor::start() {
       // cold per-rule generation.
       refill_probe_cache();
     }
-    runtime_->schedule(config_.steady_warmup, [this] {
+    warmup_timer_ = runtime_->schedule(config_.steady_warmup, [this] {
+      warmup_timer_ = 0;
       if (steady_running_) schedule_steady_tick();
     });
   }
+}
+
+void Monitor::start_externally_paced() {
+  if (steady_running_) return;
+  steady_running_ = true;  // enables coalesced cache refills on invalidation
+  if (config_.batch_generation) {
+    refill_probe_cache();  // no-op for rules the Fleet warm-up already cached
+  }
+}
+
+void Monitor::stop() {
+  steady_running_ = false;
+  runtime_->cancel(warmup_timer_);
+  warmup_timer_ = 0;
+  runtime_->cancel(steady_timer_);
+  steady_timer_ = 0;
+  runtime_->cancel(refill_timer_);
+  refill_timer_ = 0;
+  batch_refill_scheduled_ = false;
+  dirty_probe_cookies_.clear();
+  for (auto& [nonce, op] : outstanding_) runtime_->cancel(op.timer);
+  outstanding_.clear();
+  for (auto& [cookie, job] : updates_) {
+    runtime_->cancel(job.inject_timer);
+    runtime_->cancel(job.give_up_timer);
+  }
+  updates_.clear();
+}
+
+std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
+  if (!steady_running_) return 0;
+  std::size_t injected = 0;
+  std::uint64_t first_cookie = 0;
+  for (std::size_t i = 0; i < max_probes; ++i) {
+    const auto cookie = next_steady_cookie();
+    if (!cookie) break;
+    if (injected == 0) {
+      first_cookie = *cookie;
+    } else if (*cookie == first_cookie) {
+      break;  // cycled through every monitorable rule already
+    }
+    inject_steady_probe(*cookie);
+    ++injected;
+  }
+  return injected;
+}
+
+void Monitor::warm_probe_cache() { refill_probe_cache(); }
+
+std::size_t Monitor::monitorable_rule_count() const {
+  std::size_t count = 0;
+  for (const Rule& r : expected_.rules()) {
+    if (is_infrastructure_cookie(r.cookie)) continue;
+    if (rule_state(r.cookie) == RuleState::kUnmonitorable) continue;
+    ++count;
+  }
+  return count;
 }
 
 void Monitor::seed_rule(const Rule& rule) {
@@ -251,18 +309,19 @@ void Monitor::start_update_job(UpdateJob job) {
         config_.negative_confirm_timeout, [this, cookie] { confirm_update(cookie); });
   }
   // Give-up alarm.
-  runtime_->schedule(config_.update_give_up, [this, cookie] {
-    const auto it = updates_.find(cookie);
-    if (it == updates_.end()) return;
-    if (hooks_.on_update_failed) {
-      hooks_.on_update_failed(cookie, runtime_->now());
-    }
-    runtime_->cancel(it->second.inject_timer);
-    updates_.erase(it);
-    rule_states_[cookie] = RuleState::kFailed;
-    confirm_barriers_waiting_on(cookie);
-    drain_hold_queue();
-  });
+  updates_[cookie].give_up_timer =
+      runtime_->schedule(config_.update_give_up, [this, cookie] {
+        const auto it = updates_.find(cookie);
+        if (it == updates_.end()) return;
+        if (hooks_.on_update_failed) {
+          hooks_.on_update_failed(cookie, runtime_->now());
+        }
+        runtime_->cancel(it->second.inject_timer);
+        updates_.erase(it);
+        rule_states_[cookie] = RuleState::kFailed;
+        confirm_barriers_waiting_on(cookie);
+        drain_hold_queue();
+      });
 }
 
 void Monitor::inject_update_probe(std::uint64_t cookie) {
@@ -296,6 +355,7 @@ void Monitor::confirm_update(std::uint64_t cookie) {
   if (it == updates_.end()) return;
   UpdateJob job = std::move(it->second);
   runtime_->cancel(job.inject_timer);
+  runtime_->cancel(job.give_up_timer);
   updates_.erase(it);
 
   if (job.kind == UpdateJob::Kind::kDelete) {
@@ -566,7 +626,8 @@ void Monitor::schedule_batch_refill() {
   batch_refill_scheduled_ = true;
   // Coalesce: table-change bursts (e.g. a multi-rule delete) trigger one
   // refill pass, charged at the same latency as a fresh generation.
-  runtime_->schedule(config_.generation_delay, [this] {
+  refill_timer_ = runtime_->schedule(config_.generation_delay, [this] {
+    refill_timer_ = 0;
     batch_refill_scheduled_ = false;
     std::vector<std::uint64_t> cookies(dirty_probe_cookies_.begin(),
                                        dirty_probe_cookies_.end());
@@ -699,7 +760,8 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
 void Monitor::schedule_steady_tick() {
   const auto interval =
       static_cast<SimTime>(1e9 / config_.steady_probe_rate);
-  runtime_->schedule(interval, [this] {
+  steady_timer_ = runtime_->schedule(interval, [this] {
+    steady_timer_ = 0;
     if (!steady_running_) return;
     steady_tick();
     schedule_steady_tick();

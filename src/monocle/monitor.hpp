@@ -76,6 +76,18 @@ struct MonitorStats {
   std::chrono::nanoseconds generation_time{0};
 };
 
+/// The per-switch monitoring proxy — Monocle's core actor (paper Figure 1).
+///
+/// One Monitor instance owns one switch: it mirrors the switch's expected
+/// flow table from the FlowMods it forwards, generates SAT-derived probes
+/// for each rule (probe_generator.hpp / probe_batch.hpp), injects them via
+/// the Multiplexer, and classifies the echoes the Multiplexer routes back.
+/// Per-rule verdicts surface as RuleState transitions and threshold-gated
+/// RuleAlarms; the Localizer (localizer.hpp) and the network-wide Fleet
+/// (fleet.hpp) consume them to explain failures at link/switch granularity.
+/// Steady-state probing is either self-paced (start(), a probe-rate timer)
+/// or externally paced in fleet rounds (start_externally_paced() +
+/// steady_probe_burst()).
 class Monitor {
  public:
   struct Config {
@@ -147,6 +159,30 @@ class Monitor {
   /// Starts the steady-state probing cycle.
   void start();
 
+  /// Marks steady-state monitoring active WITHOUT self-scheduling probe
+  /// ticks: probe pacing is driven externally (the Fleet's coloring rounds)
+  /// through steady_probe_burst().  Cache warm-up/refill behaves as in
+  /// start().
+  void start_externally_paced();
+
+  /// Injects up to `max_probes` steady-state probes (continuing the rule
+  /// cycle); at most one probe per rule per call.  Returns the number
+  /// injected.  No-op unless monitoring was started.
+  std::size_t steady_probe_burst(std::size_t max_probes);
+
+  /// Stops all monitoring activity and cancels every pending timer this
+  /// Monitor scheduled (steady ticks, probe timeouts, update re-injection
+  /// and give-up timers, cache refills).  Unconfirmed updates are dropped
+  /// without callbacks; the expected table and rule states stay readable.
+  /// Terminal: used for shard teardown, not for pause/resume.
+  void stop();
+
+  /// Batch-generates probes for every monitorable rule not yet cached (one
+  /// ProbeBatchSession pass per collect group).  The Fleet calls this from
+  /// its shared warm-up worker pool before starting rounds; safe to call
+  /// concurrently on DIFFERENT Monitor instances.
+  void warm_probe_cache();
+
   /// --- control-channel endpoints (wired by the host) -------------------
   void on_controller_message(const openflow::Message& msg);
   void on_switch_message(const openflow::Message& msg);
@@ -179,6 +215,13 @@ class Monitor {
   [[nodiscard]] std::size_t pending_update_count() const {
     return updates_.size();
   }
+  /// Probes injected and not yet resolved (caught, timed out, or stale).
+  [[nodiscard]] std::size_t outstanding_probe_count() const {
+    return outstanding_.size();
+  }
+  /// Rules eligible for steady-state probing (installed, not infrastructure,
+  /// not unmonitorable).
+  [[nodiscard]] std::size_t monitorable_rule_count() const;
   [[nodiscard]] const MonitorStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -197,6 +240,7 @@ class Monitor {
     int silent_injections = 0;     // for negative confirmation
     bool negative = false;         // confirmation is silence-based
     std::uint64_t inject_timer = 0;
+    std::uint64_t give_up_timer = 0;
     bool drop_postponed = false;   // §4.3 second phase pending
     openflow::Rule final_rule;     // real drop rule to install after confirm
   };
@@ -282,6 +326,11 @@ class Monitor {
   std::vector<std::uint64_t> steady_order_;  // cookies, cycle order
   std::size_t steady_pos_ = 0;
   bool steady_running_ = false;
+  // Timer handles, zeroed on fire/cancel so a stale cancel can never hit a
+  // reissued id (see the Runtime contract in runtime.hpp).
+  std::uint64_t warmup_timer_ = 0;
+  std::uint64_t steady_timer_ = 0;
+  std::uint64_t refill_timer_ = 0;
   std::unordered_map<std::uint32_t, OutstandingProbe> outstanding_;  // by nonce
 
   std::uint32_t next_nonce_ = 1;

@@ -18,6 +18,16 @@
 
 namespace monocle {
 
+/// The probe-packet switchboard shared by every Monitor (paper §7).
+///
+/// In the paper's pipeline the Multiplexer is the one component that talks
+/// to ALL switches: probe *injection* needs a PacketOut at the switch
+/// UPSTREAM of the probed one (so the probe enters on a real port), and
+/// probe *collection* sees PacketIns at whatever neighbor's catching rule
+/// fired.  on_packet_in decodes the probe metadata and hands the
+/// observation to the Monitor owning the probed switch — this is the path
+/// that turns raw PacketIns into the per-probe verdicts the Localizer and
+/// the Fleet's cross-switch diagnosis consume.
 class Multiplexer {
  public:
   explicit Multiplexer(const NetworkView* view) : view_(view) {}
@@ -26,6 +36,10 @@ class Multiplexer {
   void register_monitor(SwitchId sw, Monitor* monitor) {
     monitors_[sw] = monitor;
   }
+
+  /// Removes the Monitor for `sw` (shard teardown).  Probes addressed to it
+  /// that are still in flight are consumed and dropped by on_packet_in.
+  void unregister_monitor(SwitchId sw) { monitors_.erase(sw); }
 
   /// Registers the function that delivers control messages to switch `sw`
   /// (PacketOuts for probe injection).

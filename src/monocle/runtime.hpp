@@ -19,6 +19,22 @@ namespace monocle {
 using SwitchId = std::uint64_t;
 
 /// Clock + one-shot timer service.
+///
+/// Timer-handle contract (relied on by the Monitor and the Fleet's round
+/// pipeline, tested in tests/fleet_test.cpp):
+///
+///  * schedule() never returns 0 — callers use 0 as the "no timer" sentinel
+///    and cancel(0) must be a no-op;
+///  * cancelling a handle that already fired or was already cancelled is a
+///    no-op — but ONLY as long as the handle has not been reissued.
+///    Implementations must therefore never reissue a handle while it is
+///    still pending, and with a 64-bit counter a retired handle practically
+///    never comes back (EventQueue additionally skips still-live ids if the
+///    counter ever wraps);
+///  * callers that CACHE handles across events (the Monitor's steady/update
+///    timers, the Fleet's round and debounce timers) zero them when the
+///    timer fires or is cancelled, so a stale cancel can never hit an id
+///    that wrapped around and was reissued.
 class Runtime {
  public:
   virtual ~Runtime() = default;
@@ -26,11 +42,12 @@ class Runtime {
   /// Current time.
   [[nodiscard]] virtual netbase::SimTime now() const = 0;
 
-  /// Schedules `fn` to run after `delay`; returns a cancellation handle.
+  /// Schedules `fn` to run after `delay`; returns a non-zero cancellation
+  /// handle, unique among all currently pending timers.
   virtual std::uint64_t schedule(netbase::SimTime delay,
                                  std::function<void()> fn) = 0;
 
-  /// Cancels a pending timer (no-op if already fired).
+  /// Cancels a pending timer; no-op for fired/cancelled handles and for 0.
   virtual void cancel(std::uint64_t timer_id) = 0;
 };
 

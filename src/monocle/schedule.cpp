@@ -1,0 +1,78 @@
+#include "monocle/schedule.hpp"
+
+#include <algorithm>
+
+namespace monocle {
+
+RoundSchedule RoundSchedule::build(const topo::Topology& topo,
+                                   const std::vector<SwitchId>& switch_ids,
+                                   const RoundScheduleOptions& options) {
+  RoundSchedule out;
+  if (switch_ids.empty()) return out;
+
+  const topo::Topology conflict_graph =
+      options.conflict_radius >= 2 ? topo.square() : topo;
+
+  topo::Coloring coloring;
+  if (conflict_graph.node_count() <= options.exact_node_limit) {
+    coloring = topo::exact_coloring(conflict_graph, options.exact_node_budget);
+  } else {
+    coloring = topo::dsatur_coloring(conflict_graph);
+  }
+  out.exact_ = coloring.exact;
+
+  out.rounds_.resize(static_cast<std::size_t>(coloring.color_count));
+  for (topo::NodeId n = 0; n < conflict_graph.node_count(); ++n) {
+    if (n >= switch_ids.size()) break;  // extra topology nodes unscheduled
+    const SwitchId sw = switch_ids[n];
+    const int c = coloring.color[n];
+    out.rounds_[static_cast<std::size_t>(c)].push_back(sw);
+    out.round_of_[sw] = c;
+    auto& conflicts = out.conflicts_[sw];
+    for (const topo::NodeId m : conflict_graph.neighbors(n)) {
+      if (m < switch_ids.size()) conflicts.insert(switch_ids[m]);
+    }
+  }
+  return out;
+}
+
+RoundSchedule RoundSchedule::sequential(
+    const std::vector<SwitchId>& switch_ids) {
+  RoundSchedule out;
+  out.exact_ = true;  // trivially optimal for its (empty) conflict graph
+  out.rounds_.reserve(switch_ids.size());
+  for (const SwitchId sw : switch_ids) {
+    out.round_of_[sw] = static_cast<int>(out.rounds_.size());
+    out.rounds_.push_back({sw});
+  }
+  return out;
+}
+
+int RoundSchedule::round_of(SwitchId sw) const {
+  const auto it = round_of_.find(sw);
+  return it == round_of_.end() ? -1 : it->second;
+}
+
+bool RoundSchedule::conflicting(SwitchId a, SwitchId b) const {
+  const auto it = conflicts_.find(a);
+  return it != conflicts_.end() && it->second.contains(b);
+}
+
+bool RoundSchedule::valid() const {
+  for (const auto& round : rounds_) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      for (std::size_t j = i + 1; j < round.size(); ++j) {
+        if (conflicting(round[i], round[j])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t RoundSchedule::max_round_size() const {
+  std::size_t best = 0;
+  for (const auto& round : rounds_) best = std::max(best, round.size());
+  return best;
+}
+
+}  // namespace monocle

@@ -1,0 +1,83 @@
+// Coloring-driven probe-round scheduling for network-wide monitoring.
+//
+// A steady-state probe for switch S is injected at one of S's neighbors and
+// caught by another (paper Figure 1, §6).  When two switches within two hops
+// of each other probe concurrently, their probes meet at a shared catcher:
+// the catcher's PacketIn path serializes them (rate limits, §8.4) and, under
+// strategy 1, a probe straying one hop can be swallowed by the wrong
+// catching rule.  The fleet therefore probes in *rounds*: a proper coloring
+// of the conflict graph — the topology itself (radius 1) or its square
+// (radius 2, the default: co-scheduled switches share no catcher) — assigns
+// every switch a round, and switches of the same round probe concurrently
+// while the rest stay silent.  This reuses the exact/DSATUR machinery of
+// topo/coloring.hpp that already plans the catching rules (§8.3.2, fig9).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+#include "topo/coloring.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle {
+
+struct RoundScheduleOptions {
+  /// Conflict radius in hops: 1 = adjacent switches conflict, 2 = switches
+  /// sharing a potential catcher conflict (square-graph coloring).
+  int conflict_radius = 2;
+  /// Search-node budget for the exact coloring before falling back to the
+  /// DSATUR heuristic (mirrors fig9's exact-then-greedy policy).
+  std::uint64_t exact_node_budget = 50'000;
+  /// Conflict graphs above this size skip the exact solver entirely.
+  std::size_t exact_node_limit = 400;
+};
+
+/// A partition of the fleet's switches into non-interfering probe rounds.
+///
+/// Round r is the set of switches allowed to inject steady-state probes
+/// while round r is active; rounds rotate round-robin.  A schedule built by
+/// build() guarantees that no two switches of one round conflict (are within
+/// `conflict_radius` hops); sequential() is the degenerate one-switch-per-
+/// round baseline the fig8 fleet bench compares against.
+class RoundSchedule {
+ public:
+  RoundSchedule() = default;
+
+  /// Builds the coloring-driven schedule for `topo`, where node i is switch
+  /// `switch_ids[i]` (the same node->dpid mapping CatchPlan::build uses).
+  static RoundSchedule build(const topo::Topology& topo,
+                             const std::vector<SwitchId>& switch_ids,
+                             const RoundScheduleOptions& options = {});
+
+  /// One switch per round, in the given order (the sequential baseline).
+  static RoundSchedule sequential(const std::vector<SwitchId>& switch_ids);
+
+  [[nodiscard]] std::size_t round_count() const { return rounds_.size(); }
+  [[nodiscard]] const std::vector<SwitchId>& round(std::size_t r) const {
+    return rounds_[r];
+  }
+  /// Round of `sw`, or -1 when the switch is not scheduled.
+  [[nodiscard]] int round_of(SwitchId sw) const;
+  /// True when `a` and `b` are within the conflict radius of each other
+  /// (per the conflict graph the schedule was built from).
+  [[nodiscard]] bool conflicting(SwitchId a, SwitchId b) const;
+  /// True when no round co-schedules two conflicting switches.
+  [[nodiscard]] bool valid() const;
+
+  [[nodiscard]] std::size_t switch_count() const { return round_of_.size(); }
+  /// Largest round (the schedule's peak concurrency).
+  [[nodiscard]] std::size_t max_round_size() const;
+  /// True when the coloring behind the schedule was proved optimal.
+  [[nodiscard]] bool exact() const { return exact_; }
+
+ private:
+  std::vector<std::vector<SwitchId>> rounds_;
+  std::unordered_map<SwitchId, int> round_of_;
+  std::unordered_map<SwitchId, std::unordered_set<SwitchId>> conflicts_;
+  bool exact_ = false;
+};
+
+}  // namespace monocle

@@ -3,6 +3,10 @@
 namespace monocle::switchsim {
 
 std::uint64_t EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+  // Runtime contract (runtime.hpp): never hand out 0 (the callers' "no
+  // timer" sentinel) and never reissue an id that is still live — relevant
+  // only once the 64-bit counter wraps, but cheap to guarantee always.
+  while (next_id_ == 0 || live_.contains(next_id_)) ++next_id_;
   const std::uint64_t id = next_id_++;
   live_.insert(id);
   queue_.push(Event{when < now_ ? now_ : when, next_seq_++, id, std::move(fn)});

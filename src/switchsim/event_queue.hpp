@@ -30,8 +30,14 @@ class EventQueue final : public Runtime {
   /// Schedules at an absolute time (clamped to `now`).
   std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
 
-  /// Cancels a pending event; harmless for already-fired ids.
+  /// Cancels a pending event; harmless for already-fired / already-cancelled
+  /// ids and for the 0 sentinel (see the Runtime contract in runtime.hpp:
+  /// ids are never reissued while live, and 0 is never issued).
   void cancel(std::uint64_t timer_id) override { live_.erase(timer_id); }
+
+  /// Test hook: forces the next issued timer id (exercises the id-wrap and
+  /// live-id-skip paths of the Runtime contract without 2^64 schedules).
+  void set_next_timer_id_for_test(std::uint64_t id) { next_id_ = id; }
 
   /// Runs the next pending event; returns false when the queue is empty.
   bool run_one();

@@ -1,5 +1,7 @@
 #include "switchsim/testbed.hpp"
 
+#include <utility>
+
 namespace monocle::switchsim {
 
 Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
@@ -28,6 +30,27 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
   }
 
   plan_ = CatchPlan::build(topo, dpids, options_.strategy);
+
+  if (options_.use_fleet && options_.with_monocle) {
+    Fleet::Config fleet_cfg = options_.fleet;
+    fleet_cfg.monitor = options_.monitor;  // single source of truth
+    // Shard teardown: purge every path that still points at the destroyed
+    // Monitor — the Multiplexer's routing entry (in-flight probes are then
+    // consumed and dropped) and the switch's control sink, which reverts to
+    // the unproxied wiring (probes to the mux, the rest to the controller).
+    fleet_cfg.on_shard_removed = [this](SwitchId sw) {
+      mux_->unregister_monitor(sw);
+      net_->at(sw)->set_control_sink([this, sw](const openflow::Message& m) {
+        if (m.is<openflow::PacketIn>() &&
+            mux_->on_packet_in(sw, m.as<openflow::PacketIn>())) {
+          return;
+        }
+        if (controller_handler_) controller_handler_(sw, m);
+      });
+    };
+    fleet_ = std::make_unique<Fleet>(std::move(fleet_cfg), clock_, net_.get(),
+                                     &plan_);
+  }
 
   if (!options_.with_monocle) {
     // Vanilla mode: wire switches straight to the controller handler.
@@ -68,14 +91,20 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
                               std::vector<std::uint8_t> bytes) {
       return mux_->inject(id, in_port, std::move(bytes));
     };
-    auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
-                                             std::move(hooks));
-    mux_->register_monitor(id, monitor.get());
+    Monitor* mon;
+    if (fleet_) {
+      mon = fleet_->add_shard(id, std::move(hooks));
+    } else {
+      auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
+                                               std::move(hooks));
+      mon = monitor.get();
+      monitors_.emplace(id, std::move(monitor));
+    }
+    mux_->register_monitor(id, mon);
     mux_->set_switch_sender(
         id, [this, id](const openflow::Message& m) { net_->send_to_switch(id, m); });
     // Switch -> Monocle: probes peel off to the Multiplexer, the rest goes
     // through the Monitor to the controller.
-    Monitor* mon = monitor.get();
     net_->at(id)->set_control_sink([this, id, mon](const openflow::Message& m) {
       if (m.is<openflow::PacketIn>() &&
           mux_->on_packet_in(id, m.as<openflow::PacketIn>())) {
@@ -83,20 +112,30 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
       }
       mon->on_switch_message(m);
     });
-    monitors_.emplace(id, std::move(monitor));
+  }
+  if (fleet_) {
+    // Coloring-driven rounds from the full topology; unmonitored nodes stay
+    // in the schedule (their rounds no-op) so the conflict structure is the
+    // real fabric's.
+    fleet_->set_schedule(
+        RoundSchedule::build(topo, dpids, options_.fleet_schedule));
   }
 }
 
 void Testbed::start_monitoring() {
-  for (auto& [id, monitor] : monitors_) {
-    monitor->install_infrastructure();
-    monitor->start();
+  if (fleet_) {
+    fleet_->start();
+  } else {
+    for (auto& [id, monitor] : monitors_) {
+      monitor->install_infrastructure();
+      monitor->start();
+    }
   }
   // Unproxied switches still carry catching rules so probes for monitored
   // neighbors can be collected there.
   if (options_.with_monocle) {
     for (const SwitchId id : dpids_) {
-      if (monitors_.contains(id)) continue;
+      if (monitor(id) != nullptr) continue;
       for (const openflow::FlowMod& fm : plan_.rules_for(id)) {
         net_->send_to_switch(id, openflow::make_message(0, fm));
       }
@@ -105,15 +144,15 @@ void Testbed::start_monitoring() {
 }
 
 void Testbed::controller_send(SwitchId sw, const openflow::Message& msg) {
-  const auto it = monitors_.find(sw);
-  if (it != monitors_.end()) {
-    it->second->on_controller_message(msg);
+  if (Monitor* mon = monitor(sw)) {
+    mon->on_controller_message(msg);
   } else {
     net_->send_to_switch(sw, msg);
   }
 }
 
 Monitor* Testbed::monitor(SwitchId sw) const {
+  if (fleet_) return fleet_->monitor(sw);
   const auto it = monitors_.find(sw);
   return it == monitors_.end() ? nullptr : it->second.get();
 }

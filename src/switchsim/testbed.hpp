@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "monocle/catching.hpp"
+#include "monocle/fleet.hpp"
 #include "monocle/monitor.hpp"
 #include "monocle/multiplexer.hpp"
+#include "monocle/schedule.hpp"
 #include "switchsim/event_queue.hpp"
 #include "switchsim/network.hpp"
 #include "topo/topology.hpp"
@@ -46,6 +48,13 @@ class Testbed {
     /// which already provide reliable acknowledgments).  Only consulted when
     /// with_monocle is true.
     std::function<bool(topo::NodeId)> monocle_for;
+    /// Fleet orchestration: monitors are owned by a monocle::Fleet and
+    /// steady-state probing runs in coloring-driven rounds (fleet.monitor is
+    /// overwritten with `monitor` above; the round schedule is built from
+    /// the topology per fleet_schedule).  Requires with_monocle.
+    bool use_fleet = false;
+    Fleet::Config fleet;
+    RoundScheduleOptions fleet_schedule;
   };
 
   /// Builds switches (dpid = node id + 1) and links from `topo`; every
@@ -69,6 +78,8 @@ class Testbed {
 
   [[nodiscard]] SwitchId dpid_of(topo::NodeId n) const { return n + 1; }
   [[nodiscard]] Monitor* monitor(SwitchId sw) const;
+  /// The fleet orchestrator, or nullptr unless Options::use_fleet.
+  [[nodiscard]] Fleet* fleet() const { return fleet_.get(); }
   [[nodiscard]] SimSwitch* sw(SwitchId id) const { return net_->at(id); }
   [[nodiscard]] Network& network() { return *net_; }
   [[nodiscard]] Multiplexer& mux() { return *mux_; }
@@ -86,6 +97,7 @@ class Testbed {
   Options options_;
   TopologyPorts ports_;
   std::vector<SwitchId> dpids_;
+  std::unique_ptr<Fleet> fleet_;  // owns the monitors when use_fleet
   std::map<SwitchId, std::unique_ptr<Monitor>> monitors_;
   std::map<topo::NodeId, std::uint16_t> next_port_;
   std::function<void(SwitchId, const openflow::Message&)> controller_handler_;

@@ -17,6 +17,15 @@
 
 namespace monocle::topo {
 
+// Role in the paper's pipeline: colorings decide how little header space
+// network-wide monitoring costs AND how much of the fabric may probe at
+// once.  CatchPlan::build (monocle/catching.hpp) turns a coloring of the
+// topology (strategy 1) or its square (strategy 2) into per-switch reserved
+// tag values and catching rules — Figure 9's reserved-value counts are
+// exactly `color_count`.  The Fleet's RoundSchedule (monocle/schedule.hpp)
+// reuses the square coloring as a probe-round partition: each color class
+// probes concurrently without sharing a catcher.
+
 /// A coloring: color per node, colors dense in [0, color_count).
 struct Coloring {
   std::vector<int> color;

@@ -31,6 +31,23 @@ std::vector<Rule> l3_host_routes(std::size_t count,
   return rules;
 }
 
+std::vector<Rule> l3_host_routes_even(
+    std::size_t count, const std::vector<std::uint16_t>& out_ports) {
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rule r;
+    r.priority = 10;
+    r.cookie = i + 1;
+    r.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+    r.match.set_prefix(Field::IpDst,
+                       0x0A000000u + static_cast<std::uint32_t>(i + 1), 32);
+    r.actions = {Action::output(out_ports[i % out_ports.size()])};
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
 std::vector<NodeId> shortest_path(const topo::Topology& topo, NodeId from,
                                   NodeId to) {
   if (from == to) return {from};

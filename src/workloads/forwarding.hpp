@@ -17,6 +17,13 @@ std::vector<openflow::Rule> l3_host_routes(
     std::size_t count, const std::vector<std::uint16_t>& out_ports,
     std::uint64_t seed = 1);
 
+/// Like l3_host_routes but with output ports assigned strictly round-robin
+/// (rule i -> out_ports[i % size]), so every port's rule group is equally
+/// sized — what link-failure localization thresholds and the fleet benches
+/// need (the seeded random assignment can leave a port nearly ruleless).
+std::vector<openflow::Rule> l3_host_routes_even(
+    std::size_t count, const std::vector<std::uint16_t>& out_ports);
+
 /// One hop of a path installation.
 struct PathHop {
   topo::NodeId node;
