@@ -1,0 +1,307 @@
+// live_monitor — attach Monocle to real OpenFlow 1.0 switches (e.g. OVS)
+// and monitor their tables end-to-end.
+//
+// This is the sim-free deployment of the exact pipeline the tests run:
+// WallclockRuntime (timers) + TcpTransport (control channels) replace
+// EventQueue + the simulator; everything above the SwitchBackend seam —
+// Monitor, Multiplexer, Fleet, catching plans, probe generation — is the
+// same code.  See README.md "Run against a real switch" for an OVS
+// two-bridge walkthrough and docs/PROTOCOL.md for the wire lifecycle.
+//
+// Usage:
+//   live_monitor --switch 1:6653 --switch 2:6654 --link 1:1-2:1
+//                [--rules 8] [--rate 50] [--duration 30]
+//
+//   --switch D:P   expect the switch with datapath id D to connect to TCP
+//                  port P (point each OVS bridge at its own port:
+//                  ovs-vsctl set-controller brD tcp:<host>:P)
+//   --link A:pa-B:pb   declare the cable between switch A port pa and
+//                  switch B port pb (probes are injected and caught across
+//                  these links; ports are OpenFlow port numbers)
+//   --rules N      install N demo forwarding rules on the first switch and
+//                  monitor them (default 8)
+//   --rate R       steady probes/sec per round (default 50)
+//   --duration S   run for S seconds, then print a report (default 30)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel_backend.hpp"
+#include "channel/static_view.hpp"
+#include "channel/tcp_transport.hpp"
+#include "channel/wallclock_runtime.hpp"
+#include "monocle/catching.hpp"
+#include "monocle/fleet.hpp"
+#include "monocle/monitor.hpp"
+#include "monocle/multiplexer.hpp"
+#include "netbase/fields.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using monocle::CatchPlan;
+using monocle::Fleet;
+using monocle::Monitor;
+using monocle::Multiplexer;
+using monocle::SwitchId;
+using monocle::channel::ChannelBackend;
+using monocle::channel::StaticNetworkView;
+using monocle::channel::TcpTransport;
+using monocle::channel::WallclockRuntime;
+using monocle::netbase::kMillisecond;
+using monocle::netbase::kSecond;
+
+struct SwitchSpec {
+  SwitchId dpid = 0;
+  std::uint16_t tcp_port = 0;
+};
+
+struct LinkSpec {
+  SwitchId a = 0;
+  std::uint16_t port_a = 0;
+  SwitchId b = 0;
+  std::uint16_t port_b = 0;
+};
+
+bool parse_switch(const char* arg, SwitchSpec& out) {
+  return std::sscanf(arg, "%lu:%hu", &out.dpid, &out.tcp_port) == 2;
+}
+
+bool parse_link(const char* arg, LinkSpec& out) {
+  return std::sscanf(arg, "%lu:%hu-%lu:%hu", &out.a, &out.port_a, &out.b,
+                     &out.port_b) == 4;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --switch D:P [--switch D:P ...] --link A:pa-B:pb "
+               "[--link ...] [--rules N] [--rate R] [--duration S]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<SwitchSpec> switches;
+  std::vector<LinkSpec> links;
+  int demo_rules = 8;
+  double probe_rate = 50.0;
+  int duration_s = 30;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--switch") == 0) {
+      SwitchSpec spec;
+      const char* arg = next();
+      if (arg == nullptr || !parse_switch(arg, spec)) return usage(argv[0]);
+      switches.push_back(spec);
+    } else if (std::strcmp(argv[i], "--link") == 0) {
+      LinkSpec link;
+      const char* arg = next();
+      if (arg == nullptr || !parse_link(arg, link)) return usage(argv[0]);
+      links.push_back(link);
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      const char* arg = next();
+      if (arg == nullptr) return usage(argv[0]);
+      demo_rules = std::atoi(arg);
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      const char* arg = next();
+      if (arg == nullptr) return usage(argv[0]);
+      probe_rate = std::atof(arg);
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      const char* arg = next();
+      if (arg == nullptr) return usage(argv[0]);
+      duration_s = std::atoi(arg);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (switches.empty() || links.empty()) return usage(argv[0]);
+
+  // --- topology: CatchPlan colors it, the NetworkView answers peer() ------
+  monocle::topo::Topology topo(switches.size());
+  std::map<SwitchId, monocle::topo::NodeId> node_of;
+  std::vector<SwitchId> dpids;
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    node_of[switches[i].dpid] = static_cast<monocle::topo::NodeId>(i);
+    dpids.push_back(switches[i].dpid);
+  }
+  StaticNetworkView view;
+  for (const LinkSpec& link : links) {
+    if (!node_of.contains(link.a) || !node_of.contains(link.b)) {
+      std::fprintf(stderr, "link references unknown switch\n");
+      return 2;
+    }
+    topo.add_edge(node_of[link.a], node_of[link.b]);
+    view.add_link(link.a, link.port_a, link.b, link.port_b);
+  }
+  const CatchPlan plan =
+      CatchPlan::build(topo, dpids, monocle::CatchStrategy::kSingleField);
+
+  // --- transport + one backend per switch ---------------------------------
+  WallclockRuntime runtime;
+  TcpTransport transport;
+  Multiplexer mux(&view);
+
+  struct Station {
+    SwitchSpec spec;
+    std::deque<monocle::channel::Connection*> accepted;
+    std::unique_ptr<ChannelBackend> backend;
+  };
+  std::map<SwitchId, std::unique_ptr<Station>> stations;
+  for (const SwitchSpec& spec : switches) {
+    auto station = std::make_unique<Station>();
+    Station* st = station.get();
+    st->spec = spec;
+    if (!transport.listen(
+            spec.tcp_port,
+            [st](monocle::channel::Connection* c) {
+              st->accepted.push_back(c);
+            })) {
+      std::fprintf(stderr, "cannot listen on port %u\n", spec.tcp_port);
+      return 1;
+    }
+    ChannelBackend::Config bcfg;
+    bcfg.expected_dpid = spec.dpid;
+    bcfg.reconnect_initial = 250 * kMillisecond;
+    st->backend = std::make_unique<ChannelBackend>(
+        bcfg, &runtime, [st]() -> monocle::channel::Connection* {
+          if (st->accepted.empty()) return nullptr;
+          auto* conn = st->accepted.front();
+          st->accepted.pop_front();
+          return conn;
+        });
+    stations[spec.dpid] = std::move(station);
+  }
+
+  // --- the fleet: one Monitor shard per switch ----------------------------
+  Fleet::Config fcfg;
+  fcfg.monitor.steady_probe_rate = probe_rate;  // overridden to round pacing
+  fcfg.round_interval = 100 * kMillisecond;
+  fcfg.probes_per_switch =
+      static_cast<std::size_t>(probe_rate / 10.0) + 1;  // per 100 ms round
+  fcfg.warmup = 1 * kSecond;
+  fcfg.on_diagnosis = [](const monocle::NetworkDiagnosis& diag) {
+    if (diag.healthy()) {
+      std::printf("[diagnosis] healthy\n");
+      return;
+    }
+    for (const auto& link : diag.links) {
+      std::printf("[diagnosis] link %lu:%u <-> %lu:%u suspect%s "
+                  "(%zu failed rules)\n",
+                  link.a, link.port_a, link.b, link.port_b,
+                  link.corroborated ? " (corroborated)" : "",
+                  link.failed_rules);
+    }
+    for (const auto& sw : diag.switches) {
+      std::printf("[diagnosis] switch %lu suspect (%zu/%zu links)\n", sw.sw,
+                  sw.suspect_links, sw.total_links);
+    }
+    for (const auto& fault : diag.isolated) {
+      std::printf("[diagnosis] isolated rule fault: switch %lu cookie=%lu\n",
+                  fault.sw, fault.cookie);
+    }
+  };
+  Fleet fleet(fcfg, &runtime, &view, &plan);
+  for (const SwitchSpec& spec : switches) {
+    Monitor::Hooks hooks;
+    hooks.on_alarm = [dpid = spec.dpid](const monocle::RuleAlarm& alarm) {
+      std::printf("[alarm] switch %lu: rule cookie=%lu failed (%zu failed)\n",
+                  dpid, alarm.cookie, alarm.failed_rule_count);
+    };
+    fleet.add_shard(spec.dpid, *stations.at(spec.dpid)->backend, mux, hooks);
+  }
+
+  // --- connect ------------------------------------------------------------
+  std::printf("waiting for %zu switch(es) to connect...\n", switches.size());
+  for (auto& [dpid, st] : stations) st->backend->start();
+  runtime.run(&transport, [&] {
+    for (const auto& [dpid, st] : stations) {
+      if (!st->backend->up()) return runtime.now() > 60 * kSecond;
+    }
+    return true;
+  });
+  for (const auto& [dpid, st] : stations) {
+    if (!st->backend->up()) {
+      std::fprintf(stderr,
+                   "switch %lu never completed the handshake on port %u\n",
+                   dpid, st->spec.tcp_port);
+      return 1;
+    }
+    const auto& features = st->backend->session().features();
+    std::printf("switch %lu up: %zu ports\n", dpid, features.ports.size());
+    for (const auto& port : features.ports) {
+      // Skip OpenFlow 1.0 pseudo-ports (OVS reports OFPP_LOCAL = 0xfffe);
+      // only real ports may serve as probe ingress/egress candidates.
+      if (port.port_no >= 0xFF00) continue;  // OFPP_MAX
+      view.add_port(dpid, port.port_no);  // edge ports join the view
+    }
+  }
+
+  // --- monitor ------------------------------------------------------------
+  fleet.start();  // installs catching rules, warms probe caches, runs rounds
+
+  // Demo workload: L3 host routes on the first switch, forwarding across
+  // its first declared link (so probes are observable at the neighbor).
+  const SwitchId first = switches.front().dpid;
+  std::uint16_t out_port = 0;
+  for (const LinkSpec& link : links) {
+    if (link.a == first) out_port = link.port_a;
+    if (link.b == first) out_port = link.port_b;
+    if (out_port != 0) break;
+  }
+  Monitor* first_monitor = fleet.monitor(first);
+  first_monitor->hooks_for_test().on_update_confirmed =
+      [](std::uint64_t cookie, monocle::netbase::SimTime) {
+        std::printf("[confirmed] cookie=%lu reached the data plane\n", cookie);
+      };
+  for (int i = 0; i < demo_rules; ++i) {
+    monocle::openflow::FlowMod fm;
+    fm.command = monocle::openflow::FlowModCommand::kAdd;
+    fm.priority = 100;
+    fm.cookie = 0x11000 + static_cast<std::uint64_t>(i);
+    fm.match.set_exact(monocle::netbase::Field::EthType,
+                       monocle::netbase::kEthTypeIpv4);
+    fm.match.set_prefix(monocle::netbase::Field::IpDst,
+                        0x0A630000u + static_cast<std::uint32_t>(i), 32);
+    fm.actions = {monocle::openflow::Action::output(out_port)};
+    first_monitor->on_controller_message(monocle::openflow::make_message(
+        static_cast<std::uint32_t>(i + 1), fm));
+  }
+
+  // Periodic status line.
+  std::function<void()> status = [&] {
+    std::printf("[status] t=%.1fs monitorable=%zu failed=%zu probes: "
+                "injected=%lu caught=%lu rounds=%lu\n",
+                monocle::netbase::to_seconds(runtime.now()),
+                fleet.monitorable_rule_count(), fleet.failed_rule_count(),
+                fleet.stats().probes_injected,
+                first_monitor->stats().probes_caught, fleet.stats().rounds_started);
+    runtime.schedule(5 * kSecond, status);
+  };
+  runtime.schedule(5 * kSecond, status);
+
+  runtime.run_for(&transport,
+                  static_cast<monocle::netbase::SimTime>(duration_s) * kSecond);
+
+  // --- report -------------------------------------------------------------
+  fleet.stop();
+  for (auto& [dpid, st] : stations) st->backend->stop();
+  const auto& stats = first_monitor->stats();
+  std::printf("\n=== report ===\n");
+  std::printf("rounds started:     %lu\n", fleet.stats().rounds_started);
+  std::printf("probes injected:    %lu\n", stats.probes_injected);
+  std::printf("probes caught:      %lu\n", stats.probes_caught);
+  std::printf("updates confirmed:  %lu\n", stats.updates_confirmed);
+  std::printf("rules failed now:   %zu\n", fleet.failed_rule_count());
+  std::printf("channel disconnects:%lu\n", stats.channel_disconnects);
+  return fleet.failed_rule_count() == 0 ? 0 : 1;
+}

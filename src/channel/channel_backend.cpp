@@ -1,0 +1,104 @@
+#include "channel/channel_backend.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace monocle::channel {
+
+ChannelBackend::ChannelBackend(Config config, Runtime* runtime, Dialer dialer)
+    : config_(config),
+      runtime_(runtime),
+      dialer_(std::move(dialer)),
+      session_(
+          config_.session, runtime,
+          OfSession::Hooks{
+              [this](const openflow::Message& m) {
+                if (receiver_) receiver_(m);
+              },
+              [this](const openflow::FeaturesReply& fr) { on_session_up(fr); },
+              [this] { on_session_dead(); },
+          }),
+      backoff_(config_.reconnect_initial) {}
+
+ChannelBackend::~ChannelBackend() { stop(); }
+
+void ChannelBackend::start() {
+  if (running_) return;
+  running_ = true;
+  backoff_ = config_.reconnect_initial;
+  try_connect();
+}
+
+void ChannelBackend::stop() {
+  running_ = false;
+  runtime_->cancel(retry_timer_);
+  retry_timer_ = 0;
+  up_ = false;
+  session_.detach();  // closes the connection without firing on_dead
+  queue_.clear();
+}
+
+void ChannelBackend::send(const openflow::Message& msg) {
+  if (up_) {
+    session_.send(msg);
+    return;
+  }
+  if (queue_.size() >= config_.max_queued) {
+    queue_.pop_front();
+    ++stats_.messages_dropped;
+  }
+  queue_.push_back(msg);
+  ++stats_.messages_queued;
+}
+
+void ChannelBackend::try_connect() {
+  if (!running_) return;
+  ++stats_.dial_attempts;
+  Connection* conn = dialer_ ? dialer_() : nullptr;
+  if (conn == nullptr) {
+    schedule_retry();
+    return;
+  }
+  session_.attach(conn);  // handshake failure lands in on_session_dead
+}
+
+void ChannelBackend::schedule_retry() {
+  if (!running_ || retry_timer_ != 0) return;
+  retry_timer_ = runtime_->schedule(backoff_, [this] {
+    retry_timer_ = 0;
+    try_connect();
+  });
+  backoff_ = std::min(backoff_ * 2, config_.reconnect_max);
+}
+
+void ChannelBackend::on_session_up(const openflow::FeaturesReply& features) {
+  if (config_.expected_dpid != 0 &&
+      features.datapath_id != config_.expected_dpid) {
+    // The wrong switch answered (shared listener): drop and keep dialing.
+    session_.detach();
+    schedule_retry();
+    return;
+  }
+  dpid_ = features.datapath_id;
+  backoff_ = config_.reconnect_initial;
+  up_ = true;
+  ++stats_.connects;
+  // Flush messages held back while the channel was down.
+  while (!queue_.empty() && up_) {
+    session_.send(queue_.front());
+    queue_.pop_front();
+  }
+  if (state_handler_) state_handler_(true);
+}
+
+void ChannelBackend::on_session_dead() {
+  const bool was_up = up_;
+  up_ = false;
+  if (was_up) {
+    ++stats_.disconnects;
+    if (state_handler_) state_handler_(false);
+  }
+  schedule_retry();
+}
+
+}  // namespace monocle::channel

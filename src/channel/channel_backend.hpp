@@ -1,0 +1,100 @@
+// ChannelBackend: SwitchBackend over a real OpenFlow 1.0 control channel.
+//
+// Owns one OfSession and keeps it alive: dials through a caller-supplied
+// non-blocking Dialer, handshakes, reports up/down transitions, queues a
+// bounded number of messages while the channel is down and flushes them on
+// reconnect, and re-dials with exponential backoff whenever the session
+// dies (dead peer, handshake stall, refused dial).  The same class serves
+// outgoing TCP connections (dialer = TcpTransport::dial), accepted ones
+// (dialer pops a listener's accept queue) and in-process loopback pairs
+// (dialer hands out LoopbackTransport endpoints) — reconnect policy is
+// identical in all three.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "channel/of_session.hpp"
+#include "channel/switch_backend.hpp"
+#include "channel/transport.hpp"
+#include "monocle/runtime.hpp"
+
+namespace monocle::channel {
+
+class ChannelBackend final : public SwitchBackend {
+ public:
+  /// Produces the next connection attempt's Connection, or nullptr when no
+  /// connection is available right now (the backend backs off and retries).
+  /// Must not block.
+  using Dialer = std::function<Connection*()>;
+
+  struct Config {
+    OfSession::Config session;
+    /// Reconnect backoff: first retry after `reconnect_initial`, doubling up
+    /// to `reconnect_max` until a handshake completes (which resets it).
+    netbase::SimTime reconnect_initial = 100 * netbase::kMillisecond;
+    netbase::SimTime reconnect_max = 5 * netbase::kSecond;
+    /// Messages queued while the channel is down; beyond this the OLDEST
+    /// queued message is dropped (new state supersedes old).
+    std::size_t max_queued = 256;
+    /// When non-zero, a handshake whose FEATURES_REPLY reports a different
+    /// datapath id is treated as a failed attempt (wrong switch answered).
+    std::uint64_t expected_dpid = 0;
+  };
+
+  struct Stats {
+    std::uint64_t connects = 0;     ///< successful handshakes
+    std::uint64_t disconnects = 0;  ///< sessions lost after being up
+    std::uint64_t dial_attempts = 0;
+    std::uint64_t messages_queued = 0;
+    std::uint64_t messages_dropped = 0;  ///< queue overflow while down
+  };
+
+  ChannelBackend(Config config, Runtime* runtime, Dialer dialer);
+  ~ChannelBackend() override;
+
+  ChannelBackend(const ChannelBackend&) = delete;
+  ChannelBackend& operator=(const ChannelBackend&) = delete;
+
+  // --- SwitchBackend -------------------------------------------------------
+  void start() override;
+  void stop() override;
+  void send(const openflow::Message& msg) override;
+  void set_receiver(Receiver receiver) override { receiver_ = std::move(receiver); }
+  void set_state_handler(StateHandler handler) override {
+    state_handler_ = std::move(handler);
+  }
+  [[nodiscard]] bool up() const override { return up_; }
+  [[nodiscard]] std::uint64_t datapath_id() const override { return dpid_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// The underlying session (tests inspect handshake state and barriers).
+  [[nodiscard]] OfSession& session() { return session_; }
+  /// Next retry delay the backoff would use (tests assert doubling).
+  [[nodiscard]] netbase::SimTime current_backoff() const { return backoff_; }
+
+ private:
+  void try_connect();
+  void schedule_retry();
+  void on_session_up(const openflow::FeaturesReply& features);
+  void on_session_dead();
+
+  Config config_;
+  Runtime* runtime_;
+  Dialer dialer_;
+  Receiver receiver_;
+  StateHandler state_handler_;
+
+  OfSession session_;
+  bool running_ = false;
+  bool up_ = false;
+  std::uint64_t dpid_ = 0;
+  netbase::SimTime backoff_;
+  std::deque<openflow::Message> queue_;  // held while down
+  // Zeroed on fire/cancel per the Runtime timer contract (runtime.hpp).
+  std::uint64_t retry_timer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace monocle::channel

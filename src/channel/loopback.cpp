@@ -1,0 +1,115 @@
+#include "channel/loopback.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace monocle::channel {
+
+class LoopbackTransport::End final : public Connection {
+ public:
+  End(std::size_t index) : index_(index) {}
+
+  void set_callbacks(Callbacks callbacks) override {
+    callbacks_ = std::move(callbacks);
+  }
+
+  bool send(std::span<const std::uint8_t> bytes) override {
+    if (!open_) return false;
+    outbox_.insert(outbox_.end(), bytes.begin(), bytes.end());
+    return true;
+  }
+
+  void close() override {
+    if (!open_) return;
+    open_ = false;
+    locally_closed_ = true;
+    // A deliberate local close still flushes what we already queued; the
+    // peer's on_closed is delivered once the outbox drains (see pump()).
+  }
+
+  [[nodiscard]] bool is_open() const override { return open_; }
+
+  [[nodiscard]] std::string describe() const override {
+    return "loopback#" + std::to_string(index_);
+  }
+
+ private:
+  friend class LoopbackTransport;
+
+  /// This end's incoming stream is dead: the peer can never deliver more
+  /// bytes (closed or severed, nothing left in its outbox).
+  [[nodiscard]] bool inbound_dead() const {
+    return peer_ != nullptr && !peer_->open_ && peer_->outbox_.empty();
+  }
+
+  std::size_t index_;
+  End* peer_ = nullptr;
+  Callbacks callbacks_;
+  std::deque<std::uint8_t> outbox_;
+  bool open_ = true;
+  bool locally_closed_ = false;  // close() called here: no on_closed to us
+  bool notified_ = false;        // on_closed already delivered to us
+};
+
+LoopbackTransport::LoopbackTransport() = default;
+
+LoopbackTransport::~LoopbackTransport() = default;
+
+LoopbackTransport::Endpoints LoopbackTransport::make_pair() {
+  auto a = std::make_unique<End>(ends_.size());
+  auto b = std::make_unique<End>(ends_.size() + 1);
+  a->peer_ = b.get();
+  b->peer_ = a.get();
+  Endpoints pair{a.get(), b.get()};
+  ends_.push_back(std::move(a));
+  ends_.push_back(std::move(b));
+  return pair;
+}
+
+void LoopbackTransport::sever(const Endpoints& pair) {
+  for (Connection* c : {pair.a, pair.b}) {
+    auto* end = static_cast<End*>(c);
+    end->open_ = false;
+    end->outbox_.clear();  // cable cut: in-flight bytes are lost
+  }
+}
+
+std::size_t LoopbackTransport::pump() {
+  std::size_t events = 0;
+  // Index-based loop: callbacks may send() (growing outboxes) but new pairs
+  // created during a pump are only serviced from the next pump on.
+  const std::size_t count = ends_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    End& from = *ends_[i];
+    End* to = from.peer_;
+    if (!from.outbox_.empty() && to != nullptr && to->is_open()) {
+      const std::size_t n = chunk_limit_ == 0
+                                ? from.outbox_.size()
+                                : std::min(chunk_limit_, from.outbox_.size());
+      std::vector<std::uint8_t> chunk(from.outbox_.begin(),
+                                      from.outbox_.begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+      from.outbox_.erase(from.outbox_.begin(),
+                         from.outbox_.begin() + static_cast<std::ptrdiff_t>(n));
+      bytes_moved_ += n;
+      ++events;
+      // Invoke a copy: the callback may replace/clear the connection's
+      // callbacks from inside (session death paths do exactly that).
+      if (const auto on_bytes = to->callbacks_.on_bytes) on_bytes(chunk);
+    }
+  }
+  // Close notifications: an end whose inbound stream died (peer closed or
+  // the pair was severed) gets on_closed exactly once — unless it closed
+  // itself, in which case the close was its own decision.
+  for (std::size_t i = 0; i < count; ++i) {
+    End& end = *ends_[i];
+    if (end.notified_ || end.locally_closed_ || !end.inbound_dead()) continue;
+    end.notified_ = true;
+    end.open_ = false;
+    ++events;
+    if (const auto on_closed = end.callbacks_.on_closed) on_closed();
+  }
+  return events;
+}
+
+}  // namespace monocle::channel

@@ -1,0 +1,56 @@
+// In-process loopback transport: deterministic connection pairs for tests.
+//
+// A loopback pair is two Connection endpoints whose byte queues cross: bytes
+// sent on one side are delivered to the other side's on_bytes callback on
+// the next pump().  Delivery order is deterministic (endpoints are pumped in
+// creation order) and chunking is controllable, so framing code can be
+// exercised byte-at-a-time without sockets.  This is the transport behind
+// tests/channel_test.cpp's end-to-end Monitor-over-wire runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "channel/transport.hpp"
+
+namespace monocle::channel {
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport() override;
+
+  struct Endpoints {
+    Connection* a = nullptr;
+    Connection* b = nullptr;
+  };
+
+  /// Creates a connected pair.  Both pointers stay valid for the transport's
+  /// lifetime (closed endpoints are retained, not reclaimed — loopback runs
+  /// are short-lived tests).
+  Endpoints make_pair();
+
+  /// Caps bytes delivered per endpoint per pump; 0 (default) is unlimited.
+  /// A limit of 1 exercises byte-at-a-time reassembly.
+  void set_chunk_limit(std::size_t bytes) { chunk_limit_ = bytes; }
+
+  /// Severs a pair from "outside" (cable cut): both endpoints close and BOTH
+  /// see on_closed on the next pump, undelivered bytes are dropped.  Unlike
+  /// Connection::close(), which models a deliberate local shutdown.
+  void sever(const Endpoints& pair);
+
+  std::size_t pump() override;
+
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  class End;
+
+  std::vector<std::unique_ptr<End>> ends_;
+  std::size_t chunk_limit_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace monocle::channel

@@ -1,0 +1,62 @@
+// StaticNetworkView: operator-declared port-level topology for live
+// deployments.
+//
+// The simulator's Network derives NetworkView from its own link table; a
+// live Monitor has no such luxury — cabling is external knowledge.  This
+// view is populated explicitly (from CLI flags, a config file, or LLDP
+// results) and handed to Monitor/Multiplexer/Fleet unchanged.  Ports that
+// are registered but unlinked behave as host/edge ports (peer() returns
+// nullopt), exactly as in the sim.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+
+namespace monocle::channel {
+
+class StaticNetworkView final : public NetworkView {
+ public:
+  /// Declares a bidirectional link (`a`, `port_a`) <-> (`b`, `port_b`);
+  /// both endpoints' ports are registered implicitly.
+  void add_link(SwitchId a, std::uint16_t port_a, SwitchId b,
+                std::uint16_t port_b) {
+    links_[{a, port_a}] = PortPeer{b, port_b};
+    links_[{b, port_b}] = PortPeer{a, port_a};
+    add_port(a, port_a);
+    add_port(b, port_b);
+  }
+
+  /// Registers a (possibly unlinked) port, e.g. from a FEATURES_REPLY port
+  /// list.
+  void add_port(SwitchId sw, std::uint16_t port) {
+    auto& ports = ports_[sw];
+    if (std::find(ports.begin(), ports.end(), port) == ports.end()) {
+      ports.push_back(port);
+      std::sort(ports.begin(), ports.end());
+    }
+  }
+
+  // --- NetworkView ---------------------------------------------------------
+  [[nodiscard]] std::optional<PortPeer> peer(
+      SwitchId sw, std::uint16_t port) const override {
+    const auto it = links_.find({sw, port});
+    if (it == links_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::vector<std::uint16_t> ports(SwitchId sw) const override {
+    const auto it = ports_.find(sw);
+    return it == ports_.end() ? std::vector<std::uint16_t>{} : it->second;
+  }
+
+ private:
+  std::map<std::pair<SwitchId, std::uint16_t>, PortPeer> links_;
+  std::map<SwitchId, std::vector<std::uint16_t>> ports_;
+};
+
+}  // namespace monocle::channel

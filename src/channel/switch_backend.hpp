@@ -1,0 +1,53 @@
+// SwitchBackend: the one interface through which the monitoring stack talks
+// to a switch.
+//
+// A backend hides HOW control messages reach one switch: the in-process
+// simulator (switchsim::SimSwitchBackend delivers straight into a
+// SimSwitch), or a real OpenFlow 1.0 control channel (ChannelBackend speaks
+// the wire protocol over a Transport connection, with handshake, keepalive
+// and reconnect).  Monitor, Multiplexer, Fleet and Testbed are written
+// against this interface, so the same monitoring pipeline runs unchanged
+// against simulated and live switches — the architectural seam behind the
+// paper's "works on unmodified OpenFlow switches" claim (§3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "openflow/messages.hpp"
+
+namespace monocle::channel {
+
+class SwitchBackend {
+ public:
+  /// Receives every switch→controller message the backend delivers.
+  using Receiver = std::function<void(const openflow::Message&)>;
+  /// Observes channel up/down transitions (handshake completed / peer lost).
+  using StateHandler = std::function<void(bool up)>;
+
+  virtual ~SwitchBackend() = default;
+
+  /// Begins delivering messages (sim: wires the control sink; channel:
+  /// dials and handshakes).  Handlers should be set before start().
+  virtual void start() = 0;
+
+  /// Terminal teardown: stops reconnecting, cancels timers, closes the
+  /// channel.  No handler fires after stop() returns.
+  virtual void stop() = 0;
+
+  /// Sends a controller→switch message.  Backends with a real channel queue
+  /// (bounded) while down and flush on reconnect; never blocks.
+  virtual void send(const openflow::Message& msg) = 0;
+
+  virtual void set_receiver(Receiver receiver) = 0;
+  virtual void set_state_handler(StateHandler handler) = 0;
+
+  /// True when messages currently flow (sim: started; channel: handshaked).
+  [[nodiscard]] virtual bool up() const = 0;
+
+  /// The switch's datapath id (sim: the switch id; channel: learned from
+  /// FEATURES_REPLY — 0 until the first handshake completes).
+  [[nodiscard]] virtual std::uint64_t datapath_id() const = 0;
+};
+
+}  // namespace monocle::channel

@@ -1,0 +1,341 @@
+#include "channel/tcp_transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MONOCLE_HAVE_POSIX_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MONOCLE_HAVE_POSIX_SOCKETS 0
+#endif
+
+namespace monocle::channel {
+
+#if MONOCLE_HAVE_POSIX_SOCKETS
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+class TcpTransport::Conn final : public Connection {
+ public:
+  Conn(int fd, std::string desc, bool connecting)
+      : fd_(fd), desc_(std::move(desc)), connecting_(connecting) {}
+
+  ~Conn() override { close_fd(); }
+
+  void set_callbacks(Callbacks callbacks) override {
+    callbacks_ = std::move(callbacks);
+    // Bytes (or a close) may have arrived between accept and adoption —
+    // e.g. a switch's HELLO fired the instant it connected, while the
+    // connection still sat in a listener's accept queue.  Deliver them now.
+    if (callbacks_.on_bytes && !inbox_.empty()) {
+      const std::vector<std::uint8_t> pending(inbox_.begin(), inbox_.end());
+      inbox_.clear();
+      const auto on_bytes = callbacks_.on_bytes;  // copy: may be replaced
+      on_bytes(pending);
+    }
+    if (!open_ && !locally_closed_ && !notified_ && callbacks_.on_closed) {
+      notified_ = true;
+      const auto on_closed = callbacks_.on_closed;
+      on_closed();
+    }
+  }
+
+  bool send(std::span<const std::uint8_t> bytes) override {
+    if (!open_) return false;
+    // Append-then-flush keeps ordering with any queued remainder; actual
+    // writes happen here opportunistically and from pump() on POLLOUT.
+    outbuf_.insert(outbuf_.end(), bytes.begin(), bytes.end());
+    if (!connecting_) flush();
+    return open_;
+  }
+
+  void close() override {
+    locally_closed_ = true;
+    open_ = false;
+    close_fd();
+  }
+
+  [[nodiscard]] bool is_open() const override { return open_; }
+
+  [[nodiscard]] std::string describe() const override { return desc_; }
+
+ private:
+  friend class TcpTransport;
+
+  void close_fd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Writes as much of outbuf_ as the socket accepts; on a hard error the
+  /// connection is marked dead (on_closed delivered from pump()).
+  void flush() {
+    while (!outbuf_.empty()) {
+      // deque storage is segmented; write the first contiguous run.
+      const std::uint8_t* data = &outbuf_[0];
+      std::size_t run = 1;
+      while (run < outbuf_.size() && &outbuf_[run] == data + run) ++run;
+      const ssize_t n = ::send(fd_, data, run, MSG_NOSIGNAL);
+      if (n > 0) {
+        outbuf_.erase(outbuf_.begin(),
+                      outbuf_.begin() + static_cast<std::ptrdiff_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      open_ = false;  // peer reset underneath us
+      return;
+    }
+  }
+
+  /// Ceiling on bytes buffered for a not-yet-adopted connection; a peer
+  /// that floods past it before anyone listens is dropped.
+  static constexpr std::size_t kMaxInbox = 1 << 20;
+
+  int fd_;
+  std::string desc_;
+  bool connecting_;  // non-blocking connect still in progress
+  Callbacks callbacks_;
+  std::deque<std::uint8_t> outbuf_;
+  std::deque<std::uint8_t> inbox_;  // received before callbacks were set
+  bool open_ = true;
+  bool locally_closed_ = false;
+  bool notified_ = false;
+};
+
+struct TcpTransport::Listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+  std::function<void(Connection*)> on_accept;
+
+  ~Listener() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() = default;
+
+bool TcpTransport::listen(std::uint16_t port,
+                          std::function<void(Connection*)> on_accept,
+                          const std::string& bind_addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  auto listener = std::make_unique<Listener>();
+  listener->fd = fd;
+  listener->port = ntohs(addr.sin_port);
+  listener->on_accept = std::move(on_accept);
+  last_listen_port_ = listener->port;
+  listeners_.push_back(std::move(listener));
+  return true;
+}
+
+Connection* TcpTransport::dial(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      !set_nonblocking(fd)) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_nodelay(fd);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  const bool connecting = rc != 0 && errno == EINPROGRESS;
+  if (rc != 0 && !connecting) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>(
+      fd, host + ":" + std::to_string(port), connecting);
+  Connection* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  return raw;
+}
+
+std::size_t TcpTransport::pump() { return pump_with_timeout(0); }
+
+std::size_t TcpTransport::pump_wait(netbase::SimTime max_wait) {
+  const int ms = static_cast<int>(
+      std::min<netbase::SimTime>(max_wait / netbase::kMillisecond, 1000));
+  return pump_with_timeout(ms);
+}
+
+std::size_t TcpTransport::pump_with_timeout(int timeout_ms) {
+  // Reclaim connections that are fully dead (closed AND either locally
+  // closed or already notified) — owners dropped their pointers by then.
+  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
+    return !c->open_ && (c->locally_closed_ || c->notified_);
+  });
+
+  std::vector<pollfd> fds;
+  std::vector<Conn*> fd_conns;  // parallel to the conn entries of fds
+  fds.reserve(listeners_.size() + conns_.size());
+  for (const auto& listener : listeners_) {
+    fds.push_back({listener->fd, POLLIN, 0});
+  }
+  for (const auto& conn : conns_) {
+    if (!conn->open_ || conn->fd_ < 0) continue;
+    short events = POLLIN;
+    if (conn->connecting_ || !conn->outbuf_.empty()) events |= POLLOUT;
+    fds.push_back({conn->fd_, events, 0});
+    fd_conns.push_back(conn.get());
+  }
+  if (fds.empty()) return 0;
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  std::size_t events = 0;
+  // Accept new connections.
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    if ((fds[i].revents & POLLIN) == 0) continue;
+    for (;;) {
+      sockaddr_in peer{};
+      socklen_t len = sizeof(peer);
+      const int cfd =
+          ::accept(listeners_[i]->fd, reinterpret_cast<sockaddr*>(&peer), &len);
+      if (cfd < 0) break;
+      if (!set_nonblocking(cfd)) {
+        ::close(cfd);
+        continue;
+      }
+      set_nodelay(cfd);
+      char ip[INET_ADDRSTRLEN] = "?";
+      ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+      auto conn = std::make_unique<Conn>(
+          cfd, std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port)),
+          /*connecting=*/false);
+      Conn* raw = conn.get();
+      conns_.push_back(std::move(conn));
+      ++events;
+      if (listeners_[i]->on_accept) listeners_[i]->on_accept(raw);
+    }
+  }
+  // Service connections.
+  for (std::size_t i = 0; i < fd_conns.size(); ++i) {
+    Conn& conn = *fd_conns[i];
+    const short revents = fds[listeners_.size() + i].revents;
+    if (!conn.open_) continue;
+    if (conn.connecting_ && (revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(conn.fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        conn.open_ = false;
+      } else {
+        conn.connecting_ = false;
+        conn.flush();
+        ++events;
+      }
+    } else if ((revents & POLLOUT) != 0) {
+      conn.flush();
+    }
+    if (conn.open_ && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      std::uint8_t buf[65536];
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+          ++events;
+          // Invoke a copy: the callback may replace/clear the connection's
+          // callbacks from inside (session death paths do exactly that).
+          if (const auto on_bytes = conn.callbacks_.on_bytes) {
+            on_bytes(std::span<const std::uint8_t>(
+                buf, static_cast<std::size_t>(n)));
+          } else {
+            // Not yet adopted (sitting in an accept queue): buffer for
+            // set_callbacks, bounded against hostile floods.
+            conn.inbox_.insert(conn.inbox_.end(), buf, buf + n);
+            if (conn.inbox_.size() > Conn::kMaxInbox) conn.open_ = false;
+          }
+          if (!conn.open_) break;  // callback closed us / inbox overflow
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn.open_ = false;  // orderly shutdown (n == 0) or hard error
+        break;
+      }
+    }
+  }
+  // Close-notification sweep over ALL connections, not just the polled
+  // ones: a connection can die outside pump() too (Conn::flush marking a
+  // hard ::send error from a timer-driven session write), and such a conn
+  // is excluded from the poll set above.  Without an on_closed observer
+  // the notification is deferred: the eventual adopter learns of the close
+  // from set_callbacks (and the connection must stay alive for it — see
+  // the reclaim filter above).
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    Conn& conn = *conns_[i];
+    if (conn.open_ || conn.locally_closed_ || conn.notified_) continue;
+    conn.close_fd();
+    if (const auto on_closed = conn.callbacks_.on_closed) {
+      conn.notified_ = true;
+      ++events;
+      on_closed();
+    }
+  }
+  return events;
+}
+
+#else  // !MONOCLE_HAVE_POSIX_SOCKETS
+
+class TcpTransport::Conn final : public Connection {};
+struct TcpTransport::Listener {};
+
+TcpTransport::TcpTransport() = default;
+TcpTransport::~TcpTransport() = default;
+
+bool TcpTransport::listen(std::uint16_t, std::function<void(Connection*)>,
+                          const std::string&) {
+  return false;
+}
+
+Connection* TcpTransport::dial(const std::string&, std::uint16_t) {
+  return nullptr;
+}
+
+std::size_t TcpTransport::pump() { return 0; }
+
+std::size_t TcpTransport::pump_wait(netbase::SimTime) { return 0; }
+
+std::size_t TcpTransport::pump_with_timeout(int) { return 0; }
+
+#endif  // MONOCLE_HAVE_POSIX_SOCKETS
+
+}  // namespace monocle::channel

@@ -1,0 +1,62 @@
+// Non-blocking TCP transport: poll(2)-driven listener + connections.
+//
+// The live-switch counterpart of LoopbackTransport.  All sockets are
+// non-blocking; pump() (or pump_wait, which parks in poll(2) up to the
+// caller's deadline) accepts pending connections, drains readable sockets
+// into on_bytes callbacks, completes in-progress connects and flushes
+// partial writes.  Multiple listeners are supported (one OpenFlow switch
+// per port is the simplest way to tell OVS bridges apart before their
+// FEATURES_REPLY arrives — see examples/live_monitor.cpp).
+//
+// POSIX-only; on other platforms the class compiles to stubs that fail to
+// listen/dial (the rest of the channel layer — loopback, session, backends —
+// is fully portable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/transport.hpp"
+
+namespace monocle::channel {
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Starts listening on `port` (0 picks an ephemeral port — see
+  /// listen_port); accepted connections are handed to `on_accept` from
+  /// pump().  Returns false when the socket cannot be bound.
+  bool listen(std::uint16_t port, std::function<void(Connection*)> on_accept,
+              const std::string& bind_addr = "0.0.0.0");
+
+  /// The actual port of the most recent successful listen() (resolves 0).
+  [[nodiscard]] std::uint16_t listen_port() const { return last_listen_port_; }
+
+  /// Starts a non-blocking connect to host:port (numeric IPv4).  Returns
+  /// the connection immediately; connect failures surface as on_closed from
+  /// a later pump().  nullptr only when the socket cannot be created.
+  Connection* dial(const std::string& host, std::uint16_t port);
+
+  std::size_t pump() override;
+  std::size_t pump_wait(netbase::SimTime max_wait) override;
+
+ private:
+  class Conn;
+  struct Listener;
+
+  std::size_t pump_with_timeout(int timeout_ms);
+
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint16_t last_listen_port_ = 0;
+};
+
+}  // namespace monocle::channel

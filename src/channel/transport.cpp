@@ -1,0 +1,48 @@
+#include "channel/transport.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace monocle::channel {
+
+std::size_t Transport::pump_wait(netbase::SimTime max_wait) {
+  const std::size_t events = pump();
+  if (events == 0 && max_wait > 0) {
+    // No selectable primitive: nap briefly so run loops don't busy-spin.
+    const auto nap = std::min<netbase::SimTime>(max_wait, netbase::kMillisecond);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nap));
+  }
+  return events;
+}
+
+TransportPump::TransportPump(Runtime* runtime, Transport* transport,
+                             netbase::SimTime interval)
+    : runtime_(runtime), transport_(transport), interval_(interval) {}
+
+TransportPump::~TransportPump() { stop(); }
+
+void TransportPump::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = runtime_->schedule(interval_, [this] {
+    timer_ = 0;
+    tick();
+  });
+}
+
+void TransportPump::stop() {
+  running_ = false;  // an in-flight tick checks this before re-arming
+  runtime_->cancel(timer_);
+  timer_ = 0;
+}
+
+void TransportPump::tick() {
+  transport_->pump();
+  if (!running_) return;  // stop() was called from inside the pump
+  timer_ = runtime_->schedule(interval_, [this] {
+    timer_ = 0;
+    tick();
+  });
+}
+
+}  // namespace monocle::channel

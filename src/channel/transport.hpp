@@ -1,0 +1,116 @@
+// Byte-stream transport abstraction for the OpenFlow control channel.
+//
+// A Transport owns a set of Connections (TCP sockets, in-process loopback
+// pipes) and moves their bytes when pumped.  Everything is non-blocking and
+// callback-driven: pump() performs whatever I/O is ready and invokes the
+// per-connection callbacks inline, so a single scheduler — the simulator's
+// EventQueue or the live WallclockRuntime — drives protocol timers and
+// transport I/O together (see TransportPump below).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "monocle/runtime.hpp"
+#include "netbase/time.hpp"
+
+namespace monocle::channel {
+
+/// One ordered, reliable byte stream (a control-channel connection).
+///
+/// Connections are created and owned by their Transport; users hold raw
+/// pointers.  A pointer stays valid until the connection has been closed AND
+/// its on_closed callback delivered — after that the Transport may reclaim
+/// it on any later pump, so owners must drop their pointer from on_closed
+/// (or immediately after calling close()).
+class Connection {
+ public:
+  struct Callbacks {
+    /// Bytes arrived (invoked from Transport::pump; the span is only valid
+    /// for the duration of the call).
+    std::function<void(std::span<const std::uint8_t>)> on_bytes;
+    /// The peer closed or the stream failed.  Delivered at most once; not
+    /// delivered for a locally initiated close().
+    std::function<void()> on_closed;
+  };
+
+  virtual ~Connection() = default;
+
+  /// Installs the receive-side callbacks.  Transports invoke a copy of each
+  /// callback, so replacing or clearing them from WITHIN a callback (e.g. a
+  /// session tearing itself down on protocol corruption) is safe.
+  virtual void set_callbacks(Callbacks callbacks) = 0;
+
+  /// Queues `bytes` for delivery.  Never blocks; returns false when the
+  /// connection is already closed (bytes are dropped).
+  virtual bool send(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Closes the stream locally.  The peer sees on_closed after in-flight
+  /// bytes drain; our own on_closed is NOT invoked.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual bool is_open() const = 0;
+
+  /// Human-readable endpoint description for logs ("127.0.0.1:6653",
+  /// "loopback#3").
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// A pumpable collection of Connections.
+///
+/// pump() is the single non-blocking entry point: it performs all pending
+/// I/O (accepts, reads, writes, close notifications) and returns the number
+/// of events handled.  pump_wait() may additionally block up to `max_wait`
+/// for I/O readiness — transports with a real selectable waiting primitive
+/// (poll/epoll) override it; the default pumps and naps briefly so callers
+/// never busy-spin.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Performs all ready I/O without blocking; returns events handled.
+  virtual std::size_t pump() = 0;
+
+  /// Like pump(), but may wait up to `max_wait` (nanoseconds) for readiness
+  /// when nothing is pending.
+  virtual std::size_t pump_wait(netbase::SimTime max_wait);
+};
+
+/// Drives a Transport from a Runtime's timer service: schedules itself every
+/// `interval` and pumps.  This is how the simulated and the wall-clock
+/// control channels share one scheduler — the EventQueue pumps a loopback
+/// transport between simulated events exactly like the WallclockRuntime
+/// pumps a TCP transport between real timers.
+class TransportPump {
+ public:
+  TransportPump(Runtime* runtime, Transport* transport,
+                netbase::SimTime interval);
+  ~TransportPump();
+
+  TransportPump(const TransportPump&) = delete;
+  TransportPump& operator=(const TransportPump&) = delete;
+
+  /// Starts the periodic pump (idempotent).
+  void start();
+
+  /// Cancels the pending pump timer; nothing dangles after this returns.
+  /// Safe to call from inside a connection callback running under pump():
+  /// the in-flight tick will not re-arm.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void tick();
+
+  Runtime* runtime_;
+  Transport* transport_;
+  netbase::SimTime interval_;
+  bool running_ = false;
+  // Zeroed on fire/cancel per the Runtime timer contract (runtime.hpp).
+  std::uint64_t timer_ = 0;
+};
+
+}  // namespace monocle::channel

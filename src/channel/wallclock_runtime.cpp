@@ -1,0 +1,73 @@
+#include "channel/wallclock_runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace monocle::channel {
+
+using netbase::SimTime;
+
+WallclockRuntime::WallclockRuntime() : start_(std::chrono::steady_clock::now()) {}
+
+SimTime WallclockRuntime::now() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::uint64_t WallclockRuntime::schedule(SimTime delay,
+                                         std::function<void()> fn) {
+  // Per the Runtime contract: ids are non-zero and never reissued while
+  // live (a 64-bit counter does not wrap in practice; skip live ids anyway).
+  while (next_id_ == 0 || live_.contains(next_id_)) ++next_id_;
+  const std::uint64_t id = next_id_++;
+  live_.insert(id);
+  queue_.push(Event{now() + delay, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void WallclockRuntime::cancel(std::uint64_t timer_id) { live_.erase(timer_id); }
+
+std::size_t WallclockRuntime::fire_due() {
+  std::size_t fired = 0;
+  const SimTime t = now();
+  while (!queue_.empty() && queue_.top().when <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled
+    ++fired;
+    ev.fn();
+  }
+  return fired;
+}
+
+void WallclockRuntime::run(Transport* transport,
+                           const std::function<bool()>& until) {
+  // Cap the wait so the stop predicate and freshly scheduled timers are
+  // observed promptly even on an idle channel.
+  constexpr SimTime kMaxWait = 50 * netbase::kMillisecond;
+  while (!until()) {
+    fire_due();
+    SimTime wait = kMaxWait;
+    // Skip cancelled heap tops so they don't clamp the wait to 0 forever.
+    while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
+    if (!queue_.empty()) {
+      const SimTime t = now();
+      const SimTime due = queue_.top().when;
+      wait = due > t ? std::min(kMaxWait, due - t) : 0;
+    }
+    if (transport != nullptr) {
+      transport->pump_wait(wait);
+    } else if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+    }
+  }
+}
+
+void WallclockRuntime::run_for(Transport* transport, SimTime duration) {
+  const SimTime deadline = now() + duration;
+  run(transport, [this, deadline] { return now() >= deadline; });
+}
+
+}  // namespace monocle::channel

@@ -1,0 +1,74 @@
+// Wall-clock Runtime: the live-deployment counterpart of the simulator's
+// EventQueue.
+//
+// Implements the monocle::Runtime clock/timer contract against
+// std::chrono::steady_clock and integrates transport I/O into the same
+// loop: run() alternates firing due timers with pumping a Transport,
+// waiting (in the transport's poll primitive, when it has one) until the
+// next timer deadline.  This is what lets the Monitor/Fleet stack — written
+// entirely against Runtime — drive live switches with zero changes: sim
+// time and wall-clock backends share one scheduler abstraction.
+//
+// Single-threaded, like EventQueue: schedule()/cancel() must be called from
+// the loop thread (timer callbacks and transport callbacks already are).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "channel/transport.hpp"
+#include "monocle/runtime.hpp"
+#include "netbase/time.hpp"
+
+namespace monocle::channel {
+
+class WallclockRuntime final : public Runtime {
+ public:
+  WallclockRuntime();
+
+  /// Nanoseconds since construction (steady clock).
+  [[nodiscard]] netbase::SimTime now() const override;
+
+  std::uint64_t schedule(netbase::SimTime delay,
+                         std::function<void()> fn) override;
+  void cancel(std::uint64_t timer_id) override;
+
+  /// Runs until `until()` returns true: fires due timers, pumps `transport`
+  /// (nullable), and waits for I/O up to the next timer deadline (capped so
+  /// stop predicates are re-checked promptly).
+  void run(Transport* transport, const std::function<bool()>& until);
+
+  /// run() bounded by wall-clock duration.
+  void run_for(Transport* transport, netbase::SimTime duration);
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    netbase::SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Fires every timer due at `now`; returns the count fired.
+  std::size_t fire_due();
+
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // ids not yet fired or cancelled
+};
+
+}  // namespace monocle::channel

@@ -11,8 +11,6 @@ Fleet::Fleet(Config config, Runtime* runtime, const NetworkView* view,
              const CatchPlan* plan)
     : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan) {}
 
-Fleet::~Fleet() { stop(); }
-
 Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   Monitor::Config cfg = config_.monitor;
   cfg.switch_id = sw;
@@ -34,10 +32,47 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   return raw;
 }
 
+Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
+                          Multiplexer& mux, Monitor::Hooks hooks) {
+  hooks.to_switch = [&backend](const openflow::Message& m) { backend.send(m); };
+  if (!hooks.to_controller) {
+    // Live monitors often run without a controller behind them.
+    hooks.to_controller = [](const openflow::Message&) {};
+  }
+  if (!hooks.inject) {
+    hooks.inject = [&mux, sw](std::uint16_t in_port,
+                              std::vector<std::uint8_t> bytes) {
+      return mux.inject(sw, in_port, std::move(bytes));
+    };
+  }
+  Monitor* mon = add_shard(sw, std::move(hooks));
+  mux.register_monitor(sw, mon);
+  mux.bind_backend(sw, backend, mon);
+  // The registrations above capture the raw Monitor*; the Fleet owns their
+  // teardown (a monitor-less rebind) so shard destruction cannot leave the
+  // backend delivering into freed memory.
+  shard_unbind_[sw] = [sw, &backend, &mux] {
+    mux.unregister_monitor(sw);
+    mux.bind_backend(sw, backend, nullptr);
+  };
+  return mon;
+}
+
+Fleet::~Fleet() {
+  stop();
+  for (auto& [sw, unbind] : shard_unbind_) unbind();
+  shard_unbind_.clear();
+}
+
 bool Fleet::remove_shard(SwitchId sw) {
   const auto it = shards_.find(sw);
   if (it == shards_.end()) return false;
   it->second->stop();
+  if (const auto unbind = shard_unbind_.find(sw);
+      unbind != shard_unbind_.end()) {
+    unbind->second();
+    shard_unbind_.erase(unbind);
+  }
   shards_.erase(it);
   if (config_.on_shard_removed) config_.on_shard_removed(sw);
   return true;

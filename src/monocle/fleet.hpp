@@ -39,6 +39,7 @@
 #include "monocle/catching.hpp"
 #include "monocle/localizer.hpp"
 #include "monocle/monitor.hpp"
+#include "monocle/multiplexer.hpp"
 #include "monocle/runtime.hpp"
 #include "monocle/schedule.hpp"
 
@@ -93,6 +94,18 @@ class Fleet {
   /// hook is chained: the Fleet observes every alarm (for debounced
   /// localization) before forwarding to the hook given here.
   Monitor* add_shard(SwitchId sw, Monitor::Hooks hooks);
+
+  /// Backend-aware shard creation: the shard's control-channel plumbing is
+  /// wired through `backend` and `mux` (to_switch sends down the backend,
+  /// probe injection goes through the Multiplexer, inbound messages and
+  /// up/down transitions come back via Multiplexer::bind_backend), so the
+  /// caller only supplies observer hooks (alarms, confirmations) in
+  /// `hooks`.  The registrations this overload creates are torn down by
+  /// the Fleet itself (remove_shard / destruction rebinds the backend
+  /// monitor-less), so `backend` and `mux` must outlive the Fleet — or at
+  /// least every remove_shard call for `sw`.
+  Monitor* add_shard(SwitchId sw, channel::SwitchBackend& backend,
+                     Multiplexer& mux, Monitor::Hooks hooks = {});
 
   /// Stops and destroys the shard for `sw` (cancels its timers; in-flight
   /// probes are forgotten).  Returns false when no such shard exists.
@@ -152,6 +165,10 @@ class Fleet {
   const CatchPlan* plan_;
 
   std::map<SwitchId, std::unique_ptr<Monitor>> shards_;
+  /// Undoes what the backend add_shard overload registered on the
+  /// Multiplexer/backend (they capture the raw Monitor*); run before the
+  /// shard is destroyed so nothing dangles.
+  std::map<SwitchId, std::function<void()>> shard_unbind_;
   RoundSchedule schedule_;
   std::size_t cursor_ = 0;
   bool prepared_ = false;

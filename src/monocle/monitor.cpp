@@ -33,12 +33,102 @@ bool Monitor::is_infrastructure_cookie(std::uint64_t cookie) {
 }
 
 void Monitor::install_infrastructure() {
+  infrastructure_installed_ = true;
   for (const FlowMod& fm : plan_->rules_for(config_.switch_id)) {
     expected_.add(fm.rule());
     rule_states_[fm.cookie] = RuleState::kConfirmed;
     Message msg = openflow::make_message(0, fm);
     hooks_.to_switch(msg);
     ++stats_.flowmods_forwarded;
+  }
+}
+
+void Monitor::reassert_infrastructure() {
+  if (!infrastructure_installed_) return;
+  for (const FlowMod& fm : plan_->rules_for(config_.switch_id)) {
+    hooks_.to_switch(openflow::make_message(0, fm));
+    ++stats_.flowmods_forwarded;
+  }
+}
+
+void Monitor::on_channel_state(bool up) {
+  // Record "was ever up" even when no transition happens: the bind-time
+  // seeding of an already-up backend must still arm the disconnect
+  // accounting for the first genuine loss.
+  if (up) channel_was_up_ = true;
+  if (up == channel_up_) return;
+  channel_up_ = up;
+  if (!up) {
+    // A backend bound before its first handshake starts "down"; only a
+    // genuine loss of an up channel counts as a disconnect.
+    if (channel_was_up_) ++stats_.channel_disconnects;
+    // A dead channel can neither carry our injections nor return echoes:
+    // drop every in-flight probe WITH its timer (nothing dangles, no rule
+    // is failed for probes the disconnect ate) and pause the steady cycle.
+    for (auto& [nonce, op] : outstanding_) runtime_->cancel(op.timer);
+    outstanding_.clear();
+    // Echoes that left before the cut are stale on arrival.  (A channel
+    // that was never up carried no probes, so there is nothing to stale.)
+    if (channel_was_up_) ++generation_;
+    runtime_->cancel(steady_timer_);
+    steady_timer_ = 0;
+    runtime_->cancel(warmup_timer_);
+    warmup_timer_ = 0;
+    // Pending updates must not be declared failed because the OUTAGE (not
+    // the data plane) outlasted update_give_up: pause their give-up alarms;
+    // the deadline restarts from the reconnect.  Their probe re-injection
+    // cadence keeps running — probes travel via neighbor channels and may
+    // confirm an update even while this switch's channel is down — but
+    // silence accumulated while injections only queue is meaningless, so
+    // negative-confirmation counters reset, and PROBELESS updates (whose
+    // inject_timer is really a blind confirm-after-settle) pause entirely:
+    // confirming blind during an outage would release barriers for a
+    // FlowMod that may still be sitting in (or dropped from) the backend's
+    // down queue.
+    for (auto& [cookie, job] : updates_) {
+      runtime_->cancel(job.give_up_timer);
+      job.give_up_timer = 0;
+      job.silent_injections = 0;
+      if (!job.probe.has_value()) {
+        runtime_->cancel(job.inject_timer);
+        job.inject_timer = 0;
+      }
+    }
+    return;
+  }
+  // Reconnected.  The switch may have restarted and lost its rules, so the
+  // catching infrastructure goes out again (idempotent when it survived);
+  // then the steady cycle re-arms from the top of the rule order.
+  reassert_infrastructure();
+  // FlowMods of still-unconfirmed updates may have died with the channel:
+  // re-issue them (adds replace identical match+priority, deletes of absent
+  // rules no-op, so this is idempotent too).  Their probes keep their
+  // re-injection cadence and confirm once the data plane catches up.
+  for (auto& [cookie, job] : updates_) {
+    FlowMod fm;
+    fm.match = job.rule.match;
+    fm.priority = job.rule.priority;
+    fm.cookie = job.rule.cookie;
+    if (job.kind == UpdateJob::Kind::kDelete) {
+      fm.command = FlowModCommand::kDeleteStrict;
+    } else {
+      fm.command = FlowModCommand::kAdd;
+      fm.actions = job.rule.actions;
+    }
+    hooks_.to_switch(openflow::make_message(0, fm));
+    ++stats_.flowmods_forwarded;
+    if (job.give_up_timer == 0) schedule_update_give_up(cookie);
+    if (!job.probe.has_value() && job.inject_timer == 0) {
+      // Blind confirmation of probeless updates restarts its settle delay
+      // from the reconnect (the re-issued FlowMod needs time to commit).
+      job.inject_timer = runtime_->schedule(
+          config_.negative_confirm_timeout,
+          [this, cookie = job.rule.cookie] { confirm_update(cookie); });
+    }
+  }
+  steady_pos_ = 0;
+  if (steady_running_ && config_.steady_probe_rate > 0 && steady_timer_ == 0) {
+    schedule_steady_tick();
   }
 }
 
@@ -86,19 +176,21 @@ void Monitor::stop() {
 }
 
 std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
-  if (!steady_running_) return 0;
+  if (!steady_running_ || !channel_up_) return 0;
   std::size_t injected = 0;
-  std::uint64_t first_cookie = 0;
+  std::optional<std::uint64_t> first_cookie;
   for (std::size_t i = 0; i < max_probes; ++i) {
     const auto cookie = next_steady_cookie();
     if (!cookie) break;
-    if (injected == 0) {
+    if (!first_cookie) {
       first_cookie = *cookie;
-    } else if (*cookie == first_cookie) {
+    } else if (*cookie == *first_cookie) {
       break;  // cycled through every monitorable rule already
     }
-    inject_steady_probe(*cookie);
-    ++injected;
+    // Rules whose injection path is down (or that just turned
+    // unmonitorable) don't count — the Fleet's probes_injected stat must
+    // report packets that actually left.
+    if (inject_steady_probe(*cookie)) ++injected;
   }
   return injected;
 }
@@ -302,22 +394,32 @@ void Monitor::start_update_job(UpdateJob job) {
     // First injection after the (simulated) probe-computation latency.
     updates_[cookie].inject_timer = runtime_->schedule(
         config_.generation_delay, [this, cookie] { inject_update_probe(cookie); });
-  } else {
+  } else if (channel_up_) {
     // Unmonitorable update: best-effort blind confirmation after a settle
     // delay (documented limitation; see DESIGN.md).
     updates_[cookie].inject_timer = runtime_->schedule(
         config_.negative_confirm_timeout, [this, cookie] { confirm_update(cookie); });
   }
-  // Give-up alarm.
+  // Give-up alarm.  Jobs born during an outage start with the blind-confirm
+  // and give-up timers unarmed, exactly like pre-existing jobs paused by
+  // on_channel_state(false); the reconnect path re-arms both — confirming
+  // or failing an update whose FlowMod is still parked in a down backend's
+  // queue would be a verdict about the outage, not the data plane.
+  if (channel_up_) schedule_update_give_up(cookie);
+}
+
+void Monitor::schedule_update_give_up(std::uint64_t cookie) {
   updates_[cookie].give_up_timer =
       runtime_->schedule(config_.update_give_up, [this, cookie] {
         const auto it = updates_.find(cookie);
         if (it == updates_.end()) return;
+        it->second.give_up_timer = 0;
         if (hooks_.on_update_failed) {
           hooks_.on_update_failed(cookie, runtime_->now());
         }
         runtime_->cancel(it->second.inject_timer);
         updates_.erase(it);
+        purge_outstanding_for(cookie);
         rule_states_[cookie] = RuleState::kFailed;
         confirm_barriers_waiting_on(cookie);
         drain_hold_queue();
@@ -336,18 +438,32 @@ void Monitor::inject_update_probe(std::uint64_t cookie) {
     return;
   }
   const std::uint32_t nonce = next_nonce_++;
-  OutstandingProbe op;
-  op.cookie = cookie;
-  op.generation = job.generation;
-  op.nonce = nonce;
-  op.tries_left = 0;  // update probes re-inject on their own cadence
-  op.first_injected = runtime_->now();
-  outstanding_[nonce] = op;
   if (inject_probe_packet(*job.probe, job.generation, nonce)) {
+    // Only probes that actually left enter the outstanding set (mirrors
+    // inject_steady_probe): a down injection path must register nothing —
+    // no silence credit, no nonce accumulating across the outage.
+    OutstandingProbe op;
+    op.cookie = cookie;
+    op.generation = job.generation;
+    op.nonce = nonce;
+    op.tries_left = 0;  // update probes re-inject on their own cadence
+    op.first_injected = runtime_->now();
+    outstanding_[nonce] = op;
     ++job.silent_injections;  // reset on any observation
   }
   job.inject_timer = runtime_->schedule(
       config_.update_probe_interval, [this, cookie] { inject_update_probe(cookie); });
+}
+
+void Monitor::purge_outstanding_for(std::uint64_t cookie) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.cookie == cookie) {
+      runtime_->cancel(it->second.timer);
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Monitor::confirm_update(std::uint64_t cookie) {
@@ -357,6 +473,10 @@ void Monitor::confirm_update(std::uint64_t cookie) {
   runtime_->cancel(job.inject_timer);
   runtime_->cancel(job.give_up_timer);
   updates_.erase(it);
+  // Every nonce this update still has in flight is resolved with it —
+  // update probes (negative ones especially) carry no timeout timer and
+  // would otherwise accumulate forever.
+  purge_outstanding_for(cookie);
 
   if (job.kind == UpdateJob::Kind::kDelete) {
     rule_states_.erase(cookie);
@@ -672,8 +792,9 @@ bool Monitor::inject_probe_packet(const Probe& probe, std::uint32_t generation,
   meta.nonce = nonce;
   auto payload = netbase::encode_probe_metadata(meta);
   auto bytes = netbase::craft_packet(probe.packet, payload);
-  ++stats_.probes_injected;
-  return hooks_.inject(probe.in_port(), std::move(bytes));
+  const bool ok = hooks_.inject(probe.in_port(), std::move(bytes));
+  if (ok) ++stats_.probes_injected;  // count real injections only
+  return ok;
 }
 
 std::optional<Observation> Monitor::translate_observation(
@@ -731,10 +852,10 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
     const bool confirms =
         (job.kind == UpdateJob::Kind::kDelete) ? verdict == Verdict::kAbsent
                                                : verdict == Verdict::kPresent;
-    if (confirms) {
-      outstanding_.erase(out_it);
-      confirm_update(cookie);
-    }
+    // Caught is resolved either way: the nonce leaves the outstanding set
+    // (confirm_update then purges any siblings still in flight).
+    outstanding_.erase(out_it);
+    if (confirms) confirm_update(cookie);
     // Transient inconsistency (§4.1): the opposite verdict is expected while
     // the switch lags; keep probing without alarming.
     return;
@@ -792,18 +913,26 @@ std::optional<std::uint64_t> Monitor::next_steady_cookie() {
 }
 
 void Monitor::steady_tick() {
+  if (!channel_up_) return;  // started while down: skip until reconnect
   const auto cookie = next_steady_cookie();
   if (!cookie) return;
   inject_steady_probe(*cookie);
 }
 
-void Monitor::inject_steady_probe(std::uint64_t cookie) {
+bool Monitor::inject_steady_probe(std::uint64_t cookie) {
   const Rule* rule = expected_.find_by_cookie(cookie);
-  if (rule == nullptr) return;
+  if (rule == nullptr) return false;
   const Probe* probe = probe_for(*rule);
-  if (probe == nullptr) return;  // became unmonitorable
+  if (probe == nullptr) return false;  // became unmonitorable
 
   const std::uint32_t nonce = next_nonce_++;
+  if (!inject_probe_packet(*probe, generation_, nonce)) {
+    // No live injection path (e.g. the delivering backend is reconnecting):
+    // register nothing.  A timeout for a probe that never left would turn
+    // the outage into a rule verdict — and for negative probes the silence
+    // would even read as the GOOD outcome.
+    return false;
+  }
   OutstandingProbe op;
   op.cookie = cookie;
   op.generation = generation_;
@@ -814,7 +943,7 @@ void Monitor::inject_steady_probe(std::uint64_t cookie) {
       config_.probe_timeout / std::max(1, config_.probe_retries),
       [this, nonce] { on_steady_timeout(nonce); });
   outstanding_[nonce] = op;
-  inject_probe_packet(*probe, generation_, nonce);
+  return true;
 }
 
 void Monitor::on_steady_timeout(std::uint32_t nonce) {
@@ -841,6 +970,9 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   if (op.tries_left > 0) {
     // Re-send the probe (paper: up to 3 times within the 150 ms window).
     const std::uint32_t nonce2 = next_nonce_++;
+    if (!inject_probe_packet(*probe, op.generation, nonce2)) {
+      return;  // injection path went down mid-retry: no verdict this cycle
+    }
     OutstandingProbe op2 = op;
     op2.nonce = nonce2;
     op2.tries_left = op.tries_left - 1;
@@ -848,7 +980,6 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
         config_.probe_timeout / std::max(1, config_.probe_retries),
         [this, nonce2] { on_steady_timeout(nonce2); });
     outstanding_[nonce2] = op2;
-    inject_probe_packet(*probe, op.generation, nonce2);
     return;
   }
   mark_rule_failed(op.cookie);

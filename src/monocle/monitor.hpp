@@ -73,6 +73,7 @@ struct MonitorStats {
   std::uint64_t updates_queued = 0;
   std::uint64_t alarms = 0;
   std::uint64_t flowmods_forwarded = 0;
+  std::uint64_t channel_disconnects = 0;  ///< down transitions observed
   std::chrono::nanoseconds generation_time{0};
 };
 
@@ -187,6 +188,20 @@ class Monitor {
   void on_controller_message(const openflow::Message& msg);
   void on_switch_message(const openflow::Message& msg);
 
+  /// The switch's control channel went down / came back up (wired by
+  /// Multiplexer::bind_backend from the SwitchBackend's state handler).
+  ///
+  /// Down: steady probing pauses and every in-flight probe is dropped with
+  /// its timer cancelled — a disconnect leaves nothing dangling and no rule
+  /// is failed for probes the channel ate.  Up again: the catching
+  /// infrastructure is re-asserted (the switch may have restarted), the
+  /// probe generation is bumped so pre-disconnect echoes read as stale, and
+  /// the steady cycle re-arms from the top.  Pending dynamic updates keep
+  /// their re-injection cadence (their probes flow again once the backend's
+  /// queue flushes).
+  void on_channel_state(bool up);
+  [[nodiscard]] bool channel_up() const { return channel_up_; }
+
   /// A probe for this switch was caught by `catcher` on its `catcher_in_port`
   /// (routed here by the Multiplexer).
   void on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
@@ -264,6 +279,8 @@ class Monitor {
   void handle_flow_mod(const openflow::FlowMod& fm, std::uint32_t xid);
   void apply_and_track(const openflow::FlowMod& fm, std::uint32_t xid);
   void start_update_job(UpdateJob job);
+  /// (Re)arms the give-up alarm of the pending update for `cookie`.
+  void schedule_update_give_up(std::uint64_t cookie);
   void inject_update_probe(std::uint64_t cookie);
   void confirm_update(std::uint64_t cookie);
   void confirm_barriers_waiting_on(std::uint64_t cookie);
@@ -272,13 +289,24 @@ class Monitor {
   /// Strategy-2 downstream choice for a rule's Collect match.
   [[nodiscard]] SwitchId collect_downstream(const openflow::Rule& rule) const;
 
+  /// Re-sends the catching/filter FlowMods after a reconnect (no expected-
+  /// table changes: FlowTable::add replaces identical match+priority rules,
+  /// so this is idempotent on the switch too).
+  void reassert_infrastructure();
+
   // Steady state.
   void steady_tick();
   void schedule_steady_tick();
   std::optional<std::uint64_t> next_steady_cookie();
-  void inject_steady_probe(std::uint64_t cookie);
+  /// Returns true only when a probe packet was actually handed to a live
+  /// injection path; a failed injection registers no timeout (an outage
+  /// must yield no verdict, not a timeout-derived one).
+  bool inject_steady_probe(std::uint64_t cookie);
   void on_steady_timeout(std::uint32_t nonce);
   void mark_rule_failed(std::uint64_t cookie);
+  /// Drops (and cancels the timers of) every outstanding probe of `cookie`
+  /// — update confirmation/give-up resolve ALL of a rule's in-flight nonces.
+  void purge_outstanding_for(std::uint64_t cookie);
 
   // Probe plumbing.
   const Probe* probe_for(const openflow::Rule& rule);
@@ -326,6 +354,11 @@ class Monitor {
   std::vector<std::uint64_t> steady_order_;  // cookies, cycle order
   std::size_t steady_pos_ = 0;
   bool steady_running_ = false;
+  bool channel_up_ = true;   // see on_channel_state
+  bool channel_was_up_ = false;  // gates the disconnect stat: a backend
+                                 // bound before its first handshake is not
+                                 // a "disconnect"
+  bool infrastructure_installed_ = false;
   // Timer handles, zeroed on fire/cancel so a stale cancel can never hit a
   // reissued id (see the Runtime contract in runtime.hpp).
   std::uint64_t warmup_timer_ = 0;

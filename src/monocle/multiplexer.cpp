@@ -5,6 +5,11 @@
 
 namespace monocle {
 
+bool Multiplexer::sender_up(SwitchId sw) const {
+  const auto it = backends_.find(sw);
+  return it == backends_.end() || it->second->up();
+}
+
 bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
                          std::vector<std::uint8_t> packet) {
   openflow::PacketOut po;
@@ -16,7 +21,7 @@ bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
     // Upstream injection (Figure 1): the upstream switch emits the probe on
     // the port facing the probed switch; PacketOut bypasses its flow table.
     const auto it = senders_.find(peer->sw);
-    if (it == senders_.end()) return false;
+    if (it == senders_.end() || !sender_up(peer->sw)) return false;
     po.in_port = openflow::kPortNone;
     po.actions = {openflow::Action::output(peer->port)};
     ++packet_outs_;
@@ -26,12 +31,39 @@ bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
   // Fallback: OFPP_TABLE self-injection at the probed switch with the
   // desired in_port (classic OpenFlow 1.0 trick).
   const auto it = senders_.find(probed);
-  if (it == senders_.end()) return false;
+  if (it == senders_.end() || !sender_up(probed)) return false;
   po.in_port = in_port;
   po.actions = {openflow::Action::output(openflow::kPortTable)};
   ++packet_outs_;
   it->second(openflow::make_message(0, po));
   return true;
+}
+
+void Multiplexer::bind_backend(
+    SwitchId sw, channel::SwitchBackend& backend, Monitor* monitor,
+    std::function<void(const openflow::Message&)> fallback) {
+  set_switch_sender(sw,
+                    [&backend](const openflow::Message& m) { backend.send(m); });
+  backends_[sw] = &backend;  // inject() consults its up() state
+  backend.set_receiver([this, sw, monitor, fallback = std::move(fallback)](
+                           const openflow::Message& m) {
+    if (m.is<openflow::PacketIn>() &&
+        on_packet_in(sw, m.as<openflow::PacketIn>())) {
+      return;  // consumed as a probe
+    }
+    if (monitor != nullptr) {
+      monitor->on_switch_message(m);
+    } else if (fallback) {
+      fallback(m);
+    }
+  });
+  backend.set_state_handler([monitor](bool up) {
+    if (monitor != nullptr) monitor->on_channel_state(up);
+  });
+  // Seed the Monitor with the backend's CURRENT state: a channel backend
+  // bound before its first handshake starts down, so steady probing holds
+  // off instead of failing rules into a channel that was never up.
+  if (monitor != nullptr) monitor->on_channel_state(backend.up());
 }
 
 bool Multiplexer::on_packet_in(SwitchId from, const openflow::PacketIn& pi) {

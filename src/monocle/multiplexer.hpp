@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "channel/switch_backend.hpp"
 #include "monocle/monitor.hpp"
 #include "monocle/runtime.hpp"
 #include "openflow/messages.hpp"
@@ -48,10 +49,31 @@ class Multiplexer {
     senders_[sw] = std::move(sender);
   }
 
+  /// Wires `backend` as the full control channel of `sw` — the standard
+  /// plumbing every host (Testbed, Fleet, live_monitor) used to hand-roll:
+  ///
+  ///  * outbound: this Multiplexer's PacketOuts for `sw` go down the backend
+  ///    (set_switch_sender);
+  ///  * inbound: PacketIns carrying probe metadata peel off to on_packet_in;
+  ///    everything else reaches `monitor` (or `fallback` when the switch is
+  ///    unproxied, i.e. `monitor` is null);
+  ///  * lifecycle: channel up/down transitions re-arm the Monitor after a
+  ///    reconnect (Monitor::on_channel_state).
+  ///
+  /// The backend must outlive this registration; rebind (e.g. with a null
+  /// monitor) on shard teardown.
+  void bind_backend(SwitchId sw, channel::SwitchBackend& backend,
+                    Monitor* monitor,
+                    std::function<void(const openflow::Message&)> fallback = {});
+
   /// Injects `packet` so it enters `probed` on `in_port`: sends a PacketOut
   /// to the upstream peer behind that port.  Falls back to an OFPP_TABLE
   /// self-injection at the probed switch when there is no upstream peer.
-  /// Returns false when no injection path exists.
+  /// Returns false when no injection path exists — including when the
+  /// delivering switch's bound backend is currently down (a PacketOut
+  /// parked in a reconnect queue is not an injection; counting it as one
+  /// would let silence-based negative confirmation succeed during an
+  /// outage).
   bool inject(SwitchId probed, std::uint16_t in_port,
               std::vector<std::uint8_t> packet);
 
@@ -64,10 +86,16 @@ class Multiplexer {
   [[nodiscard]] std::uint64_t packet_outs_sent() const { return packet_outs_; }
 
  private:
+  /// True when control messages for `sw` can currently reach it (always
+  /// true for plain set_switch_sender wiring; the bound backend's up()
+  /// state otherwise).
+  [[nodiscard]] bool sender_up(SwitchId sw) const;
+
   const NetworkView* view_;
   std::unordered_map<SwitchId, Monitor*> monitors_;
   std::unordered_map<SwitchId, std::function<void(const openflow::Message&)>>
       senders_;
+  std::unordered_map<SwitchId, channel::SwitchBackend*> backends_;  // bound
   std::uint64_t packet_outs_ = 0;
 };
 

@@ -4,7 +4,12 @@
 // (openflow/wire.hpp) follows the OpenFlow 1.0.1 layouts: 8-byte header,
 // 40-byte ofp_match with the wildcards bitfield, TLV action lists.  Monocle
 // itself only needs message *semantics*, but implementing the real framing
-// keeps the proxy honest (and testable against byte fixtures).
+// keeps the proxy honest (and testable against byte fixtures) — and is what
+// lets the channel layer (src/channel/) drive unmodified hardware switches
+// with the same Message values the simulator consumes.
+//
+// How Monocle uses each type is mapped message-by-message to the paper's
+// mechanisms in docs/PROTOCOL.md; xid and cookie conventions live there too.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +41,18 @@ enum class MsgType : std::uint8_t {
   kBarrierReply = 19,
 };
 
+/// Version negotiation opener; both ends send one on connect.
 struct Hello {};
+/// Keepalive probe; the peer must mirror the payload back in an EchoReply
+/// with the same xid (channel::OfSession's dead-peer detection rides this).
 struct EchoRequest {
   std::vector<std::uint8_t> payload;
 };
 struct EchoReply {
   std::vector<std::uint8_t> payload;
 };
+/// Asks the switch to identify itself; the FeaturesReply completes the
+/// control-channel handshake.
 struct FeaturesRequest {};
 
 /// ofp_phy_port (the fields the library uses).
@@ -128,6 +138,12 @@ using MessageBody =
                  BarrierReply, ErrorMsg>;
 
 /// A control-plane message: transaction id + typed body.
+///
+/// The xid correlates requests with replies (BarrierRequest/BarrierReply,
+/// EchoRequest/EchoReply, FeaturesRequest/FeaturesReply); asynchronous
+/// messages (PacketIn, FlowRemoved) carry whatever xid the sender chose.
+/// See docs/PROTOCOL.md for the allocation conventions used across the
+/// Monitor, the session layer and probe PacketOuts.
 struct Message {
   std::uint32_t xid = 0;
   MessageBody body;

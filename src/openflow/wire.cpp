@@ -482,17 +482,32 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> frame) {
 }
 
 void FrameBuffer::feed(std::span<const std::uint8_t> bytes) {
+  if (corrupt_) return;
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameBuffer::set_max_frame_len(std::size_t max_len) {
+  max_frame_len_ = std::clamp(max_len, kHeaderLen, kDefaultMaxFrameLen);
+}
+
+void FrameBuffer::reset() {
+  buf_.clear();
+  pos_ = 0;
+  corrupt_ = false;
 }
 
 std::optional<Message> FrameBuffer::next() {
   for (;;) {
-    if (buf_.size() - pos_ < 8) return std::nullopt;
+    if (corrupt_) return std::nullopt;
+    if (buf_.size() - pos_ < kHeaderLen) return std::nullopt;
     const std::uint16_t length =
         static_cast<std::uint16_t>((buf_[pos_ + 2] << 8) | buf_[pos_ + 3]);
-    if (length < 8) {  // corrupt framing: resynchronization is impossible
-      pos_ = buf_.size();
-      compact();
+    if (length < kHeaderLen || length > max_frame_len_) {
+      // Corrupt framing: resynchronization is impossible.  Drop everything
+      // and refuse further input; the owner must tear the connection down.
+      corrupt_ = true;
+      buf_.clear();
+      pos_ = 0;
       return std::nullopt;
     }
     if (buf_.size() - pos_ < length) return std::nullopt;

@@ -1,4 +1,13 @@
 // OpenFlow 1.0 binary wire format: encode/decode + stream framing.
+//
+// This is the byte-level half of the control channel (docs/PROTOCOL.md):
+// typed messages (messages.hpp) in, OpenFlow 1.0.1 frames out — the 8-byte
+// ofp_header, the 40-byte ofp_match with its wildcards bitfield, TLV action
+// lists — and back.  decode_message is total: malformed input yields
+// std::nullopt, never UB, so these functions can face untrusted peers.
+// FrameBuffer layers TCP-stream reassembly (and hostile-length hardening)
+// on top; channel::OfSession and switchsim::WireSwitchAgent are its two
+// users, one per channel end.
 #pragma once
 
 #include <cstdint>
@@ -19,15 +28,45 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> frame);
 
 /// Reassembles OpenFlow frames from a byte stream (TCP-style delivery).
 /// Feed arbitrary chunks; complete messages pop out in order.
+///
+/// Hostile-input hardening: the 16-bit length field of each frame must be at
+/// least the 8-byte OFP header and at most a configurable maximum.  A frame
+/// violating either bound makes stream resynchronization impossible, so the
+/// buffer enters a terminal *corrupt* state (buffered bytes are discarded,
+/// further feed()s are ignored) instead of stalling or over-allocating the
+/// reassembly path; transports treat corrupt() as a protocol error and drop
+/// the connection.  Frames with a well-formed length that merely fail to
+/// decode are skipped frame-by-frame, as before.
 class FrameBuffer {
  public:
-  /// Appends stream bytes.
+  /// Default frame-length ceiling: the largest value the 16-bit length field
+  /// can encode.  Sessions that never expect jumbo messages can lower it via
+  /// set_max_frame_len to bound per-connection buffering.
+  static constexpr std::size_t kDefaultMaxFrameLen = 0xFFFF;
+  /// The fixed ofp_header size — the smallest legal frame length.
+  static constexpr std::size_t kHeaderLen = 8;
+
+  /// Appends stream bytes.  No-op once the stream is corrupt.
   void feed(std::span<const std::uint8_t> bytes);
 
   /// Extracts the next complete, decodable message.  Skips frames that fail
   /// to decode (after consuming their advertised length).  Returns
-  /// std::nullopt when no complete frame is buffered.
+  /// std::nullopt when no complete frame is buffered or the stream is
+  /// corrupt.
   std::optional<Message> next();
+
+  /// Caps the advertised frame length accepted from the peer (clamped to at
+  /// least the 8-byte header; values above kDefaultMaxFrameLen are
+  /// meaningless since the wire field is 16-bit).
+  void set_max_frame_len(std::size_t max_len);
+
+  /// True once a frame with an out-of-bounds length field was seen; the
+  /// stream cannot be resynchronized and the connection should be dropped.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+  /// Discards all buffered state, including the corrupt flag (reconnect
+  /// reuse).  The configured max frame length is kept.
+  void reset();
 
   [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
 
@@ -36,6 +75,8 @@ class FrameBuffer {
 
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;
+  std::size_t max_frame_len_ = kDefaultMaxFrameLen;
+  bool corrupt_ = false;
 };
 
 /// Encodes `match` into the 40-byte ofp_match layout (exposed for tests).

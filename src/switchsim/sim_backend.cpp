@@ -1,0 +1,22 @@
+#include "switchsim/sim_backend.hpp"
+
+namespace monocle::switchsim {
+
+void SimSwitchBackend::start() {
+  if (started_) return;
+  started_ = true;
+  // The sink lambda reads receiver_ at call time, so receivers may be
+  // (re)bound after start() — the Testbed rebinds on shard teardown.
+  net_->at(sw_)->set_control_sink([this](const openflow::Message& msg) {
+    if (receiver_) receiver_(msg);
+  });
+  if (state_handler_) state_handler_(true);
+}
+
+void SimSwitchBackend::stop() {
+  if (!started_) return;
+  started_ = false;
+  net_->at(sw_)->set_control_sink({});
+}
+
+}  // namespace monocle::switchsim

@@ -1,0 +1,47 @@
+// SimSwitchBackend: the in-process SwitchBackend over a simulated switch.
+//
+// Delivers controller→switch messages through Network::send_to_switch
+// (applying the switch model's control latency) and wires the switch's
+// control sink to the backend receiver.  Always "up" once started — the sim
+// has no channel to lose; forced failures are modeled at the wire layer
+// instead (ChannelBackend over a severed loopback pair, see
+// tests/channel_test.cpp).  This is what the Testbed now builds for every
+// switch, making the sim and a live deployment differ ONLY in which backend
+// gets constructed.
+#pragma once
+
+#include "channel/switch_backend.hpp"
+#include "switchsim/network.hpp"
+
+namespace monocle::switchsim {
+
+class SimSwitchBackend final : public channel::SwitchBackend {
+ public:
+  SimSwitchBackend(Network* net, SwitchId sw) : net_(net), sw_(sw) {}
+
+  void start() override;
+  void stop() override;
+
+  void send(const openflow::Message& msg) override {
+    if (started_) net_->send_to_switch(sw_, msg);
+  }
+
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
+  void set_state_handler(StateHandler handler) override {
+    state_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] bool up() const override { return started_; }
+  [[nodiscard]] std::uint64_t datapath_id() const override { return sw_; }
+
+ private:
+  Network* net_;
+  SwitchId sw_;
+  Receiver receiver_;
+  StateHandler state_handler_;
+  bool started_ = false;
+};
+
+}  // namespace monocle::switchsim

@@ -31,31 +31,37 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
 
   plan_ = CatchPlan::build(topo, dpids, options_.strategy);
 
+  // One control-channel backend per switch; all Monitor/Multiplexer wiring
+  // below goes through them (a live deployment swaps in ChannelBackends).
+  for (const SwitchId id : dpids) {
+    auto backend = std::make_unique<SimSwitchBackend>(net_.get(), id);
+    backend->start();
+    backends_.emplace(id, std::move(backend));
+  }
+
   if (options_.use_fleet && options_.with_monocle) {
     Fleet::Config fleet_cfg = options_.fleet;
     fleet_cfg.monitor = options_.monitor;  // single source of truth
     // Shard teardown: purge every path that still points at the destroyed
     // Monitor — the Multiplexer's routing entry (in-flight probes are then
-    // consumed and dropped) and the switch's control sink, which reverts to
-    // the unproxied wiring (probes to the mux, the rest to the controller).
+    // consumed and dropped) and the backend's receive path, which reverts
+    // to the unproxied wiring (probes to the mux, the rest straight to the
+    // controller).
     fleet_cfg.on_shard_removed = [this](SwitchId sw) {
       mux_->unregister_monitor(sw);
-      net_->at(sw)->set_control_sink([this, sw](const openflow::Message& m) {
-        if (m.is<openflow::PacketIn>() &&
-            mux_->on_packet_in(sw, m.as<openflow::PacketIn>())) {
-          return;
-        }
-        if (controller_handler_) controller_handler_(sw, m);
-      });
+      mux_->bind_backend(sw, *backends_.at(sw), nullptr,
+                         [this, sw](const openflow::Message& m) {
+                           if (controller_handler_) controller_handler_(sw, m);
+                         });
     };
     fleet_ = std::make_unique<Fleet>(std::move(fleet_cfg), clock_, net_.get(),
                                      &plan_);
   }
 
   if (!options_.with_monocle) {
-    // Vanilla mode: wire switches straight to the controller handler.
+    // Vanilla mode: backends deliver straight to the controller handler.
     for (const SwitchId id : dpids) {
-      net_->at(id)->set_control_sink([this, id](const openflow::Message& m) {
+      backends_.at(id)->set_receiver([this, id](const openflow::Message& m) {
         if (controller_handler_) controller_handler_(id, m);
       });
     }
@@ -63,55 +69,39 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
   }
 
   for (const SwitchId id : dpids) {
+    SimSwitchBackend& backend = *backends_.at(id);
     if (options_.monocle_for && !options_.monocle_for(id - 1)) {
-      // Unproxied switch (e.g. hypervisor with reliable acks) — but probes
-      // caught by its catching rules must still reach the Multiplexer.
-      net_->at(id)->set_control_sink([this, id](const openflow::Message& m) {
-        if (m.is<openflow::PacketIn>() &&
-            mux_->on_packet_in(id, m.as<openflow::PacketIn>())) {
-          return;
-        }
-        if (controller_handler_) controller_handler_(id, m);
-      });
-      mux_->set_switch_sender(id, [this, id](const openflow::Message& m) {
-        net_->send_to_switch(id, m);
-      });
+      // Unproxied switch (e.g. hypervisor with reliable acks) — probes
+      // caught by its catching rules still peel off to the Multiplexer.
+      mux_->bind_backend(id, backend, nullptr,
+                         [this, id](const openflow::Message& m) {
+                           if (controller_handler_) controller_handler_(id, m);
+                         });
+      continue;
+    }
+    Monitor::Hooks hooks;
+    hooks.to_controller = [this, id](const openflow::Message& m) {
+      if (controller_handler_) controller_handler_(id, m);
+    };
+    if (fleet_) {
+      fleet_->add_shard(id, backend, *mux_, std::move(hooks));
       continue;
     }
     Monitor::Config cfg = options_.monitor;
     cfg.switch_id = id;
-    Monitor::Hooks hooks;
-    hooks.to_switch = [this, id](const openflow::Message& m) {
-      net_->send_to_switch(id, m);
-    };
-    hooks.to_controller = [this, id](const openflow::Message& m) {
-      if (controller_handler_) controller_handler_(id, m);
+    hooks.to_switch = [&backend](const openflow::Message& m) {
+      backend.send(m);
     };
     hooks.inject = [this, id](std::uint16_t in_port,
                               std::vector<std::uint8_t> bytes) {
       return mux_->inject(id, in_port, std::move(bytes));
     };
-    Monitor* mon;
-    if (fleet_) {
-      mon = fleet_->add_shard(id, std::move(hooks));
-    } else {
-      auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
-                                               std::move(hooks));
-      mon = monitor.get();
-      monitors_.emplace(id, std::move(monitor));
-    }
+    auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
+                                             std::move(hooks));
+    Monitor* mon = monitor.get();
+    monitors_.emplace(id, std::move(monitor));
     mux_->register_monitor(id, mon);
-    mux_->set_switch_sender(
-        id, [this, id](const openflow::Message& m) { net_->send_to_switch(id, m); });
-    // Switch -> Monocle: probes peel off to the Multiplexer, the rest goes
-    // through the Monitor to the controller.
-    net_->at(id)->set_control_sink([this, id, mon](const openflow::Message& m) {
-      if (m.is<openflow::PacketIn>() &&
-          mux_->on_packet_in(id, m.as<openflow::PacketIn>())) {
-        return;  // consumed as a probe
-      }
-      mon->on_switch_message(m);
-    });
+    mux_->bind_backend(id, backend, mon);
   }
   if (fleet_) {
     // Coloring-driven rounds from the full topology; unmonitored nodes stay
@@ -137,7 +127,7 @@ void Testbed::start_monitoring() {
     for (const SwitchId id : dpids_) {
       if (monitor(id) != nullptr) continue;
       for (const openflow::FlowMod& fm : plan_.rules_for(id)) {
-        net_->send_to_switch(id, openflow::make_message(0, fm));
+        backends_.at(id)->send(openflow::make_message(0, fm));
       }
     }
   }
@@ -147,7 +137,7 @@ void Testbed::controller_send(SwitchId sw, const openflow::Message& msg) {
   if (Monitor* mon = monitor(sw)) {
     mon->on_controller_message(msg);
   } else {
-    net_->send_to_switch(sw, msg);
+    backends_.at(sw)->send(msg);
   }
 }
 
@@ -155,6 +145,11 @@ Monitor* Testbed::monitor(SwitchId sw) const {
   if (fleet_) return fleet_->monitor(sw);
   const auto it = monitors_.find(sw);
   return it == monitors_.end() ? nullptr : it->second.get();
+}
+
+channel::SwitchBackend* Testbed::backend(SwitchId sw) const {
+  const auto it = backends_.find(sw);
+  return it == backends_.end() ? nullptr : it->second.get();
 }
 
 std::uint16_t Testbed::host_port(topo::NodeId n) const {

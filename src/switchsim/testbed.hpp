@@ -2,10 +2,15 @@
 // Multiplexer) and a scripted controller — the common scaffolding behind the
 // paper's experiments, the examples and the integration tests.
 //
+// Every switch's control channel is a channel::SwitchBackend (here the
+// in-process SimSwitchBackend); the Monitor/Multiplexer wiring goes through
+// Multiplexer::bind_backend exactly as a live deployment's would, so the
+// sim and examples/live_monitor.cpp differ only in backend construction.
+//
 // Message flow (paper Figure 1 / §7):
-//   controller --> Monitor.on_controller_message --> Network.send_to_switch
-//   switch sink --> Multiplexer.on_packet_in (probes)
-//               \-> Monitor.on_switch_message --> controller handler
+//   controller --> Monitor.on_controller_message --> backend.send
+//   backend receiver --> Multiplexer.on_packet_in (probes)
+//                    \-> Monitor.on_switch_message --> controller handler
 #pragma once
 
 #include <functional>
@@ -20,6 +25,7 @@
 #include "monocle/schedule.hpp"
 #include "switchsim/event_queue.hpp"
 #include "switchsim/network.hpp"
+#include "switchsim/sim_backend.hpp"
 #include "topo/topology.hpp"
 
 namespace monocle::switchsim {
@@ -78,6 +84,8 @@ class Testbed {
 
   [[nodiscard]] SwitchId dpid_of(topo::NodeId n) const { return n + 1; }
   [[nodiscard]] Monitor* monitor(SwitchId sw) const;
+  /// The control-channel backend of `sw` (a SimSwitchBackend here).
+  [[nodiscard]] channel::SwitchBackend* backend(SwitchId sw) const;
   /// The fleet orchestrator, or nullptr unless Options::use_fleet.
   [[nodiscard]] Fleet* fleet() const { return fleet_.get(); }
   [[nodiscard]] SimSwitch* sw(SwitchId id) const { return net_->at(id); }
@@ -97,6 +105,7 @@ class Testbed {
   Options options_;
   TopologyPorts ports_;
   std::vector<SwitchId> dpids_;
+  std::map<SwitchId, std::unique_ptr<SimSwitchBackend>> backends_;
   std::unique_ptr<Fleet> fleet_;  // owns the monitors when use_fleet
   std::map<SwitchId, std::unique_ptr<Monitor>> monitors_;
   std::map<topo::NodeId, std::uint16_t> next_port_;

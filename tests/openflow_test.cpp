@@ -382,6 +382,91 @@ TEST(Wire, FrameBufferReassemblesChunks) {
   EXPECT_EQ(fb.buffered_bytes(), 0u);
 }
 
+TEST(Wire, FrameBufferByteAtATimePartialReads) {
+  // The most hostile well-formed delivery: one byte per feed.
+  FrameBuffer fb;
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto bytes = encode_message(
+        make_message(100 + i, EchoRequest{{0xAB, static_cast<std::uint8_t>(i)}}));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  std::uint32_t seen = 0;
+  for (const std::uint8_t b : stream) {
+    fb.feed(std::span(&b, 1));
+    while (const auto msg = fb.next()) {
+      EXPECT_EQ(msg->xid, 100 + seen);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+  EXPECT_FALSE(fb.corrupt());
+}
+
+TEST(Wire, FrameBufferTruncatedFrameStaysPending) {
+  FrameBuffer fb;
+  const auto bytes = encode_message(make_message(7, EchoRequest{{1, 2, 3, 4}}));
+  fb.feed(std::span(bytes.data(), bytes.size() - 1));  // one byte short
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_FALSE(fb.corrupt());
+  EXPECT_EQ(fb.buffered_bytes(), bytes.size() - 1);
+  fb.feed(std::span(bytes.data() + bytes.size() - 1, 1));
+  const auto msg = fb.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->xid, 7u);
+}
+
+TEST(Wire, FrameBufferRejectsLengthBelowHeader) {
+  FrameBuffer fb;
+  // Header advertising a 4-byte frame: below the 8-byte ofp_header minimum.
+  const std::uint8_t garbage[8] = {kOfpVersion, 0, 0x00, 0x04, 0, 0, 0, 1};
+  fb.feed(garbage);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_TRUE(fb.corrupt());
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+  // Corrupt is terminal: even a valid frame fed afterwards is ignored.
+  fb.feed(encode_message(make_message(1, Hello{})));
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+  // reset() makes the buffer usable again (reconnect path).
+  fb.reset();
+  EXPECT_FALSE(fb.corrupt());
+  fb.feed(encode_message(make_message(2, Hello{})));
+  const auto msg = fb.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->xid, 2u);
+}
+
+TEST(Wire, FrameBufferRejectsOversizedFrame) {
+  FrameBuffer fb;
+  fb.set_max_frame_len(128);
+  // A frame claiming 0x1000 bytes: over the configured ceiling.  Without the
+  // bound the buffer would sit on the partial frame forever (stall) while
+  // the peer drips garbage into an ever-growing allocation.
+  const std::uint8_t oversized[8] = {kOfpVersion, 2, 0x10, 0x00, 0, 0, 0, 9};
+  fb.feed(oversized);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_TRUE(fb.corrupt());
+  EXPECT_EQ(fb.buffered_bytes(), 0u);
+}
+
+TEST(Wire, FrameBufferMaxLenAcceptsBoundaryFrame) {
+  FrameBuffer fb;
+  const auto bytes =
+      encode_message(make_message(5, EchoRequest{std::vector<std::uint8_t>(56)}));
+  ASSERT_EQ(bytes.size(), 64u);
+  fb.set_max_frame_len(64);  // exactly the frame size: accepted
+  fb.feed(bytes);
+  EXPECT_TRUE(fb.next().has_value());
+  EXPECT_FALSE(fb.corrupt());
+  fb.reset();
+  fb.set_max_frame_len(63);  // one byte under: rejected
+  fb.feed(bytes);
+  EXPECT_FALSE(fb.next().has_value());
+  EXPECT_TRUE(fb.corrupt());
+}
+
 TEST(Wire, DecodeRejectsWrongVersionAndLength) {
   auto bytes = encode_message(make_message(1, Hello{}));
   auto bad = bytes;

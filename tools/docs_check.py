@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Documentation consistency check.
 
-Scans README.md and docs/DESIGN.md for backtick-quoted repository paths and
-fails if any referenced file or directory does not exist.  Keeps the docs
-honest as the tree is refactored; wired up as the `docs_check` build target
-and a ctest entry (see CMakeLists.txt).
+Scans README.md, docs/DESIGN.md and docs/PROTOCOL.md for backtick-quoted
+repository paths and fails if any referenced file or directory does not
+exist.  Keeps the docs honest as the tree is refactored; wired up as the
+`docs_check` build target and a ctest entry under the `docs` label (see
+CMakeLists.txt).
 
 Path candidates are backtick tokens that contain a '/' and consist only of
 path characters (optionally a '*' glob, tried relative to the repo root and
@@ -16,7 +17,11 @@ import os
 import re
 import sys
 
-DOCS = ["README.md", os.path.join("docs", "DESIGN.md")]
+DOCS = [
+    "README.md",
+    os.path.join("docs", "DESIGN.md"),
+    os.path.join("docs", "PROTOCOL.md"),
+]
 TOKEN_RE = re.compile(r"`([^`\n]+)`")
 PATHISH_RE = re.compile(r"^[A-Za-z0-9_.\-/*]+$")
 
