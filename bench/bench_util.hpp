@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "monocle/monitor.hpp"
+
 namespace monocle::bench {
 
 /// Parses "--name=value" style flags; returns `fallback` when absent.
@@ -54,6 +56,26 @@ inline double mean(const std::vector<double>& v) {
   double s = 0;
   for (const double x : v) s += x;
   return s / static_cast<double>(v.size());
+}
+
+/// Probe-cache / delta observability of one Monitor (PR 4): how much of the
+/// probing load was served from cache, what churn invalidated, and whether
+/// regeneration rode the warm delta-maintained sessions or from-scratch
+/// encodings.
+inline void print_monitor_stats(const char* label, const MonitorStats& s) {
+  std::printf(
+      "  %-18s cache hit/miss %llu/%llu  invalidations %llu  deltas %llu  "
+      "regen delta/scratch %llu/%llu  stale echoes %llu  epoch drops %llu  "
+      "gen %.2f ms\n",
+      label, static_cast<unsigned long long>(s.probe_cache_hits),
+      static_cast<unsigned long long>(s.probe_cache_misses),
+      static_cast<unsigned long long>(s.probe_invalidations),
+      static_cast<unsigned long long>(s.deltas_applied),
+      static_cast<unsigned long long>(s.delta_regens),
+      static_cast<unsigned long long>(s.scratch_regens),
+      static_cast<unsigned long long>(s.stale_probes),
+      static_cast<unsigned long long>(s.stale_epoch_drops),
+      std::chrono::duration<double, std::milli>(s.generation_time).count());
 }
 
 }  // namespace monocle::bench

@@ -176,6 +176,7 @@ int main(int argc, char** argv) {
     monocle::bench::print_cdf(sc.name, detection_s, "s");
     std::printf("  %-28s mean=%6.3f s over %zu trials\n", "",
                 monocle::bench::mean(detection_s), detection_s.size());
+    monocle::bench::print_monitor_stats("(hub cache)", hub->stats());
   }
 
   std::printf("\n(paper Figure 4: detection of a single rule spreads "

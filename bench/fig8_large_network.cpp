@@ -253,7 +253,26 @@ struct FleetRunResult {
   double coverage_s = 0;             // time to probe every rule once
   std::uint64_t probes = 0;
   std::size_t rules = 0;
+  MonitorStats monitor_stats;        // summed across shards
 };
+
+/// Element-wise sum of the shards' probe-cache/delta observability counters.
+MonitorStats sum_monitor_stats(const Fleet& fleet) {
+  MonitorStats total;
+  for (const auto& [sw, monitor] : fleet.shards()) {
+    const MonitorStats& s = monitor->stats();
+    total.probe_cache_hits += s.probe_cache_hits;
+    total.probe_cache_misses += s.probe_cache_misses;
+    total.probe_invalidations += s.probe_invalidations;
+    total.deltas_applied += s.deltas_applied;
+    total.delta_regens += s.delta_regens;
+    total.scratch_regens += s.scratch_regens;
+    total.stale_probes += s.stale_probes;
+    total.stale_epoch_drops += s.stale_epoch_drops;
+    total.generation_time += s.generation_time;
+  }
+  return total;
+}
 
 /// Times fleet probe rounds on a k=4 FatTree of Pica8-emulated switches:
 /// each round is injected, then the sim runs until every probe of the round
@@ -309,6 +328,7 @@ FleetRunResult run_fleet(bool coloring, std::size_t rules_per_switch) {
   }
   out.coverage_s = netbase::to_seconds(eq.now() - t0);
   out.probes = fleet.stats().probes_injected;
+  out.monitor_stats = sum_monitor_stats(fleet);
   return out;
 }
 
@@ -325,6 +345,7 @@ void print_fleet(const char* label, const FleetRunResult& r) {
               label, r.shards, r.rules, r.schedule_rounds, r.rounds_driven,
               r.coverage_s * 1e3, monocle::bench::mean(r.round_ms),
               max_round_ms(r));
+  monocle::bench::print_monitor_stats("(shard caches)", r.monitor_stats);
 }
 
 void json_fleet(std::FILE* f, const char* key, const FleetRunResult& r,

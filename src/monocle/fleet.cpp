@@ -25,6 +25,15 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
     note_alarm();
     if (user_alarm) user_alarm(alarm);
   };
+  // Chain the delta hook the same way: the Fleet observes every shard's
+  // delta stream (network-wide churn accounting) before the caller's
+  // observer runs.
+  auto user_delta = std::move(hooks.on_delta);
+  hooks.on_delta = [this, user_delta = std::move(user_delta)](
+                       const openflow::TableDelta& delta) {
+    ++stats_.deltas_observed;
+    if (user_delta) user_delta(delta);
+  };
   auto monitor =
       std::make_unique<Monitor>(cfg, runtime_, view_, plan_, std::move(hooks));
   Monitor* raw = monitor.get();
@@ -177,6 +186,20 @@ std::size_t Fleet::start_round() {
   }
   stats_.probes_injected += injected;
   return injected;
+}
+
+bool Fleet::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
+                           std::uint32_t xid) {
+  const auto it = shards_.find(sw);
+  if (it == shards_.end()) return false;
+  ++stats_.flow_mods_routed;
+  it->second->on_controller_message(openflow::make_message(xid, fm));
+  return true;
+}
+
+openflow::Epoch Fleet::shard_epoch(SwitchId sw) const {
+  const Monitor* mon = monitor(sw);
+  return mon == nullptr ? 0 : mon->epoch();
 }
 
 void Fleet::note_alarm() {

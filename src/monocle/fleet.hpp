@@ -81,6 +81,8 @@ class Fleet {
     std::uint64_t probes_injected = 0;
     std::uint64_t alarms = 0;     ///< shard alarms observed
     std::uint64_t diagnoses = 0;  ///< localization passes published
+    std::uint64_t flow_mods_routed = 0;  ///< route_flow_mod deliveries
+    std::uint64_t deltas_observed = 0;   ///< TableDeltas across all shards
   };
 
   Fleet(Config config, Runtime* runtime, const NetworkView* view,
@@ -142,6 +144,17 @@ class Fleet {
   /// the number of probes injected.  Benches use this to time rounds.
   std::size_t start_round();
   [[nodiscard]] std::size_t round_cursor() const { return cursor_; }
+
+  /// Routes a controller FlowMod to the shard owning `sw` — the network-
+  /// wide entry point of the per-switch delta streams.  Returns false when
+  /// no shard owns the switch.  Every delta a shard applies (from this
+  /// router or its own control channel) is observed by the Fleet (epoch
+  /// tracking + deltas_observed) before the caller's on_delta hook runs.
+  bool route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
+                      std::uint32_t xid = 0);
+
+  /// Current table epoch of a shard (0 when the switch is unmanaged).
+  [[nodiscard]] openflow::Epoch shard_epoch(SwitchId sw) const;
 
   /// Runs the cross-switch localization pipeline over all shards now.
   [[nodiscard]] NetworkDiagnosis diagnose() const;

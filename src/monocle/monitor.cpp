@@ -35,7 +35,7 @@ bool Monitor::is_infrastructure_cookie(std::uint64_t cookie) {
 void Monitor::install_infrastructure() {
   infrastructure_installed_ = true;
   for (const FlowMod& fm : plan_->rules_for(config_.switch_id)) {
-    expected_.add(fm.rule());
+    apply_table_delta(expected_.apply_add(fm.rule()));
     rule_states_[fm.cookie] = RuleState::kConfirmed;
     Message msg = openflow::make_message(0, fm);
     hooks_.to_switch(msg);
@@ -67,9 +67,10 @@ void Monitor::on_channel_state(bool up) {
     // is failed for probes the disconnect ate) and pause the steady cycle.
     for (auto& [nonce, op] : outstanding_) runtime_->cancel(op.timer);
     outstanding_.clear();
-    // Echoes that left before the cut are stale on arrival.  (A channel
+    // Echoes that left before the cut are stale on arrival: a barrier epoch
+    // separates pre-outage injections from everything after.  (A channel
     // that was never up carried no probes, so there is nothing to stale.)
-    if (channel_was_up_) ++generation_;
+    if (channel_was_up_) epoch_floor_ = expected_.advance_epoch();
     runtime_->cancel(steady_timer_);
     steady_timer_ = 0;
     runtime_->cancel(warmup_timer_);
@@ -199,7 +200,7 @@ void Monitor::warm_probe_cache() { refill_probe_cache(); }
 
 std::size_t Monitor::monitorable_rule_count() const {
   std::size_t count = 0;
-  for (const Rule& r : expected_.rules()) {
+  for (const Rule& r : expected_.table().rules()) {
     if (is_infrastructure_cookie(r.cookie)) continue;
     if (rule_state(r.cookie) == RuleState::kUnmonitorable) continue;
     ++count;
@@ -208,7 +209,10 @@ std::size_t Monitor::monitorable_rule_count() const {
 }
 
 void Monitor::seed_rule(const Rule& rule) {
-  expected_.add(rule);
+  // No invalidation sweep: seeding rebuilds a table the (possibly shared)
+  // probe cache was generated against — trusting it is the documented
+  // harness contract, and matches pre-versioned-core behaviour.
+  apply_table_delta(expected_.apply_add(rule), /*invalidate=*/false);
   rule_states_[rule.cookie] = RuleState::kConfirmed;
   steady_order_.clear();  // force rebuild
 }
@@ -282,15 +286,16 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
       }
       hooks_.to_switch(openflow::make_message(xid, to_install));
       ++stats_.flowmods_forwarded;
-      invalidate_overlapping_probes(fm.match);
-      expected_.add(to_install.rule());
+      // The one place adds enter the system: version the table, then let the
+      // delta drive precise invalidation + live-session sync.
+      apply_table_delta(expected_.apply_add(to_install.rule()));
       job.rule = to_install.rule();
       start_update_job(std::move(job));
       break;
     }
     case FlowModCommand::kModify:
     case FlowModCommand::kModifyStrict: {
-      const Rule* old_rule = expected_.find_strict(fm.match, fm.priority);
+      const Rule* old_rule = expected_.table().find_strict(fm.match, fm.priority);
       if (old_rule == nullptr) {
         // OpenFlow 1.0: a modify with no matching rule behaves as an add.
         FlowMod as_add = fm;
@@ -304,7 +309,7 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
       job.kind = UpdateJob::Kind::kModify;
       // Build the altered-table probe (§4.1) against the PRE-update state.
       const ModificationSpec spec =
-          make_modification_spec(expected_, *old_rule, fm.rule());
+          make_modification_spec(expected_.table(), *old_rule, fm.rule());
       ProbeRequest req;
       req.table = &spec.altered;
       req.probed = spec.probed;
@@ -316,12 +321,14 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
       ProbeGenResult gen = generator_.generate(req);
       stats_.generation_time += std::chrono::steady_clock::now() - t0;
       ++stats_.probe_generations;
+      ++stats_.scratch_regens;  // the altered table is ephemeral: one-shot
       if (gen.ok()) {
         gen.probe->rule_cookie = fm.cookie;
         job.probe = std::move(gen.probe);
       }
-      invalidate_overlapping_probes(fm.match);
-      expected_.modify_strict(fm.rule());
+      const auto delta = expected_.apply_modify_strict(fm.rule());
+      assert(delta.has_value());  // old_rule was just found
+      if (delta.has_value()) apply_table_delta(*delta);
       job.rule = fm.rule();
       start_update_job(std::move(job));
       break;
@@ -332,10 +339,10 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
       // confirmed per-rule).
       std::vector<Rule> victims;
       if (fm.command == FlowModCommand::kDeleteStrict) {
-        const Rule* r = expected_.find_strict(fm.match, fm.priority);
+        const Rule* r = expected_.table().find_strict(fm.match, fm.priority);
         if (r != nullptr) victims.push_back(*r);
       } else {
-        for (const Rule& r : expected_.rules()) {
+        for (const Rule& r : expected_.table().rules()) {
           if (fm.match.subsumes(r.match) && !is_infrastructure_cookie(r.cookie)) {
             victims.push_back(r);
           }
@@ -354,8 +361,9 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
       hooks_.to_switch(openflow::make_message(xid, fm));
       ++stats_.flowmods_forwarded;
       for (const Rule& victim : victims) {
-        invalidate_overlapping_probes(victim.match);
-        expected_.remove_strict(victim.match, victim.priority);
+        const auto delta =
+            expected_.apply_delete_strict(victim.match, victim.priority);
+        if (delta.has_value()) apply_table_delta(*delta);
         rule_states_.erase(victim.cookie);
       }
       for (auto& job : jobs) start_update_job(std::move(job));
@@ -367,7 +375,7 @@ void Monitor::apply_and_track(const FlowMod& fm, std::uint32_t xid) {
 
 void Monitor::start_update_job(UpdateJob job) {
   const std::uint64_t cookie = job.rule.cookie;
-  job.generation = generation_;
+  job.epoch = expected_.epoch();
   job.started = runtime_->now();
   rule_states_[cookie] = RuleState::kPending;
 
@@ -438,13 +446,13 @@ void Monitor::inject_update_probe(std::uint64_t cookie) {
     return;
   }
   const std::uint32_t nonce = next_nonce_++;
-  if (inject_probe_packet(*job.probe, job.generation, nonce)) {
+  if (inject_probe_packet(*job.probe, job.epoch, nonce)) {
     // Only probes that actually left enter the outstanding set (mirrors
     // inject_steady_probe): a down injection path must register nothing —
     // no silence credit, no nonce accumulating across the outage.
     OutstandingProbe op;
     op.cookie = cookie;
-    op.generation = job.generation;
+    op.epoch = job.epoch;
     op.nonce = nonce;
     op.tries_left = 0;  // update probes re-inject on their own cadence
     op.first_injected = runtime_->now();
@@ -498,8 +506,8 @@ void Monitor::confirm_update(std::uint64_t cookie) {
     real_drop.actions = job.final_rule.actions;
     hooks_.to_switch(openflow::make_message(0, real_drop));
     ++stats_.flowmods_forwarded;
-    expected_.modify_strict(real_drop.rule());
-    invalidate_overlapping_probes(real_drop.match);
+    const auto delta = expected_.apply_modify_strict(real_drop.rule());
+    if (delta.has_value()) apply_table_delta(*delta);
   }
 
   if (hooks_.on_update_confirmed) {
@@ -614,28 +622,48 @@ std::uint16_t Monitor::hashed_in_port(
 
 const Probe* Monitor::probe_for(const Rule& rule) {
   auto& entry = cache_->entries[rule.cookie];
-  if (entry.probe.has_value()) return &*entry.probe;
-  if (entry.failure != ProbeFailure::kNone) return nullptr;
+  if (entry.probe.has_value()) {
+    ++stats_.probe_cache_hits;
+    return &*entry.probe;
+  }
+  if (entry.failure != ProbeFailure::kNone) {
+    ++stats_.probe_cache_hits;  // resolved (unmonitorable) counts as served
+    return nullptr;
+  }
+  ++stats_.probe_cache_misses;
 
-  ProbeRequest req;
-  req.table = &expected_;
-  req.probed = rule;
-  req.collect = plan_->collect_match_for(config_.switch_id,
-                                         collect_downstream(rule));
-  req.miss_actions = config_.miss_actions;
+  const Match collect = plan_->collect_match_for(config_.switch_id,
+                                                 collect_downstream(rule));
   const auto all_ports = injectable_ports();
   const auto t0 = std::chrono::steady_clock::now();
   ProbeGenResult gen;
   // Prefer a single (rule-hashed) ingress port so injection load spreads
   // across upstream neighbors instead of hammering one of them; fall back to
   // the full port set when the constraint is unsatisfiable with that port.
-  if (!all_ports.empty()) {
-    req.in_ports = {hashed_in_port(rule, all_ports)};
-    gen = generator_.generate(req);
-  }
-  if (!gen.ok()) {
-    req.in_ports = all_ports;
-    gen = generator_.generate(req);
+  if (config_.delta_maintenance && config_.batch_generation) {
+    // Lazy misses ride the warm delta-maintained session too.
+    ProbeBatchSession& session = live_session_for(collect);
+    if (!all_ports.empty()) {
+      const std::uint16_t preferred = hashed_in_port(rule, all_ports);
+      gen = session.generate(rule, std::span(&preferred, 1));
+    }
+    if (!gen.ok()) gen = session.generate(rule, all_ports);
+    ++stats_.delta_regens;
+  } else {
+    ProbeRequest req;
+    req.table = &expected_.table();
+    req.probed = rule;
+    req.collect = collect;
+    req.miss_actions = config_.miss_actions;
+    if (!all_ports.empty()) {
+      req.in_ports = {hashed_in_port(rule, all_ports)};
+      gen = generator_.generate(req);
+    }
+    if (!gen.ok()) {
+      req.in_ports = all_ports;
+      gen = generator_.generate(req);
+    }
+    ++stats_.scratch_regens;
   }
   stats_.generation_time += std::chrono::steady_clock::now() - t0;
   return commit_generation_result(rule, std::move(gen));
@@ -644,6 +672,7 @@ const Probe* Monitor::probe_for(const Rule& rule) {
 const Probe* Monitor::commit_generation_result(const Rule& rule,
                                                ProbeGenResult gen) {
   auto& entry = cache_->entries[rule.cookie];
+  entry.epoch = expected_.epoch();
   ++stats_.probe_generations;
   if (!gen.ok()) {
     entry.failure = gen.failure;
@@ -673,7 +702,7 @@ void Monitor::batch_generate_into_cache(
   };
   std::vector<Group> groups;
   for (const std::uint64_t cookie : cookies) {
-    const Rule* rule = expected_.find_by_cookie(cookie);
+    const Rule* rule = expected_.table().find_by_cookie(cookie);
     if (rule == nullptr || is_infrastructure_cookie(cookie)) continue;
     const auto it = cache_->entries.find(cookie);
     if (it != cache_->entries.end() &&
@@ -697,9 +726,29 @@ void Monitor::batch_generate_into_cache(
   opts.gen = config_.gen;
   opts.threads = config_.batch_threads;
   for (const Group& group : groups) {
-    // First pass constrains each probe to its rule-hashed ingress port;
-    // failures retry with the full port set — the same two-step probe_for
-    // uses, so batch and lazy generation produce identical cache contents.
+    // Small refill batches (the churn steady state) ride the live
+    // delta-maintained session: its solver is warm from every previous
+    // query and only the changed rules' clauses get encoded.  Big batches
+    // (initial warm-up) and the non-delta baseline go through throwaway
+    // generate_all sessions — that path parallelizes across workers.
+    const bool live = config_.delta_maintenance && config_.batch_generation &&
+                      group.rules.size() <= config_.live_session_batch_limit;
+    if (live) {
+      // Two-step port preference per rule, exactly like probe_for, so the
+      // delta path and the lazy path produce identical cache contents.
+      ProbeBatchSession& session = live_session_for(group.collect);
+      for (const Rule* rule : group.rules) {
+        ProbeGenResult gen;
+        if (!all_ports.empty()) {
+          const std::uint16_t preferred = hashed_in_port(*rule, all_ports);
+          gen = session.generate(*rule, std::span(&preferred, 1));
+        }
+        if (!gen.ok()) gen = session.generate(*rule, all_ports);
+        ++stats_.delta_regens;
+        commit_generation_result(*rule, std::move(gen));
+      }
+      continue;
+    }
     std::vector<BatchProbeRequest> requests;
     requests.reserve(group.rules.size());
     for (const Rule* rule : group.rules) {
@@ -709,8 +758,8 @@ void Monitor::batch_generate_into_cache(
       requests.push_back(std::move(req));
     }
     std::vector<ProbeGenResult> results =
-        generate_all(expected_, group.collect, config_.miss_actions, requests,
-                     opts);
+        generate_all(expected_.table(), group.collect, config_.miss_actions,
+                     requests, opts);
     std::vector<BatchProbeRequest> retries;
     std::vector<std::size_t> retry_pos;
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -720,12 +769,14 @@ void Monitor::batch_generate_into_cache(
       }
     }
     if (!retries.empty()) {
-      std::vector<ProbeGenResult> retried = generate_all(
-          expected_, group.collect, config_.miss_actions, retries, opts);
+      std::vector<ProbeGenResult> retried =
+          generate_all(expected_.table(), group.collect, config_.miss_actions,
+                       retries, opts);
       for (std::size_t i = 0; i < retried.size(); ++i) {
         results[retry_pos[i]] = std::move(retried[i]);
       }
     }
+    stats_.scratch_regens += results.size();
     for (std::size_t i = 0; i < results.size(); ++i) {
       commit_generation_result(*group.rules[i], std::move(results[i]));
     }
@@ -735,7 +786,7 @@ void Monitor::batch_generate_into_cache(
 
 void Monitor::refill_probe_cache() {
   std::vector<std::uint64_t> cookies;
-  for (const Rule& r : expected_.rules()) {
+  for (const Rule& r : expected_.table().rules()) {
     if (!is_infrastructure_cookie(r.cookie)) cookies.push_back(r.cookie);
   }
   batch_generate_into_cache(cookies);
@@ -756,38 +807,126 @@ void Monitor::schedule_batch_refill() {
   });
 }
 
-void Monitor::invalidate_overlapping_probes(const Match& match) {
-  ++generation_;
-  for (const Rule& r : expected_.rules()) {
-    if (r.match.overlaps(match)) {
-      if (cache_->entries.erase(r.cookie) > 0 && config_.batch_generation &&
-          steady_running_) {
-        // Steady-state probing will need this probe again soon: refill it in
-        // a coalesced batch pass instead of a cold per-rule generation.
-        dirty_probe_cookies_.insert(r.cookie);
-      }
-    }
+openflow::Epoch Monitor::rule_floor(std::uint64_t cookie) const {
+  const auto it = rule_floor_.find(cookie);
+  return it == rule_floor_.end() ? 0 : it->second;
+}
+
+bool Monitor::delta_survives(const ProbeCache::Entry& entry,
+                             const openflow::TableDelta& delta,
+                             std::uint64_t cookie) {
+  using Kind = openflow::TableDelta::Kind;
+  if (entry.probe.has_value()) {
+    // A probe is ONE concrete packet: a rule whose match cannot cover it
+    // can neither shadow its Hit nor enter either outcome prediction
+    // (if_present is the probed rule's own outcome; if_absent the first
+    // OTHER rule matching the packet).
+    return !delta.rule.match.matches(entry.probe->packet);
   }
-  if (!dirty_probe_cookies_.empty()) schedule_batch_refill();
-  // In-flight probes for overlapping rules become stale: their generation no
-  // longer matches and their nonces are dropped here.
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    const Rule* r = expected_.find_by_cookie(it->second.cookie);
-    if (r == nullptr || r->match.overlaps(match)) {
-      runtime_->cancel(it->second.timer);
-      it = outstanding_.erase(it);
-    } else {
-      ++it;
-    }
+  switch (entry.failure) {
+    case ProbeFailure::kUnsupported:
+      // Depends only on the rule's OWN actions (FLOOD/ALL, tag rewrite);
+      // a delta to another rule cannot change it (self always regenerates).
+      return true;
+    case ProbeFailure::kShadowed:
+      // Shadowing is a property of overlapping rules' matches at priority
+      // >= the shadowed rule (equal priority counts: the conservative
+      // same-priority rule in run_query).  Adds only add cover; action
+      // modifies and same-match replaces keep every match set; a DELETE can
+      // expose the rule.  The delta's overlap split is relative to the
+      // DELETED rule, which cannot tell "strictly higher" from "equal
+      // priority" for cookies in overlapping_higher — and an equal-priority
+      // deleted rule may itself have been the shadower — so any delete that
+      // overlaps a shadowed rule regenerates it.
+      return delta.kind != Kind::kDelete;
+    default:
+      // kIndistinguishable/kUnsat/kEgress/...: any neighboring change can
+      // flip these — regenerate.
+      return false;
   }
 }
 
-bool Monitor::inject_probe_packet(const Probe& probe, std::uint32_t generation,
+ProbeBatchSession& Monitor::live_session_for(const Match& collect) {
+  for (auto& ls : live_sessions_) {
+    if (ls.collect == collect) return *ls.session;
+  }
+  live_sessions_.push_back(
+      {collect, std::make_unique<ProbeBatchSession>(
+                    expected_.table(), collect, config_.miss_actions,
+                    config_.gen)});
+  return *live_sessions_.back().session;
+}
+
+void Monitor::apply_table_delta(const openflow::TableDelta& delta,
+                                bool invalidate) {
+  using Kind = openflow::TableDelta::Kind;
+  ++stats_.deltas_applied;
+  // Live sessions track every delta in application order — a cheap
+  // positional cache patch; the incremental solver survives untouched.
+  for (auto& ls : live_sessions_) {
+    ls.session->apply_delta(expected_.table(), delta);
+  }
+  if (!invalidate) {
+    if (hooks_.on_delta) hooks_.on_delta(delta);
+    return;
+  }
+  // Precise invalidation.  The delta names every rule the change CAN affect
+  // (its own slot, the slot it replaced, the overlap sets) — already far
+  // tighter than the old whole-table match scan.  Within that set, a cached
+  // probe survives unless the changed rule's match covers the probe PACKET
+  // itself: a probe is one concrete packet, and a rule that cannot match it
+  // can neither shadow its Hit nor enter either of its outcome predictions
+  // (if_present is the probed rule's own outcome; if_absent is the first
+  /// OTHER rule matching the packet).  The probe stays valid, its verdict
+  // semantics stay exact, and its in-flight echoes stay meaningful — so
+  // churn cost scales with what the change actually touches.
+  for (const std::uint64_t cookie : delta.affected_cookies()) {
+    const bool gone =
+        (delta.kind == Kind::kDelete && cookie == delta.rule.cookie) ||
+        (delta.replaced.has_value() && cookie == delta.replaced->cookie &&
+         cookie != delta.rule.cookie);
+    if (!gone && cookie != delta.rule.cookie) {
+      const auto it = cache_->entries.find(cookie);
+      if (it != cache_->entries.end() &&
+          delta_survives(it->second, delta, cookie)) {
+        continue;  // the change provably cannot touch this entry
+      }
+    }
+    // Observations from probes injected before this epoch are about a table
+    // that no longer exists: stale, not failures.
+    rule_floor_[cookie] = delta.epoch;
+    if (cache_->entries.erase(cookie) > 0) {
+      ++stats_.probe_invalidations;
+      // A deleted rule (or the displaced version of a replace) needs no
+      // refill; everything else steady-state probing will want again soon.
+      if (!gone && config_.batch_generation && steady_running_) {
+        dirty_probe_cookies_.insert(cookie);
+      }
+    }
+    // In-flight STEADY probes of affected rules become stale; their nonces
+    // are dropped here with their timers.  A pending update's nonces are
+    // exempt, like its echoes (§4.1): purging them would eat the very
+    // observations that reset silence-based negative confirmation, letting
+    // an overlapping-delta stream falsely confirm a drop rule.  Update
+    // nonces are resolved by confirm_update/give-up, never left behind.
+    if (updates_.find(cookie) == updates_.end()) purge_outstanding_for(cookie);
+  }
+  if (delta.kind == Kind::kDelete) {
+    rule_floor_.erase(delta.rule.cookie);  // late echoes miss outstanding_ anyway
+    dirty_probe_cookies_.erase(delta.rule.cookie);
+  }
+  if (!dirty_probe_cookies_.empty()) schedule_batch_refill();
+  if (hooks_.on_delta) hooks_.on_delta(delta);
+}
+
+bool Monitor::inject_probe_packet(const Probe& probe, openflow::Epoch epoch,
                                   std::uint32_t nonce) {
   ProbeMetadata meta;
   meta.switch_id = config_.switch_id;
   meta.rule_cookie = probe.rule_cookie;
-  meta.generation = generation;
+  // The wire carries the low 32 epoch bits; the full epoch rides in the
+  // outstanding entry, where the staleness floors compare it.
+  meta.generation = static_cast<std::uint32_t>(epoch);
   meta.expected = hash_prediction(probe.if_present);
   meta.nonce = nonce;
   auto payload = netbase::encode_probe_metadata(meta);
@@ -817,11 +956,28 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
                               const ProbeMetadata& meta) {
   ++stats_.probes_caught;
   const auto out_it = outstanding_.find(meta.nonce);
-  if (out_it == outstanding_.end() || out_it->second.generation != meta.generation) {
+  if (out_it == outstanding_.end() ||
+      static_cast<std::uint32_t>(out_it->second.epoch) != meta.generation) {
     ++stats_.stale_probes;
     return;
   }
   const std::uint64_t cookie = out_it->second.cookie;
+  // Epoch-keyed staleness for STEADY probes: one injected against an older
+  // table version (pre-delta, or pre-outage) proves nothing about the rule
+  // NOW — classify stale, never as a failure.  (Invalidation purges such
+  // nonces eagerly; this guards the race where the echo is already in
+  // flight toward us.)  Update-confirmation probes are exempt: they
+  // re-inject until the data plane applies THIS update and may legitimately
+  // confirm across overlapping deltas and channel outages (§4.1).
+  if (updates_.find(cookie) == updates_.end() &&
+      (out_it->second.epoch < epoch_floor_ ||
+       out_it->second.epoch < rule_floor(cookie))) {
+    runtime_->cancel(out_it->second.timer);
+    outstanding_.erase(out_it);
+    ++stats_.stale_probes;
+    ++stats_.stale_epoch_drops;
+    return;
+  }
   const auto obs = translate_observation(catcher, catcher_in_port, packet);
   if (!obs) {
     ++stats_.stale_probes;
@@ -891,7 +1047,7 @@ void Monitor::schedule_steady_tick() {
 
 std::optional<std::uint64_t> Monitor::next_steady_cookie() {
   if (steady_order_.empty()) {
-    for (const Rule& r : expected_.rules()) {
+    for (const Rule& r : expected_.table().rules()) {
       if (is_infrastructure_cookie(r.cookie)) continue;
       const RuleState st = rule_state(r.cookie);
       if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
@@ -906,7 +1062,7 @@ std::optional<std::uint64_t> Monitor::next_steady_cookie() {
     steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
     const RuleState st = rule_state(cookie);
     if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
-    if (expected_.find_by_cookie(cookie) == nullptr) continue;  // deleted
+    if (expected_.table().find_by_cookie(cookie) == nullptr) continue;  // deleted
     return cookie;
   }
   return std::nullopt;
@@ -920,13 +1076,14 @@ void Monitor::steady_tick() {
 }
 
 bool Monitor::inject_steady_probe(std::uint64_t cookie) {
-  const Rule* rule = expected_.find_by_cookie(cookie);
+  const Rule* rule = expected_.table().find_by_cookie(cookie);
   if (rule == nullptr) return false;
   const Probe* probe = probe_for(*rule);
   if (probe == nullptr) return false;  // became unmonitorable
 
+  const openflow::Epoch epoch = expected_.epoch();
   const std::uint32_t nonce = next_nonce_++;
-  if (!inject_probe_packet(*probe, generation_, nonce)) {
+  if (!inject_probe_packet(*probe, epoch, nonce)) {
     // No live injection path (e.g. the delivering backend is reconnecting):
     // register nothing.  A timeout for a probe that never left would turn
     // the outage into a rule verdict — and for negative probes the silence
@@ -935,7 +1092,7 @@ bool Monitor::inject_steady_probe(std::uint64_t cookie) {
   }
   OutstandingProbe op;
   op.cookie = cookie;
-  op.generation = generation_;
+  op.epoch = epoch;
   op.nonce = nonce;
   op.tries_left = config_.probe_retries - 1;
   op.first_injected = runtime_->now();
@@ -951,6 +1108,13 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   if (it == outstanding_.end()) return;
   OutstandingProbe op = it->second;
   outstanding_.erase(it);
+
+  // Stale by epoch: the table (or the channel) changed under this probe; its
+  // silence says nothing about the rule as it stands now.
+  if (op.epoch < epoch_floor_ || op.epoch < rule_floor(op.cookie)) {
+    ++stats_.stale_epoch_drops;
+    return;
+  }
 
   const auto cache_it = cache_->entries.find(op.cookie);
   const Probe* probe =
@@ -970,7 +1134,7 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   if (op.tries_left > 0) {
     // Re-send the probe (paper: up to 3 times within the 150 ms window).
     const std::uint32_t nonce2 = next_nonce_++;
-    if (!inject_probe_packet(*probe, op.generation, nonce2)) {
+    if (!inject_probe_packet(*probe, op.epoch, nonce2)) {
       return;  // injection path went down mid-retry: no verdict this cycle
     }
     OutstandingProbe op2 = op;

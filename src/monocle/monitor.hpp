@@ -15,8 +15,13 @@
 //  * optional drop-postponing (§4.3) for reliable drop-rule confirmation.
 //
 // Probes are generated with the SAT machinery of probe_generator.hpp and are
-// cached per rule; any table change invalidates cached probes of overlapping
-// rules (their Distinguish constraints may have changed).
+// cached per rule.  Table state is an epoch-versioned core
+// (openflow::TableVersion): every FlowMod becomes a typed TableDelta at the
+// one place updates enter the system, and the delta — not a whole-table
+// match scan — drives precise invalidation of exactly the overlapping
+// rules' cached probes, keeps the live delta-maintained ProbeBatchSessions
+// in sync, and stamps per-rule epoch floors so probe echoes generated
+// against an older table version are classified stale, never as failures.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +35,14 @@
 
 #include "monocle/catching.hpp"
 #include "monocle/probe.hpp"
+#include "monocle/probe_batch.hpp"
 #include "monocle/probe_generator.hpp"
 #include "monocle/runtime.hpp"
 #include "netbase/probe_metadata.hpp"
 #include "netbase/packet_crafter.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
+#include "openflow/table_version.hpp"
 
 namespace monocle {
 
@@ -59,6 +66,10 @@ struct ProbeCache {
   struct Entry {
     std::optional<Probe> probe;
     ProbeFailure failure = ProbeFailure::kNone;
+    /// Table epoch the entry was generated against (observability; the
+    /// churn parity suite asserts entries are never served across an
+    /// invalidating delta).
+    openflow::Epoch epoch = 0;
   };
   std::unordered_map<std::uint64_t, Entry> entries;
 };
@@ -74,6 +85,18 @@ struct MonitorStats {
   std::uint64_t alarms = 0;
   std::uint64_t flowmods_forwarded = 0;
   std::uint64_t channel_disconnects = 0;  ///< down transitions observed
+  // Probe-cache observability (delta-driven maintenance, PR 4).
+  std::uint64_t probe_cache_hits = 0;     ///< probe_for served from cache
+  std::uint64_t probe_cache_misses = 0;   ///< probe_for had to generate
+  std::uint64_t probe_invalidations = 0;  ///< cache entries dropped by deltas
+  std::uint64_t deltas_applied = 0;       ///< TableDeltas that entered this shard
+  std::uint64_t delta_regens = 0;    ///< probes (re)generated on a live session
+  std::uint64_t scratch_regens = 0;  ///< ... via throwaway sessions / one-shot
+  /// Echoes OR timeouts classified stale because the probe's injection
+  /// epoch predates a rule/channel floor.  NOT a subset of stale_probes:
+  /// stale_probes counts stale ECHO arrivals only, while a timeout of an
+  /// epoch-stale probe counts here alone.
+  std::uint64_t stale_epoch_drops = 0;
   std::chrono::nanoseconds generation_time{0};
 };
 
@@ -131,6 +154,16 @@ class Monitor {
     bool batch_generation = true;
     /// Worker threads for batch generation; 0 = hardware concurrency.
     int batch_threads = 0;
+    /// Delta-driven probe maintenance (PR 4): keep one live
+    /// ProbeBatchSession per collect group, synced to every TableDelta via
+    /// apply_delta(), and regenerate invalidated probes on its warm
+    /// incremental solver.  Off: every refill re-encodes through throwaway
+    /// sessions (the invalidate-and-refill baseline fig10 compares against).
+    bool delta_maintenance = true;
+    /// Refill batches larger than this bypass the live sessions and go
+    /// through the parallel generate_all() path (initial warm-up of a big
+    /// table wants the worker pool; churn refills want the warm solver).
+    std::size_t live_session_batch_limit = 256;
   };
 
   /// Host-environment callbacks.  All functions must be set before start().
@@ -148,6 +181,10 @@ class Monitor {
     std::function<void(std::uint64_t, netbase::SimTime)> on_update_confirmed;
     /// A dynamic update did not confirm within update_give_up.
     std::function<void(std::uint64_t, netbase::SimTime)> on_update_failed;
+    /// Observes every TableDelta this Monitor applies to its expected
+    /// table, after invalidation/session sync (the Fleet chains this to
+    /// route per-shard epoch streams).
+    std::function<void(const openflow::TableDelta&)> on_delta;
   };
 
   Monitor(Config config, Runtime* runtime, const NetworkView* view,
@@ -219,8 +256,14 @@ class Monitor {
   }
 
   [[nodiscard]] const openflow::FlowTable& expected_table() const {
+    return expected_.table();
+  }
+  /// The versioned table core (snapshots, epoch).
+  [[nodiscard]] const openflow::TableVersion& table_version() const {
     return expected_;
   }
+  /// Current table epoch (advances per applied delta and per reconnect).
+  [[nodiscard]] openflow::Epoch epoch() const { return expected_.epoch(); }
   [[nodiscard]] RuleState rule_state(std::uint64_t cookie) const;
   [[nodiscard]] std::size_t failed_rule_count() const { return failed_.size(); }
   /// Cookies of rules currently failed (input for failure localization).
@@ -244,13 +287,24 @@ class Monitor {
   /// (alarm/confirmation callbacks) after the transport hooks are wired.
   Hooks& hooks_for_test() { return hooks_; }
 
+  /// The precise-invalidation predicate: true when the cached `entry` for
+  /// rule `cookie` provably survives `delta` — probes whose packet the
+  /// changed rule cannot match (it then enters neither Hit nor either
+  /// outcome prediction), kUnsupported verdicts (a property of the rule's
+  /// own actions alone), and kShadowed verdicts not exposed by deleting a
+  /// higher rule.  Public so the churn parity suite and fig10 exercise the
+  /// exact predicate the Monitor runs.
+  static bool delta_survives(const ProbeCache::Entry& entry,
+                             const openflow::TableDelta& delta,
+                             std::uint64_t cookie);
+
  private:
   struct UpdateJob {
     enum class Kind : std::uint8_t { kAdd, kModify, kDelete };
     Kind kind = Kind::kAdd;
     openflow::Rule rule;           // new version (add/modify) or old (delete)
     std::optional<Probe> probe;
-    std::uint32_t generation = 0;
+    openflow::Epoch epoch = 0;     // table epoch the job was started against
     netbase::SimTime started = 0;
     int silent_injections = 0;     // for negative confirmation
     bool negative = false;         // confirmation is silence-based
@@ -262,7 +316,7 @@ class Monitor {
 
   struct OutstandingProbe {
     std::uint64_t cookie = 0;
-    std::uint32_t generation = 0;
+    openflow::Epoch epoch = 0;  // table epoch at injection
     std::uint32_t nonce = 0;
     int tries_left = 0;
     std::uint64_t timer = 0;
@@ -310,7 +364,20 @@ class Monitor {
 
   // Probe plumbing.
   const Probe* probe_for(const openflow::Rule& rule);
-  void invalidate_overlapping_probes(const openflow::Match& match);
+  /// The post-mutation half of every table change: syncs the live batch
+  /// sessions, invalidates the delta's affected cookies' cached probes that
+  /// do not provably survive (no whole-table match scan), stamps their
+  /// epoch floors, purges their in-flight nonces, schedules the coalesced
+  /// refill, and notifies hooks_.on_delta.  `invalidate = false` skips the
+  /// cache sweep — the seed_rule harness path, which by contract trusts
+  /// shared cache contents (cross-trial probe reuse).
+  void apply_table_delta(const openflow::TableDelta& delta,
+                         bool invalidate = true);
+  /// The live delta-maintained session for `collect` (created on demand
+  /// against the current table).
+  ProbeBatchSession& live_session_for(const openflow::Match& collect);
+  /// Epoch before which observations about `cookie` are stale.
+  [[nodiscard]] openflow::Epoch rule_floor(std::uint64_t cookie) const;
   /// Batch-generates cache entries for `cookies` (rules still present and
   /// not yet cached), grouped per Collect match into solver sessions.
   void batch_generate_into_cache(const std::vector<std::uint64_t>& cookies);
@@ -327,7 +394,7 @@ class Monitor {
   [[nodiscard]] std::uint16_t hashed_in_port(
       const openflow::Rule& rule,
       const std::vector<std::uint16_t>& all_ports) const;
-  bool inject_probe_packet(const Probe& probe, std::uint32_t generation,
+  bool inject_probe_packet(const Probe& probe, openflow::Epoch epoch,
                            std::uint32_t nonce);
   std::optional<Observation> translate_observation(
       SwitchId catcher, std::uint16_t catcher_in_port,
@@ -342,10 +409,23 @@ class Monitor {
   const CatchPlan* plan_;
   Hooks hooks_;
 
-  openflow::FlowTable expected_;
+  openflow::TableVersion expected_;
   std::shared_ptr<ProbeCache> cache_;
   std::unordered_map<std::uint64_t, RuleState> rule_states_;
   std::unordered_set<std::uint64_t> failed_;
+  /// Per-rule staleness floors: observations carried by probes injected at
+  /// an epoch below the floor are classified stale (the rule's Distinguish
+  /// context changed under them).  Pruned when the rule is deleted.
+  std::unordered_map<std::uint64_t, openflow::Epoch> rule_floor_;
+  /// Monitor-wide floor (bumped across channel outages via a barrier epoch).
+  openflow::Epoch epoch_floor_ = 0;
+  /// Live delta-maintained batch sessions, one per collect group; synced to
+  /// every delta by apply_table_delta, created lazily by live_session_for.
+  struct LiveSession {
+    openflow::Match collect;
+    std::unique_ptr<ProbeBatchSession> session;
+  };
+  std::vector<LiveSession> live_sessions_;
 
   std::unordered_map<std::uint64_t, UpdateJob> updates_;  // by cookie
   std::deque<std::pair<openflow::Message, std::uint32_t>> hold_queue_;
@@ -367,7 +447,6 @@ class Monitor {
   std::unordered_map<std::uint32_t, OutstandingProbe> outstanding_;  // by nonce
 
   std::uint32_t next_nonce_ = 1;
-  std::uint32_t generation_ = 1;
   ProbeGenerator generator_;
   MonitorStats stats_;
 

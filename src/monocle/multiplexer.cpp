@@ -66,6 +66,14 @@ void Multiplexer::bind_backend(
   if (monitor != nullptr) monitor->on_channel_state(backend.up());
 }
 
+bool Multiplexer::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
+                                 std::uint32_t xid) {
+  const auto it = monitors_.find(sw);
+  if (it == monitors_.end()) return false;
+  it->second->on_controller_message(openflow::make_message(xid, fm));
+  return true;
+}
+
 bool Multiplexer::on_packet_in(SwitchId from, const openflow::PacketIn& pi) {
   const auto parsed = netbase::parse_packet(pi.data);
   if (!parsed) return false;

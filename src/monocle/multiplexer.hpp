@@ -83,6 +83,14 @@ class Multiplexer {
   /// / controller path.
   bool on_packet_in(SwitchId from, const openflow::PacketIn& pi);
 
+  /// Routes a controller-side FlowMod to the Monitor shard owning `sw`,
+  /// where it becomes a TableDelta in that shard's versioned table (the one
+  /// place updates enter the system).  Returns false when the switch is
+  /// unproxied — the caller must deliver the message down the switch
+  /// channel itself.
+  bool route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
+                      std::uint32_t xid = 0);
+
   [[nodiscard]] std::uint64_t packet_outs_sent() const { return packet_outs_; }
 
  private:

@@ -29,10 +29,13 @@ ProbeBatchSession::ProbeBatchSession(const FlowTable& table, Match collect,
       collect_(std::move(collect)),
       miss_(std::move(miss_actions)),
       opts_(opts),
-      domains_(detail::domain_fixup_for(table)),
       miss_outcome_(openflow::compute_outcome(miss_)),
       outcomes_(table.size()),
       outcome_class_(table.size(), -1) {
+  // Used-EthType refcounts seed the §5.2 domain state; apply_delta keeps
+  // them (and domains_) in sync per rule change afterwards.
+  for (const Rule& r : table.rules()) domains_note(r, +1);
+  rebuild_domains();
   table_->ensure_overlap_index();
   solver_.reserve_vars(kHeaderBits);
   solver_.set_model_limit(kHeaderBits);  // queries only read header bits back
@@ -66,14 +69,69 @@ std::size_t ProbeBatchSession::outcome_class(std::size_t idx) {
   if (slot >= 0) return static_cast<std::size_t>(slot);
   const Outcome& oc = rule_outcome(idx);
   for (std::size_t c = 0; c < class_reps_.size(); ++c) {
-    if (*class_reps_[c] == oc) {
+    if (class_reps_[c] == oc) {
       slot = static_cast<std::int32_t>(c);
       return c;
     }
   }
-  class_reps_.push_back(&oc);  // stable: outcomes_ never reallocates
+  class_reps_.push_back(oc);
   slot = static_cast<std::int32_t>(class_reps_.size() - 1);
   return static_cast<std::size_t>(slot);
+}
+
+void ProbeBatchSession::domains_note(const Rule& rule, int direction) {
+  if (rule.match.is_wildcard(Field::EthType)) return;
+  const std::uint64_t value = rule.match.value(Field::EthType);
+  if (direction > 0) {
+    ++ethtype_used_[value];
+    return;
+  }
+  const auto it = ethtype_used_.find(value);
+  if (it != ethtype_used_.end() && --it->second == 0) {
+    ethtype_used_.erase(it);
+  }
+}
+
+void ProbeBatchSession::rebuild_domains() {
+  // O(distinct used values) — a handful per table.
+  domains_ = netbase::DomainFixup::openflow10_defaults();
+  for (const auto& [value, count] : ethtype_used_) {
+    domains_.note_used(Field::EthType, value);
+  }
+}
+
+void ProbeBatchSession::apply_delta(const FlowTable& now,
+                                    const openflow::TableDelta& delta) {
+  using Kind = openflow::TableDelta::Kind;
+  table_ = &now;  // the table object may have moved (copy-on-write clone)
+  const auto at = static_cast<std::ptrdiff_t>(delta.rule_index);
+  const std::size_t distinct_before = ethtype_used_.size();
+  switch (delta.kind) {
+    case Kind::kAdd:
+      if (delta.replaced.has_value()) {
+        domains_note(*delta.replaced, -1);
+        outcomes_[delta.rule_index].reset();
+        outcome_class_[delta.rule_index] = -1;
+      } else {
+        outcomes_.insert(outcomes_.begin() + at, std::nullopt);
+        outcome_class_.insert(outcome_class_.begin() + at, -1);
+      }
+      domains_note(delta.rule, +1);
+      break;
+    case Kind::kModify:
+      // Match (and thus domain usage) unchanged; the outcome is stale.
+      outcomes_[delta.rule_index].reset();
+      outcome_class_[delta.rule_index] = -1;
+      break;
+    case Kind::kDelete:
+      domains_note(delta.rule, -1);
+      outcomes_.erase(outcomes_.begin() + at);
+      outcome_class_.erase(outcome_class_.begin() + at);
+      break;
+  }
+  // The spare-value state only changes when the SET of used values does
+  // (counts are invisible to the lemma).
+  if (ethtype_used_.size() != distinct_before) rebuild_domains();
 }
 
 Lit ProbeBatchSession::port_selector(std::uint16_t port) {

@@ -34,14 +34,19 @@
 
 #include "monocle/probe_encoding.hpp"
 #include "monocle/probe_generator.hpp"
+#include "openflow/table_version.hpp"
 #include "sat/solver.hpp"
 
 namespace monocle {
 
 class ProbeBatchSession {
  public:
-  /// `table` must outlive the session and must not be mutated while the
-  /// session is in use (rules are identified by their table position).
+  /// `table` must outlive the session.  Between generate() calls the table
+  /// may be mutated ONLY if every mutation is reported to the session via
+  /// apply_delta() (in application order) before the next query — the
+  /// delta-maintained live-session mode the Monitor runs under rule churn.
+  /// A session that is never told about deltas has the PR 1 contract: the
+  /// table must not change while the session is in use.
   ProbeBatchSession(const openflow::FlowTable& table, openflow::Match collect,
                     openflow::ActionList miss_actions,
                     ProbeGenerator::Options opts = {});
@@ -51,6 +56,21 @@ class ProbeBatchSession {
   /// ProbeGenerator::generate for the same request.
   ProbeGenResult generate(const openflow::Rule& probed,
                           std::span<const std::uint16_t> in_ports = {});
+
+  /// Tracks one table mutation, keeping the session live instead of
+  /// re-encoding the table: `now` is the post-delta table (it may be a new
+  /// FlowTable object after a copy-on-write clone — the session re-points),
+  /// `delta` the change.  Positional caches (per-rule outcomes, outcome
+  /// classes) are patched in O(table) slot moves, the §5.2 domain state is
+  /// adjusted from the changed rule alone, and the incremental solver —
+  /// with every learned clause, VSIDS score, retired guard and in-port
+  /// selector definition — survives untouched: old queries' guarded clauses
+  /// are already dead under their retired activation literals, so nothing
+  /// the solver ever derived can contradict the new table.  Only the
+  /// changed rules' clauses are ever (re-)encoded, by the next generate()
+  /// that needs them.
+  void apply_delta(const openflow::FlowTable& now,
+                   const openflow::TableDelta& delta);
 
   /// Cumulative solver statistics over the session's queries.
   [[nodiscard]] const sat::SolverStats& solver_stats() const {
@@ -82,13 +102,24 @@ class ProbeBatchSession {
   /// terms are memoized per class within a query.
   std::size_t outcome_class(std::size_t idx);
 
+  /// §5.2 domain bookkeeping for apply_delta: used-EthType values are
+  /// reference-counted so a delta adjusts the DomainFixup from the changed
+  /// rule alone instead of re-scanning the table.
+  void domains_note(const openflow::Rule& rule, int direction);
+  void rebuild_domains();
+
   sat::Solver solver_;
   probe_encoding::FixedBits collect_fixed_;  // bits pinned by Collect units
   netbase::DomainFixup domains_;             // §5.2 spare-value state, shared
+  std::unordered_map<std::uint64_t, std::size_t> ethtype_used_;  // refcounts
   openflow::Outcome miss_outcome_;           // table-miss behaviour, cached
   std::vector<std::optional<openflow::Outcome>> outcomes_;  // by rule index
   std::vector<std::int32_t> outcome_class_;  // by rule index; -1 = unknown
-  std::vector<const openflow::Outcome*> class_reps_;  // class id -> outcome
+  // Class id -> representative outcome, BY VALUE: positional churn in
+  // outcomes_ (apply_delta slot moves) must not invalidate the reps.  A
+  // deleted rule's class lingers harmlessly — class count stays O(distinct
+  // outcomes ever seen).
+  std::vector<openflow::Outcome> class_reps_;
   std::vector<std::optional<probe_encoding::DiffTerm>> diff_cache_;  // /query
 
   // Shared in-port selector definitions (sel_p -> in_port bits spell p).

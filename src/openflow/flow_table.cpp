@@ -4,12 +4,14 @@
 
 namespace monocle::openflow {
 
-void FlowTable::add(const Rule& rule) {
+void FlowTable::add(const Rule& rule) { add_indexed(rule); }
+
+FlowTable::AddResult FlowTable::add_indexed(const Rule& rule) {
   // Replace identical (match, priority) if present.
-  for (Rule& r : rules_) {
-    if (r.priority == rule.priority && r.match == rule.match) {
-      r = rule;  // same match: overlap index stays valid
-      return;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].priority == rule.priority && rules_[i].match == rule.match) {
+      rules_[i] = rule;  // same match: overlap index stays valid
+      return {i, true};
     }
   }
   // Insert before the first rule with strictly lower priority, keeping the
@@ -17,8 +19,10 @@ void FlowTable::add(const Rule& rule) {
   const auto pos = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
     return r.priority < rule.priority;
   });
+  const std::size_t index = static_cast<std::size_t>(pos - rules_.begin());
   rules_.insert(pos, rule);
-  index_dirty_.store(true, std::memory_order_relaxed);
+  index_note_insert(index);
+  return {index, false};
 }
 
 bool FlowTable::modify_strict(const Rule& rule) {
@@ -33,13 +37,24 @@ bool FlowTable::modify_strict(const Rule& rule) {
 }
 
 bool FlowTable::remove_strict(const Match& match, std::uint16_t priority) {
-  const auto pos = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
-    return r.priority == priority && r.match == match;
-  });
-  if (pos == rules_.end()) return false;
-  rules_.erase(pos);
-  index_dirty_.store(true, std::memory_order_relaxed);
-  return true;
+  return remove_strict_indexed(match, priority).has_value();
+}
+
+std::optional<std::size_t> FlowTable::remove_strict_indexed(
+    const Match& match, std::uint16_t priority) {
+  const auto index = find_index(match, priority);
+  if (!index) return std::nullopt;
+  rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(*index));
+  index_note_erase(*index);
+  return index;
+}
+
+std::optional<std::size_t> FlowTable::find_index(const Match& match,
+                                                 std::uint16_t priority) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].priority == priority && rules_[i].match == match) return i;
+  }
+  return std::nullopt;
 }
 
 std::size_t FlowTable::remove_matching(const Match& pattern) {
@@ -117,6 +132,52 @@ void FlowTable::rebuild_overlap_index() const {
         fi.loose.push_back(idx);
       }
     }
+  }
+}
+
+// Incremental maintenance.  Mutators run exclusively (concurrent queries are
+// not part of the FlowTable contract during mutation), so no lock is needed;
+// a dirty/unbuilt index is left dirty and rebuilt lazily as before.  The
+// patch walks every posting list once — O(rules × fields) trivial integer
+// ops versus a full rebuild's per-rule key extraction and hashing.
+
+void FlowTable::index_note_insert(std::size_t pos) {
+  if (index_dirty_.load(std::memory_order_relaxed)) return;
+  const std::uint32_t at = static_cast<std::uint32_t>(pos);
+  const Match& m = rules_[pos].match;
+  for (FieldIndex& fi : index_) {
+    const auto shift = [at](std::vector<std::uint32_t>& v) {
+      for (std::uint32_t& idx : v) {
+        if (idx >= at) ++idx;
+      }
+    };
+    for (auto& [key, bucket] : fi.buckets) shift(bucket);
+    shift(fi.loose);
+    // Insert the new rule's posting, keeping the list ascending.
+    std::vector<std::uint32_t>* list;
+    if (const auto key = index_key(m, fi.bit_offset, fi.key_bits)) {
+      list = &fi.buckets[*key];
+    } else {
+      list = &fi.loose;
+    }
+    list->insert(std::lower_bound(list->begin(), list->end(), at), at);
+  }
+}
+
+void FlowTable::index_note_erase(std::size_t pos) {
+  if (index_dirty_.load(std::memory_order_relaxed)) return;
+  const std::uint32_t at = static_cast<std::uint32_t>(pos);
+  for (FieldIndex& fi : index_) {
+    const auto patch = [at](std::vector<std::uint32_t>& v) {
+      std::size_t out = 0;
+      for (const std::uint32_t idx : v) {
+        if (idx == at) continue;
+        v[out++] = idx > at ? idx - 1 : idx;
+      }
+      v.resize(out);
+    };
+    for (auto& [key, bucket] : fi.buckets) patch(bucket);
+    patch(fi.loose);
   }
 }
 

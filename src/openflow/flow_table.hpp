@@ -51,6 +51,15 @@ class FlowTable {
   /// match and priority (OpenFlow overlap-replace semantics).
   void add(const Rule& rule);
 
+  /// add() that also reports WHERE: the slot index of the inserted/replaced
+  /// rule and whether an existing slot was replaced.  TableVersion uses this
+  /// to stamp positions into TableDeltas.
+  struct AddResult {
+    std::size_t index = 0;
+    bool replaced = false;
+  };
+  AddResult add_indexed(const Rule& rule);
+
   /// OFPFC_MODIFY_STRICT: replaces actions of the entry with identical match
   /// and priority; returns false if absent (no-op then, per OF 1.0 the mod
   /// behaves as an add — callers decide).
@@ -58,6 +67,14 @@ class FlowTable {
 
   /// OFPFC_DELETE_STRICT: removes the entry with identical match & priority.
   bool remove_strict(const Match& match, std::uint16_t priority);
+
+  /// remove_strict() that reports the removed slot's (pre-removal) index.
+  std::optional<std::size_t> remove_strict_indexed(const Match& match,
+                                                   std::uint16_t priority);
+
+  /// Slot index of the entry with identical match & priority, if present.
+  [[nodiscard]] std::optional<std::size_t> find_index(
+      const Match& match, std::uint16_t priority) const;
 
   /// OFPFC_DELETE: removes every rule whose match set is a subset of
   /// `pattern` (OpenFlow non-strict delete).  Returns the removed count.
@@ -111,7 +128,10 @@ class FlowTable {
   [[nodiscard]] bool empty() const { return rules_.empty(); }
   [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
 
-  void clear() { rules_.clear(); }
+  void clear() {
+    rules_.clear();
+    index_dirty_.store(true, std::memory_order_relaxed);
+  }
 
   /// Applies `fn` to every rule (descending priority).
   void for_each(const std::function<void(const Rule&)>& fn) const {
@@ -133,6 +153,13 @@ class FlowTable {
   };
 
   void rebuild_overlap_index() const;
+  /// Incremental index maintenance: single-slot insert/erase patch the
+  /// postings in place (shifting stored positions) instead of marking the
+  /// whole index dirty — under sustained rule churn (PR 4) a full rebuild
+  /// per FlowMod would dominate the delta path.  No-ops while the index is
+  /// dirty/unbuilt (the next ensure_overlap_index rebuilds anyway).
+  void index_note_insert(std::size_t pos);
+  void index_note_erase(std::size_t pos);
   /// Extracts the index key of `m` on the field at `offset`/`key_bits`;
   /// nullopt when the match does not fully specify those bits.
   static std::optional<std::uint64_t> index_key(const Match& m, int bit_offset,

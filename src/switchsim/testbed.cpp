@@ -141,6 +141,25 @@ void Testbed::controller_send(SwitchId sw, const openflow::Message& msg) {
   }
 }
 
+void Testbed::drive_churn(SwitchId sw,
+                          std::shared_ptr<workloads::ChurnGenerator> gen,
+                          netbase::SimTime interval, std::size_t count) {
+  if (count == 0) return;
+  // Self-rescheduling tick: one FlowMod per interval, via the same
+  // controller path a real update stream would take.  The generator is
+  // shared so the caller can read live_rules()/emitted() as the stream
+  // plays.
+  clock_->schedule(interval, [this, sw, gen = std::move(gen), interval,
+                              count]() mutable {
+    // next() advances emitted(); sequence the two calls explicitly so the
+    // xid does not depend on argument evaluation order.
+    const openflow::FlowMod fm = gen->next();
+    const auto xid = static_cast<std::uint32_t>(gen->emitted());
+    controller_send(sw, openflow::make_message(xid, fm));
+    drive_churn(sw, std::move(gen), interval, count - 1);
+  });
+}
+
 Monitor* Testbed::monitor(SwitchId sw) const {
   if (fleet_) return fleet_->monitor(sw);
   const auto it = monitors_.find(sw);

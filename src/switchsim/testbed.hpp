@@ -27,6 +27,7 @@
 #include "switchsim/network.hpp"
 #include "switchsim/sim_backend.hpp"
 #include "topo/topology.hpp"
+#include "workloads/churn.hpp"
 
 namespace monocle::switchsim {
 
@@ -75,6 +76,14 @@ class Testbed {
   /// Controller-side send to a switch (passes through its Monitor when
   /// Monocle is enabled).
   void controller_send(SwitchId sw, const openflow::Message& msg);
+
+  /// Drives a reproducible FlowMod churn stream (workloads::ChurnGenerator)
+  /// into `sw`'s control channel: one update per `interval`, `count` total,
+  /// each delivered through controller_send — i.e. through the Monitor's
+  /// versioned-table path exactly as a controller's updates would be.
+  /// Returns immediately; the stream plays out on the event queue.
+  void drive_churn(SwitchId sw, std::shared_ptr<workloads::ChurnGenerator> gen,
+                   netbase::SimTime interval, std::size_t count);
 
   /// Messages emerging on the controller side (barrier replies, PacketIns).
   void set_controller_handler(

@@ -1,0 +1,102 @@
+#include "workloads/churn.hpp"
+
+#include <algorithm>
+
+namespace monocle::workloads {
+
+using openflow::FlowMod;
+using openflow::FlowModCommand;
+using openflow::Rule;
+
+ChurnGenerator::ChurnGenerator(ChurnProfile profile,
+                               std::vector<Rule> initial)
+    : profile_(profile), rng_(profile.seed), live_(std::move(initial)) {
+  for (const Rule& r : live_) next_cookie_ = std::max(next_cookie_, r.cookie + 1);
+}
+
+Rule ChurnGenerator::synth_rule() {
+  if (pool_pos_ >= pool_.size()) {
+    // Refill in slabs; the slab index keys the ACL seed so the stream stays
+    // deterministic regardless of slab size.
+    AclProfile slab = profile_.acl;
+    slab.rule_count = 256;
+    slab.default_rule = false;
+    slab.seed = profile_.seed * 0x9E3779B97F4A7C15ull + ++pool_slab_;
+    pool_ = generate_acl(slab);
+    pool_pos_ = 0;
+  }
+  Rule r = pool_[pool_pos_++];
+  r.cookie = next_cookie_++;
+  return r;
+}
+
+FlowMod ChurnGenerator::next() {
+  ++emitted_;
+  double add_w = profile_.add_fraction;
+  double mod_w = profile_.modify_fraction;
+  double del_w = profile_.delete_fraction;
+  if (live_.size() <= profile_.min_rules) {
+    mod_w = del_w = 0;  // only grow
+  } else if (live_.size() >= profile_.max_rules) {
+    add_w = 0;  // only shrink / churn in place
+  }
+  const double total = std::max(1e-12, add_w + mod_w + del_w);
+  const double roll =
+      std::uniform_real_distribution<double>(0.0, total)(rng_);
+
+  FlowMod fm;
+  if (roll < add_w || live_.empty()) {
+    const Rule r = synth_rule();
+    fm.command = FlowModCommand::kAdd;
+    fm.match = r.match;
+    fm.priority = r.priority;
+    fm.cookie = r.cookie;
+    fm.actions = r.actions;
+    // Track replace-on-identical-slot semantics so modify/delete targets
+    // always exist.
+    const auto slot = std::find_if(live_.begin(), live_.end(), [&](const Rule& l) {
+      return l.priority == r.priority && l.match == r.match;
+    });
+    if (slot != live_.end()) {
+      *slot = r;
+    } else {
+      live_.push_back(r);
+    }
+    return fm;
+  }
+
+  std::uniform_int_distribution<std::size_t> pick(0, live_.size() - 1);
+  Rule& target = live_[pick(rng_)];
+  if (roll < add_w + mod_w) {
+    // Modify in place: flip the action between drop and a (rotated) output
+    // port — match and cookie stay, the outcome changes.
+    if (target.actions.empty()) {
+      target.actions = {openflow::Action::output(1)};
+    } else {
+      const std::uint16_t port = target.actions.front().port;
+      const int ports = std::max(1, profile_.acl.ports);
+      if (port >= static_cast<std::uint16_t>(ports)) {
+        target.actions = {};  // becomes a deny
+      } else {
+        target.actions = {
+            openflow::Action::output(static_cast<std::uint16_t>(port + 1))};
+      }
+    }
+    fm.command = FlowModCommand::kModifyStrict;
+    fm.match = target.match;
+    fm.priority = target.priority;
+    fm.cookie = target.cookie;
+    fm.actions = target.actions;
+    return fm;
+  }
+
+  fm.command = FlowModCommand::kDeleteStrict;
+  fm.match = target.match;
+  fm.priority = target.priority;
+  fm.cookie = target.cookie;
+  std::swap(target, live_.back());
+  live_.pop_back();
+  return fm;
+}
+
+}  // namespace monocle::workloads

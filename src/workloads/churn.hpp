@@ -1,0 +1,71 @@
+// Reproducible FlowMod churn streams (paper §4: rules are added, modified
+// and deleted continuously while probing runs).
+//
+// A ChurnGenerator emits a deterministic, seeded sequence of FlowMods
+// against an evolving rule population: adds draw fresh rules from an
+// ACL-profile distribution (acl_generator.hpp), modifies and deletes always
+// target a currently-installed rule (tracked internally), and the kind mix
+// is biased toward growth/shrink near the configured population bounds.
+// Two generators built from the same profile and initial rules emit
+// byte-identical streams — the property the churn parity suite and the
+// fig10 bench build on: the delta-maintained and the from-scratch pipeline
+// consume the SAME update sequence.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "openflow/messages.hpp"
+#include "workloads/acl_generator.hpp"
+
+namespace monocle::workloads {
+
+struct ChurnProfile {
+  std::uint64_t seed = 1;
+  /// Kind mix (normalized internally).
+  double add_fraction = 0.40;
+  double modify_fraction = 0.25;
+  double delete_fraction = 0.35;
+  /// Distribution fresh rules are drawn from (rule_count is ignored; the
+  /// generator synthesizes on demand).
+  AclProfile acl = {};
+  /// Population bounds: at/below min the stream only grows, at/above max it
+  /// only shrinks (keeps sustained churn stationary around the start size).
+  std::size_t min_rules = 1;
+  std::size_t max_rules = static_cast<std::size_t>(-1);
+};
+
+class ChurnGenerator {
+ public:
+  /// `initial` is the live population the stream starts from (the rules
+  /// already installed in the table the stream will be applied to).
+  ChurnGenerator(ChurnProfile profile, std::vector<openflow::Rule> initial);
+
+  /// The next FlowMod of the stream.  Adds carry fresh monotonic cookies;
+  /// modifies keep the target's cookie and match and change its actions;
+  /// deletes are strict on the target's match+priority.
+  openflow::FlowMod next();
+
+  /// Rules currently installed according to the emitted stream.
+  [[nodiscard]] const std::vector<openflow::Rule>& live_rules() const {
+    return live_;
+  }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  openflow::Rule synth_rule();
+
+  ChurnProfile profile_;
+  std::mt19937_64 rng_;
+  std::vector<openflow::Rule> live_;
+  /// Pre-synthesized fresh-rule pool, refilled in slabs (reuses the
+  /// deterministic generate_acl machinery).
+  std::vector<openflow::Rule> pool_;
+  std::size_t pool_pos_ = 0;
+  std::uint64_t pool_slab_ = 0;
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace monocle::workloads
