@@ -61,12 +61,15 @@ inline double mean(const std::vector<double>& v) {
 /// Probe-cache / delta observability of one Monitor (PR 4): how much of the
 /// probing load was served from cache, what churn invalidated, and whether
 /// regeneration rode the warm delta-maintained sessions or from-scratch
-/// encodings.
-inline void print_monitor_stats(const char* label, const MonitorStats& s) {
+/// encodings.  `allocs_per_probe` (fig11's scale-out metric, measured with
+/// the counting allocator) is printed when non-negative; binaries without
+/// the interposer pass the default.
+inline void print_monitor_stats(const char* label, const MonitorStats& s,
+                                double allocs_per_probe = -1.0) {
   std::printf(
       "  %-18s cache hit/miss %llu/%llu  invalidations %llu  deltas %llu  "
       "regen delta/scratch %llu/%llu  stale echoes %llu  epoch drops %llu  "
-      "gen %.2f ms\n",
+      "gen %.2f ms",
       label, static_cast<unsigned long long>(s.probe_cache_hits),
       static_cast<unsigned long long>(s.probe_cache_misses),
       static_cast<unsigned long long>(s.probe_invalidations),
@@ -76,6 +79,10 @@ inline void print_monitor_stats(const char* label, const MonitorStats& s) {
       static_cast<unsigned long long>(s.stale_probes),
       static_cast<unsigned long long>(s.stale_epoch_drops),
       std::chrono::duration<double, std::milli>(s.generation_time).count());
+  if (allocs_per_probe >= 0) {
+    std::printf("  allocs/probe %.2f", allocs_per_probe);
+  }
+  std::printf("\n");
 }
 
 }  // namespace monocle::bench

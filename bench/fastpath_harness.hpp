@@ -1,0 +1,289 @@
+// Shared harness for exercising the probe fast path WITHOUT simulated
+// switches: Monitors + a Multiplexer over a TopoView, with a synchronous
+// loopback that turns every PacketOut straight into the PacketIn the real
+// data plane would produce.  Used by the fig11 scale-out microbenchmark and
+// by tests/scaleout_test.cpp (routing parity, zero-allocation assertion).
+//
+// What the loopback models: probes are injected via an upstream PacketOut,
+// enter the probed switch, match their (plain-output) rule, leave on the
+// rule's port and are caught by the downstream neighbor — so the PacketIn
+// the harness synthesizes carries the SAME bytes at the catcher predicted
+// by the probe's if_present outcome.  Everything the monitoring stack does
+// per probe (craft/re-stamp, inject routing, PacketOut construction,
+// PacketIn decode, classification, outstanding bookkeeping, timers) runs
+// for real; only the switch data plane is shortcut.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "monocle/catching.hpp"
+#include "monocle/monitor.hpp"
+#include "monocle/multiplexer.hpp"
+#include "monocle/runtime.hpp"
+#include "netbase/probe_metadata.hpp"
+#include "topo/topo_view.hpp"
+#include "workloads/forwarding.hpp"
+
+namespace monocle::bench {
+
+/// Allocation-free O(1) Runtime: timer ids encode their slot index (low 20
+/// bits), so schedule (free-list pop) and cancel (direct index) never scan,
+/// and every Monitor timer callback is a <=16-byte trivially copyable
+/// lambda, so std::function's small-buffer optimization keeps scheduling
+/// off the heap.  Time only advances via advance(); due callbacks run in
+/// slot order (the harness never needs cross-slot ordering guarantees).
+class SlotRuntime final : public Runtime {
+ public:
+  [[nodiscard]] netbase::SimTime now() const override { return now_; }
+
+  std::uint64_t schedule(netbase::SimTime delay,
+                         std::function<void()> fn) override {
+    std::size_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = slots_.size();
+      slots_.emplace_back();
+    }
+    const std::uint64_t id = (next_seq_++ << kIndexBits) | index;
+    Slot& slot = slots_[index];
+    slot.id = id;
+    slot.when = now_ + delay;
+    slot.fn = std::move(fn);
+    return id;
+  }
+
+  void cancel(std::uint64_t timer_id) override {
+    if (timer_id == 0) return;
+    const std::size_t index = timer_id & (kIndexCapacity - 1);
+    if (index >= slots_.size() || slots_[index].id != timer_id) return;
+    release(index);
+  }
+
+  /// Advances the clock and fires every slot due by then.
+  void advance(netbase::SimTime by) {
+    now_ += by;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].id != 0 && slots_[i].when <= now_) {
+        auto fn = std::move(slots_[i].fn);
+        release(i);
+        fn();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  static constexpr std::uint64_t kIndexBits = 20;
+  static constexpr std::uint64_t kIndexCapacity = 1 << kIndexBits;
+
+  struct Slot {
+    std::uint64_t id = 0;
+    netbase::SimTime when = 0;
+    std::function<void()> fn;
+  };
+
+  void release(std::size_t index) {
+    slots_[index].id = 0;
+    slots_[index].fn = nullptr;
+    free_.push_back(index);
+  }
+
+  netbase::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_;
+};
+
+class FastPathRig {
+ public:
+  struct Options {
+    std::size_t rules_per_switch = 8;
+    /// Legacy baseline toggles (pre-fig11 cost profile).
+    bool compat_map_routing = false;
+    bool reuse_probe_wire = true;
+    Monitor::Config monitor;  ///< base config (ids/rates overridden)
+  };
+
+  FastPathRig(const topo::Topology& topo, Options opts)
+      : view_(topo), opts_(std::move(opts)) {
+    std::vector<SwitchId> dpids;
+    for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+      dpids.push_back(view_.dpid_of(n));
+    }
+    plan_ = CatchPlan::build(topo, dpids, CatchStrategy::kSingleField);
+    mux_ = std::make_unique<Multiplexer>(&view_);
+    mux_->set_compat_map_routing(opts_.compat_map_routing);
+
+    for (const SwitchId sw : dpids) {
+      Monitor::Config cfg = opts_.monitor;
+      cfg.switch_id = sw;
+      cfg.steady_probe_rate = 0;  // externally paced bursts
+      cfg.batch_threads = 1;      // deterministic single-threaded warm-up
+      cfg.reuse_probe_wire = opts_.reuse_probe_wire;
+      Monitor::Hooks hooks;
+      hooks.to_switch = [](const openflow::Message&) {};
+      hooks.to_controller = [](const openflow::Message&) {};
+      const SwitchOrdinal ord = mux_->intern(sw);
+      hooks.inject = [this, ord](std::uint16_t in_port,
+                                 std::span<const std::uint8_t> bytes) {
+        return mux_->inject_at(ord, in_port, bytes);
+      };
+      auto monitor = std::make_unique<Monitor>(cfg, &runtime_, &view_, &plan_,
+                                               std::move(hooks));
+      mux_->register_monitor(sw, monitor.get());
+      // Every switch delivers PacketOuts into the shared loopback queue.
+      mux_->set_switch_sender(sw, [this, sw](const openflow::Message& m) {
+        queue_packet_out(sw, m);
+      });
+      monitors_.emplace(sw, std::move(monitor));
+    }
+
+    // Seed every switch with plain round-robin forwarding rules: probes for
+    // them are positive (catchable) and rewrite-free, so the loopback can
+    // replay the exact bytes at the predicted catcher.
+    for (const SwitchId sw : dpids) {
+      Monitor& mon = *monitors_.at(sw);
+      for (const openflow::Rule& r : workloads::l3_host_routes_even(
+               opts_.rules_per_switch, view_.ports(sw))) {
+        mon.seed_rule(r);
+      }
+      mon.start_externally_paced();  // warms the probe cache (batch path)
+    }
+
+    // Precompute each (switch, cookie)'s catch point from the generated
+    // probe's if_present prediction — the stand-in for the data plane.
+    for (const SwitchId sw : dpids) {
+      const Monitor& mon = *monitors_.at(sw);
+      for (const openflow::Rule& r : mon.expected_table().rules()) {
+        const auto state = mon.rule_state(r.cookie);
+        if (state != RuleState::kConfirmed) continue;
+        // Reach into the outcome the monitor expects: first emission port.
+        for (const auto& [port, rewrite] : r.outcome().emissions) {
+          const auto peer = view_.peer(sw, port);
+          if (!peer) break;
+          catch_points_[catch_key(sw, r.cookie)] =
+              CatchPoint{peer->sw, peer->port};
+          break;
+        }
+      }
+    }
+  }
+
+  /// One externally paced probing round: every monitor bursts, then all
+  /// synthesized PacketIns are delivered.  Returns probes injected.
+  std::size_t round(std::size_t probes_per_switch) {
+    std::size_t injected = 0;
+    for (auto& [sw, mon] : monitors_) {
+      injected += mon->steady_probe_burst(probes_per_switch);
+    }
+    deliver_pending();
+    return injected;
+  }
+
+  /// Advances timers (probe timeouts, refills) without injecting.
+  void advance(netbase::SimTime by) { runtime_.advance(by); }
+
+  [[nodiscard]] Monitor& monitor(SwitchId sw) { return *monitors_.at(sw); }
+  [[nodiscard]] Multiplexer& mux() { return *mux_; }
+  [[nodiscard]] const topo::TopoView& view() const { return view_; }
+  [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+
+  [[nodiscard]] std::uint64_t probes_injected() const {
+    std::uint64_t n = 0;
+    for (const auto& [sw, mon] : monitors_) n += mon->stats().probes_injected;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t probes_caught() const {
+    std::uint64_t n = 0;
+    for (const auto& [sw, mon] : monitors_) n += mon->stats().probes_caught;
+    return n;
+  }
+  [[nodiscard]] std::size_t confirmed_rules() const {
+    std::size_t n = 0;
+    for (const auto& [sw, mon] : monitors_) {
+      for (const openflow::Rule& r : mon->expected_table().rules()) {
+        n += mon->rule_state(r.cookie) == RuleState::kConfirmed;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct CatchPoint {
+    SwitchId catcher = 0;
+    std::uint16_t catcher_in_port = 0;
+  };
+  /// (switch, cookie) packed for O(1) lookup per looped-back probe.
+  static std::uint64_t catch_key(SwitchId sw, std::uint64_t cookie) {
+    return (sw << 40) ^ cookie;
+  }
+  struct PendingIn {
+    SwitchId catcher = 0;
+    bool live = false;
+  };
+
+  /// Deferred loopback: stash the PacketOut bytes (reused buffers) and the
+  /// catch point; deliver_pending() replays them as PacketIns.  Deferral
+  /// matters — delivering inside inject() would resolve the probe before
+  /// the Monitor files its outstanding entry.
+  void queue_packet_out(SwitchId /*deliver_sw*/, const openflow::Message& m) {
+    if (!m.is<openflow::PacketOut>()) return;
+    const auto& po = m.as<openflow::PacketOut>();
+    // Identify the probed rule straight from the metadata record (located
+    // by its magic, so the harness's own loopback cost stays flat and the
+    // measured delta is the monitoring stack's, not the stand-in switch's).
+    static constexpr std::uint8_t kMagic[4] = {0x4D, 0x4E, 0x43, 0x4C};
+    const auto at = std::search(po.data.begin(), po.data.end(),
+                                std::begin(kMagic), std::end(kMagic));
+    if (at == po.data.end()) return;
+    const auto meta = netbase::ProbeMetadataView::parse(std::span(
+        po.data.data() + (at - po.data.begin()),
+        po.data.size() - static_cast<std::size_t>(at - po.data.begin())));
+    if (!meta) return;
+    const auto it =
+        catch_points_.find(catch_key(meta->switch_id(), meta->rule_cookie()));
+    if (it == catch_points_.end()) return;  // unroutable: probe times out
+    if (pending_.size() <= pending_used_) {
+      pending_.resize(pending_used_ + 1);
+      pending_data_.resize(pending_used_ + 1);
+    }
+    pending_[pending_used_].catcher = it->second.catcher;
+    pending_[pending_used_].live = true;
+    pending_data_[pending_used_].in_port = it->second.catcher_in_port;
+    pending_data_[pending_used_].data.assign(po.data.begin(), po.data.end());
+    ++pending_used_;
+  }
+
+  void deliver_pending() {
+    for (std::size_t i = 0; i < pending_used_; ++i) {
+      if (!pending_[i].live) continue;
+      pending_[i].live = false;
+      mux_->on_packet_in(pending_[i].catcher, pending_data_[i]);
+    }
+    pending_used_ = 0;
+  }
+
+  topo::TopoView view_;
+  Options opts_;
+  CatchPlan plan_;
+  SlotRuntime runtime_;
+  std::unique_ptr<Multiplexer> mux_;
+  std::map<SwitchId, std::unique_ptr<Monitor>> monitors_;
+  std::unordered_map<std::uint64_t, CatchPoint> catch_points_;
+  std::vector<PendingIn> pending_;            // slot metadata (reused)
+  std::vector<openflow::PacketIn> pending_data_;  // buffers reused in place
+  std::size_t pending_used_ = 0;
+};
+
+}  // namespace monocle::bench

@@ -7,6 +7,16 @@
 
 namespace monocle {
 
+namespace {
+
+/// Relaxed lock-free increment of a Stats counter (see Fleet::Stats).
+void bump(std::uint64_t& counter, std::uint64_t by = 1) {
+  std::atomic_ref<std::uint64_t>(counter).fetch_add(by,
+                                                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
 Fleet::Fleet(Config config, Runtime* runtime, const NetworkView* view,
              const CatchPlan* plan)
     : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan) {}
@@ -21,7 +31,7 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   auto user_alarm = std::move(hooks.on_alarm);
   hooks.on_alarm = [this, user_alarm = std::move(user_alarm)](
                        const RuleAlarm& alarm) {
-    ++stats_.alarms;
+    bump(stats_.alarms);
     note_alarm();
     if (user_alarm) user_alarm(alarm);
   };
@@ -31,7 +41,7 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   auto user_delta = std::move(hooks.on_delta);
   hooks.on_delta = [this, user_delta = std::move(user_delta)](
                        const openflow::TableDelta& delta) {
-    ++stats_.deltas_observed;
+    bump(stats_.deltas_observed);
     if (user_delta) user_delta(delta);
   };
   auto monitor =
@@ -49,9 +59,13 @@ Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
     hooks.to_controller = [](const openflow::Message&) {};
   }
   if (!hooks.inject) {
-    hooks.inject = [&mux, sw](std::uint16_t in_port,
-                              std::vector<std::uint8_t> bytes) {
-      return mux.inject(sw, in_port, std::move(bytes));
+    // Ordinal-addressed injection: the shard's dense index is captured once
+    // here, so the steady cycle's per-probe routing does no id lookup at
+    // all (and the bytes travel as a borrowed span end to end).
+    const SwitchOrdinal ord = mux.intern(sw);
+    hooks.inject = [&mux, ord](std::uint16_t in_port,
+                               std::span<const std::uint8_t> bytes) {
+      return mux.inject_at(ord, in_port, bytes);
     };
   }
   Monitor* mon = add_shard(sw, std::move(hooks));
@@ -177,14 +191,14 @@ std::size_t Fleet::start_round() {
   if (schedule_.round_count() == 0) return 0;
   const std::vector<SwitchId>& round = schedule_.round(cursor_);
   cursor_ = (cursor_ + 1) % schedule_.round_count();
-  ++stats_.rounds_started;
+  bump(stats_.rounds_started);
   std::size_t injected = 0;
   for (const SwitchId sw : round) {
     const auto it = shards_.find(sw);
     if (it == shards_.end()) continue;  // scheduled but unmonitored switch
     injected += it->second->steady_probe_burst(config_.probes_per_switch);
   }
-  stats_.probes_injected += injected;
+  bump(stats_.probes_injected, injected);
   return injected;
 }
 
@@ -192,7 +206,7 @@ bool Fleet::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
                            std::uint32_t xid) {
   const auto it = shards_.find(sw);
   if (it == shards_.end()) return false;
-  ++stats_.flow_mods_routed;
+  bump(stats_.flow_mods_routed);
   it->second->on_controller_message(openflow::make_message(xid, fm));
   return true;
 }
@@ -207,7 +221,7 @@ void Fleet::note_alarm() {
   if (diag_timer_ != 0) return;  // a pass is already pending
   diag_timer_ = runtime_->schedule(config_.localize_debounce, [this] {
     diag_timer_ = 0;
-    ++stats_.diagnoses;
+    bump(stats_.diagnoses);
     config_.on_diagnosis(diagnose());
   });
 }

@@ -76,6 +76,11 @@ class Fleet {
     std::function<void(SwitchId)> on_shard_removed;
   };
 
+  /// Fleet-wide counters.  Plain integers, but every Fleet-side increment
+  /// goes through a relaxed std::atomic_ref so shard callbacks running on
+  /// the warm-up worker pool (or any future multi-threaded round driver)
+  /// never take a lock — and never contend on the Multiplexer to report
+  /// stats.  Readers on the orchestration thread read them plainly.
   struct Stats {
     std::uint64_t rounds_started = 0;
     std::uint64_t probes_injected = 0;

@@ -1,13 +1,13 @@
 #include "monocle/monitor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "monocle/probe_batch.hpp"
 
 namespace monocle {
 
-using netbase::ParsedPacket;
 using netbase::ProbeMetadata;
 using netbase::SimTime;
 using openflow::FlowMod;
@@ -181,17 +181,17 @@ std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
   std::size_t injected = 0;
   std::optional<std::uint64_t> first_cookie;
   for (std::size_t i = 0; i < max_probes; ++i) {
-    const auto cookie = next_steady_cookie();
-    if (!cookie) break;
+    const Rule* rule = next_steady_rule();
+    if (rule == nullptr) break;
     if (!first_cookie) {
-      first_cookie = *cookie;
-    } else if (*cookie == *first_cookie) {
+      first_cookie = rule->cookie;
+    } else if (rule->cookie == *first_cookie) {
       break;  // cycled through every monitorable rule already
     }
     // Rules whose injection path is down (or that just turned
     // unmonitorable) don't count — the Fleet's probes_injected stat must
     // report packets that actually left.
-    if (inject_steady_probe(*cookie)) ++injected;
+    if (inject_steady_probe(*rule)) ++injected;
   }
   return injected;
 }
@@ -446,7 +446,7 @@ void Monitor::inject_update_probe(std::uint64_t cookie) {
     return;
   }
   const std::uint32_t nonce = next_nonce_++;
-  if (inject_probe_packet(*job.probe, job.epoch, nonce)) {
+  if (inject_probe_packet(*job.probe, nullptr, job.epoch, nonce)) {
     // Only probes that actually left enter the outstanding set (mirrors
     // inject_steady_probe): a down injection path must register nothing —
     // no silence credit, no nonce accumulating across the outage.
@@ -456,7 +456,7 @@ void Monitor::inject_update_probe(std::uint64_t cookie) {
     op.nonce = nonce;
     op.tries_left = 0;  // update probes re-inject on their own cadence
     op.first_injected = runtime_->now();
-    outstanding_[nonce] = op;
+    insert_outstanding(nonce, op);
     ++job.silent_injections;  // reset on any observation
   }
   job.inject_timer = runtime_->schedule(
@@ -467,7 +467,8 @@ void Monitor::purge_outstanding_for(std::uint64_t cookie) {
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     if (it->second.cookie == cookie) {
       runtime_->cancel(it->second.timer);
-      it = outstanding_.erase(it);
+      auto victim = it++;
+      retire_outstanding(victim);
     } else {
       ++it;
     }
@@ -621,10 +622,15 @@ std::uint16_t Monitor::hashed_in_port(
 }
 
 const Probe* Monitor::probe_for(const Rule& rule) {
+  ProbeCache::Entry* entry = probe_entry_for(rule);
+  return entry == nullptr ? nullptr : &*entry->probe;
+}
+
+ProbeCache::Entry* Monitor::probe_entry_for(const Rule& rule) {
   auto& entry = cache_->entries[rule.cookie];
   if (entry.probe.has_value()) {
     ++stats_.probe_cache_hits;
-    return &*entry.probe;
+    return &entry;
   }
   if (entry.failure != ProbeFailure::kNone) {
     ++stats_.probe_cache_hits;  // resolved (unmonitorable) counts as served
@@ -666,7 +672,8 @@ const Probe* Monitor::probe_for(const Rule& rule) {
     ++stats_.scratch_regens;
   }
   stats_.generation_time += std::chrono::steady_clock::now() - t0;
-  return commit_generation_result(rule, std::move(gen));
+  if (commit_generation_result(rule, std::move(gen)) == nullptr) return nullptr;
+  return &cache_->entries[rule.cookie];
 }
 
 const Probe* Monitor::commit_generation_result(const Rule& rule,
@@ -919,26 +926,83 @@ void Monitor::apply_table_delta(const openflow::TableDelta& delta,
   if (hooks_.on_delta) hooks_.on_delta(delta);
 }
 
-bool Monitor::inject_probe_packet(const Probe& probe, openflow::Epoch epoch,
-                                  std::uint32_t nonce) {
+bool Monitor::inject_probe_packet(const Probe& probe, ProbeCache::Entry* entry,
+                                  openflow::Epoch epoch, std::uint32_t nonce) {
+  // The wire carries the low 32 epoch bits; the full epoch rides in the
+  // outstanding entry, where the staleness floors compare it.
+  const auto generation = static_cast<std::uint32_t>(epoch);
+
+  if (config_.reuse_probe_wire && entry != nullptr && entry->wire.valid()) {
+    // Steady fast path: re-stamp the per-injection fields of the cached
+    // frame in place — no metadata encode, no expected-outcome hash (it is
+    // constant per probe and already embedded), zero allocations.
+    netbase::restamp_probe_wire(entry->wire, generation, nonce);
+    const bool ok = hooks_.inject(probe.in_port(), entry->wire.bytes);
+    if (ok) ++stats_.probes_injected;
+    return ok;
+  }
+
   ProbeMetadata meta;
   meta.switch_id = config_.switch_id;
   meta.rule_cookie = probe.rule_cookie;
-  // The wire carries the low 32 epoch bits; the full epoch rides in the
-  // outstanding entry, where the staleness floors compare it.
-  meta.generation = static_cast<std::uint32_t>(epoch);
+  meta.generation = generation;
   meta.expected = hash_prediction(probe.if_present);
   meta.nonce = nonce;
-  auto payload = netbase::encode_probe_metadata(meta);
-  auto bytes = netbase::craft_packet(probe.packet, payload);
-  const bool ok = hooks_.inject(probe.in_port(), std::move(bytes));
+
+  bool ok = false;
+  if (!config_.reuse_probe_wire) {
+    // Pre-fig11 baseline: encode + craft fresh buffers per injection.
+    auto payload = netbase::encode_probe_metadata(meta);
+    auto bytes = netbase::craft_packet(probe.packet, payload);
+    ok = hooks_.inject(probe.in_port(), bytes);
+  } else if (entry != nullptr) {
+    // First injection of this rule: craft once into the cache entry; every
+    // later injection re-stamps it above.
+    entry->wire = netbase::craft_probe_wire(probe.packet, meta);
+    ok = hooks_.inject(probe.in_port(), entry->wire.bytes);
+  } else {
+    // Update-confirmation probes: their altered-table packets live in the
+    // UpdateJob, not the cache, so craft per call — but into the reusable
+    // scratch buffer, with the metadata on the stack.
+    std::array<std::uint8_t, ProbeMetadata::kWireSize> payload;
+    netbase::encode_probe_metadata(meta, payload);
+    netbase::craft_packet_into(probe.packet, payload, wire_scratch_);
+    ok = hooks_.inject(probe.in_port(), wire_scratch_);
+  }
   if (ok) ++stats_.probes_injected;  // count real injections only
   return ok;
 }
 
+void Monitor::insert_outstanding(std::uint32_t nonce,
+                                 const OutstandingProbe& op) {
+  if (!outstanding_spares_.empty()) {
+    auto node = std::move(outstanding_spares_.back());
+    outstanding_spares_.pop_back();
+    node.key() = nonce;
+    node.mapped() = op;
+    auto res = outstanding_.insert(std::move(node));
+    if (!res.inserted) {
+      // nonce wrapped onto a still-live entry (a long-silent update probe):
+      // overwrite, exactly like the map-assignment path below — the old
+      // record must not answer for the new probe's timer.
+      res.position->second = op;
+      outstanding_spares_.push_back(std::move(res.node));
+    }
+    return;
+  }
+  outstanding_[nonce] = op;
+}
+
+void Monitor::retire_outstanding(OutstandingMap::iterator it) {
+  auto node = outstanding_.extract(it);
+  if (outstanding_spares_.size() < kMaxOutstandingSpares) {
+    outstanding_spares_.push_back(std::move(node));
+  }
+}
+
 std::optional<Observation> Monitor::translate_observation(
     SwitchId catcher, std::uint16_t catcher_in_port,
-    const ParsedPacket& packet) const {
+    const netbase::PacketView& packet) const {
   Observation o;
   o.header = strip_in_port(netbase::pack_header(packet.header));
   if (catcher == config_.switch_id) {
@@ -952,7 +1016,7 @@ std::optional<Observation> Monitor::translate_observation(
 }
 
 void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
-                              const ParsedPacket& packet,
+                              const netbase::PacketView& packet,
                               const ProbeMetadata& meta) {
   ++stats_.probes_caught;
   const auto out_it = outstanding_.find(meta.nonce);
@@ -973,7 +1037,7 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
       (out_it->second.epoch < epoch_floor_ ||
        out_it->second.epoch < rule_floor(cookie))) {
     runtime_->cancel(out_it->second.timer);
-    outstanding_.erase(out_it);
+    retire_outstanding(out_it);
     ++stats_.stale_probes;
     ++stats_.stale_epoch_drops;
     return;
@@ -1010,7 +1074,7 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
                                                : verdict == Verdict::kPresent;
     // Caught is resolved either way: the nonce leaves the outstanding set
     // (confirm_update then purges any siblings still in flight).
-    outstanding_.erase(out_it);
+    retire_outstanding(out_it);
     if (confirms) confirm_update(cookie);
     // Transient inconsistency (§4.1): the opposite verdict is expected while
     // the switch lags; keep probing without alarming.
@@ -1019,7 +1083,7 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
 
   // Steady-state probe.
   runtime_->cancel(out_it->second.timer);
-  outstanding_.erase(out_it);
+  retire_outstanding(out_it);
   if (verdict == Verdict::kPresent) {
     if (failed_.erase(cookie) > 0) {
       rule_states_[cookie] = RuleState::kConfirmed;
@@ -1045,7 +1109,7 @@ void Monitor::schedule_steady_tick() {
   });
 }
 
-std::optional<std::uint64_t> Monitor::next_steady_cookie() {
+const Rule* Monitor::next_steady_rule() {
   if (steady_order_.empty()) {
     for (const Rule& r : expected_.table().rules()) {
       if (is_infrastructure_cookie(r.cookie)) continue;
@@ -1054,7 +1118,7 @@ std::optional<std::uint64_t> Monitor::next_steady_cookie() {
       steady_order_.push_back(r.cookie);
     }
     steady_pos_ = 0;
-    if (steady_order_.empty()) return std::nullopt;
+    if (steady_order_.empty()) return nullptr;
   }
   // Skip entries that became pending/unmonitorable since the rebuild.
   for (std::size_t scanned = 0; scanned < steady_order_.size(); ++scanned) {
@@ -1062,28 +1126,27 @@ std::optional<std::uint64_t> Monitor::next_steady_cookie() {
     steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
     const RuleState st = rule_state(cookie);
     if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
-    if (expected_.table().find_by_cookie(cookie) == nullptr) continue;  // deleted
-    return cookie;
+    const Rule* rule = expected_.table().find_by_cookie(cookie);
+    if (rule == nullptr) continue;  // deleted
+    return rule;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 void Monitor::steady_tick() {
   if (!channel_up_) return;  // started while down: skip until reconnect
-  const auto cookie = next_steady_cookie();
-  if (!cookie) return;
-  inject_steady_probe(*cookie);
+  const Rule* rule = next_steady_rule();
+  if (rule != nullptr) inject_steady_probe(*rule);
 }
 
-bool Monitor::inject_steady_probe(std::uint64_t cookie) {
-  const Rule* rule = expected_.table().find_by_cookie(cookie);
-  if (rule == nullptr) return false;
-  const Probe* probe = probe_for(*rule);
-  if (probe == nullptr) return false;  // became unmonitorable
+bool Monitor::inject_steady_probe(const Rule& rule) {
+  const std::uint64_t cookie = rule.cookie;
+  ProbeCache::Entry* entry = probe_entry_for(rule);
+  if (entry == nullptr) return false;  // became unmonitorable
 
   const openflow::Epoch epoch = expected_.epoch();
   const std::uint32_t nonce = next_nonce_++;
-  if (!inject_probe_packet(*probe, epoch, nonce)) {
+  if (!inject_probe_packet(*entry->probe, entry, epoch, nonce)) {
     // No live injection path (e.g. the delivering backend is reconnecting):
     // register nothing.  A timeout for a probe that never left would turn
     // the outage into a rule verdict — and for negative probes the silence
@@ -1099,7 +1162,7 @@ bool Monitor::inject_steady_probe(std::uint64_t cookie) {
   op.timer = runtime_->schedule(
       config_.probe_timeout / std::max(1, config_.probe_retries),
       [this, nonce] { on_steady_timeout(nonce); });
-  outstanding_[nonce] = op;
+  insert_outstanding(nonce, op);
   return true;
 }
 
@@ -1107,7 +1170,7 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   const auto it = outstanding_.find(nonce);
   if (it == outstanding_.end()) return;
   OutstandingProbe op = it->second;
-  outstanding_.erase(it);
+  retire_outstanding(it);
 
   // Stale by epoch: the table (or the channel) changed under this probe; its
   // silence says nothing about the rule as it stands now.
@@ -1117,11 +1180,12 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   }
 
   const auto cache_it = cache_->entries.find(op.cookie);
-  const Probe* probe =
+  ProbeCache::Entry* entry =
       (cache_it != cache_->entries.end() && cache_it->second.probe)
-          ? &*cache_it->second.probe
+          ? &cache_it->second
           : nullptr;
-  if (probe == nullptr) return;
+  if (entry == nullptr) return;
+  const Probe* probe = &*entry->probe;
 
   // Negative probes (present outcome = drop): silence is the GOOD outcome.
   if (probe->if_present.is_drop()) {
@@ -1134,7 +1198,7 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
   if (op.tries_left > 0) {
     // Re-send the probe (paper: up to 3 times within the 150 ms window).
     const std::uint32_t nonce2 = next_nonce_++;
-    if (!inject_probe_packet(*probe, op.epoch, nonce2)) {
+    if (!inject_probe_packet(*probe, entry, op.epoch, nonce2)) {
       return;  // injection path went down mid-retry: no verdict this cycle
     }
     OutstandingProbe op2 = op;
@@ -1143,7 +1207,7 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
     op2.timer = runtime_->schedule(
         config_.probe_timeout / std::max(1, config_.probe_retries),
         [this, nonce2] { on_steady_timeout(nonce2); });
-    outstanding_[nonce2] = op2;
+    insert_outstanding(nonce2, op2);
     return;
   }
   mark_rule_failed(op.cookie);

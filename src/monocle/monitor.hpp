@@ -40,6 +40,7 @@
 #include "monocle/runtime.hpp"
 #include "netbase/probe_metadata.hpp"
 #include "netbase/packet_crafter.hpp"
+#include "netbase/probe_wire.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
 #include "openflow/table_version.hpp"
@@ -70,6 +71,11 @@ struct ProbeCache {
     /// churn parity suite asserts entries are never served across an
     /// invalidating delta).
     openflow::Epoch epoch = 0;
+    /// Crafted wire frame, built on the first injection and re-stamped
+    /// (generation/nonce + checksum refresh, zero allocations) on every
+    /// later one.  Dies with the entry, so delta invalidation keeps wire
+    /// bytes and probe in lockstep.
+    netbase::ProbeWire wire;
   };
   std::unordered_map<std::uint64_t, Entry> entries;
 };
@@ -164,6 +170,13 @@ class Monitor {
     /// through the parallel generate_all() path (initial warm-up of a big
     /// table wants the worker pool; churn refills want the warm solver).
     std::size_t live_session_batch_limit = 256;
+    /// Steady-state probes re-stamp one cached wire frame per rule
+    /// (generation/nonce patch + checksum refresh) instead of re-crafting
+    /// the packet per injection — the zero-allocation fast path.  Off:
+    /// every injection encodes and crafts from scratch (the pre-fig11 cost
+    /// profile, kept as the parity/benchmark baseline; bytes on the wire
+    /// are identical either way, asserted by tests/scaleout_test.cpp).
+    bool reuse_probe_wire = true;
   };
 
   /// Host-environment callbacks.  All functions must be set before start().
@@ -171,9 +184,12 @@ class Monitor {
     std::function<void(const openflow::Message&)> to_switch;
     std::function<void(const openflow::Message&)> to_controller;
     /// Injects `packet` so it enters the monitored switch on `in_port`
-    /// (implemented by the Multiplexer via an upstream PacketOut).
-    /// Returns false if injection there is impossible.
-    std::function<bool(std::uint16_t in_port, std::vector<std::uint8_t> packet)>
+    /// (implemented by the Multiplexer via an upstream PacketOut).  The
+    /// bytes are borrowed for the duration of the call — the fast path
+    /// re-stamps one cached frame per rule, so handing out ownership would
+    /// force a copy per probe.  Returns false if injection is impossible.
+    std::function<bool(std::uint16_t in_port,
+                       std::span<const std::uint8_t> packet)>
         inject;
     /// Steady-state alarm (threshold-gated).
     std::function<void(const RuleAlarm&)> on_alarm;
@@ -240,9 +256,10 @@ class Monitor {
   [[nodiscard]] bool channel_up() const { return channel_up_; }
 
   /// A probe for this switch was caught by `catcher` on its `catcher_in_port`
-  /// (routed here by the Multiplexer).
+  /// (routed here by the Multiplexer).  `packet` borrows from the PacketIn
+  /// being dispatched (zero-copy decode); it is consumed within the call.
   void on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
-                       const netbase::ParsedPacket& packet,
+                       const netbase::PacketView& packet,
                        const netbase::ProbeMetadata& meta);
 
   /// --- test/benchmark interface ----------------------------------------
@@ -351,11 +368,14 @@ class Monitor {
   // Steady state.
   void steady_tick();
   void schedule_steady_tick();
-  std::optional<std::uint64_t> next_steady_cookie();
+  /// Advances the rule cycle; returns the next probeable rule (null when
+  /// none).  Returns the Rule* the cycle already resolved so the injection
+  /// path does not repeat the table lookup per probe.
+  const openflow::Rule* next_steady_rule();
   /// Returns true only when a probe packet was actually handed to a live
   /// injection path; a failed injection registers no timeout (an outage
   /// must yield no verdict, not a timeout-derived one).
-  bool inject_steady_probe(std::uint64_t cookie);
+  bool inject_steady_probe(const openflow::Rule& rule);
   void on_steady_timeout(std::uint32_t nonce);
   void mark_rule_failed(std::uint64_t cookie);
   /// Drops (and cancels the timers of) every outstanding probe of `cookie`
@@ -364,6 +384,10 @@ class Monitor {
 
   // Probe plumbing.
   const Probe* probe_for(const openflow::Rule& rule);
+  /// As probe_for, but exposes the cache entry so the steady path can reach
+  /// the cached wire frame without a second lookup.  Null when the rule is
+  /// (or just became) unmonitorable.
+  ProbeCache::Entry* probe_entry_for(const openflow::Rule& rule);
   /// The post-mutation half of every table change: syncs the live batch
   /// sessions, invalidates the delta's affected cookies' cached probes that
   /// do not provably survive (no whole-table match scan), stamps their
@@ -394,11 +418,16 @@ class Monitor {
   [[nodiscard]] std::uint16_t hashed_in_port(
       const openflow::Rule& rule,
       const std::vector<std::uint16_t>& all_ports) const;
-  bool inject_probe_packet(const Probe& probe, openflow::Epoch epoch,
-                           std::uint32_t nonce);
+  /// Emits one probe frame.  With a cache `entry` on the fast path the
+  /// frame is crafted once into entry->wire and re-stamped thereafter;
+  /// without one (update-confirmation probes, reuse_probe_wire off) it is
+  /// crafted per call — into the reusable scratch buffer on the fast path,
+  /// into fresh vectors on the pre-fig11 baseline.
+  bool inject_probe_packet(const Probe& probe, ProbeCache::Entry* entry,
+                           openflow::Epoch epoch, std::uint32_t nonce);
   std::optional<Observation> translate_observation(
       SwitchId catcher, std::uint16_t catcher_in_port,
-      const netbase::ParsedPacket& packet) const;
+      const netbase::PacketView& packet) const;
   static bool is_infrastructure_cookie(std::uint64_t cookie);
   std::vector<std::uint16_t> injectable_ports() const;
   bool egress_unobservable(const Probe& probe) const;
@@ -444,7 +473,21 @@ class Monitor {
   std::uint64_t warmup_timer_ = 0;
   std::uint64_t steady_timer_ = 0;
   std::uint64_t refill_timer_ = 0;
-  std::unordered_map<std::uint32_t, OutstandingProbe> outstanding_;  // by nonce
+  using OutstandingMap = std::unordered_map<std::uint32_t, OutstandingProbe>;
+  OutstandingMap outstanding_;  // by nonce
+
+  /// Retired outstanding_ nodes, recycled on the next insertion so the
+  /// steady cycle's per-probe bookkeeping allocates nothing: every resolve
+  /// extracts the node here, every inject re-keys one from here.
+  std::vector<OutstandingMap::node_type> outstanding_spares_;
+  static constexpr std::size_t kMaxOutstandingSpares = 256;
+  void insert_outstanding(std::uint32_t nonce, const OutstandingProbe& op);
+  /// extract()s the node behind `it` into the spare pool; invalidates `it`.
+  void retire_outstanding(OutstandingMap::iterator it);
+
+  /// Scratch frame buffer for per-call crafting on the fast path (update
+  /// probes, whose altered-table packets are not cache entries).
+  std::vector<std::uint8_t> wire_scratch_;
 
   std::uint32_t next_nonce_ = 1;
   ProbeGenerator generator_;

@@ -5,50 +5,88 @@
 
 namespace monocle {
 
-bool Multiplexer::sender_up(SwitchId sw) const {
-  const auto it = backends_.find(sw);
-  return it == backends_.end() || it->second->up();
-}
+// ---------------------------------------------------------------------------
+// Registration (cold path): ordinal interning + shard wiring
+// ---------------------------------------------------------------------------
 
-bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
-                         std::vector<std::uint8_t> packet) {
-  openflow::PacketOut po;
-  po.buffer_id = 0xFFFFFFFF;
-  po.data = std::move(packet);
-
-  const auto peer = view_->peer(probed, in_port);
-  if (peer) {
-    // Upstream injection (Figure 1): the upstream switch emits the probe on
-    // the port facing the probed switch; PacketOut bypasses its flow table.
-    const auto it = senders_.find(peer->sw);
-    if (it == senders_.end() || !sender_up(peer->sw)) return false;
-    po.in_port = openflow::kPortNone;
-    po.actions = {openflow::Action::output(peer->port)};
-    ++packet_outs_;
-    it->second(openflow::make_message(0, po));
-    return true;
+SwitchOrdinal Multiplexer::intern(SwitchId sw) {
+  if (const SwitchOrdinal existing = ordinal_of(sw);
+      existing != kInvalidOrdinal) {
+    return existing;
   }
-  // Fallback: OFPP_TABLE self-injection at the probed switch with the
-  // desired in_port (classic OpenFlow 1.0 trick).
-  const auto it = senders_.find(probed);
-  if (it == senders_.end() || !sender_up(probed)) return false;
-  po.in_port = in_port;
-  po.actions = {openflow::Action::output(openflow::kPortTable)};
-  ++packet_outs_;
-  it->second(openflow::make_message(0, po));
-  return true;
+  const auto ord = static_cast<SwitchOrdinal>(shards_.size());
+  auto shard = std::make_unique<Shard>();
+  shard->sw = sw;
+  shard->scratch = openflow::make_message(0, openflow::PacketOut{});
+  shards_.push_back(std::move(shard));
+  ordinal_map_[sw] = ord;
+  if (sw < kMaxDenseId) {
+    if (ordinal_index_.size() <= sw) {
+      ordinal_index_.resize(sw + 1, kInvalidOrdinal);
+    }
+    ordinal_index_[sw] = ord;
+  }
+  // A new switch can turn previously-dead injection routes live.
+  invalidate_routes();
+  return ord;
 }
 
-void Multiplexer::bind_backend(
-    SwitchId sw, channel::SwitchBackend& backend, Monitor* monitor,
-    std::function<void(const openflow::Message&)> fallback) {
-  set_switch_sender(sw,
-                    [&backend](const openflow::Message& m) { backend.send(m); });
-  backends_[sw] = &backend;  // inject() consults its up() state
-  backend.set_receiver([this, sw, monitor, fallback = std::move(fallback)](
+SwitchOrdinal Multiplexer::ordinal_of(SwitchId sw) const {
+  if (sw < ordinal_index_.size()) return ordinal_index_[sw];
+  if (sw >= kMaxDenseId) {
+    const auto it = ordinal_map_.find(sw);
+    if (it != ordinal_map_.end()) return it->second;
+  }
+  return kInvalidOrdinal;
+}
+
+SwitchOrdinal Multiplexer::register_monitor(SwitchId sw, Monitor* monitor) {
+  const SwitchOrdinal ord = intern(sw);
+  shards_[ord]->monitor = monitor;
+  invalidate_routes();
+  return ord;
+}
+
+void Multiplexer::unregister_monitor(SwitchId sw) {
+  const SwitchOrdinal ord = ordinal_of(sw);
+  Shard* shard = shard_at(ord);
+  if (shard == nullptr) return;
+  // Erase ALL of the shard's wiring, not just the monitor: a sender or
+  // backend left behind after teardown is a dangling pointer the next
+  // inject would call into (the pre-fig11 bug).  A bound backend also
+  // holds receiver/state-handler closures capturing the Monitor* — reset
+  // them too, so destroying the Monitor right after this call is safe;
+  // messages the backend delivers before a new bind_backend are dropped.
+  // The ordinal itself stays reserved so cached ordinals keep resolving to
+  // this (now inert) slot.
+  if (shard->backend != nullptr) {
+    shard->backend->set_receiver([](const openflow::Message&) {});
+    shard->backend->set_state_handler([](bool) {});
+  }
+  shard->monitor = nullptr;
+  shard->sender = nullptr;
+  shard->backend = nullptr;
+  shard->routes.clear();
+  invalidate_routes();
+}
+
+SwitchOrdinal Multiplexer::set_switch_sender(SwitchId sw, Sender sender) {
+  const SwitchOrdinal ord = intern(sw);
+  shards_[ord]->sender = std::move(sender);
+  invalidate_routes();
+  return ord;
+}
+
+SwitchOrdinal Multiplexer::bind_backend(SwitchId sw,
+                                        channel::SwitchBackend& backend,
+                                        Monitor* monitor, Sender fallback) {
+  const SwitchOrdinal ord = set_switch_sender(
+      sw, [&backend](const openflow::Message& m) { backend.send(m); });
+  shards_[ord]->backend = &backend;  // inject() consults its up() state
+  backend.set_receiver([this, ord, monitor, fallback = std::move(fallback)](
                            const openflow::Message& m) {
     if (m.is<openflow::PacketIn>() &&
-        on_packet_in(sw, m.as<openflow::PacketIn>())) {
+        on_packet_in_at(ord, m.as<openflow::PacketIn>())) {
       return;  // consumed as a probe
     }
     if (monitor != nullptr) {
@@ -64,24 +102,202 @@ void Multiplexer::bind_backend(
   // bound before its first handshake starts down, so steady probing holds
   // off instead of failing rules into a channel that was never up.
   if (monitor != nullptr) monitor->on_channel_state(backend.up());
+  return ord;
 }
 
-bool Multiplexer::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
-                                 std::uint32_t xid) {
-  const auto it = monitors_.find(sw);
-  if (it == monitors_.end()) return false;
-  it->second->on_controller_message(openflow::make_message(xid, fm));
+std::uint64_t Multiplexer::packet_outs_sent(SwitchId sw) const {
+  const Shard* shard = shard_at(ordinal_of(sw));
+  return shard == nullptr
+             ? 0
+             : shard->packet_outs.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Injection fast path
+// ---------------------------------------------------------------------------
+
+Multiplexer::Route& Multiplexer::route_for(Shard& shard,
+                                           std::uint16_t in_port) {
+  if (shard.routes.size() <= in_port) shard.routes.resize(in_port + 1);
+  Route& route = shard.routes[in_port];
+  if (route.gen == routes_gen_) return route;
+  // (Re)resolve — cold: first use of this ingress port, or the shard wiring
+  // changed since.  Mirrors the legacy decision tree exactly: the peer's
+  // EXISTENCE picks the branch; a missing sender on the chosen branch means
+  // no injection path (never a silent fallback to the other branch).
+  route = Route{};
+  route.gen = routes_gen_;
+  const auto peer = view_->peer(shard.sw, in_port);
+  if (peer) {
+    const SwitchOrdinal ord = ordinal_of(peer->sw);
+    const Shard* upstream = shard_at(ord);
+    if (upstream == nullptr || !upstream->sender) {
+      route.dead = true;
+    } else {
+      route.deliver = ord;
+      route.out_port = peer->port;
+    }
+  } else if (!shard.sender) {
+    route.dead = true;
+  } else {
+    route.deliver = ordinal_of(shard.sw);
+    route.self_table = true;
+  }
+  return route;
+}
+
+bool Multiplexer::send_packet_out(Shard& deliver, std::uint16_t po_in_port,
+                                  std::uint16_t action_port,
+                                  std::span<const std::uint8_t> packet) {
+  if (!deliver.sender || !sender_up(deliver)) return false;
+  auto& po = deliver.scratch.as<openflow::PacketOut>();
+  // The data buffer cycles through the shard arena: acquire -> fill -> send
+  // -> release keeps one cache-warm allocation alive per shard instead of a
+  // malloc/free pair per probe.
+  auto buf = deliver.arena.acquire(packet.size());
+  buf.assign(packet.begin(), packet.end());
+  po.data = std::move(buf);
+  po.buffer_id = 0xFFFFFFFF;
+  po.in_port = po_in_port;
+  po.actions.resize(1);
+  openflow::Action& action = po.actions.front();
+  action.type = openflow::Action::Type::kOutput;
+  action.port = action_port;
+  deliver.packet_outs.fetch_add(1, std::memory_order_relaxed);
+  packet_outs_.fetch_add(1, std::memory_order_relaxed);
+  deliver.sender(deliver.scratch);
+  deliver.arena.release(std::move(po.data));
+  po.data.clear();  // moved-from: leave the scratch message well-defined
   return true;
 }
 
+bool Multiplexer::inject_at(SwitchOrdinal probed, std::uint16_t in_port,
+                            std::span<const std::uint8_t> packet) {
+  Shard* shard = shard_at(probed);
+  if (shard == nullptr) return false;
+  if (compat_map_routing_) return inject_compat(shard->sw, in_port, packet);
+  const Route& route = route_for(*shard, in_port);
+  if (route.dead) return false;
+  Shard* deliver = shard_at(route.deliver);
+  if (deliver == nullptr) return false;
+  if (route.self_table) {
+    // Fallback: OFPP_TABLE self-injection at the probed switch with the
+    // desired in_port (classic OpenFlow 1.0 trick).
+    return send_packet_out(*deliver, in_port, openflow::kPortTable, packet);
+  }
+  // Upstream injection (Figure 1): the upstream switch emits the probe on
+  // the port facing the probed switch; PacketOut bypasses its flow table.
+  return send_packet_out(*deliver, openflow::kPortNone, route.out_port,
+                         packet);
+}
+
+bool Multiplexer::inject(SwitchId probed, std::uint16_t in_port,
+                         std::span<const std::uint8_t> packet) {
+  if (compat_map_routing_) return inject_compat(probed, in_port, packet);
+  SwitchOrdinal ord = ordinal_of(probed);
+  // A probe can target a switch nothing was registered for (its upstream
+  // neighbor does the PacketOut); give it a route-cache slot on first use.
+  if (ord == kInvalidOrdinal) ord = intern(probed);
+  return inject_at(ord, in_port, packet);
+}
+
+bool Multiplexer::inject_compat(SwitchId probed, std::uint16_t in_port,
+                                std::span<const std::uint8_t> packet) {
+  // The pre-flat cost profile, preserved as the parity/benchmark baseline:
+  // one hash lookup per routing decision and a freshly heap-allocated
+  // PacketOut per probe.
+  openflow::PacketOut po;
+  po.buffer_id = 0xFFFFFFFF;
+  po.data.assign(packet.begin(), packet.end());
+
+  const auto peer = view_->peer(probed, in_port);
+  if (peer) {
+    const auto it = ordinal_map_.find(peer->sw);
+    if (it == ordinal_map_.end()) return false;
+    Shard& deliver = *shards_[it->second];
+    if (!deliver.sender || !sender_up(deliver)) return false;
+    po.in_port = openflow::kPortNone;
+    po.actions = {openflow::Action::output(peer->port)};
+    deliver.packet_outs.fetch_add(1, std::memory_order_relaxed);
+    packet_outs_.fetch_add(1, std::memory_order_relaxed);
+    deliver.sender(openflow::make_message(0, std::move(po)));
+    return true;
+  }
+  const auto it = ordinal_map_.find(probed);
+  if (it == ordinal_map_.end()) return false;
+  Shard& deliver = *shards_[it->second];
+  if (!deliver.sender || !sender_up(deliver)) return false;
+  po.in_port = in_port;
+  po.actions = {openflow::Action::output(openflow::kPortTable)};
+  deliver.packet_outs.fetch_add(1, std::memory_order_relaxed);
+  packet_outs_.fetch_add(1, std::memory_order_relaxed);
+  deliver.sender(openflow::make_message(0, std::move(po)));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Collection fast path
+// ---------------------------------------------------------------------------
+
 bool Multiplexer::on_packet_in(SwitchId from, const openflow::PacketIn& pi) {
+  if (compat_map_routing_) return on_packet_in_compat(from, pi);
+  // Zero-copy decode: header and payload stay views into pi.data, and the
+  // metadata fields are read straight out of the payload bytes.  Checksum
+  // validation is skipped — classification never consults it, and the two
+  // extra passes per PacketIn are measurable at fleet scale.
+  const auto view = netbase::parse_packet_view(pi.data,
+                                               /*validate_checksums=*/false);
+  if (!view) return false;
+  const auto meta = netbase::ProbeMetadataView::parse(view->payload);
+  if (!meta) return false;  // not a probe — production PacketIn
+  const Shard* target = shard_at(ordinal_of(meta->switch_id()));
+  if (target == nullptr || target->monitor == nullptr) {
+    return true;  // probe for an unmanaged switch: consumed and dropped
+  }
+  target->monitor->on_probe_caught(from, pi.in_port, *view,
+                                   meta->materialize());
+  return true;
+}
+
+bool Multiplexer::on_packet_in_at(SwitchOrdinal from,
+                                  const openflow::PacketIn& pi) {
+  const Shard* shard = shard_at(from);
+  return on_packet_in(shard == nullptr ? 0 : shard->sw, pi);
+}
+
+bool Multiplexer::on_packet_in_compat(SwitchId from,
+                                      const openflow::PacketIn& pi) {
+  // Pre-flat profile: owning parse (payload copy) + map-routed dispatch.
   const auto parsed = netbase::parse_packet(pi.data);
   if (!parsed) return false;
   const auto meta = netbase::decode_probe_metadata(parsed->payload);
-  if (!meta) return false;  // not a probe — production PacketIn
-  const auto it = monitors_.find(meta->switch_id);
-  if (it == monitors_.end()) return true;  // probe for an unmanaged switch
-  it->second->on_probe_caught(from, pi.in_port, *parsed, *meta);
+  if (!meta) return false;
+  const auto it = ordinal_map_.find(meta->switch_id);
+  if (it == ordinal_map_.end() || shards_[it->second]->monitor == nullptr) {
+    return true;
+  }
+  const netbase::PacketView view{parsed->header, parsed->payload,
+                                 parsed->checksums_valid};
+  shards_[it->second]->monitor->on_probe_caught(from, pi.in_port, view, *meta);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FlowMod routing
+// ---------------------------------------------------------------------------
+
+bool Multiplexer::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
+                                 std::uint32_t xid) {
+  Monitor* monitor = nullptr;
+  if (compat_map_routing_) {
+    const auto it = ordinal_map_.find(sw);
+    if (it != ordinal_map_.end()) monitor = shards_[it->second]->monitor;
+  } else {
+    const Shard* shard = shard_at(ordinal_of(sw));
+    if (shard != nullptr) monitor = shard->monitor;
+  }
+  if (monitor == nullptr) return false;
+  monitor->on_controller_message(openflow::make_message(xid, fm));
   return true;
 }
 

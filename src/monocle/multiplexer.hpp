@@ -5,19 +5,45 @@
 // the *upstream* switch to emit the packet toward the probed switch (Figure
 // 1), and routes caught probes (PacketIns carrying probe metadata) back to
 // the Monitor that owns the probed switch.
+//
+// Scale-out fast path (fig11): at fleet scale every probe crosses this
+// class twice (PacketOut out, PacketIn back), so the per-message glue is
+// flat and allocation-free.  Registration (the cold path) interns each
+// SwitchId into a dense SwitchOrdinal — an index into a shard vector — and
+// the hot paths run on ordinals: no unordered_map hashing per message, a
+// per-shard route cache for the upstream-injection decision, a per-shard
+// scratch PacketOut message whose data buffer cycles through a per-shard
+// netbase::BufferArena, and zero-copy PacketIn decoding
+// (parse_packet_view + ProbeMetadataView).  The legacy map-based routing
+// with per-probe crafting survives behind set_compat_map_routing(true) as
+// the parity/benchmark baseline (tests/scaleout_test.cpp, fig11).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "channel/switch_backend.hpp"
 #include "monocle/monitor.hpp"
 #include "monocle/runtime.hpp"
+#include "netbase/buffer_arena.hpp"
 #include "openflow/messages.hpp"
 
 namespace monocle {
+
+/// Dense per-Multiplexer index of a registered switch.  Assigned at first
+/// registration (register_monitor / set_switch_sender / bind_backend /
+/// intern) and stable for the Multiplexer's lifetime — teardown clears the
+/// shard slot but keeps the ordinal reserved for the switch, so cached
+/// ordinals (Monitor inject hooks, backend receivers) never dangle.
+using SwitchOrdinal = std::uint32_t;
+inline constexpr SwitchOrdinal kInvalidOrdinal =
+    std::numeric_limits<SwitchOrdinal>::max();
 
 /// The probe-packet switchboard shared by every Monitor (paper §7).
 ///
@@ -29,25 +55,43 @@ namespace monocle {
 /// observation to the Monitor owning the probed switch — this is the path
 /// that turns raw PacketIns into the per-probe verdicts the Localizer and
 /// the Fleet's cross-switch diagnosis consume.
+///
+/// Threading: the Multiplexer, like the rest of the control plane, runs on
+/// one thread.  Counters are relaxed atomics so stat READERS (bench
+/// reporters, future telemetry scrapers) can sample from other threads
+/// without locks — but the message paths themselves are not concurrent-
+/// safe: inject mutates the DELIVERING shard's scratch message and arena
+/// (two probed switches routinely share one upstream deliverer), lazily
+/// resolves route caches, and interns unknown switches.  A multi-threaded
+/// round driver must serialize per DELIVERING shard, not per probed shard
+/// (see ROADMAP "Scale-out probing" follow-ons).
 class Multiplexer {
  public:
+  using Sender = std::function<void(const openflow::Message&)>;
+
   explicit Multiplexer(const NetworkView* view) : view_(view) {}
 
-  /// Registers the Monitor responsible for `sw`.
-  void register_monitor(SwitchId sw, Monitor* monitor) {
-    monitors_[sw] = monitor;
-  }
+  /// Assigns (or returns) the dense ordinal of `sw` without registering
+  /// anything — lets hosts capture the ordinal in inject hooks before the
+  /// shard's Monitor exists.
+  SwitchOrdinal intern(SwitchId sw);
 
-  /// Removes the Monitor for `sw` (shard teardown).  Probes addressed to it
-  /// that are still in flight are consumed and dropped by on_packet_in.
-  void unregister_monitor(SwitchId sw) { monitors_.erase(sw); }
+  /// The ordinal of `sw`, or kInvalidOrdinal if it was never interned.
+  [[nodiscard]] SwitchOrdinal ordinal_of(SwitchId sw) const;
+
+  /// Registers the Monitor responsible for `sw`.
+  SwitchOrdinal register_monitor(SwitchId sw, Monitor* monitor);
+
+  /// Removes EVERYTHING registered for `sw` — monitor, sender and bound
+  /// backend — so shard teardown can never leave a dangling backend pointer
+  /// behind (regression: tests/scaleout_test.cpp).  The ordinal stays
+  /// reserved; probes addressed to the switch that are still in flight are
+  /// consumed and dropped by on_packet_in.
+  void unregister_monitor(SwitchId sw);
 
   /// Registers the function that delivers control messages to switch `sw`
   /// (PacketOuts for probe injection).
-  void set_switch_sender(SwitchId sw,
-                         std::function<void(const openflow::Message&)> sender) {
-    senders_[sw] = std::move(sender);
-  }
+  SwitchOrdinal set_switch_sender(SwitchId sw, Sender sender);
 
   /// Wires `backend` as the full control channel of `sw` — the standard
   /// plumbing every host (Testbed, Fleet, live_monitor) used to hand-roll:
@@ -61,10 +105,9 @@ class Multiplexer {
   ///    reconnect (Monitor::on_channel_state).
   ///
   /// The backend must outlive this registration; rebind (e.g. with a null
-  /// monitor) on shard teardown.
-  void bind_backend(SwitchId sw, channel::SwitchBackend& backend,
-                    Monitor* monitor,
-                    std::function<void(const openflow::Message&)> fallback = {});
+  /// monitor) or unregister_monitor on shard teardown.
+  SwitchOrdinal bind_backend(SwitchId sw, channel::SwitchBackend& backend,
+                             Monitor* monitor, Sender fallback = {});
 
   /// Injects `packet` so it enters `probed` on `in_port`: sends a PacketOut
   /// to the upstream peer behind that port.  Falls back to an OFPP_TABLE
@@ -73,15 +116,23 @@ class Multiplexer {
   /// delivering switch's bound backend is currently down (a PacketOut
   /// parked in a reconnect queue is not an injection; counting it as one
   /// would let silence-based negative confirmation succeed during an
-  /// outage).
+  /// outage).  The packet bytes are borrowed for the duration of the call.
   bool inject(SwitchId probed, std::uint16_t in_port,
-              std::vector<std::uint8_t> packet);
+              std::span<const std::uint8_t> packet);
+
+  /// Ordinal-addressed injection — the fleet fast path (hooks capture the
+  /// ordinal at bind time; no per-probe id lookup at all).
+  bool inject_at(SwitchOrdinal probed, std::uint16_t in_port,
+                 std::span<const std::uint8_t> packet);
 
   /// Examines a PacketIn received from switch `from`.  If it carries probe
   /// metadata it is routed to the owning Monitor and consumed (returns
   /// true); otherwise the caller should pass it to the switch's own Monitor
   /// / controller path.
   bool on_packet_in(SwitchId from, const openflow::PacketIn& pi);
+
+  /// Ordinal-addressed PacketIn examination (bound backends use this).
+  bool on_packet_in_at(SwitchOrdinal from, const openflow::PacketIn& pi);
 
   /// Routes a controller-side FlowMod to the Monitor shard owning `sw`,
   /// where it becomes a TableDelta in that shard's versioned table (the one
@@ -91,20 +142,91 @@ class Multiplexer {
   bool route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
                       std::uint32_t xid = 0);
 
-  [[nodiscard]] std::uint64_t packet_outs_sent() const { return packet_outs_; }
+  /// Parity/benchmark baseline: route every message through the pre-flat
+  /// path — unordered_map id lookups plus a freshly allocated PacketOut per
+  /// injection.  Behaviour (bytes on the wire, routing decisions) is
+  /// identical; only the cost profile differs.
+  void set_compat_map_routing(bool on) { compat_map_routing_ = on; }
+  [[nodiscard]] bool compat_map_routing() const { return compat_map_routing_; }
+
+  [[nodiscard]] std::uint64_t packet_outs_sent() const {
+    return packet_outs_.load(std::memory_order_relaxed);
+  }
+  /// Per-shard PacketOut count (0 for unknown switches).
+  [[nodiscard]] std::uint64_t packet_outs_sent(SwitchId sw) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
-  /// True when control messages for `sw` can currently reach it (always
-  /// true for plain set_switch_sender wiring; the bound backend's up()
-  /// state otherwise).
-  [[nodiscard]] bool sender_up(SwitchId sw) const;
+  /// Cached upstream-injection decision for one (shard, in_port): who sends
+  /// the PacketOut and with what action.  Resolved lazily from the
+  /// NetworkView on first use, invalidated wholesale (generation bump) by
+  /// any registration change — both cold paths.
+  struct Route {
+    std::uint32_t gen = 0;  ///< valid iff == routes_gen_
+    SwitchOrdinal deliver = kInvalidOrdinal;
+    std::uint16_t out_port = 0;  ///< upstream egress port toward the probed switch
+    bool self_table = false;     ///< OFPP_TABLE self-injection fallback
+    bool dead = false;           ///< no injection path exists
+  };
+
+  struct Shard {
+    SwitchId sw = 0;
+    Monitor* monitor = nullptr;
+    Sender sender;
+    channel::SwitchBackend* backend = nullptr;  // bound; null = plain sender
+    /// Reusable PacketOut envelope: the variant alternative never changes,
+    /// so per-send mutation touches only in_port/actions/data.
+    openflow::Message scratch;
+    netbase::BufferArena arena;   ///< recycles PacketOut data buffers
+    std::vector<Route> routes;    ///< indexed by the probed shard's in_port
+    std::atomic<std::uint64_t> packet_outs{0};
+  };
+
+  Shard* shard_at(SwitchOrdinal ord) {
+    return ord < shards_.size() ? shards_[ord].get() : nullptr;
+  }
+  const Shard* shard_at(SwitchOrdinal ord) const {
+    return ord < shards_.size() ? shards_[ord].get() : nullptr;
+  }
+
+  /// Registration epoch for route caches: bumped whenever shard wiring
+  /// changes so every cached Route re-resolves lazily.
+  void invalidate_routes() { ++routes_gen_; }
+
+  /// Resolves the injection route for (`shard`, `in_port`).
+  Route& route_for(Shard& shard, std::uint16_t in_port);
+
+  /// Sends `packet` as a PacketOut through `deliver`'s sender, reusing the
+  /// shard's scratch message and arena buffer.  `in_port`/`out_port` per
+  /// the resolved route.
+  bool send_packet_out(Shard& deliver, std::uint16_t po_in_port,
+                       std::uint16_t action_port,
+                       std::span<const std::uint8_t> packet);
+
+  /// True when control messages for the shard can currently reach it
+  /// (always true for plain set_switch_sender wiring; the bound backend's
+  /// up() state otherwise).
+  [[nodiscard]] static bool sender_up(const Shard& s) {
+    return s.backend == nullptr || s.backend->up();
+  }
+
+  // Legacy map-routed implementations (compat_map_routing_).
+  bool inject_compat(SwitchId probed, std::uint16_t in_port,
+                     std::span<const std::uint8_t> packet);
+  bool on_packet_in_compat(SwitchId from, const openflow::PacketIn& pi);
 
   const NetworkView* view_;
-  std::unordered_map<SwitchId, Monitor*> monitors_;
-  std::unordered_map<SwitchId, std::function<void(const openflow::Message&)>>
-      senders_;
-  std::unordered_map<SwitchId, channel::SwitchBackend*> backends_;  // bound
-  std::uint64_t packet_outs_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;  // by ordinal
+  /// Dense SwitchId -> ordinal index for the id-addressed entry points
+  /// (kInvalidOrdinal holes).  Ids beyond kMaxDenseId fall back to the map.
+  static constexpr SwitchId kMaxDenseId = 1 << 20;
+  std::vector<SwitchOrdinal> ordinal_index_;
+  /// Cold-path registry (registration, compat mode, huge sparse ids).
+  std::unordered_map<SwitchId, SwitchOrdinal> ordinal_map_;
+  std::uint32_t routes_gen_ = 1;
+  bool compat_map_routing_ = false;
+  std::atomic<std::uint64_t> packet_outs_{0};
 };
 
 }  // namespace monocle

@@ -1,0 +1,10 @@
+#include "netbase/alloc_counter.hpp"
+
+namespace monocle::netbase {
+
+AllocCounter& alloc_counter() {
+  static AllocCounter counter;
+  return counter;
+}
+
+}  // namespace monocle::netbase

@@ -1,0 +1,35 @@
+// Heap-allocation counting hook for the zero-allocation fast-path checks.
+//
+// The counter itself lives in the core library but stays at zero unless the
+// binary links tools/alloc_interposer.cpp, which replaces the global
+// operator new/delete with counting forwarders.  Binaries that care about
+// the "0 heap allocations per probe" invariant (tests/scaleout_test.cpp,
+// bench/fig11_scaleout) link the interposer explicitly; everything else
+// pays nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace monocle::netbase {
+
+struct AllocCounter {
+  std::atomic<std::uint64_t> news{0};  ///< operator new calls observed
+  std::atomic<bool> armed{false};      ///< true iff the interposer is linked
+};
+
+/// The process-wide counter (function-local static: safe to touch from the
+/// very first allocation).
+AllocCounter& alloc_counter();
+
+/// Number of heap allocations observed so far (0 without the interposer).
+inline std::uint64_t heap_allocation_count() {
+  return alloc_counter().news.load(std::memory_order_relaxed);
+}
+
+/// Whether allocation counting is live in this binary.
+inline bool alloc_counting_enabled() {
+  return alloc_counter().armed.load(std::memory_order_relaxed);
+}
+
+}  // namespace monocle::netbase

@@ -1,0 +1,65 @@
+// BufferArena: a small pool of reusable byte buffers for hot paths.
+//
+// The probe fast path builds one wire buffer per PacketOut.  Allocating a
+// fresh std::vector per probe puts a malloc/free pair (and the cache misses
+// of a cold buffer) on every injection; at fleet scale that glue dominates
+// the per-probe cost.  A BufferArena keeps released buffers — capacity and
+// all — and hands them back on the next acquire, so the steady-state cycle
+// recycles the same few cache-warm allocations forever.
+//
+// Ownership model: acquire() transfers a buffer out of the arena (a plain
+// std::vector, so it can be moved into a PacketOut or any other owner);
+// release() returns it.  Buffers never released are simply freed by their
+// owner — the arena is an optimization, not a tracker.  Not thread-safe:
+// each shard owns its own arena (per-shard arenas are exactly the point —
+// the fleet's workers never contend on a shared pool).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace monocle::netbase {
+
+class BufferArena {
+ public:
+  /// At most this many buffers are retained by release(); extras are freed.
+  /// The probe path needs one or two live buffers at a time, so a small cap
+  /// bounds worst-case retention after a burst.
+  static constexpr std::size_t kMaxPooled = 8;
+
+  /// Returns a cleared buffer with at least `reserve` capacity: the most
+  /// recently released one when available (cache-warm), else a fresh one.
+  std::vector<std::uint8_t> acquire(std::size_t reserve = 0) {
+    if (pool_.empty()) {
+      ++fresh_buffers_;
+      std::vector<std::uint8_t> buf;
+      buf.reserve(reserve);
+      return buf;
+    }
+    ++reuses_;
+    std::vector<std::uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();
+    if (buf.capacity() < reserve) buf.reserve(reserve);
+    return buf;
+  }
+
+  /// Returns `buf` to the pool (keeping its capacity) for future acquires.
+  void release(std::vector<std::uint8_t> buf) {
+    if (pool_.size() >= kMaxPooled || buf.capacity() == 0) return;
+    pool_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return pool_.size(); }
+  /// Buffers created because the pool was empty (steady state: stops
+  /// growing once the working set is pooled).
+  [[nodiscard]] std::uint64_t fresh_buffers() const { return fresh_buffers_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> pool_;
+  std::uint64_t fresh_buffers_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace monocle::netbase

@@ -13,11 +13,43 @@
 
 namespace monocle::netbase {
 
+/// Raw big-endian stores/loads over byte pointers — the one place the
+/// byte-order packing lives.  ByteWriter/ByteReader wrap these with
+/// growth/bounds handling; the in-place fast paths (probe metadata
+/// encode/view, cached-wire re-stamping) use them directly.
+inline void be_put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void be_put_u32(std::uint8_t* p, std::uint32_t v) {
+  be_put_u16(p, static_cast<std::uint16_t>(v >> 16));
+  be_put_u16(p + 2, static_cast<std::uint16_t>(v));
+}
+inline void be_put_u64(std::uint8_t* p, std::uint64_t v) {
+  be_put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  be_put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+inline std::uint16_t be_get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t be_get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(be_get_u16(p)) << 16) | be_get_u16(p + 2);
+}
+inline std::uint64_t be_get_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(be_get_u32(p)) << 32) | be_get_u32(p + 4);
+}
+
 /// Append-only big-endian byte writer over a growable buffer.
 class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts `buf` as the backing store: cleared, but its capacity is kept.
+  /// Lets hot paths reuse one allocation across frames (take() the result,
+  /// hand it back on the next construction).
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -47,6 +79,14 @@ class ByteWriter {
     assert(at + 2 <= buf_.size());
     buf_[at] = static_cast<std::uint8_t>(v >> 8);
     buf_[at + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  /// Read-only view of `len` already-written bytes starting at `at`
+  /// (checksum computation over in-place-crafted headers).
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t at,
+                                                   std::size_t len) const {
+    assert(at + len <= buf_.size());
+    return {buf_.data() + at, len};
   }
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }

@@ -13,11 +13,7 @@ void ChecksumAccumulator::add(std::span<const std::uint8_t> data) {
 }
 
 std::uint16_t ChecksumAccumulator::finish() const {
-  std::uint64_t s = sum_;
-  while (s >> 16) {
-    s = (s & 0xFFFF) + (s >> 16);
-  }
-  return static_cast<std::uint16_t>(~s & 0xFFFF);
+  return finish_checksum_sum(sum_);
 }
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {

@@ -25,9 +25,24 @@ class ChecksumAccumulator {
   /// Returns the final folded, inverted checksum in host order.
   [[nodiscard]] std::uint16_t finish() const;
 
+  /// The unfolded running sum.  Because the checksum is a plain commutative
+  /// sum folded only at finish(), a caller can cache this for the constant
+  /// part of a buffer and later add just the changed words — bit-identical
+  /// to a full recompute (netbase/probe_wire.cpp's re-stamp fast path).
+  [[nodiscard]] std::uint64_t raw_sum() const { return sum_; }
+
  private:
   std::uint64_t sum_ = 0;
 };
+
+/// Folds and inverts a raw one's-complement sum exactly as
+/// ChecksumAccumulator::finish() does.
+inline std::uint16_t finish_checksum_sum(std::uint64_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
 
 /// Checksum of a single contiguous buffer (e.g. an IPv4 header with its
 /// checksum field zeroed).

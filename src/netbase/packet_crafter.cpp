@@ -1,6 +1,7 @@
 #include "netbase/packet_crafter.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "netbase/byteio.hpp"
 #include "netbase/checksum.hpp"
@@ -11,99 +12,107 @@ namespace {
 
 constexpr std::uint8_t kDefaultTtl = 64;
 
-// Builds the IPv4 header + transport header + payload into `w`, starting at
-// the current write position.  Returns nothing; all checksums are patched in
-// place.
+// Builds the IPv4 header + transport header + payload directly into `w`
+// (no intermediate buffers): headers go in with zeroed length/checksum
+// placeholders, then are patched in place once the segment length is known.
+// Byte-identical to crafting the pieces separately.
 void craft_ipv4(ByteWriter& w, const AbstractPacket& h,
-                std::span<const std::uint8_t> payload) {
+                std::span<const std::uint8_t> payload, WireLayout& layout) {
   const auto proto = static_cast<std::uint8_t>(h.get(Field::IpProto));
   const auto src = static_cast<std::uint32_t>(h.get(Field::IpSrc));
   const auto dst = static_cast<std::uint32_t>(h.get(Field::IpDst));
 
-  // Transport segment first (so its length is known for the IP header).
-  ByteWriter seg;
+  const std::size_t ip_start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(static_cast<std::uint8_t>(h.get(Field::IpTos) << 2));  // DSCP in high 6 bits
+  w.u16(0);        // total length, patched below
+  w.u16(0);        // identification
+  w.u16(0x4000);   // DF, no fragmentation
+  w.u8(kDefaultTtl);
+  w.u8(proto);
+  w.u16(0);  // header checksum, patched below
+  w.u32(src);
+  w.u32(dst);
+
+  const std::size_t l4_start = w.size();
+  layout.ip_src = src;
+  layout.ip_dst = dst;
+  layout.ip_proto = proto;
   switch (proto) {
-    case kIpProtoTcp: {
-      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
-      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
-      seg.u32(0);           // seq
-      seg.u32(0);           // ack
-      seg.u8(5 << 4);       // data offset = 5 words, no options
-      seg.u8(0x02);         // SYN — a self-contained, inoffensive flag choice
-      seg.u16(0xFFFF);      // window
-      seg.u16(0);           // checksum placeholder
-      seg.u16(0);           // urgent pointer
-      seg.bytes(payload);
-      auto bytes = seg.take();
-      const std::uint16_t csum = transport_checksum(src, dst, proto, bytes);
-      bytes[16] = static_cast<std::uint8_t>(csum >> 8);
-      bytes[17] = static_cast<std::uint8_t>(csum);
-      seg = ByteWriter{};
-      seg.bytes(bytes);
+    case kIpProtoTcp:
+      w.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
+      w.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
+      w.u32(0);           // seq
+      w.u32(0);           // ack
+      w.u8(5 << 4);       // data offset = 5 words, no options
+      w.u8(0x02);         // SYN — a self-contained, inoffensive flag choice
+      w.u16(0xFFFF);      // window
+      w.u16(0);           // checksum, patched below
+      w.u16(0);           // urgent pointer
+      layout.payload_offset = w.size();
+      w.bytes(payload);
+      layout.checksum = WireLayout::Checksum::kTransport;
+      layout.checksum_offset = l4_start + 16;
       break;
-    }
-    case kIpProtoUdp: {
-      const auto len = static_cast<std::uint16_t>(8 + payload.size());
-      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
-      seg.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
-      seg.u16(len);
-      seg.u16(0);  // checksum placeholder
-      seg.bytes(payload);
-      auto bytes = seg.take();
-      std::uint16_t csum = transport_checksum(src, dst, proto, bytes);
-      if (csum == 0) csum = 0xFFFF;  // RFC 768: transmitted 0 means "none"
-      bytes[6] = static_cast<std::uint8_t>(csum >> 8);
-      bytes[7] = static_cast<std::uint8_t>(csum);
-      seg = ByteWriter{};
-      seg.bytes(bytes);
+    case kIpProtoUdp:
+      w.u16(static_cast<std::uint16_t>(h.get(Field::TpSrc)));
+      w.u16(static_cast<std::uint16_t>(h.get(Field::TpDst)));
+      w.u16(static_cast<std::uint16_t>(8 + payload.size()));
+      w.u16(0);  // checksum, patched below
+      layout.payload_offset = w.size();
+      w.bytes(payload);
+      layout.checksum = WireLayout::Checksum::kTransport;
+      layout.checksum_offset = l4_start + 6;
+      layout.udp_zero_means_none = true;
       break;
-    }
-    case kIpProtoIcmp: {
+    case kIpProtoIcmp:
       // OpenFlow 1.0 maps tp_src/tp_dst to ICMP type/code.
-      seg.u8(static_cast<std::uint8_t>(h.get(Field::TpSrc)));
-      seg.u8(static_cast<std::uint8_t>(h.get(Field::TpDst)));
-      seg.u16(0);      // checksum placeholder
-      seg.u16(0x4D4E);  // identifier ("MN")
-      seg.u16(1);      // sequence
-      seg.bytes(payload);
-      auto bytes = seg.take();
-      const std::uint16_t csum = internet_checksum(bytes);
-      bytes[2] = static_cast<std::uint8_t>(csum >> 8);
-      bytes[3] = static_cast<std::uint8_t>(csum);
-      seg = ByteWriter{};
-      seg.bytes(bytes);
+      w.u8(static_cast<std::uint8_t>(h.get(Field::TpSrc)));
+      w.u8(static_cast<std::uint8_t>(h.get(Field::TpDst)));
+      w.u16(0);        // checksum, patched below
+      w.u16(0x4D4E);   // identifier ("MN")
+      w.u16(1);        // sequence
+      layout.payload_offset = w.size();
+      w.bytes(payload);
+      layout.checksum = WireLayout::Checksum::kInternet;
+      layout.checksum_offset = l4_start + 2;
+      break;
+    default:
+      // Unknown transport: payload rides directly above IP, uncovered by
+      // any payload checksum.
+      layout.payload_offset = w.size();
+      w.bytes(payload);
+  }
+  layout.payload_length = payload.size();
+  layout.segment_offset = l4_start;
+  layout.segment_length = w.size() - l4_start;
+
+  // Patch total length and the IPv4 header checksum.
+  const auto total_len = static_cast<std::uint16_t>(w.size() - ip_start);
+  w.patch_u16(ip_start + 2, total_len);
+  w.patch_u16(ip_start + 10, internet_checksum(w.view(ip_start, 20)));
+
+  // Patch the transport/ICMP checksum over the finished segment.
+  const auto segment = w.view(l4_start, layout.segment_length);
+  switch (layout.checksum) {
+    case WireLayout::Checksum::kTransport: {
+      std::uint16_t csum = transport_checksum(src, dst, proto, segment);
+      if (layout.udp_zero_means_none && csum == 0) {
+        csum = 0xFFFF;  // RFC 768: transmitted 0 means "none"
+      }
+      w.patch_u16(layout.checksum_offset, csum);
       break;
     }
-    default:
-      // Unknown transport: payload rides directly above IP.
-      seg.bytes(payload);
+    case WireLayout::Checksum::kInternet:
+      w.patch_u16(layout.checksum_offset, internet_checksum(segment));
+      break;
+    case WireLayout::Checksum::kNone:
+      break;
   }
-
-  const auto seg_bytes = seg.data();
-  const auto total_len = static_cast<std::uint16_t>(20 + seg_bytes.size());
-
-  ByteWriter ip;
-  ip.u8(0x45);  // version 4, IHL 5
-  ip.u8(static_cast<std::uint8_t>(h.get(Field::IpTos) << 2));  // DSCP in high 6 bits
-  ip.u16(total_len);
-  ip.u16(0);       // identification
-  ip.u16(0x4000);  // DF, no fragmentation
-  ip.u8(kDefaultTtl);
-  ip.u8(proto);
-  ip.u16(0);  // header checksum placeholder
-  ip.u32(src);
-  ip.u32(dst);
-  auto ip_bytes = ip.take();
-  const std::uint16_t csum = internet_checksum(ip_bytes);
-  ip_bytes[10] = static_cast<std::uint8_t>(csum >> 8);
-  ip_bytes[11] = static_cast<std::uint8_t>(csum);
-
-  w.bytes(ip_bytes);
-  w.bytes(seg_bytes);
 }
 
 void craft_arp(ByteWriter& w, const AbstractPacket& h,
-               std::span<const std::uint8_t> payload) {
+               std::span<const std::uint8_t> payload, WireLayout& layout) {
   w.u16(1);       // htype: Ethernet
   w.u16(0x0800);  // ptype: IPv4
   w.u8(6);        // hlen
@@ -114,15 +123,16 @@ void craft_arp(ByteWriter& w, const AbstractPacket& h,
   w.u32(static_cast<std::uint32_t>(h.get(Field::IpSrc)));   // sender IP (SPA)
   w.u48(h.get(Field::EthDst));                              // target MAC
   w.u32(static_cast<std::uint32_t>(h.get(Field::IpDst)));   // target IP (TPA)
+  layout.payload_offset = w.size();
+  layout.payload_length = payload.size();
   w.bytes(payload);  // trailer bytes carry probe metadata
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
-                                       std::span<const std::uint8_t> payload) {
+void craft_into_writer(ByteWriter& w, const AbstractPacket& header,
+                       std::span<const std::uint8_t> payload,
+                       WireLayout* layout_out) {
   const AbstractPacket h = header.normalized();
-  ByteWriter w(128 + payload.size());
+  WireLayout layout;
 
   w.u48(h.get(Field::EthDst));
   w.u48(h.get(Field::EthSrc));
@@ -135,10 +145,12 @@ std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
   w.u16(static_cast<std::uint16_t>(h.get(Field::EthType)));
 
   if (h.is_ipv4()) {
-    craft_ipv4(w, h, payload);
+    craft_ipv4(w, h, payload, layout);
   } else if (h.is_arp()) {
-    craft_arp(w, h, payload);
+    craft_arp(w, h, payload, layout);
   } else {
+    layout.payload_offset = w.size();
+    layout.payload_length = payload.size();
     w.bytes(payload);
   }
 
@@ -146,12 +158,31 @@ std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
   if (w.size() < 60) {
     w.zeros(60 - w.size());
   }
+  if (layout_out != nullptr) *layout_out = layout;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
+                                       std::span<const std::uint8_t> payload,
+                                       WireLayout* layout) {
+  ByteWriter w(128 + payload.size());
+  craft_into_writer(w, header, payload, layout);
   return w.take();
 }
 
-std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
+void craft_packet_into(const AbstractPacket& header,
+                       std::span<const std::uint8_t> payload,
+                       std::vector<std::uint8_t>& out, WireLayout* layout) {
+  ByteWriter w(std::move(out));
+  craft_into_writer(w, header, payload, layout);
+  out = w.take();
+}
+
+std::optional<PacketView> parse_packet_view(std::span<const std::uint8_t> wire,
+                                            bool validate_checksums) {
   ByteReader r(wire);
-  ParsedPacket out;
+  PacketView out;
   AbstractPacket& h = out.header;
 
   h.set(Field::EthDst, r.u48());
@@ -160,7 +191,9 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
   if (ethertype == kEthTypeVlan) {
     const std::uint16_t tci = r.u16();
     h.set(Field::VlanId, tci & 0xFFF);
-    h.set(Field::VlanPcp, (tci >> 13) & 0x7);
+    // A TCI whose vlan id equals the kVlanNone sentinel reads as untagged;
+    // its PCP bits are then conditionally excluded and stay canonical.
+    h.set(Field::VlanPcp, (tci & 0xFFF) == kVlanNone ? 0 : (tci >> 13) & 0x7);
     ethertype = r.u16();
   } else {
     h.set(Field::VlanId, kVlanNone);
@@ -186,7 +219,7 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
     h.set(Field::IpDst, r.u32());
     r.skip(ihl - 20);
     if (!r.ok()) return std::nullopt;
-    if (ip_start + ihl <= wire.size()) {
+    if (validate_checksums && ip_start + ihl <= wire.size()) {
       out.checksums_valid =
           internet_checksum(wire.subspan(ip_start, ihl)) == 0;
     }
@@ -205,13 +238,15 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
         l4.skip(8);
         const std::size_t data_off = (l4.u8() >> 4) * std::size_t{4};
         if (data_off < 20 || data_off > segment.size()) return std::nullopt;
-        out.checksums_valid =
-            out.checksums_valid &&
-            transport_checksum(static_cast<std::uint32_t>(h.get(Field::IpSrc)),
-                               static_cast<std::uint32_t>(h.get(Field::IpDst)),
-                               proto, segment) == 0;
-        out.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(data_off),
-                           segment.end());
+        if (validate_checksums) {
+          out.checksums_valid =
+              out.checksums_valid &&
+              transport_checksum(
+                  static_cast<std::uint32_t>(h.get(Field::IpSrc)),
+                  static_cast<std::uint32_t>(h.get(Field::IpDst)), proto,
+                  segment) == 0;
+        }
+        out.payload = segment.subspan(data_off);
         break;
       }
       case kIpProtoUdp: {
@@ -221,7 +256,7 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
         const std::uint16_t udp_len = l4.u16();
         const std::uint16_t wire_csum = l4.u16();
         if (udp_len < 8 || udp_len > segment.size()) return std::nullopt;
-        if (wire_csum != 0) {
+        if (validate_checksums && wire_csum != 0) {
           out.checksums_valid =
               out.checksums_valid &&
               transport_checksum(
@@ -229,21 +264,22 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
                   static_cast<std::uint32_t>(h.get(Field::IpDst)), proto,
                   segment.subspan(0, udp_len)) == 0;
         }
-        out.payload.assign(segment.begin() + 8,
-                           segment.begin() + udp_len);
+        out.payload = segment.subspan(8, udp_len - std::size_t{8});
         break;
       }
       case kIpProtoIcmp: {
         if (segment.size() < 8) return std::nullopt;
         h.set(Field::TpSrc, l4.u8());
         h.set(Field::TpDst, l4.u8());
-        out.checksums_valid =
-            out.checksums_valid && internet_checksum(segment) == 0;
-        out.payload.assign(segment.begin() + 8, segment.end());
+        if (validate_checksums) {
+          out.checksums_valid =
+              out.checksums_valid && internet_checksum(segment) == 0;
+        }
+        out.payload = segment.subspan(8);
         break;
       }
       default:
-        out.payload.assign(segment.begin(), segment.end());
+        out.payload = segment;
     }
   } else if (ethertype == kEthTypeArp) {
     r.skip(6);  // htype, ptype, hlen, plen
@@ -253,15 +289,27 @@ std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
     r.skip(6);  // target MAC
     h.set(Field::IpDst, r.u32());
     if (!r.ok()) return std::nullopt;
-    out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                       wire.end());
+    out.payload = wire.subspan(r.position());
   } else {
-    out.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                       wire.end());
+    out.payload = wire.subspan(r.position());
   }
 
   if (!r.ok()) return std::nullopt;
-  out.header = h.normalized();
+  // The parser writes only fields present in the wire encoding, onto the
+  // canonical all-zero packet — its output is already in normalized form,
+  // so the per-packet normalization pass is skipped (checked in debug
+  // builds; probe collection parses every PacketIn through here).
+  assert(h == h.normalized());
+  return out;
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire) {
+  const auto view = parse_packet_view(wire);
+  if (!view) return std::nullopt;
+  ParsedPacket out;
+  out.header = view->header;
+  out.payload.assign(view->payload.begin(), view->payload.end());
+  out.checksums_valid = view->checksums_valid;
   return out;
 }
 

@@ -5,6 +5,13 @@
 // tag, then IPv4+{TCP,UDP,ICMP}, ARP, or an opaque experimental-ethertype
 // frame.  All lengths and checksums are computed here, which is exactly the
 // work the paper delegates to "existing packet generation libraries".
+//
+// The probe fast path needs two extras beyond one-shot crafting: an in-place
+// form (`craft_packet_into`) that reuses the caller's buffer so steady-state
+// emission allocates nothing, and a `WireLayout` report describing where the
+// payload landed and which checksum covers it — enough to re-stamp the
+// per-injection metadata fields of a cached frame without re-crafting it
+// (netbase/probe_wire.hpp).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,30 @@
 
 namespace monocle::netbase {
 
+/// Where the interesting bytes of a crafted frame live, and how the payload
+/// is checksummed.  Produced by craft_packet/craft_packet_into; consumed by
+/// restamp_probe_wire to patch payload bytes in place and refresh exactly
+/// the checksum the fresh crafter would have computed.
+struct WireLayout {
+  enum class Checksum : std::uint8_t {
+    kNone,       ///< no checksum covers the payload (ARP/opaque/raw-IP)
+    kInternet,   ///< RFC 1071 over the segment (ICMP)
+    kTransport,  ///< pseudo-header + segment (TCP/UDP)
+  };
+
+  std::size_t payload_offset = 0;  ///< first payload byte within the frame
+  std::size_t payload_length = 0;
+  Checksum checksum = Checksum::kNone;
+  std::size_t checksum_offset = 0;  ///< absolute offset of the 16-bit field
+  std::size_t segment_offset = 0;   ///< checksum coverage start
+  std::size_t segment_length = 0;   ///< coverage length (excludes padding)
+  std::uint32_t ip_src = 0;         ///< pseudo-header inputs (kTransport)
+  std::uint32_t ip_dst = 0;
+  std::uint8_t ip_proto = 0;
+  /// RFC 768: a computed UDP checksum of 0 is transmitted as 0xFFFF.
+  bool udp_zero_means_none = false;
+};
+
 /// Crafts a wire packet from `header` and `payload`.
 ///
 /// `header` should already be normalized; the crafter normalizes defensively.
@@ -24,7 +55,16 @@ namespace monocle::netbase {
 /// ARP the payload follows the fixed ARP body as trailer bytes, which is
 /// legal on Ethernet and preserved by switches).
 std::vector<std::uint8_t> craft_packet(const AbstractPacket& header,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       WireLayout* layout = nullptr);
+
+/// As craft_packet, but builds the frame in `out`, reusing its capacity
+/// (zero allocations once the buffer has grown to frame size).  Byte-for-
+/// byte identical output to craft_packet.
+void craft_packet_into(const AbstractPacket& header,
+                       std::span<const std::uint8_t> payload,
+                       std::vector<std::uint8_t>& out,
+                       WireLayout* layout = nullptr);
 
 /// Result of parsing a wire packet back into abstract space.
 struct ParsedPacket {
@@ -33,8 +73,26 @@ struct ParsedPacket {
   bool checksums_valid = true;         ///< IPv4 + transport checksums
 };
 
+/// Zero-copy parse result: `payload` borrows from the input frame, so the
+/// view must not outlive it.  The probe collection path uses this to decode
+/// a PacketIn without copying the payload bytes.
+struct PacketView {
+  AbstractPacket header;                   ///< abstract view (in_port = 0)
+  std::span<const std::uint8_t> payload;   ///< borrowed from the input
+  bool checksums_valid = true;
+};
+
 /// Parses a wire packet produced by `craft_packet` (or any well-formed
-/// Ethernet/IPv4 frame).  Returns std::nullopt on truncated/garbled input.
+/// Ethernet/IPv4 frame) without copying.  Returns std::nullopt on
+/// truncated/garbled input.  `validate_checksums=false` skips the IPv4 and
+/// transport checksum passes (checksums_valid then reports true): the probe
+/// collection fast path never consults them — a corrupted probe fails
+/// classification on its content — and the two extra passes per PacketIn
+/// are measurable at fleet scale.
+std::optional<PacketView> parse_packet_view(std::span<const std::uint8_t> wire,
+                                            bool validate_checksums = true);
+
+/// As parse_packet_view, but copies the payload out (owning result).
 std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> wire);
 
 /// Minimum payload the crafter always has room for.  Ethernet minimum frame

@@ -1,33 +1,51 @@
 #include "netbase/probe_metadata.hpp"
 
+#include <cassert>
+
 #include "netbase/byteio.hpp"
 
 namespace monocle::netbase {
 
 std::vector<std::uint8_t> encode_probe_metadata(const ProbeMetadata& meta) {
-  ByteWriter w(ProbeMetadata::kWireSize);
-  w.u32(ProbeMetadata::kMagic);
-  w.u64(meta.switch_id);
-  w.u64(meta.rule_cookie);
-  w.u32(meta.generation);
-  w.u32(meta.expected);
-  w.u32(meta.nonce);
-  return w.take();
+  std::vector<std::uint8_t> out(ProbeMetadata::kWireSize);
+  encode_probe_metadata(meta, out);
+  return out;
+}
+
+void encode_probe_metadata(const ProbeMetadata& meta,
+                           std::span<std::uint8_t> out) {
+  assert(out.size() >= ProbeMetadata::kWireSize);
+  std::uint8_t* p = out.data();
+  be_put_u32(p, ProbeMetadata::kMagic);
+  be_put_u64(p + 4, meta.switch_id);
+  be_put_u64(p + 12, meta.rule_cookie);
+  be_put_u32(p + ProbeMetadata::kGenerationOffset, meta.generation);
+  be_put_u32(p + 24, meta.expected);
+  be_put_u32(p + ProbeMetadata::kNonceOffset, meta.nonce);
+}
+
+std::optional<ProbeMetadataView> ProbeMetadataView::parse(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < ProbeMetadata::kWireSize) return std::nullopt;
+  if (be_get_u32(payload.data()) != ProbeMetadata::kMagic) return std::nullopt;
+  return ProbeMetadataView(payload.data());
+}
+
+ProbeMetadata ProbeMetadataView::materialize() const {
+  ProbeMetadata meta;
+  meta.switch_id = switch_id();
+  meta.rule_cookie = rule_cookie();
+  meta.generation = generation();
+  meta.expected = expected();
+  meta.nonce = nonce();
+  return meta;
 }
 
 std::optional<ProbeMetadata> decode_probe_metadata(
     std::span<const std::uint8_t> payload) {
-  if (payload.size() < ProbeMetadata::kWireSize) return std::nullopt;
-  ByteReader r(payload);
-  if (r.u32() != ProbeMetadata::kMagic) return std::nullopt;
-  ProbeMetadata meta;
-  meta.switch_id = r.u64();
-  meta.rule_cookie = r.u64();
-  meta.generation = r.u32();
-  meta.expected = r.u32();
-  meta.nonce = r.u32();
-  if (!r.ok()) return std::nullopt;
-  return meta;
+  const auto view = ProbeMetadataView::parse(payload);
+  if (!view) return std::nullopt;
+  return view->materialize();
 }
 
 }  // namespace monocle::netbase

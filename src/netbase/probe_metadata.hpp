@@ -5,12 +5,19 @@
 // embedding metadata "such as rule under test and expected result to the
 // probe packet payload that cannot be touched by the switches".  This module
 // defines that payload record and its wire encoding.
+//
+// The steady-state probe cycle runs this encoding/decoding once per probe on
+// the fleet fast path, so both directions have allocation-free forms: an
+// in-place std::span encoder and a zero-copy ProbeMetadataView that reads
+// fields straight out of the caught packet's payload bytes.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "netbase/byteio.hpp"
 
 namespace monocle::netbase {
 
@@ -20,6 +27,10 @@ struct ProbeMetadata {
   static constexpr std::uint32_t kMagic = 0x4D4E434C;
   /// Serialized size in bytes.
   static constexpr std::size_t kWireSize = 4 + 8 + 8 + 4 + 4 + 4;
+  /// Field offsets within the serialized record (restamp_probe_wire patches
+  /// the per-injection fields in place at these positions).
+  static constexpr std::size_t kGenerationOffset = 4 + 8 + 8;
+  static constexpr std::size_t kNonceOffset = 4 + 8 + 8 + 4 + 4;
 
   std::uint64_t switch_id = 0;    ///< datapath id of the probed switch
   std::uint64_t rule_cookie = 0;  ///< cookie of the rule under test
@@ -32,6 +43,45 @@ struct ProbeMetadata {
 
 /// Serializes `meta` (big-endian, kWireSize bytes).
 std::vector<std::uint8_t> encode_probe_metadata(const ProbeMetadata& meta);
+
+/// In-place serialization into the first kWireSize bytes of `out` (which
+/// must be at least that large).  The allocation-free form used by the probe
+/// fast path; byte-identical to the vector overload.
+void encode_probe_metadata(const ProbeMetadata& meta,
+                           std::span<std::uint8_t> out);
+
+/// Zero-copy read-only view of a serialized ProbeMetadata record.
+///
+/// parse() validates length and magic against the borrowed bytes; the field
+/// accessors then decode big-endian values on demand without copying or
+/// allocating.  The view borrows `payload` — it must not outlive the buffer
+/// (the Multiplexer uses it strictly within one PacketIn dispatch).
+class ProbeMetadataView {
+ public:
+  /// Returns a view when `payload` starts with a well-formed record.
+  static std::optional<ProbeMetadataView> parse(
+      std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] std::uint64_t switch_id() const { return be_get_u64(p_ + 4); }
+  [[nodiscard]] std::uint64_t rule_cookie() const {
+    return be_get_u64(p_ + 12);
+  }
+  [[nodiscard]] std::uint32_t generation() const {
+    return be_get_u32(p_ + ProbeMetadata::kGenerationOffset);
+  }
+  [[nodiscard]] std::uint32_t expected() const { return be_get_u32(p_ + 24); }
+  [[nodiscard]] std::uint32_t nonce() const {
+    return be_get_u32(p_ + ProbeMetadata::kNonceOffset);
+  }
+
+  /// Copies the view out into an owned record.
+  [[nodiscard]] ProbeMetadata materialize() const;
+
+ private:
+  explicit ProbeMetadataView(const std::uint8_t* p) : p_(p) {}
+
+  const std::uint8_t* p_;
+};
 
 /// Parses a probe payload.  Returns std::nullopt when `payload` is too short
 /// or does not start with the probe magic — i.e. the packet is not (or no

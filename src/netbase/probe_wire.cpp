@@ -1,0 +1,71 @@
+#include "netbase/probe_wire.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "netbase/byteio.hpp"
+#include "netbase/checksum.hpp"
+
+namespace monocle::netbase {
+
+namespace {
+
+/// The two u16 words of a big-endian u32, as checksum terms.
+std::uint64_t u32_words(std::uint32_t v) {
+  return (v >> 16) + (v & 0xFFFF);
+}
+
+}  // namespace
+
+ProbeWire craft_probe_wire(const AbstractPacket& header,
+                           const ProbeMetadata& meta) {
+  std::array<std::uint8_t, ProbeMetadata::kWireSize> payload;
+  encode_probe_metadata(meta, payload);
+  ProbeWire wire;
+  wire.bytes = craft_packet(header, payload, &wire.layout);
+
+  // Cache the constant part of the covering checksum: sum everything the
+  // fresh crafter sums, then back out the four variable metadata words and
+  // the checksum field itself.  (All metadata words sit at even offsets
+  // from the segment start — TCP/UDP/ICMP payloads begin at even L4
+  // offsets and the record offsets are even — so each variable field is
+  // exactly two aligned checksum words.)
+  const WireLayout& l = wire.layout;
+  if (l.checksum != WireLayout::Checksum::kNone) {
+    assert((l.payload_offset - l.segment_offset) % 2 == 0);
+    ChecksumAccumulator acc;
+    if (l.checksum == WireLayout::Checksum::kTransport) {
+      acc.add_u32(l.ip_src);
+      acc.add_u32(l.ip_dst);
+      acc.add_u16(l.ip_proto);
+      acc.add_u16(static_cast<std::uint16_t>(l.segment_length));
+    }
+    acc.add({wire.bytes.data() + l.segment_offset, l.segment_length});
+    wire.checksum_partial =
+        acc.raw_sum() -
+        be_get_u16(wire.bytes.data() + l.checksum_offset) -
+        u32_words(meta.generation) - u32_words(meta.nonce);
+  }
+  return wire;
+}
+
+void restamp_probe_wire(ProbeWire& wire, std::uint32_t generation,
+                        std::uint32_t nonce) {
+  assert(wire.valid());
+  const WireLayout& l = wire.layout;
+  assert(l.payload_offset + ProbeMetadata::kWireSize <= wire.bytes.size());
+  std::uint8_t* record = wire.bytes.data() + l.payload_offset;
+  be_put_u32(record + ProbeMetadata::kGenerationOffset, generation);
+  be_put_u32(record + ProbeMetadata::kNonceOffset, nonce);
+
+  if (l.checksum == WireLayout::Checksum::kNone) return;
+  // Constant partial sum + the new variable words, folded exactly like a
+  // fresh compute (the checksum field itself counts as zero, as it does
+  // during a fresh craft).
+  std::uint16_t csum = finish_checksum_sum(
+      wire.checksum_partial + u32_words(generation) + u32_words(nonce));
+  if (l.udp_zero_means_none && csum == 0) csum = 0xFFFF;
+  be_put_u16(wire.bytes.data() + l.checksum_offset, csum);
+}
+
+}  // namespace monocle::netbase

@@ -1,0 +1,45 @@
+// Cached wire image of a probe packet, with allocation-free re-stamping.
+//
+// A probe's frame is identical on every injection except for two metadata
+// fields — the table-epoch generation and the per-injection nonce — plus the
+// checksum covering them.  Crafting the frame from scratch per injection
+// (Ethernet/IP/L4 assembly + full checksum passes + several buffers) is the
+// single largest glue cost on the steady probe cycle.  ProbeWire crafts the
+// frame ONCE, remembers where the metadata record and its covering checksum
+// live (netbase::WireLayout), and re-stamps those fields in place on every
+// subsequent injection: two 4-byte patches and one checksum refresh over the
+// L4 segment, zero allocations, byte-identical to a fresh craft.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/packet_crafter.hpp"
+#include "netbase/probe_metadata.hpp"
+
+namespace monocle::netbase {
+
+struct ProbeWire {
+  std::vector<std::uint8_t> bytes;  ///< the full crafted frame
+  WireLayout layout;
+  /// One's-complement sum of the checksum coverage MINUS the four variable
+  /// u16 words (generation/nonce) and the checksum field: re-stamping then
+  /// adds just the new words and folds — bit-identical to a full recompute
+  /// (the checksum is a commutative sum) at a handful of adds.
+  std::uint64_t checksum_partial = 0;
+
+  [[nodiscard]] bool valid() const { return !bytes.empty(); }
+};
+
+/// Crafts the full frame for `header` carrying `meta` as payload and
+/// records the layout needed for later re-stamping.
+ProbeWire craft_probe_wire(const AbstractPacket& header,
+                           const ProbeMetadata& meta);
+
+/// Patches `generation` and `nonce` into the cached frame and refreshes the
+/// covering checksum.  The result is byte-identical to crafting a fresh
+/// frame with the updated metadata (asserted by tests/scaleout_test.cpp).
+void restamp_probe_wire(ProbeWire& wire, std::uint32_t generation,
+                        std::uint32_t nonce);
+
+}  // namespace monocle::netbase

@@ -92,9 +92,10 @@ Testbed::Testbed(EventQueue* clock, const topo::Topology& topo,
     hooks.to_switch = [&backend](const openflow::Message& m) {
       backend.send(m);
     };
-    hooks.inject = [this, id](std::uint16_t in_port,
-                              std::vector<std::uint8_t> bytes) {
-      return mux_->inject(id, in_port, std::move(bytes));
+    const SwitchOrdinal ord = mux_->intern(id);
+    hooks.inject = [this, ord](std::uint16_t in_port,
+                               std::span<const std::uint8_t> bytes) {
+      return mux_->inject_at(ord, in_port, bytes);
     };
     auto monitor = std::make_unique<Monitor>(cfg, clock_, net_.get(), &plan_,
                                              std::move(hooks));

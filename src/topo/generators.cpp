@@ -239,6 +239,74 @@ std::vector<Topology> zoo_like_suite(std::uint64_t seed) {
   return suite;
 }
 
+Topology make_rocketfuel_as(std::size_t switches, std::uint64_t seed,
+                            std::size_t max_degree) {
+  assert(switches >= 4);
+  std::mt19937_64 rng(seed);
+  Topology g(switches);
+  g.name = "rocketfuel-as-" + std::to_string(switches);
+
+  // Tier-1 core: a small clique (4..8 with size) of transit hubs.
+  const std::size_t core = std::clamp<std::size_t>(4 + switches / 250, 4, 8);
+  for (std::size_t a = 0; a < core; ++a) {
+    for (std::size_t b = a + 1; b < core; ++b) {
+      g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    }
+  }
+
+  // Transit ASes (~65% of nodes): preferential attachment with m=2, degree-
+  // capped like degree-truncated router-level maps.  The endpoint pool
+  // yields degree-proportional sampling.
+  const std::size_t transit_end =
+      core + (switches - core) * 65 / 100;
+  std::vector<NodeId> pool;
+  for (std::size_t a = 0; a < core; ++a) {
+    for (std::size_t i = 0; i + 1 < core; ++i) {
+      pool.push_back(static_cast<NodeId>(a));
+    }
+  }
+  auto attach = [&](NodeId v, int m) {
+    int placed = 0;
+    int attempts = 0;
+    while (placed < m && attempts < 64) {
+      ++attempts;
+      const NodeId t = pool[std::uniform_int_distribution<std::size_t>(
+          0, pool.size() - 1)(rng)];
+      if (t == v || g.has_edge(v, t) || g.degree(t) >= max_degree) continue;
+      g.add_edge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+      ++placed;
+    }
+    if (placed == 0) {
+      // Degree caps exhausted every sampled target: fall back to the least
+      // loaded core hub so the graph stays connected — preferring hubs
+      // still under the cap; only when the cap is tighter than the core
+      // can absorb does connectivity win over it.
+      NodeId best = 0;
+      bool best_capped = g.degree(best) >= max_degree;
+      for (std::size_t c = 1; c < core; ++c) {
+        const auto hub = static_cast<NodeId>(c);
+        const bool capped = g.degree(hub) >= max_degree;
+        if ((best_capped && !capped) ||
+            (capped == best_capped && g.degree(hub) < g.degree(best))) {
+          best = hub;
+          best_capped = capped;
+        }
+      }
+      g.add_edge(v, best);
+    }
+  };
+  for (std::size_t v = core; v < transit_end; ++v) {
+    attach(static_cast<NodeId>(v), 2);
+  }
+  // Stub ASes: the degree-1 fringe that dominates AS degree distributions.
+  for (std::size_t v = transit_end; v < switches; ++v) {
+    attach(static_cast<NodeId>(v), 1);
+  }
+  return g;
+}
+
 std::vector<Topology> rocketfuel_like_suite(std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   const std::size_t sizes[] = {121, 315, 604, 960, 2914, 3257, 4755, 6461, 7018, 11800};

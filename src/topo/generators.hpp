@@ -78,4 +78,15 @@ std::vector<Topology> zoo_like_suite(std::uint64_t seed);
 /// 10 synthetic Rocketfuel-like power-law graphs, largest ~11800 nodes.
 std::vector<Topology> rocketfuel_like_suite(std::uint64_t seed);
 
+/// One Rocketfuel-like AS-level graph at a configurable size (the fig11
+/// scale-out sweeps use 100–1000 switches).  Structure mirrors measured AS
+/// maps: a power-law transit core grown by preferential attachment (m=2),
+/// a ~35% fringe of degree-1 stub ASes attached degree-proportionally, and
+/// a small densely meshed tier-1 clique.  `max_degree` caps hub growth
+/// (router-level maps are degree-truncated the same way; the connectivity
+/// fallback can exceed it only when the cap is tighter than the core
+/// clique can absorb).  The graph is always connected.
+Topology make_rocketfuel_as(std::size_t switches, std::uint64_t seed,
+                            std::size_t max_degree = 48);
+
 }  // namespace monocle::topo

@@ -1,0 +1,70 @@
+// TopoView: a monocle::NetworkView directly over a topo::Topology.
+//
+// Assigns ports with the Testbed's convention — node n's i-th adjacency (in
+// edge insertion order) gets port i+1 — so harnesses that drive the
+// Monitor/Multiplexer fast path without simulated switches (the fig11
+// injection microbench, the zero-allocation test) see the same port-level
+// world a Testbed over the same Topology would.  Lookups are O(1) flat
+// vector indexing; peer()/ports() never allocate on the hot path beyond
+// ports()'s result vector (a generation-time call).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+#include "topo/topology.hpp"
+
+namespace monocle::topo {
+
+class TopoView final : public NetworkView {
+ public:
+  /// `dpid_of_node(n) = n + first_dpid` (the Testbed uses first_dpid = 1).
+  explicit TopoView(const Topology& topo, SwitchId first_dpid = 1)
+      : first_dpid_(first_dpid) {
+    peers_.resize(topo.node_count());
+    for (NodeId a = 0; a < topo.node_count(); ++a) {
+      // Port p on node a (1-based) faces its (p-1)-th neighbor.
+      for (const NodeId b : topo.neighbors(a)) {
+        const auto port_on = [&](NodeId from, NodeId to) {
+          const auto& adj = topo.neighbors(from);
+          for (std::size_t i = 0; i < adj.size(); ++i) {
+            if (adj[i] == to) return static_cast<std::uint16_t>(i + 1);
+          }
+          return static_cast<std::uint16_t>(0);
+        };
+        peers_[a].push_back(PortPeer{b + first_dpid, port_on(b, a)});
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<PortPeer> peer(
+      SwitchId sw, std::uint16_t port) const override {
+    if (sw < first_dpid_) return std::nullopt;
+    const std::uint64_t node = sw - first_dpid_;
+    if (node >= peers_.size()) return std::nullopt;
+    if (port == 0 || port > peers_[node].size()) return std::nullopt;
+    return peers_[node][port - 1];
+  }
+
+  [[nodiscard]] std::vector<std::uint16_t> ports(SwitchId sw) const override {
+    std::vector<std::uint16_t> out;
+    if (sw < first_dpid_) return out;
+    const std::uint64_t node = sw - first_dpid_;
+    if (node >= peers_.size()) return out;
+    out.reserve(peers_[node].size());
+    for (std::size_t i = 0; i < peers_[node].size(); ++i) {
+      out.push_back(static_cast<std::uint16_t>(i + 1));
+    }
+    return out;
+  }
+
+  [[nodiscard]] SwitchId dpid_of(NodeId n) const { return n + first_dpid_; }
+  [[nodiscard]] std::size_t switch_count() const { return peers_.size(); }
+
+ private:
+  SwitchId first_dpid_;
+  std::vector<std::vector<PortPeer>> peers_;  // [node][port-1]
+};
+
+}  // namespace monocle::topo

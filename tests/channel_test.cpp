@@ -567,8 +567,8 @@ struct ChannelRig {
       hooks.to_switch = [st](const Message& m) { st->backend->send(m); };
       hooks.to_controller = [](const Message&) {};
       hooks.inject = [this, sw](std::uint16_t in_port,
-                                std::vector<std::uint8_t> bytes) {
-        return mux.inject(sw, in_port, std::move(bytes));
+                                std::span<const std::uint8_t> bytes) {
+        return mux.inject(sw, in_port, bytes);
       };
       st->monitor = std::make_unique<Monitor>(mc, &eq, &net, &plan,
                                               std::move(hooks));
@@ -606,9 +606,10 @@ using ProbeLog = std::map<SwitchId, std::vector<std::vector<std::uint8_t>>>;
 void record_injections(Monitor& monitor, SwitchId sw, ProbeLog& log) {
   auto inner = monitor.hooks_for_test().inject;
   monitor.hooks_for_test().inject =
-      [&log, sw, inner](std::uint16_t in_port, std::vector<std::uint8_t> bytes) {
-        log[sw].push_back(bytes);
-        return inner(in_port, std::move(bytes));
+      [&log, sw, inner](std::uint16_t in_port,
+                        std::span<const std::uint8_t> bytes) {
+        log[sw].emplace_back(bytes.begin(), bytes.end());
+        return inner(in_port, bytes);
       };
 }
 

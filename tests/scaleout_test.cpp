@@ -1,0 +1,450 @@
+// Scale-out probe fast path (fig11): flat Multiplexer routing parity with
+// the legacy map-based path, cached-wire re-stamping parity with fresh
+// crafting, the zero-allocation steady-cycle invariant (enforced with the
+// counting allocator from tools/alloc_interposer.cpp, linked into this
+// binary), the unregister_monitor dangling-backend regression, and the
+// Rocketfuel-like topology generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "bench/fastpath_harness.hpp"
+#include "monocle/multiplexer.hpp"
+#include "netbase/alloc_counter.hpp"
+#include "netbase/buffer_arena.hpp"
+#include "netbase/fields.hpp"
+#include "netbase/probe_wire.hpp"
+#include "topo/generators.hpp"
+#include "topo/topo_view.hpp"
+
+namespace monocle {
+namespace {
+
+using netbase::AbstractPacket;
+using netbase::Field;
+using netbase::ProbeMetadata;
+using openflow::Message;
+
+// ---------------------------------------------------------------------------
+// Wire plumbing: encode/view/restamp parity
+// ---------------------------------------------------------------------------
+
+TEST(ProbeMetadataFastPath, SpanEncodeMatchesVectorEncode) {
+  ProbeMetadata meta;
+  meta.switch_id = 0x0102030405060708ull;
+  meta.rule_cookie = 0x1122334455667788ull;
+  meta.generation = 0xA1B2C3D4;
+  meta.expected = 0x0BADF00D;
+  meta.nonce = 0xCAFED00D;
+  const auto vec = netbase::encode_probe_metadata(meta);
+  std::vector<std::uint8_t> in_place(ProbeMetadata::kWireSize, 0xEE);
+  netbase::encode_probe_metadata(meta, in_place);
+  EXPECT_EQ(vec, in_place);
+}
+
+TEST(ProbeMetadataFastPath, ViewDecodesAndRejects) {
+  ProbeMetadata meta;
+  meta.switch_id = 42;
+  meta.rule_cookie = 7;
+  meta.generation = 3;
+  meta.expected = 0x12345678;
+  meta.nonce = 99;
+  const auto bytes = netbase::encode_probe_metadata(meta);
+
+  const auto view = netbase::ProbeMetadataView::parse(bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->switch_id(), 42u);
+  EXPECT_EQ(view->rule_cookie(), 7u);
+  EXPECT_EQ(view->generation(), 3u);
+  EXPECT_EQ(view->expected(), 0x12345678u);
+  EXPECT_EQ(view->nonce(), 99u);
+  EXPECT_EQ(view->materialize(), meta);
+  // The view agrees with the owning decoder byte for byte.
+  EXPECT_EQ(netbase::decode_probe_metadata(bytes), meta);
+
+  auto corrupted = bytes;
+  corrupted[0] ^= 0xFF;  // break the magic
+  EXPECT_FALSE(netbase::ProbeMetadataView::parse(corrupted).has_value());
+  EXPECT_FALSE(
+      netbase::ProbeMetadataView::parse(std::span(bytes).first(8)).has_value());
+}
+
+/// Random header in one of the crafter's protocol families.
+AbstractPacket random_header(std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::uint64_t> dist;
+  AbstractPacket h;
+  h.set(Field::InPort, dist(rng) % 16 + 1);
+  h.set(Field::EthSrc, dist(rng));
+  h.set(Field::EthDst, dist(rng));
+  if (dist(rng) % 3 == 0) {
+    h.set(Field::VlanId, dist(rng) % 4094 + 1);
+    h.set(Field::VlanPcp, dist(rng) % 8);
+  }
+  switch (dist(rng) % 6) {
+    case 0:  // TCP
+    case 1: {
+      h.set(Field::EthType, netbase::kEthTypeIpv4);
+      h.set(Field::IpProto, netbase::kIpProtoTcp);
+      break;
+    }
+    case 2: {
+      h.set(Field::EthType, netbase::kEthTypeIpv4);
+      h.set(Field::IpProto, netbase::kIpProtoUdp);
+      break;
+    }
+    case 3: {
+      h.set(Field::EthType, netbase::kEthTypeIpv4);
+      h.set(Field::IpProto, netbase::kIpProtoIcmp);
+      break;
+    }
+    case 4: {  // IPv4, unusual transport: payload above IP
+      h.set(Field::EthType, netbase::kEthTypeIpv4);
+      h.set(Field::IpProto, 0x2F);
+      break;
+    }
+    default:
+      h.set(Field::EthType, netbase::kEthTypeArp);
+      h.set(Field::IpProto, 1);  // ARP opcode
+  }
+  if (h.is_ipv4() || h.is_arp()) {
+    h.set(Field::IpSrc, dist(rng));
+    h.set(Field::IpDst, dist(rng));
+    h.set(Field::IpTos, dist(rng) % 64);
+    h.set(Field::TpSrc, dist(rng));
+    h.set(Field::TpDst, dist(rng));
+  }
+  return h;
+}
+
+TEST(ProbeWireFastPath, RestampMatchesFreshCraftAcrossProtocols) {
+  std::mt19937_64 rng(20260726);
+  std::uniform_int_distribution<std::uint64_t> dist;
+  for (int trial = 0; trial < 500; ++trial) {
+    const AbstractPacket header = random_header(rng);
+    ProbeMetadata meta;
+    meta.switch_id = dist(rng);
+    meta.rule_cookie = dist(rng);
+    meta.generation = static_cast<std::uint32_t>(dist(rng));
+    meta.expected = static_cast<std::uint32_t>(dist(rng));
+    meta.nonce = static_cast<std::uint32_t>(dist(rng));
+
+    netbase::ProbeWire wire = netbase::craft_probe_wire(header, meta);
+    ASSERT_TRUE(wire.valid());
+
+    // Re-stamp to a new generation/nonce and compare against a from-scratch
+    // craft of the updated metadata: must be byte-identical, checksum
+    // included.
+    ProbeMetadata updated = meta;
+    updated.generation = static_cast<std::uint32_t>(dist(rng));
+    updated.nonce = static_cast<std::uint32_t>(dist(rng));
+    netbase::restamp_probe_wire(wire, updated.generation, updated.nonce);
+    const netbase::ProbeWire fresh = netbase::craft_probe_wire(header, updated);
+    ASSERT_EQ(wire.bytes, fresh.bytes)
+        << "restamp diverged from fresh craft on trial " << trial;
+
+    // And the frame still round-trips through the zero-copy parser.
+    const auto parsed = netbase::parse_packet_view(wire.bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->checksums_valid);
+    const auto decoded = netbase::ProbeMetadataView::parse(parsed->payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->materialize(), updated);
+  }
+}
+
+TEST(ProbeWireFastPath, CraftPacketIntoReusesCapacity) {
+  std::mt19937_64 rng(7);
+  const AbstractPacket header = random_header(rng);
+  const std::vector<std::uint8_t> payload(40, 0xAB);
+
+  std::vector<std::uint8_t> buf;
+  netbase::craft_packet_into(header, payload, buf);
+  EXPECT_EQ(buf, netbase::craft_packet(header, payload));
+
+  const auto* data_before = buf.data();
+  const auto cap = buf.capacity();
+  netbase::craft_packet_into(header, payload, buf);
+  EXPECT_EQ(buf.data(), data_before) << "buffer was reallocated on reuse";
+  EXPECT_EQ(buf.capacity(), cap);
+}
+
+TEST(BufferArena, RecyclesReleasedBuffers) {
+  netbase::BufferArena arena;
+  auto a = arena.acquire(64);
+  a.resize(48);
+  const auto* backing = a.data();
+  arena.release(std::move(a));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  auto b = arena.acquire(32);
+  EXPECT_EQ(b.data(), backing) << "release/acquire did not recycle";
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 48u);
+  EXPECT_EQ(arena.fresh_buffers(), 1u);
+  EXPECT_EQ(arena.reuses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexer: flat ordinal routing vs the legacy map path
+// ---------------------------------------------------------------------------
+
+struct SentPacketOut {
+  SwitchId deliver = 0;
+  std::uint16_t in_port = 0;
+  std::uint16_t action_port = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const SentPacketOut&, const SentPacketOut&) = default;
+};
+
+void record_senders(Multiplexer& mux, const std::vector<SwitchId>& dpids,
+                    std::vector<SentPacketOut>& log) {
+  for (const SwitchId sw : dpids) {
+    mux.set_switch_sender(sw, [sw, &log](const Message& m) {
+      ASSERT_TRUE(m.is<openflow::PacketOut>());
+      const auto& po = m.as<openflow::PacketOut>();
+      ASSERT_EQ(po.actions.size(), 1u);
+      log.push_back(SentPacketOut{sw, po.in_port, po.actions[0].port, po.data});
+    });
+  }
+}
+
+TEST(FlatRouting, ByteIdenticalPacketOutsVsLegacyMapPath) {
+  const auto topo = topo::make_fattree(4);
+  const topo::TopoView view(topo);
+  Multiplexer flat(&view);
+  Multiplexer legacy(&view);
+  legacy.set_compat_map_routing(true);
+  ASSERT_FALSE(flat.compat_map_routing());
+  ASSERT_TRUE(legacy.compat_map_routing());
+
+  // Register senders on MOST switches, leaving a few unregistered so the
+  // missing-sender, self-injection and dead-route branches are exercised.
+  std::vector<SwitchId> registered;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (n % 7 == 3) continue;
+    registered.push_back(view.dpid_of(n));
+  }
+  std::vector<SentPacketOut> flat_log;
+  std::vector<SentPacketOut> legacy_log;
+  record_senders(flat, registered, flat_log);
+  record_senders(legacy, registered, legacy_log);
+
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> dist;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const SwitchId probed =
+        view.dpid_of(static_cast<topo::NodeId>(dist(rng) % topo.node_count()));
+    // Ports 1..degree exist; 9..10 probe the no-peer self-injection branch.
+    const auto in_port = static_cast<std::uint16_t>(dist(rng) % 10 + 1);
+    std::vector<std::uint8_t> packet(dist(rng) % 60 + 4);
+    for (auto& b : packet) b = static_cast<std::uint8_t>(dist(rng));
+
+    const bool sent_flat = flat.inject(probed, in_port, packet);
+    const bool sent_legacy = legacy.inject(probed, in_port, packet);
+    ASSERT_EQ(sent_flat, sent_legacy) << "routing decision diverged";
+  }
+  ASSERT_FALSE(flat_log.empty());
+  ASSERT_EQ(flat_log, legacy_log);
+  EXPECT_EQ(flat.packet_outs_sent(), legacy.packet_outs_sent());
+}
+
+TEST(FlatRouting, UnregisterMonitorErasesSenderAndBackend) {
+  // Regression: unregister_monitor used to erase only the monitor map,
+  // leaving the sender closure and backend pointer behind — the next
+  // inject() then called into a destroyed backend.
+  struct StubBackend final : channel::SwitchBackend {
+    void start() override {}
+    void stop() override {}
+    void send(const Message&) override { ++sent; }
+    void set_receiver(Receiver r) override { receiver = std::move(r); }
+    void set_state_handler(StateHandler h) override { state = std::move(h); }
+    [[nodiscard]] bool up() const override { return true; }
+    [[nodiscard]] std::uint64_t datapath_id() const override { return 1; }
+    int sent = 0;
+    Receiver receiver;
+    StateHandler state;
+  };
+
+  const auto topo = topo::make_star(3);  // hub node 0 = dpid 1
+  const topo::TopoView view(topo);
+  Multiplexer mux(&view);
+  const std::vector<std::uint8_t> packet(32, 0x5A);
+  {
+    StubBackend hub_backend;
+    mux.bind_backend(1, hub_backend, nullptr);
+    // Leaf dpid 2, port 1 faces the hub: injection goes via the hub.
+    ASSERT_TRUE(mux.inject(2, 1, packet));
+    EXPECT_EQ(hub_backend.sent, 1);
+    EXPECT_EQ(mux.packet_outs_sent(1), 1u);
+    mux.unregister_monitor(1);
+    // The teardown must also have detached the receiver/state-handler
+    // closures (they capture routing state): delivering after unregister
+    // is a safe no-op, not a call into stale wiring.
+    ASSERT_TRUE(hub_backend.receiver);
+    hub_backend.receiver(openflow::make_message(0, openflow::BarrierReply{}));
+    hub_backend.state(true);
+    // The backend now dies; nothing in the Multiplexer may point at it.
+  }
+  EXPECT_FALSE(mux.inject(2, 1, packet))
+      << "inject used a sender that should have been unregistered";
+  EXPECT_EQ(mux.packet_outs_sent(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: fast path vs legacy profile over the loopback harness
+// ---------------------------------------------------------------------------
+
+using ProbeLog = std::map<SwitchId, std::vector<std::vector<std::uint8_t>>>;
+
+void record_injections(Monitor& monitor, SwitchId sw, ProbeLog& log) {
+  auto inner = monitor.hooks_for_test().inject;
+  monitor.hooks_for_test().inject =
+      [&log, sw, inner](std::uint16_t in_port,
+                        std::span<const std::uint8_t> bytes) {
+        log[sw].emplace_back(bytes.begin(), bytes.end());
+        return inner(in_port, bytes);
+      };
+}
+
+TEST(FastPathEndToEnd, CachedWireAndFlatRoutingMatchLegacyByteForByte) {
+  const auto topo = topo::make_fattree(4);
+
+  bench::FastPathRig::Options fast_opts;
+  fast_opts.rules_per_switch = 6;
+  bench::FastPathRig::Options legacy_opts = fast_opts;
+  legacy_opts.compat_map_routing = true;
+  legacy_opts.reuse_probe_wire = false;
+
+  bench::FastPathRig fast(topo, fast_opts);
+  bench::FastPathRig legacy(topo, legacy_opts);
+
+  ProbeLog fast_log;
+  ProbeLog legacy_log;
+  for (std::size_t n = 0; n < fast.view().switch_count(); ++n) {
+    const SwitchId sw = fast.view().dpid_of(static_cast<topo::NodeId>(n));
+    record_injections(fast.monitor(sw), sw, fast_log);
+    record_injections(legacy.monitor(sw), sw, legacy_log);
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t a = fast.round(3);
+    const std::size_t b = legacy.round(3);
+    ASSERT_EQ(a, b) << "injection count diverged in round " << round;
+  }
+
+  // Byte-identical probe frames, switch by switch, in injection order —
+  // cached-wire re-stamping vs per-probe crafting, flat vs map routing.
+  ASSERT_EQ(fast_log.size(), legacy_log.size());
+  for (const auto& [sw, frames] : fast_log) {
+    ASSERT_EQ(frames, legacy_log[sw]) << "probe bytes diverged on " << sw;
+  }
+  EXPECT_GT(fast.probes_injected(), 0u);
+  EXPECT_EQ(fast.probes_injected(), legacy.probes_injected());
+  EXPECT_EQ(fast.probes_caught(), legacy.probes_caught());
+
+  // Identical per-rule classifications, and every probed rule confirmed.
+  EXPECT_EQ(fast.confirmed_rules(), legacy.confirmed_rules());
+  for (std::size_t n = 0; n < fast.view().switch_count(); ++n) {
+    const SwitchId sw = fast.view().dpid_of(static_cast<topo::NodeId>(n));
+    for (const openflow::Rule& r : fast.monitor(sw).expected_table().rules()) {
+      EXPECT_EQ(fast.monitor(sw).rule_state(r.cookie),
+                legacy.monitor(sw).rule_state(r.cookie))
+          << "classification diverged for " << sw << "/" << r.cookie;
+    }
+  }
+}
+
+TEST(FastPathEndToEnd, SteadyCycleRunsWithZeroHeapAllocationsPerProbe) {
+  if (!netbase::alloc_counting_enabled()) {
+    GTEST_SKIP() << "allocation interposer not linked";
+  }
+  const auto topo = topo::make_star(5);
+  bench::FastPathRig::Options opts;
+  opts.rules_per_switch = 8;
+  bench::FastPathRig rig(topo, opts);
+
+  // Warm-up: first rounds build the cached wires, arena buffers, timer
+  // slots and outstanding-node spares.
+  std::uint64_t warm_injected = 0;
+  for (int round = 0; round < 10; ++round) warm_injected += rig.round(4);
+  ASSERT_GT(warm_injected, 0u);
+
+  // Steady state: the full probe cycle — burst, PacketOut routing, loopback
+  // PacketIn decode, classification, timer churn — allocates NOTHING.
+  const std::uint64_t before = netbase::heap_allocation_count();
+  std::uint64_t measured = 0;
+  for (int round = 0; round < 50; ++round) measured += rig.round(4);
+  const std::uint64_t after = netbase::heap_allocation_count();
+
+  ASSERT_GT(measured, 100u);
+  EXPECT_EQ(after - before, 0u)
+      << "steady cycle allocated " << (after - before) << " times across "
+      << measured << " probes";
+  // All probes resolved as caught (the loopback delivers synchronously).
+  EXPECT_EQ(rig.probes_caught(), rig.probes_injected());
+}
+
+// ---------------------------------------------------------------------------
+// Rocketfuel-like generator
+// ---------------------------------------------------------------------------
+
+TEST(RocketfuelAs, ShapeMatchesAsLevelMaps) {
+  for (const std::size_t n : {100u, 500u, 1000u}) {
+    const topo::Topology g = topo::make_rocketfuel_as(n, 42);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(g.connected()) << n;
+    EXPECT_LE(g.max_degree(), 48u) << n;
+    // Power-law fringe: a substantial share of degree-1 stub ASes.
+    std::size_t stubs = 0;
+    std::size_t hubs = 0;
+    for (topo::NodeId v = 0; v < g.node_count(); ++v) {
+      stubs += g.degree(v) == 1;
+      hubs += g.degree(v) >= 8;
+    }
+    EXPECT_GT(stubs, n / 5) << n;
+    EXPECT_GE(hubs, 4u) << n;  // the tier-1 clique at least
+  }
+  // Determinism per seed, variation across seeds (edge COUNTS are fixed by
+  // construction; placement must differ).
+  const auto edges = [](const topo::Topology& g) {
+    std::vector<std::pair<topo::NodeId, topo::NodeId>> out;
+    for (topo::NodeId v = 0; v < g.node_count(); ++v) {
+      for (const topo::NodeId w : g.neighbors(v)) {
+        if (v < w) out.emplace_back(v, w);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto a = edges(topo::make_rocketfuel_as(200, 7));
+  const auto b = edges(topo::make_rocketfuel_as(200, 7));
+  const auto c = edges(topo::make_rocketfuel_as(200, 8));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TopoViewAdapter, PortsMirrorTestbedConvention) {
+  const auto topo = topo::make_triangle();
+  const topo::TopoView view(topo);
+  // Node 0's first adjacency is node 1 => port 1 on dpid 1 faces dpid 2.
+  const auto peer = view.peer(1, 1);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->sw, 2u);
+  // Symmetry: the reverse port points back.
+  const auto back = view.peer(peer->sw, peer->port);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sw, 1u);
+  EXPECT_EQ(back->port, 1u);
+  // Out-of-range ports have no peers.
+  EXPECT_FALSE(view.peer(1, 9).has_value());
+  EXPECT_FALSE(view.peer(99, 1).has_value());
+  EXPECT_EQ(view.ports(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace monocle

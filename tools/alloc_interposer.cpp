@@ -1,0 +1,81 @@
+// Global operator new/delete replacement that counts heap allocations.
+//
+// Linked ONLY into binaries that verify the zero-allocation probe fast path
+// (tests/scaleout_test.cpp, bench/fig11_scaleout) — see CMakeLists.txt.  The
+// replacements forward to malloc/free (so sanitizers keep full visibility)
+// and bump monocle::netbase::alloc_counter() on every allocation; deletes
+// are not counted, since the invariant under test is "no allocations per
+// probe", and frees without mallocs cannot occur.
+#include <cstdlib>
+#include <new>
+
+#include "netbase/alloc_counter.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool g_armed = [] {
+  monocle::netbase::alloc_counter().armed.store(true,
+                                                std::memory_order_relaxed);
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) {
+  monocle::netbase::alloc_counter().news.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  monocle::netbase::alloc_counter().news.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
