@@ -44,8 +44,10 @@ void ChannelBackend::send(const openflow::Message& msg) {
     return;
   }
   if (queue_.size() >= config_.max_queued) {
+    if (overflow_handler_) overflow_handler_(queue_.front());
     queue_.pop_front();
     ++stats_.messages_dropped;
+    ++stats_.queue_overflow_drops;
   }
   queue_.push_back(msg);
   ++stats_.messages_queued;

@@ -49,6 +49,11 @@ class ChannelBackend final : public SwitchBackend {
     std::uint64_t dial_attempts = 0;
     std::uint64_t messages_queued = 0;
     std::uint64_t messages_dropped = 0;  ///< queue overflow while down
+    /// Same events as messages_dropped, but never reset and counted at the
+    /// overflow site specifically — the while-down queue silently shedding
+    /// its oldest message is an operational signal (a long outage is losing
+    /// controller state), so it gets its own counter and a log hook.
+    std::uint64_t queue_overflow_drops = 0;
   };
 
   ChannelBackend(Config config, Runtime* runtime, Dialer dialer);
@@ -69,6 +74,11 @@ class ChannelBackend final : public SwitchBackend {
   [[nodiscard]] std::uint64_t datapath_id() const override { return dpid_; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Invoked with each message the while-down queue sheds on overflow,
+  /// before it is destroyed — hosts log/alarm on it.  Optional.
+  void set_overflow_handler(std::function<void(const openflow::Message&)> h) {
+    overflow_handler_ = std::move(h);
+  }
   /// The underlying session (tests inspect handshake state and barriers).
   [[nodiscard]] OfSession& session() { return session_; }
   /// Next retry delay the backoff would use (tests assert doubling).
@@ -85,6 +95,7 @@ class ChannelBackend final : public SwitchBackend {
   Dialer dialer_;
   Receiver receiver_;
   StateHandler state_handler_;
+  std::function<void(const openflow::Message&)> overflow_handler_;
 
   OfSession session_;
   bool running_ = false;

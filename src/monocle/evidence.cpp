@@ -1,0 +1,183 @@
+#include "monocle/evidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace monocle {
+
+namespace {
+
+/// Exponential decay by elapsed time against a half-life.
+double decay_factor(netbase::SimTime elapsed, netbase::SimTime half_life) {
+  if (half_life == 0) return 0.0;
+  return std::exp2(-static_cast<double>(elapsed) /
+                   static_cast<double>(half_life));
+}
+
+template <typename Map>
+void decay_map(Map& map, double factor, double forget_below) {
+  for (auto it = map.begin(); it != map.end();) {
+    it->second.meta.confidence *= factor;
+    if (it->second.meta.confidence < forget_below) {
+      it = map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+template <typename Map, typename Key, typename Payload>
+void sight(Map& map, const Key& key, const Payload& payload, double weight,
+           netbase::SimTime now) {
+  auto [it, fresh] = map.try_emplace(key);
+  auto& entry = it->second;
+  if (fresh) entry.meta.first_seen = now;
+  entry.meta.confidence += weight;
+  entry.meta.sightings += 1;
+  entry.meta.last_seen = now;
+  entry.payload = payload;
+}
+
+}  // namespace
+
+void NetworkEvidence::decay_all(netbase::SimTime now) {
+  if (last_observe_ == 0 || now <= last_observe_) return;
+  const double factor =
+      decay_factor(now - last_observe_, options_.half_life);
+  decay_map(links_, factor, options_.forget_below);
+  decay_map(switches_, factor, options_.forget_below);
+  decay_map(isolated_, factor, options_.forget_below);
+}
+
+void NetworkEvidence::observe(std::span<const SwitchFailureReport> reports,
+                              const NetworkView& view, netbase::SimTime now) {
+  decay_all(now);
+  last_observe_ = now;
+
+  const NetworkDiagnosis raw =
+      localize_network(reports, view, options_.localizer);
+
+  for (const LinkDiagnosis& link : raw.links) {
+    const LinkKey key{link.a, link.port_a, link.b, link.port_b};
+    // Endpoint testimony is sticky across passes: a marginal gray link
+    // whose two endpoints cross the group threshold in DIFFERENT passes
+    // still ends up two-sided here, while ingress-contamination collateral
+    // stays one-sided forever (diagnosis() keys on that).
+    bool seen_a = link.reported_a;
+    bool seen_b = link.reported_b;
+    bool peer_monitored = link.peer_monitored;
+    if (const auto it = links_.find(key); it != links_.end()) {
+      seen_a = seen_a || it->second.payload.reported_a;
+      seen_b = seen_b || it->second.payload.reported_b;
+      peer_monitored = peer_monitored || it->second.payload.peer_monitored;
+    }
+    // Two independent endpoint testimonies are worth more than one.
+    sight(links_, key, link, link.corroborated ? 1.5 : 1.0, now);
+    LinkDiagnosis& held = links_[key].payload;
+    held.reported_a = seen_a;
+    held.reported_b = seen_b;
+    held.peer_monitored = peer_monitored;
+    held.corroborated = held.corroborated || (seen_a && seen_b);
+  }
+  for (const SwitchSuspect& sw : raw.switches) {
+    // A whole-switch pattern already subsumes several corroborated links.
+    sight(switches_, sw.sw, sw, 1.5, now);
+  }
+  for (const IsolatedRuleFault& fault : raw.isolated) {
+    sight(isolated_, RuleKey{fault.sw, fault.cookie}, fault, 1.0, now);
+  }
+}
+
+bool NetworkEvidence::confirmed(const Suspect& s) const {
+  return s.confidence >= options_.confirm_confidence &&
+         s.sightings >= options_.min_sightings &&
+         s.last_seen - s.first_seen >= options_.min_age;
+}
+
+NetworkDiagnosis NetworkEvidence::diagnosis() const {
+  NetworkDiagnosis out;
+  for (const auto& [key, entry] : links_) {
+    if (!confirmed(entry.meta)) continue;
+    // Contamination adjudication: a link only ever blamed from one side,
+    // although the silent endpoint is monitored and reporting, is probe
+    // ingress-path collateral of some other faulty element — a genuinely
+    // bad link fails egress probes on BOTH endpoints eventually.
+    const LinkDiagnosis& link = entry.payload;
+    if (options_.localizer.contamination_filter && link.peer_monitored &&
+        !(link.reported_a && link.reported_b)) {
+      continue;
+    }
+    out.links.push_back(link);
+  }
+  for (const auto& [sw, entry] : switches_) {
+    if (confirmed(entry.meta)) out.switches.push_back(entry.payload);
+  }
+  for (const auto& [key, entry] : isolated_) {
+    if (confirmed(entry.meta)) out.isolated.push_back(entry.payload);
+  }
+  // A confirmed switch subsumes its incident links, exactly like the
+  // single-pass pipeline.
+  if (!out.switches.empty()) {
+    std::erase_if(out.links, [&](const LinkDiagnosis& link) {
+      return std::any_of(out.switches.begin(), out.switches.end(),
+                         [&](const SwitchSuspect& sw) {
+                           return sw.sw == link.a ||
+                                  (link.b != 0 && sw.sw == link.b);
+                         });
+    });
+  }
+  // Cross-pass parsimony: isolated faults that accumulated before a link
+  // or switch on the same endpoints crossed the bar are the same ingress
+  // contamination the localizer suppresses within one pass.
+  if (!out.links.empty() || !out.switches.empty()) {
+    std::erase_if(out.isolated, [&](const IsolatedRuleFault& fault) {
+      for (const LinkDiagnosis& link : out.links) {
+        if (fault.sw == link.a || (link.b != 0 && fault.sw == link.b)) {
+          return true;
+        }
+      }
+      for (const SwitchSuspect& sw : out.switches) {
+        if (fault.sw == sw.sw) return true;
+      }
+      return false;
+    });
+  }
+  std::sort(out.links.begin(), out.links.end(),
+            [](const LinkDiagnosis& x, const LinkDiagnosis& y) {
+              if (x.corroborated != y.corroborated) return x.corroborated;
+              return x.fraction > y.fraction;
+            });
+  std::sort(out.switches.begin(), out.switches.end(),
+            [](const SwitchSuspect& x, const SwitchSuspect& y) {
+              return x.suspect_links > y.suspect_links;
+            });
+  std::sort(out.isolated.begin(), out.isolated.end(),
+            [](const IsolatedRuleFault& x, const IsolatedRuleFault& y) {
+              return x.sw != y.sw ? x.sw < y.sw : x.cookie < y.cookie;
+            });
+  return out;
+}
+
+double NetworkEvidence::link_confidence(SwitchId sw,
+                                        std::uint16_t port) const {
+  for (const auto& [key, entry] : links_) {
+    const auto& [a, pa, b, pb] = key;
+    if ((a == sw && pa == port) || (b == sw && pb == port)) {
+      return entry.meta.confidence;
+    }
+  }
+  return 0.0;
+}
+
+double NetworkEvidence::switch_confidence(SwitchId sw) const {
+  const auto it = switches_.find(sw);
+  return it == switches_.end() ? 0.0 : it->second.meta.confidence;
+}
+
+double NetworkEvidence::rule_confidence(SwitchId sw,
+                                        std::uint64_t cookie) const {
+  const auto it = isolated_.find(RuleKey{sw, cookie});
+  return it == isolated_.end() ? 0.0 : it->second.meta.confidence;
+}
+
+}  // namespace monocle

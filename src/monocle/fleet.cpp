@@ -19,7 +19,8 @@ void bump(std::uint64_t& counter, std::uint64_t by = 1) {
 
 Fleet::Fleet(Config config, Runtime* runtime, const NetworkView* view,
              const CatchPlan* plan)
-    : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan) {}
+    : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan),
+      evidence_(config_.evidence) {}
 
 Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   Monitor::Config cfg = config_.monitor;
@@ -36,12 +37,13 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
     if (user_alarm) user_alarm(alarm);
   };
   // Chain the delta hook the same way: the Fleet observes every shard's
-  // delta stream (network-wide churn accounting) before the caller's
-  // observer runs.
+  // delta stream (network-wide churn accounting + the churn-exclusion
+  // window localization reads) before the caller's observer runs.
   auto user_delta = std::move(hooks.on_delta);
-  hooks.on_delta = [this, user_delta = std::move(user_delta)](
+  hooks.on_delta = [this, sw, user_delta = std::move(user_delta)](
                        const openflow::TableDelta& delta) {
     bump(stats_.deltas_observed);
+    if (config_.churn_exclusion > 0) note_delta(sw, delta);
     if (user_delta) user_delta(delta);
   };
   auto monitor =
@@ -184,6 +186,8 @@ void Fleet::stop() {
   round_timer_ = 0;
   runtime_->cancel(diag_timer_);
   diag_timer_ = 0;
+  runtime_->cancel(evidence_timer_);
+  evidence_timer_ = 0;
   for (auto& [sw, monitor] : shards_) monitor->stop();
 }
 
@@ -218,6 +222,12 @@ openflow::Epoch Fleet::shard_epoch(SwitchId sw) const {
 
 void Fleet::note_alarm() {
   if (!config_.on_diagnosis) return;
+  if (config_.evidence_localization) {
+    // The first alarm arms the evidence pipeline; it then self-schedules
+    // until the fabric is clean again.
+    if (evidence_timer_ == 0) schedule_evidence_pass(config_.localize_debounce);
+    return;
+  }
   if (diag_timer_ != 0) return;  // a pass is already pending
   diag_timer_ = runtime_->schedule(config_.localize_debounce, [this] {
     diag_timer_ = 0;
@@ -226,12 +236,88 @@ void Fleet::note_alarm() {
   });
 }
 
+void Fleet::note_delta(SwitchId sw, const openflow::TableDelta& delta) {
+  auto& recent = recent_deltas_[sw];
+  const netbase::SimTime now = runtime_->now();
+  for (const std::uint64_t cookie : delta.affected_cookies()) {
+    recent.emplace_back(cookie, now);
+  }
+  while (!recent.empty() &&
+         recent.front().second + config_.churn_exclusion <= now) {
+    recent.pop_front();
+  }
+}
+
+void Fleet::collect_reports(
+    std::vector<SwitchFailureReport>& reports,
+    std::vector<std::unordered_set<std::uint64_t>>& exclusions) const {
+  const netbase::SimTime now = runtime_->now();
+  reports.reserve(shards_.size());
+  exclusions.reserve(shards_.size());
+  for (const auto& [sw, monitor] : shards_) {
+    std::unordered_set<std::uint64_t> excluded;
+    for (const std::uint64_t cookie : monitor->pending_update_cookies()) {
+      excluded.insert(cookie);
+    }
+    if (const auto it = recent_deltas_.find(sw); it != recent_deltas_.end()) {
+      for (const auto& [cookie, when] : it->second) {
+        if (when + config_.churn_exclusion > now) excluded.insert(cookie);
+      }
+    }
+    exclusions.push_back(std::move(excluded));
+    reports.push_back({sw, &monitor->expected_table(),
+                       &monitor->failed_rules(), nullptr});
+  }
+  // Wire the pointers only after `exclusions` stopped reallocating.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (!exclusions[i].empty()) reports[i].excluded = &exclusions[i];
+  }
+}
+
+void Fleet::schedule_evidence_pass(netbase::SimTime delay) {
+  evidence_timer_ = runtime_->schedule(delay, [this] {
+    evidence_timer_ = 0;
+    run_evidence_pass();
+  });
+}
+
+void Fleet::run_evidence_pass() {
+  bump(stats_.evidence_passes);
+  std::vector<SwitchFailureReport> reports;
+  std::vector<std::unordered_set<std::uint64_t>> exclusions;
+  collect_reports(reports, exclusions);
+  evidence_.observe(reports, *view_, runtime_->now());
+
+  const NetworkDiagnosis diag = evidence_.diagnosis();
+  // Publish confirmed, CHANGED diagnoses only: a stable fault pages once.
+  std::vector<std::array<std::uint64_t, 4>> sig;
+  for (const auto& link : diag.links) {
+    sig.push_back({1, link.a, (std::uint64_t{link.port_a} << 16) | link.port_b,
+                   link.b});
+  }
+  for (const auto& sw : diag.switches) sig.push_back({2, sw.sw, 0, 0});
+  for (const auto& fault : diag.isolated) {
+    sig.push_back({3, fault.sw, fault.cookie, 0});
+  }
+  if (!diag.healthy() && sig != published_sig_) {
+    published_sig_ = std::move(sig);
+    bump(stats_.diagnoses);
+    if (config_.on_diagnosis) config_.on_diagnosis(diag);
+  } else if (diag.healthy()) {
+    published_sig_.clear();
+  }
+
+  // Keep observing while anything is failed or suspicion is alive; a later
+  // alarm re-arms the pipeline through note_alarm once the fabric is clean.
+  if (failed_rule_count() > 0 || evidence_.suspect_count() > 0) {
+    schedule_evidence_pass(config_.evidence_interval);
+  }
+}
+
 NetworkDiagnosis Fleet::diagnose() const {
   std::vector<SwitchFailureReport> reports;
-  reports.reserve(shards_.size());
-  for (const auto& [sw, monitor] : shards_) {
-    reports.push_back({sw, &monitor->expected_table(), &monitor->failed_rules()});
-  }
+  std::vector<std::unordered_set<std::uint64_t>> exclusions;
+  collect_reports(reports, exclusions);
   return localize_network(reports, *view_, config_.localizer);
 }
 

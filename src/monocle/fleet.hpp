@@ -31,12 +31,17 @@
 // (tests/fleet_test.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 #include "monocle/catching.hpp"
+#include "monocle/evidence.hpp"
 #include "monocle/localizer.hpp"
 #include "monocle/monitor.hpp"
 #include "monocle/multiplexer.hpp"
@@ -68,6 +73,21 @@ class Fleet {
     /// Settle time between the first shard alarm and the network-wide
     /// localization pass (lets a link failure fail all its rules first).
     netbase::SimTime localize_debounce = 300 * netbase::kMillisecond;
+    /// Evidence-accumulated localization: instead of one boolean
+    /// localize_network pass per debounce, the Fleet re-observes every
+    /// evidence_interval while rules stay failed or suspicion persists,
+    /// accumulates per-suspect confidence (evidence.hpp), and publishes a
+    /// diagnosis only when it is confirmed — and again only when it
+    /// CHANGES.  Off: the single-pass pipeline above (legacy behaviour).
+    bool evidence_localization = false;
+    EvidenceOptions evidence;
+    netbase::SimTime evidence_interval = 100 * netbase::kMillisecond;
+    /// TableDelta-driven churn exclusion: rules deltaed within this window
+    /// — plus every in-flight update — are excluded from corroboration in
+    /// diagnose()/evidence passes (localizer.hpp, SwitchFailureReport::
+    /// excluded).  0 disables delta tracking (pending updates are still
+    /// excluded).
+    netbase::SimTime churn_exclusion = 500 * netbase::kMillisecond;
     /// Receives the NetworkDiagnosis of each (debounced) localization pass.
     std::function<void(const NetworkDiagnosis&)> on_diagnosis;
     /// Runs after remove_shard destroyed a shard, so the host can drop its
@@ -88,6 +108,7 @@ class Fleet {
     std::uint64_t diagnoses = 0;  ///< localization passes published
     std::uint64_t flow_mods_routed = 0;  ///< route_flow_mod deliveries
     std::uint64_t deltas_observed = 0;   ///< TableDeltas across all shards
+    std::uint64_t evidence_passes = 0;   ///< evidence observe() passes run
   };
 
   Fleet(Config config, Runtime* runtime, const NetworkView* view,
@@ -161,8 +182,13 @@ class Fleet {
   /// Current table epoch of a shard (0 when the switch is unmanaged).
   [[nodiscard]] openflow::Epoch shard_epoch(SwitchId sw) const;
 
-  /// Runs the cross-switch localization pipeline over all shards now.
+  /// Runs the cross-switch localization pipeline over all shards now (one
+  /// boolean pass; churn-excluded rules never enter corroboration).
   [[nodiscard]] NetworkDiagnosis diagnose() const;
+
+  /// The evidence accumulator behind the debounced pipeline (read-only;
+  /// meaningful when Config::evidence_localization is on).
+  [[nodiscard]] const NetworkEvidence& evidence() const { return evidence_; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   /// Sum of outstanding (unresolved) probes across shards.
@@ -176,6 +202,15 @@ class Fleet {
   void warm_caches();
   void schedule_next_round();
   void note_alarm();
+  /// Records a shard's delta for the churn-exclusion window.
+  void note_delta(SwitchId sw, const openflow::TableDelta& delta);
+  /// Builds per-shard reports; `exclusions` (parallel to `reports`) owns
+  /// the excluded-cookie sets for the duration of the localization call.
+  void collect_reports(
+      std::vector<SwitchFailureReport>& reports,
+      std::vector<std::unordered_set<std::uint64_t>>& exclusions) const;
+  void schedule_evidence_pass(netbase::SimTime delay);
+  void run_evidence_pass();
 
   Config config_;
   Runtime* runtime_;
@@ -194,6 +229,14 @@ class Fleet {
   // Zeroed on fire/cancel per the Runtime timer contract (runtime.hpp).
   std::uint64_t round_timer_ = 0;
   std::uint64_t diag_timer_ = 0;
+  std::uint64_t evidence_timer_ = 0;
+  NetworkEvidence evidence_;
+  /// Signature of the last published evidence diagnosis — republish only on
+  /// change, so a stable confirmed fault pages once, not per pass.
+  std::vector<std::array<std::uint64_t, 4>> published_sig_;
+  /// Per-shard recently-deltaed cookies, pruned past churn_exclusion.
+  std::map<SwitchId, std::deque<std::pair<std::uint64_t, netbase::SimTime>>>
+      recent_deltas_;
   Stats stats_;
 };
 

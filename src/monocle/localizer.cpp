@@ -8,7 +8,8 @@ namespace monocle {
 
 Diagnosis localize_failures(const openflow::FlowTable& expected,
                             const std::unordered_set<std::uint64_t>& failed,
-                            const LocalizerOptions& options) {
+                            const LocalizerOptions& options,
+                            const std::unordered_set<std::uint64_t>* excluded) {
   // Group rules by their (sole) output port; multicast/ECMP rules join every
   // port in their forwarding set — a dead link breaks them too, but they
   // alone cannot implicate a single link.
@@ -18,6 +19,9 @@ Diagnosis localize_failures(const openflow::FlowTable& expected,
   };
   std::map<std::uint16_t, PortGroup> by_port;
   for (const openflow::Rule& r : expected.rules()) {
+    // Mid-update/mid-churn rules carry no usable evidence either way: out
+    // of the numerator AND the denominator.
+    if (excluded != nullptr && excluded->contains(r.cookie)) continue;
     const auto ports = r.outcome().forwarding_set();
     for (const std::uint16_t port : ports) {
       if (port >= openflow::kPortMax) continue;  // controller/flood pseudo-ports
@@ -47,6 +51,7 @@ Diagnosis localize_failures(const openflow::FlowTable& expected,
             });
 
   for (const std::uint64_t cookie : failed) {
+    if (excluded != nullptr && excluded->contains(cookie)) continue;
     if (!explained.contains(cookie)) out.isolated_rules.push_back(cookie);
   }
   std::sort(out.isolated_rules.begin(), out.isolated_rules.end());
@@ -63,10 +68,12 @@ NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
   // independent suspicions land on the same entry (= corroboration).
   using LinkKey = std::tuple<SwitchId, std::uint16_t, SwitchId, std::uint16_t>;
   std::map<LinkKey, LinkDiagnosis> links;
+  std::unordered_set<SwitchId> reporting;
   for (const SwitchFailureReport& rep : reports) {
     if (rep.expected == nullptr || rep.failed == nullptr) continue;
-    const Diagnosis local =
-        localize_failures(*rep.expected, *rep.failed, options.per_switch);
+    reporting.insert(rep.sw);
+    const Diagnosis local = localize_failures(*rep.expected, *rep.failed,
+                                              options.per_switch, rep.excluded);
     for (const LinkSuspect& suspect : local.failed_links) {
       SwitchId a = rep.sw;
       std::uint16_t port_a = suspect.port;
@@ -89,12 +96,22 @@ NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
       } else {
         link.corroborated = true;  // the other endpoint reported it too
       }
+      if (rep.sw == link.a) {
+        link.reported_a = true;
+      } else {
+        link.reported_b = true;
+      }
       link.failed_rules += suspect.failed_rules;
       link.fraction = std::max(link.fraction, suspect.fraction());
     }
     for (const std::uint64_t cookie : local.isolated_rules) {
       out.isolated.push_back({rep.sw, cookie});
     }
+  }
+
+  for (auto& [key, link] : links) {
+    link.peer_monitored = link.b != 0 && reporting.contains(link.a) &&
+                          reporting.contains(link.b);
   }
 
   // Switch promotion: a switch most of whose inter-switch links are suspect
@@ -109,6 +126,12 @@ NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
   std::map<SwitchId, PerSwitch> by_switch;
   for (const auto& [key, link] : links) {
     if (link.b == 0) continue;
+    // Ingress-contamination collateral (one-sided despite a monitored,
+    // reporting peer) must not vote a healthy switch dead.
+    if (options.contamination_filter && !link.corroborated &&
+        link.peer_monitored) {
+      continue;
+    }
     by_switch[link.a].suspect_links += 1;
     by_switch[link.a].failed_rules += link.failed_rules;
     by_switch[link.b].suspect_links += 1;
@@ -146,6 +169,21 @@ NetworkDiagnosis localize_network(std::span<const SwitchFailureReport> reports,
               if (x.corroborated != y.corroborated) return x.corroborated;
               return x.fraction > y.fraction;
             });
+
+  // Parsimony: a confirmed-suspect element already explains sub-threshold
+  // probe loss on its endpoint switches — ingress-contaminated rules there
+  // are not independent soft faults.
+  if (options.contamination_filter && (!links.empty() || !blamed.empty())) {
+    std::erase_if(out.isolated, [&](const IsolatedRuleFault& fault) {
+      if (blamed.contains(fault.sw)) return true;
+      for (const auto& [key, link] : links) {
+        if (fault.sw == link.a || (link.b != 0 && fault.sw == link.b)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
 
   std::sort(out.isolated.begin(), out.isolated.end(),
             [](const IsolatedRuleFault& x, const IsolatedRuleFault& y) {

@@ -69,9 +69,15 @@ struct LocalizerOptions {
 /// Diagnoses the failure pattern of one switch.  `expected` is the Monocle
 /// expected table (its unicast rules' output ports define the per-link rule
 /// groups); `failed` the cookies currently marked failed by the Monitor.
-Diagnosis localize_failures(const openflow::FlowTable& expected,
-                            const std::unordered_set<std::uint64_t>& failed,
-                            const LocalizerOptions& options = {});
+/// Rules in `excluded` (in-flight updates, recently-deltaed rules — the
+/// TableDelta stream's view of active churn) are left out of BOTH the
+/// failed and the total counts: their probe behaviour is confirmation
+/// traffic in transition, not failure evidence.
+Diagnosis localize_failures(
+    const openflow::FlowTable& expected,
+    const std::unordered_set<std::uint64_t>& failed,
+    const LocalizerOptions& options = {},
+    const std::unordered_set<std::uint64_t>* excluded = nullptr);
 
 // ---------------------------------------------------------------------------
 // Network-wide localization (fleet pipeline)
@@ -83,6 +89,11 @@ struct SwitchFailureReport {
   SwitchId sw = 0;
   const openflow::FlowTable* expected = nullptr;
   const std::unordered_set<std::uint64_t>* failed = nullptr;
+  /// Optional: cookies to exclude from corroboration (rules with in-flight
+  /// updates or recent deltas).  The Fleet derives this from each shard's
+  /// pending updates plus its TableDelta stream, so churn never reads as a
+  /// fault.  Null = nothing excluded.
+  const std::unordered_set<std::uint64_t>* excluded = nullptr;
 };
 
 /// A suspected inter-switch link, named by both endpoints.
@@ -93,6 +104,16 @@ struct LinkDiagnosis {
   std::uint16_t port_b = 0;
   /// Both endpoints' monitors independently blamed this link.
   bool corroborated = false;
+  /// Which endpoint(s) testified.  In one localize_network pass
+  /// corroborated == (reported_a && reported_b); the evidence accumulator
+  /// (evidence.hpp) ORs these across passes, so a marginal gray link whose
+  /// endpoints cross the group threshold in different passes still reads
+  /// as two-sided testimony.
+  bool reported_a = false;
+  bool reported_b = false;
+  /// Both endpoints known and present in the report set — a silent peer is
+  /// then a monitored witness, not a blind spot.
+  bool peer_monitored = false;
   std::size_t failed_rules = 0;  ///< failed rules forwarding into the link
   double fraction = 0.0;         ///< worst per-endpoint failed/total ratio
 };
@@ -132,6 +153,23 @@ struct NetworkLocalizerOptions {
   /// ... and at least this many of them (degree-2 switches should not be
   /// declared dead on one bad link).
   std::size_t min_suspect_links = 3;
+  /// Structural probe-path contamination filter.  Probes are injected at
+  /// the upstream peer and enter the probed switch over a real link, so one
+  /// dead element kills every probe whose INGRESS path crosses it — whole
+  /// egress groups on innocent ports fail in bulk on both adjacent
+  /// switches.  With the filter on:
+  ///  * an uncorroborated link suspect whose peer is monitored and
+  ///    reporting stays out of the switch-promotion tally (collateral
+  ///    groups cannot vote a healthy switch dead) — it is still emitted,
+  ///    flagged via reported_a/reported_b/peer_monitored, so the evidence
+  ///    accumulator can apply cross-pass corroboration instead of a
+  ///    one-shot veto;
+  ///  * isolated rule faults on a switch incident to a link or switch
+  ///    suspect are discarded (parsimony): that element already explains
+  ///    sub-threshold probe loss on its endpoints.
+  /// Off by default (the single-pass diagnose() path keeps every lead);
+  /// the evidence accumulator turns it on (evidence.hpp).
+  bool contamination_filter = false;
 };
 
 /// Diagnoses the whole fabric from per-switch failure reports.  `view`

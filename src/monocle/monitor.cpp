@@ -67,6 +67,17 @@ void Monitor::on_channel_state(bool up) {
     // is failed for probes the disconnect ate) and pause the steady cycle.
     for (auto& [nonce, op] : outstanding_) runtime_->cancel(op.timer);
     outstanding_.clear();
+    // Suspicions die with the channel: their strikes may be the OUTAGE's
+    // timeouts, so the K-of-N evidence is void — back to unknown, and the
+    // steady cycle re-judges each rule from scratch after the reconnect.
+    for (auto& [cookie, s] : suspects_) {
+      runtime_->cancel(s.timer);
+      const auto st = rule_states_.find(cookie);
+      if (st != rule_states_.end() && st->second == RuleState::kSuspect) {
+        st->second = RuleState::kConfirmed;
+      }
+    }
+    suspects_.clear();
     // Echoes that left before the cut are stale on arrival: a barrier epoch
     // separates pre-outage injections from everything after.  (A channel
     // that was never up carried no probes, so there is nothing to stale.)
@@ -125,6 +136,18 @@ void Monitor::on_channel_state(bool up) {
       job.inject_timer = runtime_->schedule(
           config_.negative_confirm_timeout,
           [this, cookie = job.rule.cookie] { confirm_update(cookie); });
+    } else if (job.probe.has_value()) {
+      // A flap mid-confirmation leaves the update's state UNKNOWN, not
+      // failed: anything observed (or not observed) around the cut answers
+      // for the channel.  Re-arm the probe cadence from the reconnect with
+      // a settle head start for the re-issued FlowMod, and restart the
+      // silence count — negative confirmation must be earned entirely by
+      // post-reconnect injections.
+      job.silent_injections = 0;
+      runtime_->cancel(job.inject_timer);
+      job.inject_timer = runtime_->schedule(
+          config_.generation_delay,
+          [this, cookie = job.rule.cookie] { inject_update_probe(cookie); });
     }
   }
   steady_pos_ = 0;
@@ -169,6 +192,8 @@ void Monitor::stop() {
   dirty_probe_cookies_.clear();
   for (auto& [nonce, op] : outstanding_) runtime_->cancel(op.timer);
   outstanding_.clear();
+  for (auto& [cookie, s] : suspects_) runtime_->cancel(s.timer);
+  suspects_.clear();
   for (auto& [cookie, job] : updates_) {
     runtime_->cancel(job.inject_timer);
     runtime_->cancel(job.give_up_timer);
@@ -916,7 +941,12 @@ void Monitor::apply_table_delta(const openflow::TableDelta& delta,
     // observations that reset silence-based negative confirmation, letting
     // an overlapping-delta stream falsely confirm a drop rule.  Update
     // nonces are resolved by confirm_update/give-up, never left behind.
-    if (updates_.find(cookie) == updates_.end()) purge_outstanding_for(cookie);
+    if (updates_.find(cookie) == updates_.end()) {
+      purge_outstanding_for(cookie);
+      // An in-progress suspicion about a rule the delta touched is evidence
+      // about a table that no longer exists: drop it without a verdict.
+      drop_suspect(cookie);
+    }
   }
   if (delta.kind == Kind::kDelete) {
     rule_floor_.erase(delta.rule.cookie);  // late echoes miss outstanding_ anyway
@@ -1085,11 +1115,27 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
   runtime_->cancel(out_it->second.timer);
   retire_outstanding(out_it);
   if (verdict == Verdict::kPresent) {
+    if (const auto s = suspects_.find(cookie); s != suspects_.end()) {
+      // One present echo acquits: the timeouts were the path flapping (or
+      // eating probes), not the rule misbehaving.
+      runtime_->cancel(s->second.timer);
+      suspects_.erase(s);
+      ++stats_.flap_suppressions;
+      rule_states_[cookie] = RuleState::kConfirmed;
+    }
     if (failed_.erase(cookie) > 0) {
       rule_states_[cookie] = RuleState::kConfirmed;
     }
   } else if (verdict == Verdict::kAbsent) {
-    mark_rule_failed(cookie);
+    // An absent echo is direct evidence — but under churn and flaps a
+    // single observation still goes through K-of-N confirmation.
+    if (suspects_.contains(cookie)) {
+      suspect_strike(cookie);
+    } else if (config_.confirm_probes > 0) {
+      raise_suspect(cookie);
+    } else {
+      mark_rule_failed(cookie);
+    }
   }
   // kInconclusive: ignore.
 }
@@ -1114,18 +1160,24 @@ const Rule* Monitor::next_steady_rule() {
     for (const Rule& r : expected_.table().rules()) {
       if (is_infrastructure_cookie(r.cookie)) continue;
       const RuleState st = rule_state(r.cookie);
-      if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
+      if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
+          st == RuleState::kSuspect) {
+        continue;  // suspects are probed by their own confirmation machine
+      }
       steady_order_.push_back(r.cookie);
     }
     steady_pos_ = 0;
     if (steady_order_.empty()) return nullptr;
   }
-  // Skip entries that became pending/unmonitorable since the rebuild.
+  // Skip entries that became pending/suspect/unmonitorable since the rebuild.
   for (std::size_t scanned = 0; scanned < steady_order_.size(); ++scanned) {
     const std::uint64_t cookie = steady_order_[steady_pos_];
     steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
     const RuleState st = rule_state(cookie);
-    if (st == RuleState::kPending || st == RuleState::kUnmonitorable) continue;
+    if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
+        st == RuleState::kSuspect) {
+      continue;
+    }
     const Rule* rule = expected_.table().find_by_cookie(cookie);
     if (rule == nullptr) continue;  // deleted
     return rule;
@@ -1184,14 +1236,31 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
       (cache_it != cache_->entries.end() && cache_it->second.probe)
           ? &cache_it->second
           : nullptr;
-  if (entry == nullptr) return;
+  if (entry == nullptr) {
+    // Entry vanished under an in-flight confirmation probe: the evidence is
+    // gone with it — drop the suspicion rather than stall it timer-less.
+    drop_suspect(op.cookie);
+    return;
+  }
   const Probe* probe = &*entry->probe;
 
   // Negative probes (present outcome = drop): silence is the GOOD outcome.
   if (probe->if_present.is_drop()) {
+    if (const auto s = suspects_.find(op.cookie); s != suspects_.end()) {
+      runtime_->cancel(s->second.timer);
+      suspects_.erase(s);
+      ++stats_.flap_suppressions;
+      rule_states_[op.cookie] = RuleState::kConfirmed;
+    }
     if (failed_.erase(op.cookie) > 0) {
       rule_states_[op.cookie] = RuleState::kConfirmed;
     }
+    return;
+  }
+
+  // A confirmation probe of a suspect rule: its silence is one strike.
+  if (suspects_.contains(op.cookie)) {
+    suspect_strike(op.cookie);
     return;
   }
 
@@ -1201,6 +1270,7 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
     if (!inject_probe_packet(*probe, entry, op.epoch, nonce2)) {
       return;  // injection path went down mid-retry: no verdict this cycle
     }
+    ++stats_.probe_retries;
     OutstandingProbe op2 = op;
     op2.nonce = nonce2;
     op2.tries_left = op.tries_left - 1;
@@ -1210,7 +1280,117 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
     insert_outstanding(nonce2, op2);
     return;
   }
+  if (config_.confirm_probes > 0) {
+    raise_suspect(op.cookie);
+    return;
+  }
   mark_rule_failed(op.cookie);
+}
+
+// ---------------------------------------------------------------------------
+// K-of-N suspect confirmation (Config::confirm_probes)
+// ---------------------------------------------------------------------------
+
+void Monitor::raise_suspect(std::uint64_t cookie) {
+  if (failed_.contains(cookie)) return;  // verdict already published
+  const auto [it, fresh] = suspects_.try_emplace(cookie);
+  if (!fresh) return;  // already under confirmation
+  // Sibling nonces of the same loss episode must not double as strikes:
+  // from here on only the serial confirmation probes speak for this rule.
+  purge_outstanding_for(cookie);
+  ++stats_.suspects_raised;
+  rule_states_[cookie] = RuleState::kSuspect;  // steady cycle skips it
+  SuspectEntry& s = it->second;
+  s.probes_left = config_.confirm_probes;
+  s.strikes = 0;
+  s.backoff = config_.confirm_backoff;
+  s.since = runtime_->now();
+  schedule_suspect_probe(cookie);
+}
+
+void Monitor::schedule_suspect_probe(std::uint64_t cookie) {
+  const auto it = suspects_.find(cookie);
+  if (it == suspects_.end()) return;
+  SuspectEntry& s = it->second;
+  s.timer = runtime_->schedule(s.backoff, [this, cookie] {
+    const auto it2 = suspects_.find(cookie);
+    if (it2 == suspects_.end()) return;
+    it2->second.timer = 0;
+    inject_suspect_probe(cookie);
+  });
+  s.backoff = static_cast<SimTime>(static_cast<double>(s.backoff) *
+                                   config_.confirm_backoff_factor);
+}
+
+void Monitor::inject_suspect_probe(std::uint64_t cookie) {
+  const auto it = suspects_.find(cookie);
+  if (it == suspects_.end()) return;
+  const Rule* rule = expected_.table().find_by_cookie(cookie);
+  if (rule == nullptr) {  // deleted while suspect: nothing left to judge
+    drop_suspect(cookie);
+    return;
+  }
+  SuspectEntry& s = it->second;
+  --s.probes_left;
+  ProbeCache::Entry* entry = probe_entry_for(*rule);
+  if (entry == nullptr) {  // became unmonitorable: no probe, no verdict
+    drop_suspect(cookie);
+    return;
+  }
+  const openflow::Epoch epoch = expected_.epoch();
+  const std::uint32_t nonce = next_nonce_++;
+  if (!inject_probe_packet(*entry->probe, entry, epoch, nonce)) {
+    // Injection path down mid-confirmation: silence would be about the
+    // channel, not the rule.  Retry after the (growing) backoff; a real
+    // outage clears the whole suspect set via on_channel_state.
+    schedule_suspect_probe(cookie);
+    return;
+  }
+  OutstandingProbe op;
+  op.cookie = cookie;
+  op.epoch = epoch;
+  op.nonce = nonce;
+  op.tries_left = 0;  // confirmation probes carry no inner retries
+  op.first_injected = runtime_->now();
+  op.timer = runtime_->schedule(
+      config_.probe_timeout / std::max(1, config_.probe_retries),
+      [this, nonce] { on_steady_timeout(nonce); });
+  insert_outstanding(nonce, op);
+}
+
+void Monitor::suspect_strike(std::uint64_t cookie) {
+  const auto it = suspects_.find(cookie);
+  if (it == suspects_.end()) return;
+  SuspectEntry& s = it->second;
+  ++s.strikes;
+  if (s.strikes >= config_.confirm_failures) {
+    runtime_->cancel(s.timer);
+    suspects_.erase(it);
+    ++stats_.suspects_confirmed;
+    mark_rule_failed(cookie);
+    return;
+  }
+  if (s.probes_left <= 0) {
+    // Out of confirmation probes without K strikes: the evidence did not
+    // corroborate — clear with the benefit of the doubt.
+    runtime_->cancel(s.timer);
+    suspects_.erase(it);
+    ++stats_.flap_suppressions;
+    rule_states_[cookie] = RuleState::kConfirmed;
+    return;
+  }
+  schedule_suspect_probe(cookie);
+}
+
+void Monitor::drop_suspect(std::uint64_t cookie) {
+  const auto it = suspects_.find(cookie);
+  if (it == suspects_.end()) return;
+  runtime_->cancel(it->second.timer);
+  suspects_.erase(it);
+  const auto st = rule_states_.find(cookie);
+  if (st != rule_states_.end() && st->second == RuleState::kSuspect) {
+    st->second = RuleState::kConfirmed;  // unknown-not-failed; cycle resumes
+  }
 }
 
 void Monitor::mark_rule_failed(std::uint64_t cookie) {

@@ -53,6 +53,7 @@ enum class RuleState : std::uint8_t {
   kConfirmed,      ///< present and behaving per the last probe
   kFailed,         ///< probes prove the rule missing/misbehaving
   kUnmonitorable,  ///< no probe exists (§3.5) — reported, not probed
+  kSuspect,        ///< timed out; K-of-N confirmation probes deciding
 };
 
 /// An alarm raised by steady-state monitoring.
@@ -103,6 +104,11 @@ struct MonitorStats {
   /// stale_probes counts stale ECHO arrivals only, while a timeout of an
   /// epoch-stale probe counts here alone.
   std::uint64_t stale_epoch_drops = 0;
+  // Robust verdict machine (loss/flap tolerance): steady-state suspicion.
+  std::uint64_t probe_retries = 0;       ///< steady re-injections after timeout
+  std::uint64_t suspects_raised = 0;     ///< timeout trains escalated to suspect
+  std::uint64_t suspects_confirmed = 0;  ///< suspects K-of-N-confirmed failed
+  std::uint64_t flap_suppressions = 0;   ///< suspects cleared without failing
   std::chrono::nanoseconds generation_time{0};
 };
 
@@ -141,6 +147,19 @@ class Monitor {
     /// (drop-rule install without drop-postponing; §3.3).
     int negative_confirm_tries = 3;
     netbase::SimTime negative_confirm_timeout = 15 * netbase::kMillisecond;
+    /// K-of-N suspect confirmation (robust verdicts under probe loss): when
+    /// confirm_probes > 0, a steady probe train that exhausts its retries
+    /// marks the rule SUSPECT instead of failed and re-probes up to
+    /// confirm_probes more times with geometric backoff.  Only
+    /// confirm_failures additional absent/timed-out verdicts confirm the
+    /// failure; a single present echo — or running out of confirmation
+    /// probes without enough strikes — clears the suspicion (counted as a
+    /// flap suppression).  0 = legacy behaviour: the first exhausted train
+    /// fails the rule immediately (the Figure 4 detection-latency profile).
+    int confirm_probes = 0;
+    int confirm_failures = 2;
+    netbase::SimTime confirm_backoff = 20 * netbase::kMillisecond;
+    double confirm_backoff_factor = 2.0;
     /// Raise steady-state alarms only once this many rules are failed
     /// (Figure 4's threshold knob).
     std::size_t alarm_threshold = 1;
@@ -290,6 +309,20 @@ class Monitor {
   [[nodiscard]] std::size_t pending_update_count() const {
     return updates_.size();
   }
+  /// Cookies with an in-flight dynamic update.  Their probe traffic is
+  /// confirmation, not failure evidence — network localization excludes
+  /// them from corroboration (fleet.hpp wires this through the
+  /// SwitchFailureReport::excluded channel).
+  [[nodiscard]] std::vector<std::uint64_t> pending_update_cookies() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(updates_.size());
+    for (const auto& [cookie, job] : updates_) out.push_back(cookie);
+    return out;
+  }
+  /// Rules currently under K-of-N failure confirmation.
+  [[nodiscard]] std::size_t suspect_rule_count() const {
+    return suspects_.size();
+  }
   /// Probes injected and not yet resolved (caught, timed out, or stale).
   [[nodiscard]] std::size_t outstanding_probe_count() const {
     return outstanding_.size();
@@ -378,6 +411,19 @@ class Monitor {
   bool inject_steady_probe(const openflow::Rule& rule);
   void on_steady_timeout(std::uint32_t nonce);
   void mark_rule_failed(std::uint64_t cookie);
+  // K-of-N suspect confirmation (Config::confirm_probes).  A rule enters
+  // suspects_ when its probe train exhausts (or an absent echo arrives),
+  // leaves it confirmed-failed after confirm_failures strikes, or cleared
+  // (flap suppression) on one present echo / too few strikes.  Evidence is
+  // dropped — no verdict — when the channel dies, the rule is deltaed, or
+  // the Monitor stops.
+  void raise_suspect(std::uint64_t cookie);
+  void schedule_suspect_probe(std::uint64_t cookie);
+  void inject_suspect_probe(std::uint64_t cookie);
+  void suspect_strike(std::uint64_t cookie);
+  /// Removes the suspect entry without a verdict (delta/outage/teardown);
+  /// the rule returns to the steady cycle as kConfirmed-unknown.
+  void drop_suspect(std::uint64_t cookie);
   /// Drops (and cancels the timers of) every outstanding probe of `cookie`
   /// — update confirmation/give-up resolve ALL of a rule's in-flight nonces.
   void purge_outstanding_for(std::uint64_t cookie);
@@ -455,6 +501,15 @@ class Monitor {
     std::unique_ptr<ProbeBatchSession> session;
   };
   std::vector<LiveSession> live_sessions_;
+
+  struct SuspectEntry {
+    int probes_left = 0;           // confirmation probes still to send
+    int strikes = 0;               // absent/timeout verdicts accumulated
+    netbase::SimTime backoff = 0;  // next injection delay (geometric)
+    netbase::SimTime since = 0;
+    std::uint64_t timer = 0;       // pending confirmation injection
+  };
+  std::unordered_map<std::uint64_t, SuspectEntry> suspects_;  // by cookie
 
   std::unordered_map<std::uint64_t, UpdateJob> updates_;  // by cookie
   std::deque<std::pair<openflow::Message, std::uint32_t>> hold_queue_;

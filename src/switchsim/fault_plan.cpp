@@ -1,0 +1,80 @@
+#include "switchsim/fault_plan.hpp"
+
+namespace monocle::switchsim {
+
+bool FaultPlan::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+}
+
+bool FaultPlan::flapped_down(SwitchId sw, std::uint16_t port,
+                             SimTime now) const {
+  const auto it = ports_.find({sw, port});
+  if (it == ports_.end() || it->second.flap_period == 0) return false;
+  const PortFault& f = it->second;
+  const SimTime t = (now + f.flap_phase) % f.flap_period;
+  return t < f.flap_down;
+}
+
+bool FaultPlan::should_drop(SwitchId from, std::uint16_t port,
+                            SwitchId peer_sw, std::uint16_t peer_port,
+                            SimTime now) {
+  // Flap duty cycles on either endpoint (deterministic, checked first so a
+  // flap window is attributed as a flap even on a gray port).
+  if (flapped_down(from, port, now) ||
+      (peer_sw != 0 && flapped_down(peer_sw, peer_port, now))) {
+    ++stats_.flap_drops;
+    return true;
+  }
+  // Gray loss on either endpoint (sender- or receiver-side frame loss).
+  const auto gray = [this](SwitchId sw, std::uint16_t p) {
+    const auto it = ports_.find({sw, p});
+    return it != ports_.end() && chance(it->second.drop_probability);
+  };
+  if (gray(from, port) || (peer_sw != 0 && gray(peer_sw, peer_port))) {
+    ++stats_.gray_drops;
+    return true;
+  }
+  // Congestion window on the emitting switch.
+  if (const auto it = switches_.find(from); it != switches_.end()) {
+    const SwitchFault& f = it->second;
+    const bool in_window =
+        now >= f.congestion_start &&
+        (f.congestion_end == 0 || now < f.congestion_end);
+    if (in_window && chance(f.congestion_loss)) {
+      ++stats_.congestion_drops;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultPlan::packetin_extra_delay(SwitchId sw, SimTime now) {
+  (void)now;
+  const auto it = switches_.find(sw);
+  if (it == switches_.end()) return 0;
+  const SwitchFault& f = it->second;
+  if (f.packetin_delay_max == 0) return 0;
+  ++stats_.packetins_delayed;
+  if (f.packetin_delay_max <= f.packetin_delay_min) {
+    return f.packetin_delay_min;
+  }
+  return std::uniform_int_distribution<SimTime>(
+      f.packetin_delay_min, f.packetin_delay_max)(rng_);
+}
+
+bool FaultPlan::commits_wedged(SwitchId sw, SimTime now) {
+  const auto it = switches_.find(sw);
+  if (it == switches_.end() || now < it->second.brain_death_at) return false;
+  ++stats_.flowmods_wedged;
+  return true;
+}
+
+bool FaultPlan::dataplane_wedged(SwitchId sw, SimTime now) const {
+  const auto it = switches_.find(sw);
+  return it != switches_.end() && it->second.brain_death_drops_dataplane &&
+         now >= it->second.brain_death_at;
+}
+
+}  // namespace monocle::switchsim

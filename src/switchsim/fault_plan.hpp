@@ -1,0 +1,135 @@
+// Fault-injection layer: the failure-scenario zoo (ISSUE 6).
+//
+// A FaultPlan is attached to a Network (Network::set_fault_plan) and is
+// consulted on the hot paths of the simulator:
+//
+//   * Network::emit          — gray failures (probabilistic per-port drop),
+//                              flapping links (deterministic on/off duty
+//                              cycles) and congestion-induced loss windows.
+//   * SimSwitch::emit_packet_in — delayed and reordered PacketIns (extra
+//                              per-message jitter; unequal draws reorder
+//                              deliveries naturally).
+//   * SimSwitch::commit_flow_mod / receive_packet — partial brain death:
+//                              the control channel keeps answering barriers
+//                              and echoes but the data plane wedges (commits
+//                              are accepted-then-discarded; optionally the
+//                              forwarding path drops everything too).
+//
+// All randomness is drawn from one seeded engine owned by the plan, so a
+// scenario replays identically for a given seed.  Correlated multi-element
+// failures are expressed by attaching the same fault kind to several
+// elements (see workloads::scenarios helpers); the plan itself is just the
+// union of per-element faults plus drop accounting by cause.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <utility>
+
+#include "switchsim/event_queue.hpp"
+
+namespace monocle::switchsim {
+
+/// Why the plan dropped (or perturbed) something — keyed stats for benches.
+struct FaultStats {
+  std::uint64_t gray_drops = 0;        ///< probabilistic per-port loss
+  std::uint64_t flap_drops = 0;        ///< link in a flap "down" window
+  std::uint64_t congestion_drops = 0;  ///< switch-wide congestion loss
+  std::uint64_t packetins_delayed = 0; ///< PacketIns given extra jitter
+  std::uint64_t flowmods_wedged = 0;   ///< commits discarded by brain death
+  std::uint64_t dataplane_wedge_drops = 0;  ///< packets eaten by brain death
+
+  [[nodiscard]] std::uint64_t total_drops() const {
+    return gray_drops + flap_drops + congestion_drops + dataplane_wedge_drops;
+  }
+};
+
+/// Per-(switch, port) faults.  A port fault applies to packets *emitted* on
+/// that port; attach to both endpoints for a symmetric link fault (the
+/// add_* helpers on FaultPlan do this for you via the scenario library).
+struct PortFault {
+  /// Gray failure: each packet emitted here is dropped with this
+  /// probability (0 = healthy, 1 = hard failure).
+  double drop_probability = 0.0;
+  /// Flapping: when flap_period > 0 the port is dead for the first
+  /// `flap_down` of every `flap_period`, offset by `flap_phase` — a
+  /// deterministic duty cycle, independent of the RNG.
+  SimTime flap_period = 0;
+  SimTime flap_down = 0;
+  SimTime flap_phase = 0;
+};
+
+/// "Not scheduled" sentinel for activation times (SimTime is unsigned).
+inline constexpr SimTime kFaultNever = ~SimTime{0};
+
+/// Per-switch faults.
+struct SwitchFault {
+  /// Congestion: every packet emitted by this switch is lost with this
+  /// probability inside [congestion_start, congestion_end) (end 0 = open).
+  double congestion_loss = 0.0;
+  SimTime congestion_start = 0;
+  SimTime congestion_end = 0;
+  /// PacketIn jitter: each PacketIn is delayed by an extra uniform draw in
+  /// [packetin_delay_min, packetin_delay_max]; unequal draws reorder.
+  SimTime packetin_delay_min = 0;
+  SimTime packetin_delay_max = 0;
+  /// Partial brain death: from `brain_death_at` on (kFaultNever = off) the
+  /// data-plane commit engine silently discards FlowMods while the control
+  /// channel stays responsive; if `brain_death_drops_dataplane` the
+  /// forwarding path wedges too (all packets eaten).
+  SimTime brain_death_at = kFaultNever;
+  bool brain_death_drops_dataplane = false;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0x5CE9A210)
+      : rng_(seed * 0x9E3779B97F4A7C15ull + 0xDA7A1055) {}
+
+  /// Mutable per-element fault entries (created on first access).
+  PortFault& port_fault(SwitchId sw, std::uint16_t port) {
+    return ports_[{sw, port}];
+  }
+  SwitchFault& switch_fault(SwitchId sw) { return switches_[sw]; }
+
+  void clear() {
+    ports_.clear();
+    switches_.clear();
+  }
+
+  /// --- queried by the simulator ---------------------------------------
+  /// Should a packet emitted at (`from`, `port`) toward (`peer_sw`,
+  /// `peer_port`) be dropped right now?  Checks gray/flap faults on BOTH
+  /// link endpoints (a gray receiver loses frames just like a gray sender)
+  /// plus the emitter's congestion window.  Pass peer_sw = 0 for host/edge
+  /// deliveries (only the emitting endpoint is consulted).
+  bool should_drop(SwitchId from, std::uint16_t port, SwitchId peer_sw,
+                   std::uint16_t peer_port, SimTime now);
+
+  /// Extra PacketIn delivery delay for `sw` (0 when no jitter configured).
+  SimTime packetin_extra_delay(SwitchId sw, SimTime now);
+
+  /// Brain death: true when `sw`'s commit engine is wedged at `now`.
+  bool commits_wedged(SwitchId sw, SimTime now);
+  /// Brain death with a wedged forwarding path too.
+  bool dataplane_wedged(SwitchId sw, SimTime now) const;
+
+  /// True when the flap duty cycle has (`sw`, `port`) down at `now`.
+  [[nodiscard]] bool flapped_down(SwitchId sw, std::uint16_t port,
+                                  SimTime now) const;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  using EndPoint = std::pair<SwitchId, std::uint16_t>;
+
+  [[nodiscard]] bool chance(double p);
+
+  std::map<EndPoint, PortFault> ports_;
+  std::map<SwitchId, SwitchFault> switches_;
+  std::mt19937_64 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace monocle::switchsim

@@ -65,6 +65,20 @@ void Network::emit(SwitchId from, std::uint16_t port, const SimPacket& packet) {
     ++lost_on_failed_links_;
     return;
   }
+  if (fault_plan_ != nullptr) {
+    // Resolve the peer endpoint so gray/flap faults on the receiving side
+    // drop the frame too; host deliveries consult only the emitter.
+    SwitchId peer_sw = 0;
+    std::uint16_t peer_port = 0;
+    if (const auto link = links_.find(ep); link != links_.end()) {
+      peer_sw = link->second.first;
+      peer_port = link->second.second;
+    }
+    if (fault_plan_->should_drop(from, port, peer_sw, peer_port,
+                                 clock_->now())) {
+      return;
+    }
+  }
   const SimSwitch* s = at(from);
   const SimTime latency =
       s != nullptr ? s->model().link_latency : 20 * netbase::kMicrosecond;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "monocle/runtime.hpp"
+#include "switchsim/fault_plan.hpp"
 #include "switchsim/sim_switch.hpp"
 
 namespace monocle::switchsim {
@@ -47,6 +48,12 @@ class Network final : public NetworkView {
   void fail_link(SwitchId sw, std::uint16_t port);
   void restore_link(SwitchId sw, std::uint16_t port);
 
+  /// Attaches a fault-injection plan (not owned; nullptr detaches).  The
+  /// plan is consulted on every emit (gray loss, flaps, congestion) and by
+  /// switches for PacketIn jitter and brain death.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
+
   /// Called by switches to emit a data-plane packet on a port.
   void emit(SwitchId from, std::uint16_t port, const SimPacket& packet);
 
@@ -69,6 +76,7 @@ class Network final : public NetworkView {
   std::map<EndPoint, std::function<void(const SimPacket&)>> hosts_;
   std::set<EndPoint> failed_;
   std::uint64_t lost_on_failed_links_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace monocle::switchsim

@@ -125,6 +125,12 @@ void SimSwitch::schedule_batch_commit() {
 }
 
 void SimSwitch::commit_flow_mod(const FlowMod& fm) {
+  // Partial brain death: the update engine accepted (and barrier-acked) the
+  // FlowMod, but the wedged data plane never applies it.
+  if (FaultPlan* plan = net_->fault_plan();
+      plan != nullptr && plan->commits_wedged(id_, clock_->now())) {
+    return;
+  }
   switch (fm.command) {
     case FlowModCommand::kAdd:
       table_.add(fm.rule());
@@ -143,6 +149,11 @@ void SimSwitch::commit_flow_mod(const FlowMod& fm) {
 }
 
 void SimSwitch::receive_packet(std::uint16_t in_port, const SimPacket& packet) {
+  if (const FaultPlan* plan = net_->fault_plan();
+      plan != nullptr && plan->dataplane_wedged(id_, clock_->now())) {
+    ++stats_.packets_dropped;  // fully wedged forwarding path
+    return;
+  }
   SimPacket pkt = packet;
   pkt.header.set(netbase::Field::InPort, in_port);
   const openflow::Rule* rule = table_.lookup(pkt.header);
@@ -224,7 +235,12 @@ void SimSwitch::emit_packet_in(std::uint16_t in_port, const SimPacket& packet) {
   pi.reason = openflow::PacketInReason::kAction;
   pi.data = netbase::craft_packet(packet.header, packet.payload);
   pi.total_len = static_cast<std::uint16_t>(pi.data.size());
-  const SimTime deliver_at = packetin_free_at_ + model_.control_latency;
+  SimTime deliver_at = packetin_free_at_ + model_.control_latency;
+  // Fault injection: extra per-message jitter delays this PacketIn; unequal
+  // draws across messages reorder deliveries.
+  if (FaultPlan* plan = net_->fault_plan(); plan != nullptr) {
+    deliver_at += plan->packetin_extra_delay(id_, now);
+  }
   auto msg = openflow::make_message(0, std::move(pi));
   clock_->schedule_at(deliver_at, [this, msg] {
     if (sink_) sink_(msg);

@@ -1,0 +1,130 @@
+#include "workloads/scenarios.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace monocle::workloads {
+
+Scenario ScenarioLibrary::hard_link_failure(SwitchId sw, std::uint16_t port) {
+  Scenario s;
+  s.name = "hard_link_failure";
+  s.truth.links.push_back({sw, port});
+  s.install = [sw, port](switchsim::Network& net, switchsim::FaultPlan&,
+                         netbase::SimTime) { net.fail_link(sw, port); };
+  return s;
+}
+
+Scenario ScenarioLibrary::gray_port(SwitchId sw, std::uint16_t port,
+                                    double drop_probability) {
+  Scenario s;
+  s.name = "gray_port";
+  s.truth.links.push_back({sw, port});
+  s.install = [sw, port, drop_probability](switchsim::Network&,
+                                           switchsim::FaultPlan& plan,
+                                           netbase::SimTime) {
+    plan.port_fault(sw, port).drop_probability = drop_probability;
+  };
+  return s;
+}
+
+Scenario ScenarioLibrary::flapping_link(SwitchId sw, std::uint16_t port,
+                                        netbase::SimTime period,
+                                        netbase::SimTime down) {
+  Scenario s;
+  s.name = "flapping_link";
+  s.truth.links.push_back({sw, port});
+  s.install = [sw, port, period, down](switchsim::Network&,
+                                       switchsim::FaultPlan& plan,
+                                       netbase::SimTime at) {
+    auto& fault = plan.port_fault(sw, port);
+    fault.flap_period = period;
+    fault.flap_down = down;
+    // Phase-lock the first down window to the activation time.
+    fault.flap_phase = period - (at % period);
+  };
+  return s;
+}
+
+Scenario ScenarioLibrary::congestion(SwitchId sw, double loss,
+                                     netbase::SimTime duration) {
+  Scenario s;
+  s.name = "congestion";
+  s.truth.expect_clean = true;
+  s.install = [sw, loss, duration](switchsim::Network&,
+                                   switchsim::FaultPlan& plan,
+                                   netbase::SimTime at) {
+    auto& fault = plan.switch_fault(sw);
+    fault.congestion_loss = loss;
+    fault.congestion_start = at;
+    fault.congestion_end = duration == 0 ? 0 : at + duration;
+  };
+  return s;
+}
+
+Scenario ScenarioLibrary::delayed_packet_ins(SwitchId sw,
+                                             netbase::SimTime min_delay,
+                                             netbase::SimTime max_delay) {
+  Scenario s;
+  s.name = "delayed_packet_ins";
+  s.truth.expect_clean = true;
+  s.install = [sw, min_delay, max_delay](switchsim::Network&,
+                                         switchsim::FaultPlan& plan,
+                                         netbase::SimTime) {
+    auto& fault = plan.switch_fault(sw);
+    fault.packetin_delay_min = min_delay;
+    fault.packetin_delay_max = max_delay;
+  };
+  return s;
+}
+
+Scenario ScenarioLibrary::brain_death(SwitchId sw, bool drops_dataplane) {
+  Scenario s;
+  s.name = drops_dataplane ? "brain_death" : "brain_death_commits_only";
+  if (drops_dataplane) {
+    s.truth.switches.push_back(sw);
+  } else {
+    s.truth.expect_clean = true;
+  }
+  s.install = [sw, drops_dataplane](switchsim::Network&,
+                                    switchsim::FaultPlan& plan,
+                                    netbase::SimTime at) {
+    auto& fault = plan.switch_fault(sw);
+    fault.brain_death_at = at;
+    fault.brain_death_drops_dataplane = drops_dataplane;
+  };
+  return s;
+}
+
+Scenario ScenarioLibrary::line_card(SwitchId sw,
+                                    std::vector<std::uint16_t> ports) {
+  Scenario s;
+  s.name = "line_card";
+  for (const std::uint16_t port : ports) s.truth.links.push_back({sw, port});
+  s.install = [sw, ports = std::move(ports)](switchsim::Network&,
+                                             switchsim::FaultPlan& plan,
+                                             netbase::SimTime) {
+    for (const std::uint16_t port : ports) {
+      plan.port_fault(sw, port).drop_probability = 1.0;
+    }
+  };
+  return s;
+}
+
+void ScenarioLibrary::ambient_loss(switchsim::Network& net,
+                                   switchsim::FaultPlan& plan,
+                                   std::span<const SwitchId> switches,
+                                   double rate) {
+  if (rate <= 0.0) return;
+  // should_drop consults both endpoints of a traversal; solve
+  // 1 - (1 - p)^2 = rate for the per-endpoint probability.
+  const double p = 1.0 - std::sqrt(1.0 - rate);
+  for (const SwitchId sw : switches) {
+    for (const std::uint16_t port : net.ports(sw)) {
+      if (!net.peer(sw, port).has_value()) continue;  // host edges stay clean
+      auto& fault = plan.port_fault(sw, port);
+      if (fault.drop_probability < p) fault.drop_probability = p;
+    }
+  }
+}
+
+}  // namespace monocle::workloads

@@ -1,0 +1,106 @@
+// Failure-scenario zoo (ISSUE 6): named, reproducible fault scripts for the
+// robustness benches and the soak test.
+//
+// A Scenario couples three things:
+//   * a name (JSON/report key),
+//   * ground truth — which network elements the localization stack SHOULD
+//     blame (or that it should blame nothing: expect_clean scenarios inject
+//     noise, not faults, and any confirmed diagnosis is a false positive),
+//   * an install() script that arms the fault against a live
+//     switchsim::Network + FaultPlan at a given activation time.
+//
+// The factories below cover the taxonomy of docs/DESIGN.md §11: hard link
+// failures, gray ports, flapping links, congestion windows, delayed and
+// reordered PacketIns, partial brain death and correlated line-card loss.
+// ambient_loss() is the orthogonal knob the fig12 sweeps turn: uniform
+// probe loss across a whole fabric, with the per-endpoint probability
+// compensated so one link traversal is lost at the requested rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/time.hpp"
+#include "switchsim/fault_plan.hpp"
+#include "switchsim/network.hpp"
+
+namespace monocle::workloads {
+
+/// What a scenario's correct diagnosis looks like.  Links are named by one
+/// endpoint (the localizer reports both; either matches).
+struct ScenarioTruth {
+  struct Link {
+    SwitchId sw = 0;
+    std::uint16_t port = 0;
+  };
+  std::vector<Link> links;
+  std::vector<SwitchId> switches;
+  /// Noise-only scenario: a robust localizer must confirm NOTHING.
+  bool expect_clean = false;
+};
+
+struct Scenario {
+  std::string name;
+  ScenarioTruth truth;
+  /// Arms the fault.  `at` is the activation time (flap phase, congestion
+  /// window start, brain-death onset); pass the current sim time.
+  std::function<void(switchsim::Network& net, switchsim::FaultPlan& plan,
+                     netbase::SimTime at)>
+      install;
+};
+
+/// Factories for the zoo.  All are pure descriptions — nothing touches the
+/// network until install() runs.
+class ScenarioLibrary {
+ public:
+  /// Hard bidirectional link failure at (`sw`, `port`) (Network::fail_link).
+  static Scenario hard_link_failure(SwitchId sw, std::uint16_t port);
+
+  /// Gray failure: packets over (`sw`, `port`) are lost with
+  /// `drop_probability` in each direction (FaultPlan checks both endpoints
+  /// of the traversal, so one entry suffices).
+  static Scenario gray_port(SwitchId sw, std::uint16_t port,
+                            double drop_probability);
+
+  /// Flapping link: dead for `down` out of every `period`, phase-locked to
+  /// the activation time.  Truth expects a confirmed link diagnosis — the
+  /// evidence accumulator must integrate across flap windows.
+  static Scenario flapping_link(SwitchId sw, std::uint16_t port,
+                                netbase::SimTime period, netbase::SimTime down);
+
+  /// Congestion: `sw` loses `loss` of everything it emits for `duration`
+  /// after activation (0 = open-ended).  Moderate loss is noise, not a
+  /// fault: truth is expect_clean.
+  static Scenario congestion(SwitchId sw, double loss,
+                             netbase::SimTime duration);
+
+  /// PacketIn jitter on `sw`: every PacketIn is delayed by an extra uniform
+  /// draw in [min_delay, max_delay]; unequal draws reorder.  expect_clean.
+  static Scenario delayed_packet_ins(SwitchId sw, netbase::SimTime min_delay,
+                                     netbase::SimTime max_delay);
+
+  /// Partial brain death of `sw`: control channel answers, commit engine
+  /// discards FlowMods; with `drops_dataplane` the forwarding path wedges
+  /// too and truth expects a switch-level diagnosis.  Without it, installed
+  /// rules keep forwarding and steady probing sees nothing: expect_clean
+  /// (the detection limit §11 documents).
+  static Scenario brain_death(SwitchId sw, bool drops_dataplane = true);
+
+  /// Correlated multi-element failure: every port in `ports` on `sw` goes
+  /// hard-gray at once (a dead line card).  Truth lists each link.
+  static Scenario line_card(SwitchId sw, std::vector<std::uint16_t> ports);
+
+  /// Uniform ambient probe loss over every inter-switch port of `switches`:
+  /// the per-endpoint gray probability is set to 1 - sqrt(1 - rate) so one
+  /// link traversal (checked at both endpoints) is lost with `rate`.
+  /// Layered on top of a scenario by the fig12 sweeps; not a Scenario
+  /// itself because it carries no truth.
+  static void ambient_loss(switchsim::Network& net,
+                           switchsim::FaultPlan& plan,
+                           std::span<const SwitchId> switches, double rate);
+};
+
+}  // namespace monocle::workloads

@@ -424,6 +424,28 @@ TEST(ChannelBackend, QueueOverflowDropsOldest) {
   EXPECT_EQ(eq.pending(), 0u);
 }
 
+TEST(ChannelBackend, QueueOverflowCountsAndHandsSheddedMessages) {
+  EventQueue eq;
+  ChannelBackend::Config cfg;
+  cfg.max_queued = 2;
+  ChannelBackend backend(cfg, &eq, [] { return nullptr; });
+  std::vector<std::uint32_t> shed;
+  backend.set_overflow_handler(
+      [&](const openflow::Message& m) { shed.push_back(m.xid); });
+  backend.start();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    backend.send(openflow::make_message(i, openflow::BarrierRequest{}));
+  }
+  // The while-down queue sheds its OLDEST message each time; every shed is
+  // counted at the overflow site and handed to the hook before destruction.
+  EXPECT_EQ(backend.stats().queue_overflow_drops, 3u);
+  EXPECT_EQ(backend.stats().messages_dropped, 3u);
+  EXPECT_EQ(shed, (std::vector<std::uint32_t>{0, 1, 2}));
+  backend.stop();
+  eq.run_all(100);
+  EXPECT_EQ(eq.pending(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Wall-clock runtime (real time; kept to tens of milliseconds)
 // ---------------------------------------------------------------------------
@@ -730,6 +752,67 @@ TEST(ChannelEndToEnd, SurvivesForcedDisconnectMidRound) {
   ASSERT_NE(rig.net.at(1)->dataplane().find_by_cookie(5000), nullptr);
 
   // Teardown drains to quiescence: no dangling Runtime timers anywhere.
+  rig.stop_all();
+  const auto executed = rig.eq.run_all(100000);
+  EXPECT_LT(executed, 100000u);
+  EXPECT_EQ(rig.eq.pending(), 0u);
+}
+
+TEST(ChannelEndToEnd, FlapDuringUpdateConfirmationIsUnknownNotFailed) {
+  // An outage that OUTLASTS update_give_up while an update confirmation is
+  // in flight must leave the update unknown, not failed: the give-up clock
+  // pauses with the channel (silence answers for the outage, not the data
+  // plane) and restarts from the reconnect, where the re-issued FlowMod
+  // confirms end-to-end.
+  const auto topo = topo::make_star(3);
+  const auto rules = workloads::l3_host_routes(10, {1, 2, 3}, 11);
+  Monitor::Config cfg = fast_config();
+  cfg.update_give_up = 300 * kMillisecond;
+  ChannelRig rig(topo, cfg);
+  for (const Rule& r : rules) {
+    rig.monitor(1)->seed_rule(r);
+    rig.net.at(1)->mutable_dataplane().add(r);
+  }
+  rig.start_monitoring();
+  rig.eq.run_until(rig.eq.now() + 400 * kMillisecond);
+  Monitor* mon = rig.monitor(1);
+  ChannelRig::Station* hub = rig.stations.at(1).get();
+  ASSERT_TRUE(hub->backend->up());
+
+  std::vector<std::uint64_t> confirmed;
+  std::vector<std::uint64_t> failed;
+  mon->hooks_for_test().on_update_confirmed =
+      [&](std::uint64_t cookie, SimTime) { confirmed.push_back(cookie); };
+  mon->hooks_for_test().on_update_failed =
+      [&](std::uint64_t cookie, SimTime) { failed.push_back(cookie); };
+  FlowMod fm;
+  fm.command = FlowModCommand::kAdd;
+  fm.priority = 20;
+  fm.cookie = 6000;
+  fm.match.set_exact(Field::EthType, netbase::kEthTypeIpv4);
+  fm.match.set_prefix(Field::IpDst, 0x0A00F002u, 32);
+  fm.actions = {Action::output(2)};
+  mon->on_controller_message(openflow::make_message(88, fm));
+
+  // Cut the cable before the FlowMod's bytes drain and refuse redials long
+  // enough (20+40+80+160 ms of backoff) that the outage exceeds
+  // update_give_up by itself.
+  rig.transport.sever(hub->pair);
+  hub->fail_next_dials = 4;
+  rig.eq.run_until(rig.eq.now() + 450 * kMillisecond);
+  ASSERT_FALSE(hub->backend->up());
+  // Past the give-up horizon, mid-outage: still pending, not failed.
+  EXPECT_TRUE(failed.empty());
+  EXPECT_EQ(mon->rule_state(6000), RuleState::kPending);
+
+  rig.eq.run_until(rig.eq.now() + 2 * kSecond);
+  EXPECT_TRUE(hub->backend->up());
+  EXPECT_TRUE(failed.empty());
+  ASSERT_EQ(confirmed, (std::vector<std::uint64_t>{6000}));
+  EXPECT_EQ(mon->rule_state(6000), RuleState::kConfirmed);
+  ASSERT_NE(rig.net.at(1)->dataplane().find_by_cookie(6000), nullptr);
+  EXPECT_EQ(mon->failed_rule_count(), 0u);
+
   rig.stop_all();
   const auto executed = rig.eq.run_all(100000);
   EXPECT_LT(executed, 100000u);
