@@ -63,9 +63,14 @@ inline double mean(const std::vector<double>& v) {
 /// regeneration rode the warm delta-maintained sessions or from-scratch
 /// encodings.  `allocs_per_probe` (fig11's scale-out metric, measured with
 /// the counting allocator) is printed when non-negative; binaries without
-/// the interposer pass the default.
+/// the interposer pass the default.  Multi-worker harnesses (PR 7) pass
+/// `workers` and the aggregate `probes_per_sec` to get a worker count and
+/// per-worker throughput column — the number that should stay flat as the
+/// sweep adds workers if the shard-affine driver really scales.
 inline void print_monitor_stats(const char* label, const MonitorStats& s,
-                                double allocs_per_probe = -1.0) {
+                                double allocs_per_probe = -1.0,
+                                std::size_t workers = 0,
+                                double probes_per_sec = 0.0) {
   std::printf(
       "  %-18s cache hit/miss %llu/%llu  invalidations %llu  deltas %llu  "
       "regen delta/scratch %llu/%llu  stale echoes %llu  epoch drops %llu  "
@@ -81,6 +86,10 @@ inline void print_monitor_stats(const char* label, const MonitorStats& s,
       std::chrono::duration<double, std::milli>(s.generation_time).count());
   if (allocs_per_probe >= 0) {
     std::printf("  allocs/probe %.2f", allocs_per_probe);
+  }
+  if (workers > 0) {
+    std::printf("  workers %zu  probes/s/worker %.2fM", workers,
+                probes_per_sec / static_cast<double>(workers) / 1e6);
   }
   std::printf("\n");
 }

@@ -21,12 +21,21 @@
 //     arenas).  Reports probes/sec and, with the counting allocator linked
 //     into this binary, heap allocations per probe.
 //
+//  3. Multi-worker round engine (PR 7): the same loopback fast path
+//     partitioned over shard-affine workers (bench::MtFastPathRig over
+//     monocle::RoundEngine), swept over worker counts at the largest shard
+//     point.  Classifications must be byte-identical to the 1-worker driver
+//     at every width; throughput is reported per worker.
+//
 // Acceptance (checked at 100 shards): >= 2x probes/sec over the baseline
-// and 0 allocations/probe on the steady cycle.  Results land in
+// and 0 allocations/probe on the steady cycle.  Multi-worker: byte-identical
+// classifications at every worker count, and >= 3x probes/sec with 8 workers
+// at 500 shards on machines with >= 8 hardware threads.  Results land in
 // BENCH_scaleout.json.
 #include <chrono>
 #include <tuple>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -224,6 +233,100 @@ std::pair<FastPathResult, FastPathResult> run_fast_path_pair(
   return {legacy, flat};
 }
 
+// ---------------------------------------------------------------------------
+// Phase 3: multi-worker round engine sweep (PR 7)
+// ---------------------------------------------------------------------------
+
+struct WorkerPoint {
+  std::size_t workers = 0;
+  std::uint64_t probes = 0;
+  double probes_per_sec = 0;
+  bool parity = true;  ///< classification signature == the 1-worker rig's
+};
+
+struct MtSweepResult {
+  std::size_t shards = 0;
+  std::vector<WorkerPoint> points;
+  double speedup = 0;  ///< best multi-worker pps / 1-worker pps
+  bool parity = true;
+  MonitorStats stats;       ///< summed monitor counters at the widest point
+  std::size_t best_workers = 0;
+};
+
+/// One timed pass over the multi-worker rig.  The round count depends only
+/// on the (deterministic) per-round injection total, so every worker count
+/// executes the exact same probe sequence — which is what makes the
+/// classification-signature comparison meaningful.
+double mt_timed_pass(bench::MtFastPathRig& rig, std::size_t target_probes,
+                     std::uint64_t& probes_total) {
+  std::uint64_t probes = 0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  while (probes < target_probes) {
+    const std::size_t injected = rig.round(4);
+    if (injected == 0) break;
+    probes += injected;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  probes_total += probes;
+  return wall_s > 0 ? probes / wall_s : 0;
+}
+
+/// Sweeps the shard-affine round engine over worker counts on the largest
+/// topology: fresh rig per count, identical probe sequence, best-of-3
+/// timing, and a byte-identical classification check against workers=1.
+MtSweepResult run_mt_sweep(const topo::Topology& topo,
+                           std::size_t rules_per_switch,
+                           std::size_t target_probes, bool quick) {
+  MtSweepResult out;
+  out.shards = topo.node_count();
+  const std::vector<std::size_t> worker_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::vector<std::uint64_t> reference_sig;
+  for (const std::size_t workers : worker_counts) {
+    bench::MtFastPathRig::Options opts;
+    opts.workers = workers;
+    opts.rules_per_switch = rules_per_switch;
+    bench::MtFastPathRig rig(topo, opts);
+    for (int i = 0; i < 3; ++i) rig.round(4);  // warm wires/arenas/queues
+
+    WorkerPoint p;
+    p.workers = workers;
+    for (int rep = 0; rep < 3; ++rep) {
+      p.probes_per_sec = std::max(
+          p.probes_per_sec, mt_timed_pass(rig, target_probes, p.probes));
+    }
+    rig.stop();  // quiesce before reading classifications/stats
+
+    const std::vector<std::uint64_t> sig = rig.classification_signature();
+    if (reference_sig.empty()) {
+      reference_sig = sig;
+    } else {
+      p.parity = sig == reference_sig;
+      out.parity = out.parity && p.parity;
+    }
+    if (workers == worker_counts.back()) out.stats = rig.summed_stats();
+    std::printf("  %zu worker%s: %10.0f probes/s  (%.2fM/s/worker)%s\n",
+                workers, workers == 1 ? " " : "s",
+                p.probes_per_sec,
+                p.probes_per_sec / static_cast<double>(workers) / 1e6,
+                p.parity ? "" : "  PARITY MISMATCH vs 1 worker");
+    out.points.push_back(p);
+  }
+
+  const double base = out.points.front().probes_per_sec;
+  for (const WorkerPoint& p : out.points) {
+    if (p.probes_per_sec > base * out.speedup) {
+      out.speedup = base > 0 ? p.probes_per_sec / base : 0;
+      out.best_workers = p.workers;
+    }
+  }
+  return out;
+}
+
 struct ShardPoint {
   std::size_t shards = 0;
   FleetScaleResult fleet;
@@ -306,9 +409,41 @@ int main(int argc, char** argv) {
     points.push_back(p);
   }
 
+  // Multi-worker round-engine sweep at the largest shard point: the same
+  // probe sequence partitioned over shard-affine workers, with a
+  // byte-identical classification check against the 1-worker driver.
+  const std::size_t largest = shard_counts.back();
+  std::printf("\n--- worker sweep at %zu shards (shard-affine round engine, "
+              "%u hw threads) ---\n",
+              largest, std::thread::hardware_concurrency());
+  const topo::Topology mt_topo = topo::make_rocketfuel_as(largest, 2026);
+  const MtSweepResult mt = run_mt_sweep(
+      mt_topo, rules_per_switch, quick ? 120000 : 250000, quick);
+  const WorkerPoint& widest = mt.points.back();
+  monocle::bench::print_monitor_stats("(mt sweep)", mt.stats, -1.0,
+                                      widest.workers, widest.probes_per_sec);
+  std::printf("  mt speedup: %.2fx at %zu workers (parity %s)\n", mt.speedup,
+              mt.best_workers, mt.parity ? "ok" : "BROKEN");
+
   // Acceptance at the 100-shard point: >=2x probes/sec on the fast path and
   // a zero-allocation steady cycle.
   bool pass = true;
+  // Multi-worker acceptance: classifications must match the single-worker
+  // driver bit for bit at EVERY worker count, and on a machine with the
+  // cores to show it (>=8), 8 workers must deliver >=3x the 1-worker
+  // throughput at the 500-shard point.
+  if (!mt.parity) {
+    std::printf("\nFAIL: multi-worker classifications diverge from the "
+                "1-worker driver\n");
+    pass = false;
+  }
+  if (!quick && largest >= 500 &&
+      std::thread::hardware_concurrency() >= 8 && mt.speedup < 3.0) {
+    std::printf("\nFAIL: mt speedup %.2fx < 3x at %zu shards with %zu "
+                "workers\n",
+                mt.speedup, largest, mt.points.back().workers);
+    pass = false;
+  }
   for (const ShardPoint& p : points) {
     if (p.shards != 100) continue;
     if (p.speedup < 2.0) {
@@ -335,7 +470,17 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       json_point(json, points[i], /*last=*/i + 1 == points.size());
     }
-    std::fprintf(json, "  },\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fprintf(json, "  },\n  \"mt_sweep\": {\n    \"shards\": %zu,\n",
+                 mt.shards);
+    for (const WorkerPoint& p : mt.points) {
+      std::fprintf(json, "    \"mt_workers_%zu_pps\": %.0f,\n", p.workers,
+                   p.probes_per_sec);
+    }
+    std::fprintf(json,
+                 "    \"mt_speedup\": %.3f,\n"
+                 "    \"mt_parity\": %s\n  },\n",
+                 mt.speedup, mt.parity ? "true" : "false");
+    std::fprintf(json, "  \"pass\": %s\n}\n", pass ? "true" : "false");
     std::fclose(json);
     std::printf("  (wrote BENCH_scaleout.json)\n");
   }

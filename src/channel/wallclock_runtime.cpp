@@ -29,6 +29,20 @@ std::uint64_t WallclockRuntime::schedule(SimTime delay,
 
 void WallclockRuntime::cancel(std::uint64_t timer_id) { live_.erase(timer_id); }
 
+void WallclockRuntime::post(std::function<void()> fn) {
+  std::lock_guard lock(posted_mu_);
+  posted_.push_back(std::move(fn));
+}
+
+void WallclockRuntime::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(posted_mu_);
+    batch.swap(posted_);  // run outside the lock: closures may post() again
+  }
+  for (auto& fn : batch) fn();
+}
+
 std::size_t WallclockRuntime::fire_due() {
   std::size_t fired = 0;
   const SimTime t = now();
@@ -48,6 +62,7 @@ void WallclockRuntime::run(Transport* transport,
   // observed promptly even on an idle channel.
   constexpr SimTime kMaxWait = 50 * netbase::kMillisecond;
   while (!until()) {
+    drain_posted();  // cross-thread closures land before this tick's timers
     fire_due();
     SimTime wait = kMaxWait;
     // Skip cancelled heap tops so they don't clamp the wait to 0 forever.

@@ -11,11 +11,17 @@
 //
 // Single-threaded, like EventQueue: schedule()/cancel() must be called from
 // the loop thread (timer callbacks and transport callbacks already are).
+// The ONE cross-thread entry point is post(): other threads — a
+// multi-worker fleet engine's workers, a telemetry thread — hand the loop a
+// closure, and run() executes it on the loop thread within the next wait
+// cap (50 ms worst case on an idle channel).  Everything else stays
+// lock-free on the hot path.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -45,6 +51,13 @@ class WallclockRuntime final : public Runtime {
   /// run() bounded by wall-clock duration.
   void run_for(Transport* transport, netbase::SimTime duration);
 
+  /// Thread-safe: enqueues `fn` to run on the loop thread at the top of the
+  /// next run() iteration (observed within the loop's 50 ms wait cap).  The
+  /// handoff lane for cross-thread work — schedule()/cancel() remain loop-
+  /// thread-only, so a worker that must arm a timer on this runtime posts a
+  /// closure that does the scheduling from the loop itself.
+  void post(std::function<void()> fn);
+
   [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
  private:
@@ -64,11 +77,16 @@ class WallclockRuntime final : public Runtime {
   /// Fires every timer due at `now`; returns the count fired.
   std::size_t fire_due();
 
+  /// Runs (and clears) everything post()ed so far; loop thread only.
+  void drain_posted();
+
   std::chrono::steady_clock::time_point start_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> live_;  // ids not yet fired or cancelled
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;  // cross-thread closures
 };
 
 }  // namespace monocle::channel

@@ -27,27 +27,53 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   cfg.switch_id = sw;
   cfg.steady_probe_rate = 0;  // the Fleet paces probing via rounds
   cfg.batch_threads = 1;      // the warm-up pool parallelizes ACROSS shards
+  // Pin the shard to a worker (registration order % N) and give its Monitor
+  // that worker's Runtime, so every timer the shard ever arms fires on the
+  // thread that owns its state.  Single-threaded mode: worker 0, the
+  // orchestration Runtime — unchanged behaviour.
+  const std::size_t worker = next_worker_;
+  next_worker_ = (next_worker_ + 1) % worker_count();
+  shard_worker_[sw] = worker;
+  Runtime* shard_runtime =
+      multi_worker()
+          ? config_.worker_runtimes[worker % config_.worker_runtimes.size()]
+          : runtime_;
   // Chain the alarm hook: the Fleet sees every alarm first (debounced
-  // localization), then the caller's observer runs.
+  // localization), then the caller's observer runs.  Under the multi-worker
+  // engine this hook fires on the shard's worker, which must not touch the
+  // orchestration Runtime's timers — the localization arm goes through the
+  // mailbox instead (drained right after the engine barrier).
   auto user_alarm = std::move(hooks.on_alarm);
   hooks.on_alarm = [this, user_alarm = std::move(user_alarm)](
                        const RuleAlarm& alarm) {
     bump(stats_.alarms);
-    note_alarm();
+    if (multi_worker()) {
+      post_mailbox({MailboxItem::Kind::kAlarm, 0, {}});
+    } else {
+      note_alarm();
+    }
     if (user_alarm) user_alarm(alarm);
   };
   // Chain the delta hook the same way: the Fleet observes every shard's
   // delta stream (network-wide churn accounting + the churn-exclusion
-  // window localization reads) before the caller's observer runs.
+  // window localization reads) before the caller's observer runs.  Same
+  // worker-thread caveat: recent_deltas_ is orchestration state, so the
+  // multi-worker path routes the copy through the mailbox.
   auto user_delta = std::move(hooks.on_delta);
   hooks.on_delta = [this, sw, user_delta = std::move(user_delta)](
                        const openflow::TableDelta& delta) {
     bump(stats_.deltas_observed);
-    if (config_.churn_exclusion > 0) note_delta(sw, delta);
+    if (config_.churn_exclusion > 0) {
+      if (multi_worker()) {
+        post_mailbox({MailboxItem::Kind::kDelta, sw, delta});
+      } else {
+        note_delta(sw, delta);
+      }
+    }
     if (user_delta) user_delta(delta);
   };
-  auto monitor =
-      std::make_unique<Monitor>(cfg, runtime_, view_, plan_, std::move(hooks));
+  auto monitor = std::make_unique<Monitor>(cfg, shard_runtime, view_, plan_,
+                                           std::move(hooks));
   Monitor* raw = monitor.get();
   shards_[sw] = std::move(monitor);
   return raw;
@@ -55,6 +81,7 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
 
 Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
                           Multiplexer& mux, Monitor::Hooks hooks) {
+  mux_ = &mux;  // prepare() pre-resolves its routes for the concurrent phase
   hooks.to_switch = [&backend](const openflow::Message& m) { backend.send(m); };
   if (!hooks.to_controller) {
     // Live monitors often run without a controller behind them.
@@ -63,11 +90,21 @@ Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
   if (!hooks.inject) {
     // Ordinal-addressed injection: the shard's dense index is captured once
     // here, so the steady cycle's per-probe routing does no id lookup at
-    // all (and the bytes travel as a borrowed span end to end).
+    // all (and the bytes travel as a borrowed span end to end).  Under the
+    // multi-worker engine the hook also carries the owning worker's
+    // InjectContext, keeping the Multiplexer send path read-only on shard
+    // state when two workers deliver through one upstream switch.
     const SwitchOrdinal ord = mux.intern(sw);
-    hooks.inject = [&mux, ord](std::uint16_t in_port,
-                               std::span<const std::uint8_t> bytes) {
-      return mux.inject_at(ord, in_port, bytes);
+    Multiplexer::InjectContext* ctx = nullptr;
+    if (multi_worker()) {
+      if (inject_ctxs_.empty()) inject_ctxs_.resize(worker_count());
+      auto& slot = inject_ctxs_[next_shard_worker()];
+      if (!slot) slot = std::make_unique<Multiplexer::InjectContext>();
+      ctx = slot.get();
+    }
+    hooks.inject = [&mux, ord, ctx](std::uint16_t in_port,
+                                    std::span<const std::uint8_t> bytes) {
+      return mux.inject_at(ord, in_port, bytes, ctx);
     };
   }
   Monitor* mon = add_shard(sw, std::move(hooks));
@@ -92,13 +129,24 @@ Fleet::~Fleet() {
 bool Fleet::remove_shard(SwitchId sw) {
   const auto it = shards_.find(sw);
   if (it == shards_.end()) return false;
-  it->second->stop();
+  // Multi-worker: the shard's timers live on its worker's Runtime, so the
+  // stop must run THERE (the handoff rule).  Afterwards the Monitor is
+  // inert — no future round can reach it (round_work_ is repartitioned from
+  // shards_ each round) — so destroying it here is safe.
+  if (engine_ != nullptr && engine_->running()) {
+    Monitor* doomed = it->second.get();
+    engine_->run_on(shard_worker(sw), [doomed] { doomed->stop(); });
+    drain_mailbox();
+  } else {
+    it->second->stop();
+  }
   if (const auto unbind = shard_unbind_.find(sw);
       unbind != shard_unbind_.end()) {
     unbind->second();
     shard_unbind_.erase(unbind);
   }
   shards_.erase(it);
+  shard_worker_.erase(sw);
   if (config_.on_shard_removed) config_.on_shard_removed(sw);
   return true;
 }
@@ -157,6 +205,24 @@ void Fleet::prepare() {
   for (auto& [sw, monitor] : shards_) monitor->install_infrastructure();
   warm_caches();
   for (auto& [sw, monitor] : shards_) monitor->start_externally_paced();
+  if (multi_worker()) {
+    // Everything above ran single-threaded; the engine's first barrier
+    // publishes it to the workers.  The round job is registered once here
+    // so run_round() never constructs a callable (zero-alloc rounds).
+    engine_ = std::make_unique<RoundEngine>(config_.round_workers);
+    round_work_.assign(engine_->worker_count(), {});
+    engine_->set_round_job([this](std::size_t worker) {
+      std::size_t injected = 0;
+      for (Monitor* m : round_work_[worker]) {
+        injected += m->steady_probe_burst(config_.probes_per_switch);
+      }
+      return injected;
+    });
+    // Pre-resolve every injection route: the concurrent phase must never
+    // take the lazy resolve path (it resizes the cache under readers).
+    if (mux_ != nullptr) mux_->warm_routes();
+  }
+  drain_mailbox();  // deltas observed during install/warm-up
 }
 
 void Fleet::start() {
@@ -188,7 +254,15 @@ void Fleet::stop() {
   diag_timer_ = 0;
   runtime_->cancel(evidence_timer_);
   evidence_timer_ = 0;
+  // Join the workers FIRST: after stop() returns every shard is exclusively
+  // ours again (thread join orders all their writes before our reads), so
+  // the Monitor stops below run race-free on this thread even though the
+  // shards lived on workers a moment ago.  Works mid-round too — an
+  // in-flight run_round() finishes behind the engine's ops mutex before the
+  // join begins.
+  if (engine_ != nullptr) engine_->stop();
   for (auto& [sw, monitor] : shards_) monitor->stop();
+  drain_mailbox();
 }
 
 std::size_t Fleet::start_round() {
@@ -197,6 +271,23 @@ std::size_t Fleet::start_round() {
   cursor_ = (cursor_ + 1) % schedule_.round_count();
   bump(stats_.rounds_started);
   std::size_t injected = 0;
+  if (engine_ != nullptr && engine_->running()) {
+    // Partition the round's shards by owning worker (vectors keep capacity:
+    // allocation-free once warm) and run one engine barrier.  Per-worker
+    // iteration order follows the schedule's switch order, so each Monitor
+    // sees exactly the event sequence it would single-threaded —
+    // classifications stay byte-identical for any worker count.
+    for (auto& work : round_work_) work.clear();
+    for (const SwitchId sw : round) {
+      const auto it = shards_.find(sw);
+      if (it == shards_.end()) continue;  // scheduled but unmonitored switch
+      round_work_[shard_worker(sw)].push_back(it->second.get());
+    }
+    injected = engine_->run_round();
+    bump(stats_.probes_injected, injected);
+    drain_mailbox();
+    return injected;
+  }
   for (const SwitchId sw : round) {
     const auto it = shards_.find(sw);
     if (it == shards_.end()) continue;  // scheduled but unmonitored switch
@@ -211,7 +302,19 @@ bool Fleet::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
   const auto it = shards_.find(sw);
   if (it == shards_.end()) return false;
   bump(stats_.flow_mods_routed);
-  it->second->on_controller_message(openflow::make_message(xid, fm));
+  const openflow::Message msg = openflow::make_message(xid, fm);
+  // Delta routing under the multi-worker engine: the FlowMod mutates the
+  // shard's table and timers, so it executes on the owning worker (the
+  // handoff), not here.
+  if (engine_ != nullptr && engine_->running()) {
+    Monitor* mon = it->second.get();
+    engine_->run_on(shard_worker(sw), [mon, &msg] {
+      mon->on_controller_message(msg);
+    });
+    drain_mailbox();
+    return true;
+  }
+  it->second->on_controller_message(msg);
   return true;
 }
 
@@ -343,6 +446,69 @@ std::size_t Fleet::monitorable_rule_count() const {
     total += monitor->monitorable_rule_count();
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker driver surface
+// ---------------------------------------------------------------------------
+
+std::size_t Fleet::shard_worker(SwitchId sw) const {
+  const auto it = shard_worker_.find(sw);
+  return it == shard_worker_.end() ? 0 : it->second;
+}
+
+void Fleet::run_on_worker(std::size_t worker,
+                          const std::function<void()>& fn) {
+  if (engine_ != nullptr && engine_->running()) {
+    engine_->run_on(worker, fn);
+    drain_mailbox();
+    return;
+  }
+  fn();  // single-threaded (or torn-down) mode: everything is ours already
+  drain_mailbox();
+}
+
+Fleet::Stats Fleet::stats_snapshot() const {
+  // Quiesce first: the engine barrier sequences every worker's relaxed
+  // increments before the loads below, so the snapshot is a consistent
+  // point-in-time read (the field-by-field torn-read regression).
+  if (engine_ != nullptr) engine_->quiesce();
+  const auto load = [](const std::uint64_t& field) {
+    return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(field))
+        .load(std::memory_order_relaxed);
+  };
+  Stats out;
+  out.rounds_started = load(stats_.rounds_started);
+  out.probes_injected = load(stats_.probes_injected);
+  out.alarms = load(stats_.alarms);
+  out.diagnoses = load(stats_.diagnoses);
+  out.flow_mods_routed = load(stats_.flow_mods_routed);
+  out.deltas_observed = load(stats_.deltas_observed);
+  out.evidence_passes = load(stats_.evidence_passes);
+  return out;
+}
+
+void Fleet::post_mailbox(MailboxItem item) {
+  std::lock_guard lock(mailbox_mu_);
+  mailbox_.push_back(std::move(item));
+}
+
+void Fleet::drain_mailbox() {
+  std::vector<MailboxItem> items;
+  {
+    std::lock_guard lock(mailbox_mu_);
+    items.swap(mailbox_);  // empty steady state: two empty vectors, no alloc
+  }
+  for (MailboxItem& item : items) {
+    switch (item.kind) {
+      case MailboxItem::Kind::kAlarm:
+        note_alarm();
+        break;
+      case MailboxItem::Kind::kDelta:
+        note_delta(item.sw, item.delta);
+        break;
+    }
+  }
 }
 
 }  // namespace monocle

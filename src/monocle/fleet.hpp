@@ -29,6 +29,14 @@
 // manually (benches do this to time rounds).  stop()/remove_shard() cancel
 // every pending timer — mid-round teardown leaves nothing dangling
 // (tests/fleet_test.cpp).
+//
+// Multi-threaded rounds (Config::round_workers > 1): prepare() spins up a
+// RoundEngine and start_round() fans each round's shard bursts out over N
+// workers.  Shard affinity is the invariant that keeps this simple — a
+// shard's Monitor, Runtime (timers) and arena are only ever touched on its
+// owning worker (assignment: registration order % N), cross-worker effects
+// travel through the mailbox, and stats are relaxed atomics read via
+// stats_snapshot().  See docs/DESIGN.md §12 and tests/fleet_mt_test.cpp.
 #pragma once
 
 #include <array>
@@ -37,6 +45,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -45,6 +54,7 @@
 #include "monocle/localizer.hpp"
 #include "monocle/monitor.hpp"
 #include "monocle/multiplexer.hpp"
+#include "monocle/round_engine.hpp"
 #include "monocle/runtime.hpp"
 #include "monocle/schedule.hpp"
 
@@ -94,6 +104,19 @@ class Fleet {
     /// own references to the dead Monitor (the Testbed unregisters it from
     /// the Multiplexer and rewires the switch's control sink).
     std::function<void(SwitchId)> on_shard_removed;
+    /// Multi-threaded round driver (round_engine.hpp).  > 1 with a matching
+    /// worker_runtimes vector turns on the N-worker engine: each shard is
+    /// pinned to worker (registration order % round_workers), its Monitor
+    /// runs on that worker's Runtime, and start_round() fans the round's
+    /// bursts out across workers.  1 (default) is the single-threaded
+    /// driver, byte-identical in classification behaviour — the parity and
+    /// bench baseline.
+    std::size_t round_workers = 1;
+    /// One Runtime per worker (index = worker).  Each is driven ONLY from
+    /// its worker (timer advancement via run_on_worker), which is what
+    /// keeps Monitor timer state single-threaded.  Required (same size as
+    /// round_workers) when round_workers > 1; ignored otherwise.
+    std::vector<Runtime*> worker_runtimes;
   };
 
   /// Fleet-wide counters.  Plain integers, but every Fleet-side increment
@@ -191,6 +214,36 @@ class Fleet {
   [[nodiscard]] const NetworkEvidence& evidence() const { return evidence_; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Consistent Stats read while a multi-worker round may be executing:
+  /// quiesces the engine (every worker's relaxed increments happen-before
+  /// the loads) and samples each field through an atomic_ref.  This is THE
+  /// way a telemetry thread reads fleet counters — the plain stats()
+  /// reference is only safe on the orchestration thread between rounds
+  /// (regression: field-by-field reads under concurrent increments tore).
+  [[nodiscard]] Stats stats_snapshot() const;
+
+  // --- multi-worker driver surface (round_workers > 1) ------------------
+  /// Workers the round driver runs (1 in single-threaded mode).
+  [[nodiscard]] std::size_t worker_count() const {
+    return multi_worker() ? config_.round_workers : 1;
+  }
+  /// The worker the NEXT add_shard call will pin its shard to — hosts that
+  /// wire their own inject/timer plumbing read this before add_shard so
+  /// their per-worker resources agree with the Fleet's assignment.
+  [[nodiscard]] std::size_t next_shard_worker() const { return next_worker_; }
+  /// Worker owning `sw`'s shard (0 when unmanaged or single-threaded).
+  [[nodiscard]] std::size_t shard_worker(SwitchId sw) const;
+  /// Runs `fn` on the given worker (blocking) — the only legal way to touch
+  /// a shard's Monitor or advance its worker Runtime from outside once the
+  /// engine runs.  Runs `fn` inline when the engine is absent/stopped.
+  /// Cross-worker mailbox items produced by `fn` are drained before return.
+  void run_on_worker(std::size_t worker, const std::function<void()>& fn);
+  /// The engine, once prepare() created it (null before / single-threaded).
+  /// Exposed for thread-safe mid-round teardown: RoundEngine::stop() may be
+  /// called from any thread; Fleet methods themselves stay orchestration-
+  /// thread-only.
+  [[nodiscard]] RoundEngine* engine() const { return engine_.get(); }
+
   /// Sum of outstanding (unresolved) probes across shards.
   [[nodiscard]] std::size_t outstanding_probes() const;
   /// Sum of currently-failed rules across shards.
@@ -199,6 +252,26 @@ class Fleet {
   [[nodiscard]] std::size_t monitorable_rule_count() const;
 
  private:
+  [[nodiscard]] bool multi_worker() const {
+    return config_.round_workers > 1 && !config_.worker_runtimes.empty();
+  }
+  /// One cross-worker message.  Workers must not touch orchestration state
+  /// (the localization timers live on the orchestration Runtime), so shard
+  /// hooks that fire on a worker — alarms feeding debounced localization,
+  /// deltas feeding the churn-exclusion window — enqueue here and the
+  /// orchestration thread replays them in drain_mailbox() after the
+  /// engine barrier.
+  struct MailboxItem {
+    enum class Kind : std::uint8_t { kAlarm, kDelta };
+    Kind kind = Kind::kAlarm;
+    SwitchId sw = 0;
+    openflow::TableDelta delta;  // kDelta payload
+  };
+  void post_mailbox(MailboxItem item);
+  /// Replays queued cross-worker messages on the orchestration thread.
+  /// Called after every engine operation (rounds, run_on_worker, stop).
+  void drain_mailbox();
+
   void warm_caches();
   void schedule_next_round();
   void note_alarm();
@@ -238,6 +311,21 @@ class Fleet {
   std::map<SwitchId, std::deque<std::pair<std::uint64_t, netbase::SimTime>>>
       recent_deltas_;
   Stats stats_;
+
+  // Multi-worker driver state (round_workers > 1).
+  std::unique_ptr<RoundEngine> engine_;  // created by prepare()
+  /// Per-worker burst lists, repartitioned from the round's switches each
+  /// start_round(); vectors keep their capacity, so the steady state
+  /// allocates nothing.
+  std::vector<std::vector<Monitor*>> round_work_;
+  std::map<SwitchId, std::size_t> shard_worker_;  // registration order % N
+  std::size_t next_worker_ = 0;
+  /// Per-worker Multiplexer injection contexts for the backend add_shard
+  /// overload's inject hooks (worker-local scratch/arena; multiplexer.hpp).
+  std::vector<std::unique_ptr<Multiplexer::InjectContext>> inject_ctxs_;
+  Multiplexer* mux_ = nullptr;  // for prepare()'s warm_routes()
+  std::mutex mailbox_mu_;
+  std::vector<MailboxItem> mailbox_;
 };
 
 }  // namespace monocle

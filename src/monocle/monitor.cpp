@@ -206,17 +206,17 @@ std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
   std::size_t injected = 0;
   std::optional<std::uint64_t> first_cookie;
   for (std::size_t i = 0; i < max_probes; ++i) {
-    const Rule* rule = next_steady_rule();
-    if (rule == nullptr) break;
+    SteadyEntry* slot = next_steady_entry();
+    if (slot == nullptr) break;
     if (!first_cookie) {
-      first_cookie = rule->cookie;
-    } else if (rule->cookie == *first_cookie) {
+      first_cookie = slot->cookie;
+    } else if (slot->cookie == *first_cookie) {
       break;  // cycled through every monitorable rule already
     }
     // Rules whose injection path is down (or that just turned
     // unmonitorable) don't count — the Fleet's probes_injected stat must
     // report packets that actually left.
-    if (inject_steady_probe(*rule)) ++injected;
+    if (inject_steady_probe(*slot)) ++injected;
   }
   return injected;
 }
@@ -893,6 +893,12 @@ void Monitor::apply_table_delta(const openflow::TableDelta& delta,
                                 bool invalidate) {
   using Kind = openflow::TableDelta::Kind;
   ++stats_.deltas_applied;
+  // Every table mutation funnels through here, and the steady cycle caches
+  // raw Rule* into the table's rule vector (SteadyEntry) — clear it
+  // unconditionally BEFORE anything else so no later step can walk stale
+  // pointers.  The next tick rebuilds against the post-delta table.
+  steady_order_.clear();
+  steady_pos_ = 0;
   // Live sessions track every delta in application order — a cheap
   // positional cache patch; the incremental solver survives untouched.
   for (auto& ls : live_sessions_) {
@@ -1155,46 +1161,60 @@ void Monitor::schedule_steady_tick() {
   });
 }
 
-const Rule* Monitor::next_steady_rule() {
+Monitor::SteadyEntry* Monitor::next_steady_entry() {
   if (steady_order_.empty()) {
+    // Rebuild resolves every pointer the per-probe step would otherwise
+    // re-hash: Rule* into the table and RuleState* at the states-map node.
+    // Any table delta clears the order (apply_table_delta), so the Rule*
+    // never outlives the rule vector it points into.
     for (const Rule& r : expected_.table().rules()) {
       if (is_infrastructure_cookie(r.cookie)) continue;
-      const RuleState st = rule_state(r.cookie);
-      if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
-          st == RuleState::kSuspect) {
+      const auto st = rule_states_.find(r.cookie);
+      if (st == rule_states_.end() ||  // reads as kUnmonitorable
+          st->second == RuleState::kPending ||
+          st->second == RuleState::kUnmonitorable ||
+          st->second == RuleState::kSuspect) {
         continue;  // suspects are probed by their own confirmation machine
       }
-      steady_order_.push_back(r.cookie);
+      steady_order_.push_back(SteadyEntry{r.cookie, &r, &st->second, nullptr});
     }
     steady_pos_ = 0;
     if (steady_order_.empty()) return nullptr;
   }
-  // Skip entries that became pending/suspect/unmonitorable since the rebuild.
+  // Skip slots that became pending/suspect/unmonitorable since the rebuild —
+  // one pointer read per slot; state transitions rewrite the node in place.
   for (std::size_t scanned = 0; scanned < steady_order_.size(); ++scanned) {
-    const std::uint64_t cookie = steady_order_[steady_pos_];
+    SteadyEntry& slot = steady_order_[steady_pos_];
     steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
-    const RuleState st = rule_state(cookie);
+    const RuleState st = *slot.state;
     if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
         st == RuleState::kSuspect) {
       continue;
     }
-    const Rule* rule = expected_.table().find_by_cookie(cookie);
-    if (rule == nullptr) continue;  // deleted
-    return rule;
+    return &slot;
   }
   return nullptr;
 }
 
 void Monitor::steady_tick() {
   if (!channel_up_) return;  // started while down: skip until reconnect
-  const Rule* rule = next_steady_rule();
-  if (rule != nullptr) inject_steady_probe(*rule);
+  SteadyEntry* slot = next_steady_entry();
+  if (slot != nullptr) inject_steady_probe(*slot);
 }
 
-bool Monitor::inject_steady_probe(const Rule& rule) {
-  const std::uint64_t cookie = rule.cookie;
-  ProbeCache::Entry* entry = probe_entry_for(rule);
-  if (entry == nullptr) return false;  // became unmonitorable
+bool Monitor::inject_steady_probe(SteadyEntry& slot) {
+  const std::uint64_t cookie = slot.cookie;
+  ProbeCache::Entry* entry = slot.entry;
+  if (entry != nullptr && entry->probe.has_value()) {
+    // Slot-cached fast path: the two remaining hash lookups of the steady
+    // cycle (cache find + states find at probe_entry_for's hit counter) are
+    // gone.  Keep the hit accounting identical to the map path.
+    ++stats_.probe_cache_hits;
+  } else {
+    entry = probe_entry_for(*slot.rule);
+    if (entry == nullptr) return false;  // became unmonitorable
+    slot.entry = entry;  // node pointer: stable until the order is cleared
+  }
 
   const openflow::Epoch epoch = expected_.epoch();
   const std::uint32_t nonce = next_nonce_++;

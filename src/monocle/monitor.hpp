@@ -286,9 +286,12 @@ class Monitor {
   /// the switch (harness seeds the switch separately).
   void seed_rule(const openflow::Rule& rule);
 
-  /// Shares a probe cache across monitors/trials.
+  /// Shares a probe cache across monitors/trials.  Clears the steady cycle:
+  /// its slots cache Entry* into the outgoing cache's map.
   void set_probe_cache(std::shared_ptr<ProbeCache> cache) {
     cache_ = std::move(cache);
+    steady_order_.clear();
+    steady_pos_ = 0;
   }
 
   [[nodiscard]] const openflow::FlowTable& expected_table() const {
@@ -399,16 +402,33 @@ class Monitor {
   void reassert_infrastructure();
 
   // Steady state.
+  /// One slot of the steady probe cycle.  Beyond the cookie, the rebuild
+  /// resolves the pointers every per-probe step used to chase through hash
+  /// lookups: the Rule (table find), the rule-state entry (states map) and —
+  /// once the first injection resolved it — the probe-cache Entry.  All
+  /// three stay valid exactly as long as the order itself: Rule* points into
+  /// the table's rule vector and RuleState*/Entry* at unordered_map nodes,
+  /// so ANY table mutation (apply_table_delta) or cache swap/erase clears
+  /// steady_order_ wholesale and the next tick rebuilds.  rule_states_ never
+  /// erases without an accompanying table delta, and state TRANSITIONS
+  /// rewrite node values in place — pointer-stable, which is what lets the
+  /// cycle watch a rule turn suspect without re-hashing its cookie.
+  struct SteadyEntry {
+    std::uint64_t cookie = 0;
+    const openflow::Rule* rule = nullptr;
+    const RuleState* state = nullptr;
+    ProbeCache::Entry* entry = nullptr;  ///< null until first injection
+  };
   void steady_tick();
   void schedule_steady_tick();
-  /// Advances the rule cycle; returns the next probeable rule (null when
-  /// none).  Returns the Rule* the cycle already resolved so the injection
-  /// path does not repeat the table lookup per probe.
-  const openflow::Rule* next_steady_rule();
+  /// Advances the rule cycle; returns the next probeable slot (null when
+  /// none).  The slot carries the Rule/state/cache pointers the cycle
+  /// already resolved so the injection path repeats no lookup per probe.
+  SteadyEntry* next_steady_entry();
   /// Returns true only when a probe packet was actually handed to a live
   /// injection path; a failed injection registers no timeout (an outage
   /// must yield no verdict, not a timeout-derived one).
-  bool inject_steady_probe(const openflow::Rule& rule);
+  bool inject_steady_probe(SteadyEntry& slot);
   void on_steady_timeout(std::uint32_t nonce);
   void mark_rule_failed(std::uint64_t cookie);
   // K-of-N suspect confirmation (Config::confirm_probes).  A rule enters
@@ -515,7 +535,7 @@ class Monitor {
   std::deque<std::pair<openflow::Message, std::uint32_t>> hold_queue_;
   std::vector<HeldBarrier> barriers_;
 
-  std::vector<std::uint64_t> steady_order_;  // cookies, cycle order
+  std::vector<SteadyEntry> steady_order_;  // resolved cycle (see SteadyEntry)
   std::size_t steady_pos_ = 0;
   bool steady_running_ = false;
   bool channel_up_ = true;   // see on_channel_state

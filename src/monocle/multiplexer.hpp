@@ -56,18 +56,33 @@ inline constexpr SwitchOrdinal kInvalidOrdinal =
 /// that turns raw PacketIns into the per-probe verdicts the Localizer and
 /// the Fleet's cross-switch diagnosis consume.
 ///
-/// Threading: the Multiplexer, like the rest of the control plane, runs on
-/// one thread.  Counters are relaxed atomics so stat READERS (bench
-/// reporters, future telemetry scrapers) can sample from other threads
-/// without locks — but the message paths themselves are not concurrent-
-/// safe: inject mutates the DELIVERING shard's scratch message and arena
-/// (two probed switches routinely share one upstream deliverer), lazily
-/// resolves route caches, and interns unknown switches.  A multi-threaded
-/// round driver must serialize per DELIVERING shard, not per probed shard
-/// (see ROADMAP "Scale-out probing" follow-ons).
+/// Threading: registration (the cold path) is single-threaded, and so is
+/// the default injection path — inject mutates the DELIVERING shard's
+/// scratch message and arena (two probed switches routinely share one
+/// upstream deliverer) and lazily resolves route caches.  The
+/// multi-threaded round driver (round_engine.hpp) therefore runs the hot
+/// paths in a concurrent-read mode: warm_routes() pre-resolves every route
+/// so nothing resizes under readers, and each worker passes its own
+/// InjectContext so the per-send scratch/arena state is worker-local
+/// instead of per-DELIVERING-shard.  With those two in place, inject_at and
+/// on_packet_in only read shard wiring (counters are relaxed atomics), and
+/// any number of workers may inject concurrently — each for the shards it
+/// owns.  Registration must still never overlap the concurrent phase.
 class Multiplexer {
  public:
   using Sender = std::function<void(const openflow::Message&)>;
+
+  /// Per-worker injection state for the multi-threaded round driver: the
+  /// scratch PacketOut envelope and the data-buffer arena that
+  /// single-threaded injection borrows from the delivering shard.  Those
+  /// per-shard fields are exactly what two workers injecting through a
+  /// shared upstream deliverer would race on; handing inject_at a
+  /// worker-owned context makes the send path read-only on shard state.
+  struct InjectContext {
+    InjectContext();
+    openflow::Message scratch;   ///< reusable PacketOut envelope
+    netbase::BufferArena arena;  ///< recycles PacketOut data buffers
+  };
 
   explicit Multiplexer(const NetworkView* view) : view_(view) {}
 
@@ -121,9 +136,20 @@ class Multiplexer {
               std::span<const std::uint8_t> packet);
 
   /// Ordinal-addressed injection — the fleet fast path (hooks capture the
-  /// ordinal at bind time; no per-probe id lookup at all).
+  /// ordinal at bind time; no per-probe id lookup at all).  `ctx` selects
+  /// the scratch/arena the PacketOut is built in: null (single-threaded
+  /// callers) borrows the delivering shard's own, a worker's InjectContext
+  /// keeps the send path read-only on shard state (see the class comment).
   bool inject_at(SwitchOrdinal probed, std::uint16_t in_port,
-                 std::span<const std::uint8_t> packet);
+                 std::span<const std::uint8_t> packet,
+                 InjectContext* ctx = nullptr);
+
+  /// Pre-resolves the route cache of every interned shard for every port of
+  /// its switch, so the concurrent injection phase never hits the lazy
+  /// resolve/resize path.  Call after registration settles (and again after
+  /// any wiring change); the Fleet's prepare() does this when it runs a
+  /// multi-worker engine.
+  void warm_routes();
 
   /// Examines a PacketIn received from switch `from`.  If it carries probe
   /// metadata it is routed to the owning Monitor and consumed (returns
@@ -180,8 +206,28 @@ class Multiplexer {
     openflow::Message scratch;
     netbase::BufferArena arena;   ///< recycles PacketOut data buffers
     std::vector<Route> routes;    ///< indexed by the probed shard's in_port
-    std::atomic<std::uint64_t> packet_outs{0};
   };
+
+  /// The hot per-shard fields, packed one cache line per shard and indexed
+  /// by ordinal (parallel to shards_): everything the per-probe paths read
+  /// — collection dispatch (monitor), liveness (backend), the resolved
+  /// route array, and the PacketOut counter.  A 500-shard round walks this
+  /// dense 64-byte-stride array instead of chasing a heap allocation per
+  /// shard through the unique_ptr table, which is where the 500-shard
+  /// throughput dip came from (BENCH_scaleout.json).  Cold fields (sender
+  /// storage, scratch, arena, route storage) stay in Shard behind `cold`.
+  struct alignas(64) HotSlot {
+    Monitor* monitor = nullptr;
+    channel::SwitchBackend* backend = nullptr;
+    Shard* cold = nullptr;
+    const Route* routes = nullptr;  ///< = cold->routes.data() (kept in sync)
+    std::uint32_t route_count = 0;
+    SwitchId sw = 0;
+    /// Plain field bumped through relaxed std::atomic_ref: workers count
+    /// without contention, readers sample tear-free.
+    std::uint64_t packet_outs = 0;
+  };
+  static_assert(sizeof(HotSlot) == 64, "one cache line per shard");
 
   Shard* shard_at(SwitchOrdinal ord) {
     return ord < shards_.size() ? shards_[ord].get() : nullptr;
@@ -194,15 +240,18 @@ class Multiplexer {
   /// changes so every cached Route re-resolves lazily.
   void invalidate_routes() { ++routes_gen_; }
 
-  /// Resolves the injection route for (`shard`, `in_port`).
-  Route& route_for(Shard& shard, std::uint16_t in_port);
+  /// Resolves the injection route for shard `ord` / `in_port`, and keeps
+  /// the hot slot's route-array view in sync when the cache resized.
+  Route& route_for(SwitchOrdinal ord, std::uint16_t in_port);
 
-  /// Sends `packet` as a PacketOut through `deliver`'s sender, reusing the
-  /// shard's scratch message and arena buffer.  `in_port`/`out_port` per
-  /// the resolved route.
-  bool send_packet_out(Shard& deliver, std::uint16_t po_in_port,
+  /// Sends `packet` as a PacketOut through the delivering shard's sender.
+  /// The envelope and data buffer come from `ctx` when given (worker-local,
+  /// concurrent-safe) or the delivering shard otherwise.  `in_port`/
+  /// `out_port` per the resolved route.
+  bool send_packet_out(HotSlot& deliver, std::uint16_t po_in_port,
                        std::uint16_t action_port,
-                       std::span<const std::uint8_t> packet);
+                       std::span<const std::uint8_t> packet,
+                       InjectContext* ctx);
 
   /// True when control messages for the shard can currently reach it
   /// (always true for plain set_switch_sender wiring; the bound backend's
@@ -216,8 +265,13 @@ class Multiplexer {
                      std::span<const std::uint8_t> packet);
   bool on_packet_in_compat(SwitchId from, const openflow::PacketIn& pi);
 
+  /// Re-syncs hot_[ord] from shards_[ord] after a registration change (cold
+  /// path; the hot paths never write slot wiring).
+  void sync_hot(SwitchOrdinal ord);
+
   const NetworkView* view_;
   std::vector<std::unique_ptr<Shard>> shards_;  // by ordinal
+  std::vector<HotSlot> hot_;                    // by ordinal, parallel
   /// Dense SwitchId -> ordinal index for the id-addressed entry points
   /// (kInvalidOrdinal holes).  Ids beyond kMaxDenseId fall back to the map.
   static constexpr SwitchId kMaxDenseId = 1 << 20;

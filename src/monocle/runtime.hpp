@@ -35,6 +35,14 @@ using SwitchId = std::uint64_t;
 ///    timers, the Fleet's round and debounce timers) zero them when the
 ///    timer fires or is cancelled, so a stale cancel can never hit an id
 ///    that wrapped around and was reissued.
+///
+/// Threading contract: a Runtime instance is single-threaded — now()/
+/// schedule()/cancel() and every callback it fires run on one thread.  The
+/// multi-worker fleet driver (round_engine.hpp) keeps this contract by
+/// instantiation, not locking: one Runtime per worker (Fleet::Config::
+/// worker_runtimes), each driven only from its worker, plus the
+/// orchestration thread's own.  Implementations that ALSO offer a
+/// cross-thread lane (WallclockRuntime::post) document it themselves.
 class Runtime {
  public:
   virtual ~Runtime() = default;

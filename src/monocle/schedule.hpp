@@ -42,6 +42,12 @@ struct RoundScheduleOptions {
 /// build() guarantees that no two switches of one round conflict (are within
 /// `conflict_radius` hops); sequential() is the degenerate one-switch-per-
 /// round baseline the fig8 fleet bench compares against.
+///
+/// Threading: a RoundSchedule is immutable after build()/sequential()
+/// returns, so the multi-worker fleet driver reads it concurrently (every
+/// worker consults the round partition) without synchronization — the
+/// engine's setup barrier publishes it.  Do not install a new schedule
+/// (Fleet::set_schedule) while rounds are executing.
 class RoundSchedule {
  public:
   RoundSchedule() = default;

@@ -50,6 +50,19 @@ class BufferArena {
     pool_.push_back(std::move(buf));
   }
 
+  /// Seeds the pool with up to `count` buffers of `capacity` bytes each
+  /// (clamped to kMaxPooled), so the first acquires of a measured or
+  /// allocation-asserted phase are already warm.  The multi-threaded round
+  /// driver prewarms each worker's arena at setup; without this, every
+  /// worker's first probe of the first round would allocate.
+  void prewarm(std::size_t count, std::size_t capacity) {
+    while (pool_.size() < kMaxPooled && count-- > 0) {
+      std::vector<std::uint8_t> buf;
+      buf.reserve(capacity > 0 ? capacity : 1);
+      pool_.push_back(std::move(buf));
+    }
+  }
+
   [[nodiscard]] std::size_t pooled() const { return pool_.size(); }
   /// Buffers created because the pool was empty (steady state: stops
   /// growing once the working set is pooled).

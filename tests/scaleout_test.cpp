@@ -188,6 +188,23 @@ TEST(BufferArena, RecyclesReleasedBuffers) {
   EXPECT_EQ(arena.reuses(), 1u);
 }
 
+TEST(BufferArena, PrewarmStocksThePoolUpFront) {
+  netbase::BufferArena arena;
+  arena.prewarm(3, 256);
+  EXPECT_EQ(arena.pooled(), 3u);
+
+  // Prewarmed buffers serve acquire() without fresh heap vectors, with the
+  // requested capacity already reserved.
+  auto a = arena.acquire(64);
+  EXPECT_GE(a.capacity(), 256u);
+  EXPECT_EQ(arena.reuses(), 1u);
+  EXPECT_EQ(arena.fresh_buffers(), 0u);
+
+  // Prewarm respects the pool cap: it tops up, never overflows.
+  arena.prewarm(1000, 64);
+  EXPECT_LE(arena.pooled(), 8u);  // kMaxPooled
+}
+
 // ---------------------------------------------------------------------------
 // Multiplexer: flat ordinal routing vs the legacy map path
 // ---------------------------------------------------------------------------
@@ -387,6 +404,39 @@ TEST(FastPathEndToEnd, SteadyCycleRunsWithZeroHeapAllocationsPerProbe) {
       << measured << " probes";
   // All probes resolved as caught (the loopback delivers synchronously).
   EXPECT_EQ(rig.probes_caught(), rig.probes_injected());
+}
+
+TEST(FastPathEndToEnd, MultiWorkerSteadyCycleRunsWithZeroHeapAllocations) {
+  if (!netbase::alloc_counting_enabled()) {
+    GTEST_SKIP() << "allocation interposer not linked";
+  }
+  // Same invariant, multi-worker driver: once warm, an N-worker round —
+  // engine barrier, per-worker bursts, worker-local loopback delivery,
+  // per-worker arenas and InjectContexts — allocates NOTHING on any thread
+  // (the interposer's counter is global and atomic, so worker allocations
+  // cannot hide).
+  const auto topo = topo::make_rocketfuel_as(16, 3);
+  bench::MtFastPathRig::Options opts;
+  opts.workers = 4;
+  opts.rules_per_switch = 8;
+  bench::MtFastPathRig rig(topo, opts);
+
+  std::uint64_t warm_injected = 0;
+  for (int round = 0; round < 10; ++round) warm_injected += rig.round(4);
+  ASSERT_GT(warm_injected, 0u);
+
+  const std::uint64_t before = netbase::heap_allocation_count();
+  std::uint64_t measured = 0;
+  for (int round = 0; round < 50; ++round) measured += rig.round(4);
+  const std::uint64_t after = netbase::heap_allocation_count();
+
+  ASSERT_GT(measured, 100u);
+  EXPECT_EQ(after - before, 0u)
+      << "multi-worker steady cycle allocated " << (after - before)
+      << " times across " << measured << " probes";
+  rig.stop();
+  EXPECT_EQ(rig.probes_caught(), rig.probes_injected());
+  EXPECT_EQ(rig.pending_timers(), 0u);
 }
 
 // ---------------------------------------------------------------------------
