@@ -76,7 +76,113 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
                                            std::move(hooks));
   Monitor* raw = monitor.get();
   shards_[sw] = std::move(monitor);
+  if (config_.telemetry != nullptr) attach_telemetry(sw, raw);
   return raw;
+}
+
+void Fleet::attach_telemetry(SwitchId sw, Monitor* mon) {
+  telemetry::TelemetryHub* hub = config_.telemetry;
+  // Capture plane: the shard publishes one StatsSample per round burst into
+  // its ring (on the owning worker); the export thread drains it.
+  mon->set_stats_ring(hub->ring(sw));
+  // Storage plane: wrap the shard's hooks — which already carry the Fleet's
+  // own chain from add_shard — with journal recorders.  Safe here because
+  // the Monitor was just constructed and has not probed yet, and safe at
+  // runtime because each hook only ever fires on the shard's owning worker
+  // (journal appends are mutexed anyway).  The shard Runtime is captured
+  // for event timestamps — Runtime::now() is readable off-thread.
+  Runtime* rt = multi_worker()
+                    ? config_.worker_runtimes[shard_worker(sw) %
+                                              config_.worker_runtimes.size()]
+                    : runtime_;
+  Monitor::Hooks& hooks = mon->hooks_for_test();
+
+  auto prev_confirm = std::move(hooks.on_update_confirmed);
+  hooks.on_update_confirmed = [hub, sw, mon, rt,
+                               prev = std::move(prev_confirm)](
+                                  std::uint64_t cookie,
+                                  netbase::SimTime latency) {
+    hub->record({rt->now(), sw, cookie, mon->epoch(), latency,
+                 telemetry::EventKind::kConfirm, 0});
+    if (prev) prev(cookie, latency);
+  };
+
+  auto prev_failed = std::move(hooks.on_update_failed);
+  hooks.on_update_failed = [hub, sw, mon, rt, prev = std::move(prev_failed)](
+                               std::uint64_t cookie, netbase::SimTime waited) {
+    hub->record({rt->now(), sw, cookie, mon->epoch(), waited,
+                 telemetry::EventKind::kUpdateFailed, 0});
+    if (prev) prev(cookie, waited);
+  };
+
+  auto prev_verdict = std::move(hooks.on_verdict);
+  hooks.on_verdict = [hub, sw, rt, prev = std::move(prev_verdict)](
+                         std::uint64_t cookie, RuleState state,
+                         openflow::Epoch epoch) {
+    hub->record({rt->now(), sw, cookie, epoch, 0,
+                 telemetry::EventKind::kVerdict,
+                 static_cast<std::uint32_t>(state)});
+    if (prev) prev(cookie, state, epoch);
+  };
+
+  auto prev_channel = std::move(hooks.on_channel_change);
+  hooks.on_channel_change = [hub, sw, mon, rt,
+                             prev = std::move(prev_channel)](bool up) {
+    hub->record({rt->now(), sw, 0, mon->epoch(), 0,
+                 telemetry::EventKind::kChannelState, up ? 1u : 0u});
+    if (prev) prev(up);
+  };
+
+  auto prev_delta = std::move(hooks.on_delta);
+  hooks.on_delta = [hub, sw, rt, prev = std::move(prev_delta)](
+                       const openflow::TableDelta& delta) {
+    hub->record({rt->now(), sw, delta.rule.cookie, delta.epoch, 0,
+                 telemetry::EventKind::kDelta,
+                 static_cast<std::uint32_t>(delta.kind)});
+    if (prev) prev(delta);
+  };
+}
+
+void Fleet::journal_diagnosis(const NetworkDiagnosis& diag) {
+  telemetry::TelemetryHub* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  const std::uint64_t now = runtime_->now();
+  for (const auto& link : diag.links) {
+    // arg packs the far end: [b:32][port_a:16][port_b:16].
+    const std::uint64_t arg = (std::uint64_t{link.b} << 32) |
+                              (std::uint64_t{link.port_a} << 16) |
+                              std::uint64_t{link.port_b};
+    hub->record({now, link.a, 0, shard_epoch(link.a), arg,
+                 telemetry::EventKind::kDiagnosis, telemetry::kDiagLink});
+  }
+  for (const auto& sw : diag.switches) {
+    hub->record({now, sw.sw, 0, shard_epoch(sw.sw), 0,
+                 telemetry::EventKind::kDiagnosis, telemetry::kDiagSwitch});
+  }
+  for (const auto& fault : diag.isolated) {
+    hub->record({now, fault.sw, fault.cookie, shard_epoch(fault.sw), 0,
+                 telemetry::EventKind::kDiagnosis,
+                 telemetry::kDiagIsolatedRule});
+  }
+}
+
+void Fleet::publish_telemetry() {
+  telemetry::TelemetryHub* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  const Stats snap = stats_snapshot();
+  telemetry::Exporter& exp = hub->exporter();
+  exp.set_counter("monocle_fleet_rounds_started_total", "",
+                  snap.rounds_started);
+  exp.set_counter("monocle_fleet_probes_injected_total", "",
+                  snap.probes_injected);
+  exp.set_counter("monocle_fleet_alarms_total", "", snap.alarms);
+  exp.set_counter("monocle_fleet_diagnoses_total", "", snap.diagnoses);
+  exp.set_counter("monocle_fleet_flow_mods_routed_total", "",
+                  snap.flow_mods_routed);
+  exp.set_counter("monocle_fleet_deltas_observed_total", "",
+                  snap.deltas_observed);
+  exp.set_counter("monocle_fleet_evidence_passes_total", "",
+                  snap.evidence_passes);
 }
 
 Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
@@ -335,7 +441,9 @@ void Fleet::note_alarm() {
   diag_timer_ = runtime_->schedule(config_.localize_debounce, [this] {
     diag_timer_ = 0;
     bump(stats_.diagnoses);
-    config_.on_diagnosis(diagnose());
+    const NetworkDiagnosis diag = diagnose();
+    journal_diagnosis(diag);
+    config_.on_diagnosis(diag);
   });
 }
 
@@ -405,6 +513,7 @@ void Fleet::run_evidence_pass() {
   if (!diag.healthy() && sig != published_sig_) {
     published_sig_ = std::move(sig);
     bump(stats_.diagnoses);
+    journal_diagnosis(diag);
     if (config_.on_diagnosis) config_.on_diagnosis(diag);
   } else if (diag.healthy()) {
     published_sig_.clear();

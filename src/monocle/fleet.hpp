@@ -57,6 +57,7 @@
 #include "monocle/round_engine.hpp"
 #include "monocle/runtime.hpp"
 #include "monocle/schedule.hpp"
+#include "telemetry/hub.hpp"
 
 namespace monocle {
 
@@ -98,6 +99,14 @@ class Fleet {
     /// excluded).  0 disables delta tracking (pending updates are still
     /// excluded).
     netbase::SimTime churn_exclusion = 500 * netbase::kMillisecond;
+    /// Telemetry plane (docs/DESIGN.md §13).  When set, every shard gets a
+    /// StatsRing from the hub (Monitor::publish_telemetry publishes one
+    /// sample per round burst, on the owning worker) and the Fleet journals
+    /// the shard event streams — confirmations, update failures, verdict
+    /// transitions, channel state changes, applied TableDeltas — plus every
+    /// published NetworkDiagnosis.  Must outlive the Fleet.  Null: off,
+    /// zero overhead.
+    telemetry::TelemetryHub* telemetry = nullptr;
     /// Receives the NetworkDiagnosis of each (debounced) localization pass.
     std::function<void(const NetworkDiagnosis&)> on_diagnosis;
     /// Runs after remove_shard destroyed a shard, so the host can drop its
@@ -244,6 +253,12 @@ class Fleet {
   /// thread-only.
   [[nodiscard]] RoundEngine* engine() const { return engine_.get(); }
 
+  /// Pushes the fleet-wide Stats into the telemetry hub's exporter as
+  /// external series (monocle_fleet_*).  No-op without Config::telemetry.
+  /// Uses stats_snapshot(), so any thread may call it — ExportThread
+  /// loop_tasks and scrape handlers typically do.
+  void publish_telemetry();
+
   /// Sum of outstanding (unresolved) probes across shards.
   [[nodiscard]] std::size_t outstanding_probes() const;
   /// Sum of currently-failed rules across shards.
@@ -284,6 +299,13 @@ class Fleet {
       std::vector<std::unordered_set<std::uint64_t>>& exclusions) const;
   void schedule_evidence_pass(netbase::SimTime delay);
   void run_evidence_pass();
+  /// Wires shard `sw` into Config::telemetry: attaches its StatsRing and
+  /// wraps the (already Fleet-chained) hooks with journal recorders.  Runs
+  /// once per add_shard, before any probing — the wrapped hooks then fire
+  /// only on the shard's owning worker (journal appends are mutexed).
+  void attach_telemetry(SwitchId sw, Monitor* mon);
+  /// Journals every finding of a published diagnosis (kDiagnosis records).
+  void journal_diagnosis(const NetworkDiagnosis& diag);
 
   Config config_;
   Runtime* runtime_;

@@ -106,6 +106,7 @@ void Monitor::on_channel_state(bool up) {
         job.inject_timer = 0;
       }
     }
+    if (hooks_.on_channel_change) hooks_.on_channel_change(false);
     return;
   }
   // Reconnected.  The switch may have restarted and lost its rules, so the
@@ -154,6 +155,7 @@ void Monitor::on_channel_state(bool up) {
   if (steady_running_ && config_.steady_probe_rate > 0 && steady_timer_ == 0) {
     schedule_steady_tick();
   }
+  if (hooks_.on_channel_change) hooks_.on_channel_change(true);
 }
 
 void Monitor::start() {
@@ -218,7 +220,51 @@ std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
     // report packets that actually left.
     if (inject_steady_probe(*slot)) ++injected;
   }
+  // Round boundary: publish this shard's telemetry sample from the owning
+  // worker (the ring is the only cross-thread surface; see DESIGN.md §13).
+  if (stats_ring_ != nullptr) publish_telemetry();
   return injected;
+}
+
+void Monitor::publish_telemetry() {
+  if (stats_ring_ == nullptr) return;
+  using namespace telemetry;
+  StatsSample s;
+  s.shard = config_.switch_id;
+  s.epoch = expected_.epoch();
+  s.when_ns = runtime_->now();
+  auto& c = s.counters;
+  c[kProbesInjected] = stats_.probes_injected;
+  c[kProbesCaught] = stats_.probes_caught;
+  c[kStaleProbes] = stats_.stale_probes;
+  c[kProbeGenerations] = stats_.probe_generations;
+  c[kUpdatesConfirmed] = stats_.updates_confirmed;
+  c[kUpdatesQueued] = stats_.updates_queued;
+  c[kAlarms] = stats_.alarms;
+  c[kFlowModsForwarded] = stats_.flowmods_forwarded;
+  c[kChannelDisconnects] = stats_.channel_disconnects;
+  c[kProbeCacheHits] = stats_.probe_cache_hits;
+  c[kProbeCacheMisses] = stats_.probe_cache_misses;
+  c[kProbeInvalidations] = stats_.probe_invalidations;
+  c[kDeltasApplied] = stats_.deltas_applied;
+  c[kDeltaRegens] = stats_.delta_regens;
+  c[kScratchRegens] = stats_.scratch_regens;
+  c[kStaleEpochDrops] = stats_.stale_epoch_drops;
+  c[kProbeRetries] = stats_.probe_retries;
+  c[kSuspectsRaised] = stats_.suspects_raised;
+  c[kSuspectsConfirmed] = stats_.suspects_confirmed;
+  c[kFlapSuppressions] = stats_.flap_suppressions;
+  c[kGenerationTimeNs] =
+      static_cast<std::uint64_t>(stats_.generation_time.count());
+  c[kConfirmLatencyCount] = stats_.confirm_latency_count;
+  c[kConfirmLatencySumNs] = stats_.confirm_latency_sum_ns;
+  for (std::size_t b = 0; b < kConfirmLatencyBuckets; ++b) {
+    c[kConfirmLatencyBucket0 + b] = stats_.confirm_latency_hist[b];
+  }
+  c[kFailedRules] = failed_.size();
+  c[kOutstandingProbes] = outstanding_.size();
+  c[kPendingUpdates] = updates_.size();
+  stats_ring_->publish(s);
 }
 
 void Monitor::warm_probe_cache() { refill_probe_cache(); }
@@ -519,6 +565,10 @@ void Monitor::confirm_update(std::uint64_t cookie) {
   }
   steady_order_.clear();  // the confirmed rule now joins the steady cycle
   ++stats_.updates_confirmed;
+  const netbase::SimTime latency = runtime_->now() - job.started;
+  ++stats_.confirm_latency_count;
+  stats_.confirm_latency_sum_ns += latency;
+  ++stats_.confirm_latency_hist[telemetry::confirm_latency_bucket(latency)];
 
   // §4.3 second phase: swap the tagged-forward rule for the real drop rule.
   // Probing is no longer necessary (the paper: the end-to-end behaviour of
@@ -1128,9 +1178,11 @@ void Monitor::on_probe_caught(SwitchId catcher, std::uint16_t catcher_in_port,
       suspects_.erase(s);
       ++stats_.flap_suppressions;
       rule_states_[cookie] = RuleState::kConfirmed;
+      note_verdict(cookie, RuleState::kConfirmed);
     }
     if (failed_.erase(cookie) > 0) {
       rule_states_[cookie] = RuleState::kConfirmed;
+      note_verdict(cookie, RuleState::kConfirmed);
     }
   } else if (verdict == Verdict::kAbsent) {
     // An absent echo is direct evidence — but under churn and flaps a
@@ -1271,9 +1323,11 @@ void Monitor::on_steady_timeout(std::uint32_t nonce) {
       suspects_.erase(s);
       ++stats_.flap_suppressions;
       rule_states_[op.cookie] = RuleState::kConfirmed;
+      note_verdict(op.cookie, RuleState::kConfirmed);
     }
     if (failed_.erase(op.cookie) > 0) {
       rule_states_[op.cookie] = RuleState::kConfirmed;
+      note_verdict(op.cookie, RuleState::kConfirmed);
     }
     return;
   }
@@ -1320,6 +1374,7 @@ void Monitor::raise_suspect(std::uint64_t cookie) {
   purge_outstanding_for(cookie);
   ++stats_.suspects_raised;
   rule_states_[cookie] = RuleState::kSuspect;  // steady cycle skips it
+  note_verdict(cookie, RuleState::kSuspect);
   SuspectEntry& s = it->second;
   s.probes_left = config_.confirm_probes;
   s.strikes = 0;
@@ -1397,6 +1452,7 @@ void Monitor::suspect_strike(std::uint64_t cookie) {
     suspects_.erase(it);
     ++stats_.flap_suppressions;
     rule_states_[cookie] = RuleState::kConfirmed;
+    note_verdict(cookie, RuleState::kConfirmed);
     return;
   }
   schedule_suspect_probe(cookie);
@@ -1413,9 +1469,14 @@ void Monitor::drop_suspect(std::uint64_t cookie) {
   }
 }
 
+void Monitor::note_verdict(std::uint64_t cookie, RuleState state) {
+  if (hooks_.on_verdict) hooks_.on_verdict(cookie, state, expected_.epoch());
+}
+
 void Monitor::mark_rule_failed(std::uint64_t cookie) {
   if (!failed_.insert(cookie).second) return;  // already failed
   rule_states_[cookie] = RuleState::kFailed;
+  note_verdict(cookie, RuleState::kFailed);
   if (failed_.size() >= config_.alarm_threshold && hooks_.on_alarm) {
     ++stats_.alarms;
     RuleAlarm alarm;

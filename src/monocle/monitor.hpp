@@ -44,6 +44,7 @@
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
 #include "openflow/table_version.hpp"
+#include "telemetry/stats_ring.hpp"
 
 namespace monocle {
 
@@ -109,6 +110,13 @@ struct MonitorStats {
   std::uint64_t suspects_raised = 0;     ///< timeout trains escalated to suspect
   std::uint64_t suspects_confirmed = 0;  ///< suspects K-of-N-confirmed failed
   std::uint64_t flap_suppressions = 0;   ///< suspects cleared without failing
+  // Confirm-latency histogram (update issued -> data-plane confirmed),
+  // fixed buckets per telemetry::kConfirmLatencyBoundsNs.  Exported through
+  // the telemetry ring and rendered as a Prometheus histogram.
+  std::uint64_t confirm_latency_count = 0;
+  std::uint64_t confirm_latency_sum_ns = 0;
+  std::array<std::uint64_t, telemetry::kConfirmLatencyBuckets>
+      confirm_latency_hist{};
   std::chrono::nanoseconds generation_time{0};
 };
 
@@ -220,6 +228,17 @@ class Monitor {
     /// table, after invalidation/session sync (the Fleet chains this to
     /// route per-shard epoch streams).
     std::function<void(const openflow::TableDelta&)> on_delta;
+    /// A rule's steady-state verdict changed: kSuspect when suspicion is
+    /// raised, kFailed when it is confirmed, kConfirmed when a suspicion or
+    /// failure clears (flap suppression / recovery).  Carries the table
+    /// epoch at the transition; the Fleet journals this stream
+    /// (telemetry/journal.hpp).
+    std::function<void(std::uint64_t cookie, RuleState state,
+                       openflow::Epoch epoch)>
+        on_verdict;
+    /// The control channel transitioned up/down, after the Monitor's own
+    /// outage handling ran.  Fires on genuine transitions only.
+    std::function<void(bool up)> on_channel_change;
   };
 
   Monitor(Config config, Runtime* runtime, const NetworkView* view,
@@ -340,6 +359,18 @@ class Monitor {
   /// (alarm/confirmation callbacks) after the transport hooks are wired.
   Hooks& hooks_for_test() { return hooks_; }
 
+  /// --- telemetry (telemetry/stats_ring.hpp; docs/DESIGN.md §13) ---------
+  /// Attaches the per-shard stats ring this Monitor publishes into.  The
+  /// ring must outlive the Monitor (the TelemetryHub owns it).  Set before
+  /// rounds start, or from the shard's owning worker.
+  void set_stats_ring(telemetry::StatsRing* ring) { stats_ring_ = ring; }
+  /// Publishes one epoch-stamped StatsSample of every exported counter into
+  /// the attached ring (no-op without one).  Runs automatically at the end
+  /// of every externally paced burst — i.e. once per round, on the owning
+  /// worker, which is what keeps every exported counter torn-read-free: the
+  /// export thread only ever reads ring slots, never live MonitorStats.
+  void publish_telemetry();
+
   /// The precise-invalidation predicate: true when the cached `entry` for
   /// rule `cookie` provably survives `delta` — probes whose packet the
   /// changed rule cannot match (it then enters neither Hit nor either
@@ -437,6 +468,8 @@ class Monitor {
   // (flap suppression) on one present echo / too few strikes.  Evidence is
   // dropped — no verdict — when the channel dies, the rule is deltaed, or
   // the Monitor stops.
+  /// Notifies hooks_.on_verdict of a rule-state transition (telemetry).
+  void note_verdict(std::uint64_t cookie, RuleState state);
   void raise_suspect(std::uint64_t cookie);
   void schedule_suspect_probe(std::uint64_t cookie);
   void inject_suspect_probe(std::uint64_t cookie);
@@ -567,6 +600,7 @@ class Monitor {
   std::uint32_t next_nonce_ = 1;
   ProbeGenerator generator_;
   MonitorStats stats_;
+  telemetry::StatsRing* stats_ring_ = nullptr;  // see publish_telemetry()
 
   // Cookies whose cached probes were invalidated; refilled in one coalesced
   // batch-generation pass instead of per-rule on the next probing tick.

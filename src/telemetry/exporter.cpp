@@ -1,0 +1,287 @@
+#include "telemetry/exporter.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace monocle::telemetry {
+
+namespace {
+
+void append_line(std::string& out, const char* family, const char* labels,
+                 double value) {
+  char buf[256];
+  if (labels != nullptr && labels[0] != '\0') {
+    std::snprintf(buf, sizeof(buf), "%s{%s} %.17g\n", family, labels, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %.17g\n", family, value);
+  }
+  out += buf;
+}
+
+void append_line_u64(std::string& out, const char* family, const char* labels,
+                     std::uint64_t value) {
+  char buf[256];
+  if (labels != nullptr && labels[0] != '\0') {
+    std::snprintf(buf, sizeof(buf), "%s{%s} %" PRIu64 "\n", family, labels,
+                  value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", family, value);
+  }
+  out += buf;
+}
+
+void append_type(std::string& out, const char* family, bool gauge) {
+  out += "# TYPE ";
+  out += family;
+  out += gauge ? " gauge\n" : " counter\n";
+}
+
+}  // namespace
+
+void Exporter::attach_ring(std::uint64_t shard, StatsRing* ring) {
+  std::lock_guard lock(mu_);
+  shards_[shard].ring = ring;
+}
+
+std::size_t Exporter::poll() {
+  std::lock_guard lock(mu_);
+  std::size_t drained = 0;
+  for (auto& [shard, state] : shards_) {
+    if (state.ring == nullptr) continue;
+    scratch_.clear();
+    state.ring->drain(scratch_);
+    if (!scratch_.empty()) {
+      state.last = scratch_.back();  // newest wins; history went to drains
+      state.have_sample = true;
+      drained += scratch_.size();
+    }
+  }
+  return drained;
+}
+
+void Exporter::set_counter(const std::string& name, const std::string& labels,
+                           std::uint64_t value) {
+  std::lock_guard lock(mu_);
+  Series& s = external_[name][labels];
+  s.gauge = false;
+  s.value = static_cast<double>(value);
+}
+
+void Exporter::set_gauge(const std::string& name, const std::string& labels,
+                         double value) {
+  std::lock_guard lock(mu_);
+  Series& s = external_[name][labels];
+  s.gauge = true;
+  s.value = value;
+}
+
+std::string Exporter::render() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  out.reserve(4096 + shards_.size() * 2048);
+
+  // Per-shard counter/gauge families from the latest samples.  The
+  // histogram block is skipped here and rendered as one aggregated
+  // Prometheus histogram below.
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    if (c >= kConfirmLatencyCount && c <= kConfirmLatencyBucketLast) continue;
+    const CounterMeta& meta = kCounterMeta[c];
+    bool typed = false;
+    for (const auto& [shard, state] : shards_) {
+      if (!state.have_sample) continue;
+      char family[128];
+      std::snprintf(family, sizeof(family), "monocle_%s%s", meta.name,
+                    meta.gauge ? "" : "_total");
+      if (!typed) {
+        append_type(out, family, meta.gauge);
+        typed = true;
+      }
+      char labels[64];
+      std::snprintf(labels, sizeof(labels), "switch=\"%" PRIu64 "\"", shard);
+      append_line_u64(out, family, labels, state.last.counters[c]);
+    }
+  }
+
+  // Per-shard epoch + derived cache-hit ratio gauges.
+  bool typed = false;
+  for (const auto& [shard, state] : shards_) {
+    if (!state.have_sample) continue;
+    if (!typed) {
+      append_type(out, "monocle_shard_epoch", true);
+      typed = true;
+    }
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "switch=\"%" PRIu64 "\"", shard);
+    append_line_u64(out, "monocle_shard_epoch", labels, state.last.epoch);
+  }
+  typed = false;
+  for (const auto& [shard, state] : shards_) {
+    if (!state.have_sample) continue;
+    const double hits =
+        static_cast<double>(state.last.counters[kProbeCacheHits]);
+    const double misses =
+        static_cast<double>(state.last.counters[kProbeCacheMisses]);
+    const double total = hits + misses;
+    if (!typed) {
+      append_type(out, "monocle_probe_cache_hit_ratio", true);
+      typed = true;
+    }
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "switch=\"%" PRIu64 "\"", shard);
+    append_line(out, "monocle_probe_cache_hit_ratio", labels,
+                total > 0 ? hits / total : 0.0);
+  }
+
+  // Aggregated confirm-latency histogram (cumulative buckets, seconds).
+  {
+    std::uint64_t buckets[kConfirmLatencyBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    for (const auto& [shard, state] : shards_) {
+      if (!state.have_sample) continue;
+      for (std::size_t b = 0; b < kConfirmLatencyBuckets; ++b) {
+        buckets[b] += state.last.counters[kConfirmLatencyBucket0 + b];
+      }
+      count += state.last.counters[kConfirmLatencyCount];
+      sum_ns += state.last.counters[kConfirmLatencySumNs];
+    }
+    out += "# TYPE monocle_confirm_latency_seconds histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kConfirmLatencyBuckets; ++b) {
+      cumulative += buckets[b];
+      char labels[64];
+      if (b < kConfirmLatencyBoundsNs.size()) {
+        std::snprintf(labels, sizeof(labels), "le=\"%.17g\"",
+                      static_cast<double>(kConfirmLatencyBoundsNs[b]) / 1e9);
+      } else {
+        std::snprintf(labels, sizeof(labels), "le=\"+Inf\"");
+      }
+      append_line_u64(out, "monocle_confirm_latency_seconds_bucket", labels,
+                      cumulative);
+    }
+    append_line(out, "monocle_confirm_latency_seconds_sum", "",
+                static_cast<double>(sum_ns) / 1e9);
+    append_line_u64(out, "monocle_confirm_latency_seconds_count", "", count);
+  }
+
+  // Ring accounting: what the export plane itself drained and lost.
+  typed = false;
+  for (const auto& [shard, state] : shards_) {
+    if (state.ring == nullptr) continue;
+    if (!typed) {
+      append_type(out, "monocle_telemetry_samples_drained_total", false);
+      typed = true;
+    }
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "switch=\"%" PRIu64 "\"", shard);
+    append_line_u64(out, "monocle_telemetry_samples_drained_total", labels,
+                    state.ring->drained());
+  }
+  typed = false;
+  for (const auto& [shard, state] : shards_) {
+    if (state.ring == nullptr) continue;
+    if (!typed) {
+      append_type(out, "monocle_telemetry_samples_dropped_total", false);
+      typed = true;
+    }
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "switch=\"%" PRIu64 "\"", shard);
+    append_line_u64(out, "monocle_telemetry_samples_dropped_total", labels,
+                    state.ring->dropped());
+  }
+
+  // External series (fleet counters, channel drops, ...).
+  for (const auto& [name, by_labels] : external_) {
+    bool family_typed = false;
+    for (const auto& [labels, series] : by_labels) {
+      if (!family_typed) {
+        append_type(out, name.c_str(), series.gauge);
+        family_typed = true;
+      }
+      append_line(out, name.c_str(), labels.c_str(), series.value);
+    }
+  }
+  return out;
+}
+
+std::vector<StatsSample> Exporter::latest_samples() const {
+  std::lock_guard lock(mu_);
+  std::vector<StatsSample> out;
+  for (const auto& [shard, state] : shards_) {
+    if (state.have_sample) out.push_back(state.last);
+  }
+  return out;
+}
+
+std::uint64_t Exporter::total_drained() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [shard, state] : shards_) {
+    if (state.ring != nullptr) total += state.ring->drained();
+  }
+  return total;
+}
+
+std::uint64_t Exporter::total_dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [shard, state] : shards_) {
+    if (state.ring != nullptr) total += state.ring->dropped();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ExportThread
+// ---------------------------------------------------------------------------
+
+ExportThread::ExportThread(Exporter& exporter,
+                           channel::WallclockRuntime* runtime, Options opts)
+    : exporter_(exporter), runtime_(runtime), opts_(std::move(opts)) {}
+
+ExportThread::~ExportThread() { stop(); }
+
+void ExportThread::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void ExportThread::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ExportThread::run() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    lock.unlock();
+    exporter_.poll();
+    if (runtime_ != nullptr && opts_.loop_task) {
+      runtime_->post(opts_.loop_task);
+    }
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    if (stop_) return;
+    cv_.wait_for(lock, std::chrono::nanoseconds(opts_.interval),
+                 [this] { return stop_; });
+    if (stop_) {
+      // One final drain so nothing published before stop() is lost.
+      lock.unlock();
+      exporter_.poll();
+      lock.lock();
+      return;
+    }
+  }
+}
+
+}  // namespace monocle::telemetry

@@ -1,0 +1,84 @@
+// TelemetryHub: one handle tying the telemetry plane together — per-shard
+// StatsRings (capture), the EventJournal (storage), the Exporter (export)
+// and the on-demand query API (docs/DESIGN.md §13).
+//
+// Hosts hand a hub to Fleet::Config::telemetry: the Fleet then attaches a
+// ring to every shard (Monitor::publish_telemetry publishes a sample per
+// round burst on the owning worker) and journals every confirmation,
+// verdict transition, channel state change, applied TableDelta and
+// published diagnosis.  An ExportThread (exporter.hpp) drains the rings;
+// a ScrapeServer (scrape.hpp) serves exporter().render() over TCP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/stats_ring.hpp"
+
+namespace monocle::telemetry {
+
+class TelemetryHub {
+ public:
+  struct Options {
+    /// Per-shard ring capacity (samples; rounded up to a power of two).
+    std::size_t ring_capacity = 64;
+    /// Journal placement/bounds (Options::dir empty = in-memory journal).
+    EventJournal::Options journal;
+  };
+
+  TelemetryHub() : TelemetryHub(Options{}) {}
+  explicit TelemetryHub(Options opts) : opts_(opts), journal_(opts.journal) {}
+
+  /// The stats ring for `shard`, created (and attached to the exporter) on
+  /// first use.  Pointers are stable for the hub's lifetime.  Thread-safe.
+  StatsRing* ring(std::uint64_t shard) {
+    std::lock_guard lock(mu_);
+    auto& slot = rings_[shard];
+    if (slot == nullptr) {
+      slot = std::make_unique<StatsRing>(opts_.ring_capacity);
+      exporter_.attach_ring(shard, slot.get());
+    }
+    return slot.get();
+  }
+
+  [[nodiscard]] Exporter& exporter() { return exporter_; }
+  [[nodiscard]] const Exporter& exporter() const { return exporter_; }
+  [[nodiscard]] EventJournal& journal() { return journal_; }
+  [[nodiscard]] const EventJournal& journal() const { return journal_; }
+
+  /// Journals one event.  Thread-safe.
+  void record(const EventRecord& rec) { journal_.append(rec); }
+
+  /// "What happened to rule `cookie` between epochs E1 and E2?" — replays
+  /// the journal (see EventJournal::query).
+  [[nodiscard]] std::vector<EventRecord> query(std::uint64_t cookie,
+                                               std::uint64_t epoch_lo,
+                                               std::uint64_t epoch_hi) const {
+    return journal_.query(cookie, epoch_lo, epoch_hi);
+  }
+
+  /// One export cycle: drains every ring and refreshes the hub's own
+  /// journal/ring accounting series.  Returns samples drained.
+  std::size_t poll() {
+    const std::size_t drained = exporter_.poll();
+    exporter_.set_counter("monocle_journal_records_total", "",
+                          journal_.appended());
+    exporter_.set_gauge("monocle_journal_disk_bytes", "",
+                        static_cast<double>(journal_.disk_bytes()));
+    return drained;
+  }
+
+ private:
+  Options opts_;
+  std::mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<StatsRing>> rings_;
+  Exporter exporter_;
+  EventJournal journal_;
+};
+
+}  // namespace monocle::telemetry

@@ -1,0 +1,244 @@
+#include "telemetry/journal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+
+namespace monocle::telemetry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x4C544A4Du;  // "MJTL"
+constexpr char kSegmentPrefix[] = "journal-";
+constexpr char kSegmentSuffix[] = ".seg";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+struct EventJournal::DiskRecord {
+  std::uint32_t magic = kRecordMagic;
+  std::uint32_t crc = 0;
+  EventRecord rec;
+};
+
+EventJournal::EventJournal(Options opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(opts_.dir, ec);
+  std::lock_guard lock(mu_);
+  recover_locked();
+}
+
+EventJournal::~EventJournal() {
+  std::lock_guard lock(mu_);
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+}
+
+std::string EventJournal::segment_path(std::uint64_t index) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(index), kSegmentSuffix);
+  return (fs::path(opts_.dir) / name).string();
+}
+
+std::vector<std::uint64_t> EventJournal::segment_indices_locked() const {
+  std::vector<std::uint64_t> indices;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) != 0) continue;
+    if (name.size() <= std::strlen(kSegmentPrefix) + std::strlen(kSegmentSuffix))
+      continue;
+    const std::string digits =
+        name.substr(std::strlen(kSegmentPrefix),
+                    name.size() - std::strlen(kSegmentPrefix) -
+                        std::strlen(kSegmentSuffix));
+    indices.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+std::size_t EventJournal::scan_segment(
+    const std::string& path,
+    const std::function<void(const EventRecord&)>& fn) const {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::size_t valid_end = 0;
+  DiskRecord disk;
+  while (std::fread(&disk, sizeof(disk), 1, f) == 1) {
+    if (disk.magic != kRecordMagic) break;
+    if (crc32(&disk.rec, sizeof(disk.rec)) != disk.crc) break;
+    valid_end += sizeof(disk);
+    if (fn) fn(disk.rec);
+  }
+  std::fclose(f);
+  return valid_end;
+}
+
+void EventJournal::recover_locked() {
+  const std::vector<std::uint64_t> indices = segment_indices_locked();
+  std::uint64_t recovered = 0;
+  const auto count = [&recovered](const EventRecord&) { ++recovered; };
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::string path = segment_path(indices[i]);
+    const std::size_t valid_end = scan_segment(path, count);
+    std::error_code ec;
+    const std::size_t actual = static_cast<std::size_t>(fs::file_size(path, ec));
+    if (i + 1 == indices.size()) {
+      // Crash recovery: drop the torn/corrupt tail of the last segment and
+      // keep appending where the valid prefix ends.
+      if (actual > valid_end) {
+        truncated_bytes_ += actual - valid_end;
+        fs::resize_file(path, valid_end, ec);
+      }
+      active_index_ = indices[i];
+      active_ = std::fopen(path.c_str(), "ab");
+      active_bytes_ = valid_end;
+    } else if (actual > valid_end) {
+      // A non-final segment with a torn tail (crash during rotation):
+      // truncate it too; its records stay readable.
+      truncated_bytes_ += actual - valid_end;
+      fs::resize_file(path, valid_end, ec);
+    }
+  }
+  recovered_ = recovered;
+  if (active_ == nullptr) {
+    active_index_ = indices.empty() ? 1 : indices.back() + 1;
+    open_next_segment_locked();
+  }
+}
+
+void EventJournal::open_next_segment_locked() {
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    ++active_index_;
+  }
+  active_ = std::fopen(segment_path(active_index_).c_str(), "ab");
+  active_bytes_ = 0;
+  enforce_disk_bound_locked();
+}
+
+void EventJournal::enforce_disk_bound_locked() {
+  std::vector<std::uint64_t> indices = segment_indices_locked();
+  std::size_t total = 0;
+  std::error_code ec;
+  for (const std::uint64_t index : indices) {
+    total += static_cast<std::size_t>(fs::file_size(segment_path(index), ec));
+  }
+  // Delete oldest segments (never the active one) until under the bound.
+  for (const std::uint64_t index : indices) {
+    if (total <= opts_.max_total_bytes) break;
+    if (index == active_index_) break;
+    const std::string path = segment_path(index);
+    const std::size_t size = static_cast<std::size_t>(fs::file_size(path, ec));
+    fs::remove(path, ec);
+    total -= size;
+    ++segments_deleted_;
+  }
+}
+
+void EventJournal::append(const EventRecord& rec) {
+  static_assert(sizeof(DiskRecord) == 56);
+  std::lock_guard lock(mu_);
+  ++appended_;
+  if (opts_.dir.empty()) {
+    memory_.push_back(rec);
+    while (memory_.size() > opts_.memory_capacity) memory_.pop_front();
+    return;
+  }
+  if (active_ == nullptr) return;  // directory unusable: drop silently
+  if (active_bytes_ >= opts_.segment_bytes) open_next_segment_locked();
+  DiskRecord disk;
+  disk.rec = rec;
+  disk.crc = crc32(&disk.rec, sizeof(disk.rec));
+  if (std::fwrite(&disk, sizeof(disk), 1, active_) == 1) {
+    active_bytes_ += sizeof(disk);
+    std::fflush(active_);
+  }
+}
+
+void EventJournal::replay(
+    const std::function<void(const EventRecord&)>& fn) const {
+  std::lock_guard lock(mu_);
+  if (opts_.dir.empty()) {
+    for (const EventRecord& rec : memory_) fn(rec);
+    return;
+  }
+  if (active_ != nullptr) std::fflush(active_);
+  for (const std::uint64_t index : segment_indices_locked()) {
+    scan_segment(segment_path(index), fn);
+  }
+}
+
+std::vector<EventRecord> EventJournal::query(std::uint64_t cookie,
+                                             std::uint64_t epoch_lo,
+                                             std::uint64_t epoch_hi) const {
+  std::vector<EventRecord> out;
+  replay([&](const EventRecord& rec) {
+    if (rec.cookie != cookie) return;
+    if (rec.epoch < epoch_lo || rec.epoch > epoch_hi) return;
+    out.push_back(rec);
+  });
+  return out;
+}
+
+std::uint64_t EventJournal::appended() const {
+  std::lock_guard lock(mu_);
+  return appended_;
+}
+
+std::uint64_t EventJournal::segments_deleted() const {
+  std::lock_guard lock(mu_);
+  return segments_deleted_;
+}
+
+std::vector<std::string> EventJournal::segment_files() const {
+  std::lock_guard lock(mu_);
+  if (opts_.dir.empty()) return {};
+  std::vector<std::string> out;
+  for (const std::uint64_t index : segment_indices_locked()) {
+    out.push_back(segment_path(index));
+  }
+  return out;
+}
+
+std::size_t EventJournal::disk_bytes() const {
+  std::lock_guard lock(mu_);
+  if (opts_.dir.empty()) return 0;
+  std::size_t total = 0;
+  std::error_code ec;
+  for (const std::uint64_t index : segment_indices_locked()) {
+    total += static_cast<std::size_t>(fs::file_size(segment_path(index), ec));
+  }
+  return total;
+}
+
+}  // namespace monocle::telemetry

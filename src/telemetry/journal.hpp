@@ -1,0 +1,147 @@
+// Epoch-stamped event journal: the storage plane of the telemetry stack
+// (docs/DESIGN.md §13, CoMo's storage.c role).
+//
+// Fixed-size EventRecords — diagnoses, update confirmations/failures, rule
+// verdict transitions, channel state changes, applied TableDeltas — are
+// appended by whichever thread observed the event (a mutex serializes; the
+// rates are orders of magnitude below the probe path) and spooled either to
+// bounded on-disk segment storage with rotation, or to a bounded in-memory
+// buffer when no directory is configured (simulation harnesses).
+//
+// On-disk format: each segment is a flat array of 56-byte records
+// [u32 magic][u32 crc32-of-payload][48-byte EventRecord].  Segments rotate
+// at segment_bytes and the oldest are deleted once the directory exceeds
+// max_total_bytes — total disk use is bounded by construction.  Reopening a
+// directory recovers every valid record; a half-written or corrupted tail
+// (crash mid-append) is truncated back to the last valid record and
+// appending resumes there (tests/telemetry_test.cpp crash-replay).
+//
+// The on-demand query side — query(cookie, epoch_lo, epoch_hi) — replays
+// the journal and answers "what happened to rule X between E1 and E2":
+// every surviving record for that cookie whose epoch stamp falls in the
+// window, in append order.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace monocle::telemetry {
+
+/// What happened.  Values are stable on-disk identifiers.
+enum class EventKind : std::uint32_t {
+  kConfirm = 1,       ///< dynamic update confirmed (arg = latency ns)
+  kUpdateFailed = 2,  ///< update gave up unconfirmed
+  kVerdict = 3,       ///< rule verdict transition (detail = RuleState)
+  kChannelState = 4,  ///< control channel transition (detail = up ? 1 : 0)
+  kDelta = 5,         ///< TableDelta applied (detail = TableDelta::Kind)
+  kDiagnosis = 6,     ///< published diagnosis element (detail = element kind)
+};
+
+/// kDiagnosis detail values.
+inline constexpr std::uint32_t kDiagLink = 1;
+inline constexpr std::uint32_t kDiagSwitch = 2;
+inline constexpr std::uint32_t kDiagIsolatedRule = 3;
+
+/// One journal entry.  Fixed-size, trivially copyable (the on-disk payload).
+struct EventRecord {
+  std::uint64_t when_ns = 0;  ///< Runtime::now() when the event fired
+  std::uint64_t shard = 0;    ///< switch id the event concerns
+  std::uint64_t cookie = 0;   ///< rule cookie (0 for link/switch events)
+  std::uint64_t epoch = 0;    ///< shard table epoch when the event fired
+  std::uint64_t arg = 0;      ///< kind-specific (latency ns, peer packing...)
+  EventKind kind = EventKind::kConfirm;
+  std::uint32_t detail = 0;   ///< kind-specific discriminator
+};
+static_assert(sizeof(EventRecord) == 48);
+
+/// CRC32 (IEEE 802.3, reflected) over a byte buffer — the per-record
+/// integrity check that crash recovery validates against.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+class EventJournal {
+ public:
+  struct Options {
+    /// Segment directory; empty = bounded in-memory journal (no disk).
+    /// Created (one level) if missing.
+    std::string dir;
+    /// Rotate to a new segment once the active one reaches this size.
+    std::size_t segment_bytes = 64 * 1024;
+    /// Delete oldest whole segments once the directory exceeds this.
+    std::size_t max_total_bytes = 4 * 1024 * 1024;
+    /// Record cap of the in-memory mode (oldest evicted beyond it).
+    std::size_t memory_capacity = 1 << 16;
+  };
+
+  // Two overloads instead of `Options opts = {}`: GCC 12 rejects a braced
+  // default argument of a nested class whose NSDMIs are still pending.
+  EventJournal() : EventJournal(Options{}) {}
+  explicit EventJournal(Options opts);
+  ~EventJournal();
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Appends one record.  Thread-safe; on-disk appends are flushed per
+  /// record (journal rates are low; durability is the point).
+  void append(const EventRecord& rec);
+
+  /// Replays every surviving record in append order.  Thread-safe.
+  void replay(const std::function<void(const EventRecord&)>& fn) const;
+
+  /// Records for `cookie` with epoch in [epoch_lo, epoch_hi], append order.
+  [[nodiscard]] std::vector<EventRecord> query(std::uint64_t cookie,
+                                               std::uint64_t epoch_lo,
+                                               std::uint64_t epoch_hi) const;
+
+  /// Records appended through THIS instance (excludes recovered ones).
+  [[nodiscard]] std::uint64_t appended() const;
+  /// Valid records recovered from disk at construction.
+  [[nodiscard]] std::uint64_t recovered() const { return recovered_; }
+  /// Trailing bytes discarded by crash recovery at construction.
+  [[nodiscard]] std::uint64_t truncated_bytes() const {
+    return truncated_bytes_;
+  }
+  /// Whole segments deleted by the disk bound so far.
+  [[nodiscard]] std::uint64_t segments_deleted() const;
+
+  /// Current segment files, oldest first (empty in memory mode).
+  [[nodiscard]] std::vector<std::string> segment_files() const;
+  /// Total bytes across current segment files (0 in memory mode).
+  [[nodiscard]] std::size_t disk_bytes() const;
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  struct DiskRecord;  // magic + crc + EventRecord
+
+  void open_next_segment_locked();
+  void enforce_disk_bound_locked();
+  void recover_locked();
+  /// Scans `path`; forwards valid records to `fn`.  Returns the byte offset
+  /// just past the last valid record.
+  std::size_t scan_segment(const std::string& path,
+                           const std::function<void(const EventRecord&)>& fn)
+      const;
+  [[nodiscard]] std::string segment_path(std::uint64_t index) const;
+  [[nodiscard]] std::vector<std::uint64_t> segment_indices_locked() const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  // Disk mode.
+  std::FILE* active_ = nullptr;
+  std::uint64_t active_index_ = 0;
+  std::size_t active_bytes_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t segments_deleted_ = 0;
+  // Memory mode.
+  std::deque<EventRecord> memory_;
+};
+
+}  // namespace monocle::telemetry

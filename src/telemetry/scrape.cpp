@@ -1,0 +1,55 @@
+#include "telemetry/scrape.hpp"
+
+#include <utility>
+
+namespace monocle::telemetry {
+
+ScrapeServer::ScrapeServer(channel::TcpTransport& transport, RenderFn render)
+    : transport_(transport), render_(std::move(render)) {}
+
+bool ScrapeServer::listen(std::uint16_t port, const std::string& bind_addr) {
+  const bool ok = transport_.listen(
+      port, [this](channel::Connection* conn) { on_accept(conn); }, bind_addr);
+  if (ok) port_ = transport_.listen_port();
+  return ok;
+}
+
+void ScrapeServer::on_accept(channel::Connection* conn) {
+  pending_.emplace(conn, std::string());
+  channel::Connection::Callbacks cbs;
+  cbs.on_bytes = [this, conn](std::span<const std::uint8_t> bytes) {
+    on_bytes(conn, bytes);
+  };
+  cbs.on_closed = [this, conn] { pending_.erase(conn); };
+  conn->set_callbacks(std::move(cbs));
+}
+
+void ScrapeServer::on_bytes(channel::Connection* conn,
+                            std::span<const std::uint8_t> bytes) {
+  const auto it = pending_.find(conn);
+  if (it == pending_.end()) return;  // already answered
+  std::string& buffer = it->second;
+  buffer.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (buffer.find("\r\n\r\n") == std::string::npos) {
+    if (buffer.size() > 64 * 1024) {  // runaway header: drop the peer
+      pending_.erase(it);
+      conn->close();
+    }
+    return;
+  }
+  const std::string body = render_ ? render_() : std::string();
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += "HTTP/1.0 200 OK\r\n";
+  response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  conn->send(std::span(reinterpret_cast<const std::uint8_t*>(response.data()),
+                       response.size()));
+  ++served_;
+  pending_.erase(it);
+  conn->close();
+}
+
+}  // namespace monocle::telemetry

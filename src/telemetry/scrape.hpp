@@ -1,0 +1,50 @@
+// Prometheus scrape endpoint over the channel/ transport layer.
+//
+// A ScrapeServer listens on a TcpTransport port (wallclock deployments:
+// the same transport the OpenFlow control channels use, pumped by the same
+// WallclockRuntime loop).  Per connection it buffers bytes until the HTTP
+// request-header terminator, answers one `text/plain; version=0.0.4`
+// response rendered by the supplied callback, and closes — the minimal
+// HTTP/1.0 exchange a Prometheus scraper (or curl) needs.  Everything runs
+// on the loop thread inside Transport::pump callbacks; the render callback
+// typically forwards to Exporter::render(), whose mutex makes the scrape
+// safe against the concurrent export thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "channel/tcp_transport.hpp"
+
+namespace monocle::telemetry {
+
+class ScrapeServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  /// `transport` must outlive the server (connections are owned by it).
+  ScrapeServer(channel::TcpTransport& transport, RenderFn render);
+
+  /// Starts listening (0 picks an ephemeral port; see port()).
+  bool listen(std::uint16_t port, const std::string& bind_addr = "127.0.0.1");
+
+  /// The bound port after a successful listen().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t scrapes_served() const { return served_; }
+
+ private:
+  void on_accept(channel::Connection* conn);
+  void on_bytes(channel::Connection* conn,
+                std::span<const std::uint8_t> bytes);
+
+  channel::TcpTransport& transport_;
+  RenderFn render_;
+  std::uint16_t port_ = 0;
+  std::uint64_t served_ = 0;
+  /// Per-connection request buffers; erased on response or close.
+  std::unordered_map<channel::Connection*, std::string> pending_;
+};
+
+}  // namespace monocle::telemetry

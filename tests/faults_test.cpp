@@ -325,11 +325,14 @@ TEST(NetworkEvidence, IsolatedFaultsOnConfirmedLinkEndpointsAreSubsumed) {
   // Sub-threshold failures on an endpoint of a confirmed link are the same
   // contamination, not independent soft faults.
   EvidenceFixture fx;
-  // Give sw1 a second egress group so the extra failures stay sub-threshold.
-  for (const Rule& r : table_toward_port(2, 300, 6).rules()) fx.t1.add(r);
   NetworkEvidence ev;
-  fx.fail_all_1();  // the port-1 group only
+  fx.fail_all_1();  // the port-1 group only (before the extras join t1)
   fx.fail_all_2();
+  // Give sw1 a second egress group so the extra failures stay sub-threshold.
+  // (Named: rules() returns a reference into the table, and a range-for
+  // does not extend the temporary's lifetime through the loop.)
+  const FlowTable extra = table_toward_port(2, 300, 6);
+  for (const Rule& r : extra.rules()) fx.t1.add(r);
   fx.failed1.insert(300);  // one lone port-2 rule: isolated per pass
   for (int i = 0; i < 5; ++i) {
     ev.observe(fx.reports(), fx.view, (1000 + 100 * i) * kMillisecond);
