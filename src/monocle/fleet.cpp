@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -20,7 +21,13 @@ void bump(std::uint64_t& counter, std::uint64_t by = 1) {
 Fleet::Fleet(Config config, Runtime* runtime, const NetworkView* view,
              const CatchPlan* plan)
     : config_(std::move(config)), runtime_(runtime), view_(view), plan_(plan),
-      evidence_(config_.evidence) {}
+      evidence_(config_.evidence) {
+  // probes_per_switch stays the single budget knob: it seeds the elastic
+  // scheduler's fallback, weight base and ceiling base.
+  BudgetOptions opts = config_.budget;
+  opts.probes_per_switch = config_.probes_per_switch;
+  budgeter_.set_options(opts);
+}
 
 Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
   Monitor::Config cfg = config_.monitor;
@@ -76,6 +83,7 @@ Monitor* Fleet::add_shard(SwitchId sw, Monitor::Hooks hooks) {
                                            std::move(hooks));
   Monitor* raw = monitor.get();
   shards_[sw] = std::move(monitor);
+  budgeter_.register_shard(sw);
   if (config_.telemetry != nullptr) attach_telemetry(sw, raw);
   return raw;
 }
@@ -183,6 +191,36 @@ void Fleet::publish_telemetry() {
                   snap.deltas_observed);
   exp.set_counter("monocle_fleet_evidence_passes_total", "",
                   snap.evidence_passes);
+  exp.set_counter("monocle_fleet_session_rebuilds_total", "",
+                  snap.session_rebuilds);
+  if (config_.elastic_budget) {
+    // Scheduler observability: the last-planned per-shard budgets and
+    // backlogs, plus the fleet-wide staleness p95 across shards.  Reads go
+    // through the budgeter's snapshot (mutexed), so a scrape thread may
+    // call this mid-plan.
+    budgeter_.snapshot(budget_views_);
+    std::vector<std::uint64_t> stale;
+    stale.reserve(budget_views_.size());
+    char labels[32];
+    for (const BudgetScheduler::ShardView& v : budget_views_) {
+      std::snprintf(labels, sizeof(labels), "switch=\"%llu\"",
+                    static_cast<unsigned long long>(v.sw));
+      exp.set_gauge("monocle_fleet_shard_budget", labels,
+                    static_cast<double>(v.budget));
+      exp.set_gauge("monocle_fleet_shard_backlog", labels,
+                    static_cast<double>(v.backlog));
+      stale.push_back(v.staleness_ns);
+    }
+    if (!stale.empty()) {
+      std::sort(stale.begin(), stale.end());
+      const std::size_t idx =
+          std::min(stale.size() - 1, (stale.size() * 95) / 100);
+      exp.set_gauge("monocle_fleet_staleness_p95_ns", "",
+                    static_cast<double>(stale[idx]));
+    }
+    exp.set_counter("monocle_fleet_budget_rounds_planned_total", "",
+                    budgeter_.rounds_planned());
+  }
 }
 
 Monitor* Fleet::add_shard(SwitchId sw, channel::SwitchBackend& backend,
@@ -317,10 +355,13 @@ void Fleet::prepare() {
     // so run_round() never constructs a callable (zero-alloc rounds).
     engine_ = std::make_unique<RoundEngine>(config_.round_workers);
     round_work_.assign(engine_->worker_count(), {});
+    round_budget_.assign(engine_->worker_count(), {});
     engine_->set_round_job([this](std::size_t worker) {
       std::size_t injected = 0;
-      for (Monitor* m : round_work_[worker]) {
-        injected += m->steady_probe_burst(config_.probes_per_switch);
+      const std::vector<Monitor*>& work = round_work_[worker];
+      const std::vector<std::size_t>& budget = round_budget_[worker];
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        injected += work[i]->steady_probe_burst(budget[i]);
       }
       return injected;
     });
@@ -376,31 +417,112 @@ std::size_t Fleet::start_round() {
   const std::vector<SwitchId>& round = schedule_.round(cursor_);
   cursor_ = (cursor_ + 1) % schedule_.round_count();
   bump(stats_.rounds_started);
+  // Elastic budgets are planned here, on the orchestration thread, BEFORE
+  // the engine barrier — the previous round's barrier already ordered every
+  // shard's writes before these reads (same precedent as run_evidence_pass).
+  if (config_.elastic_budget) plan_budgets(round);
   std::size_t injected = 0;
   if (engine_ != nullptr && engine_->running()) {
     // Partition the round's shards by owning worker (vectors keep capacity:
     // allocation-free once warm) and run one engine barrier.  Per-worker
     // iteration order follows the schedule's switch order, so each Monitor
     // sees exactly the event sequence it would single-threaded —
-    // classifications stay byte-identical for any worker count.
+    // classifications stay byte-identical for any worker count.  The budget
+    // vector rides along index-parallel so the preregistered round job
+    // never looks anything up.
     for (auto& work : round_work_) work.clear();
+    for (auto& budget : round_budget_) budget.clear();
     for (const SwitchId sw : round) {
       const auto it = shards_.find(sw);
       if (it == shards_.end()) continue;  // scheduled but unmonitored switch
-      round_work_[shard_worker(sw)].push_back(it->second.get());
+      const std::size_t worker = shard_worker(sw);
+      round_work_[worker].push_back(it->second.get());
+      round_budget_[worker].push_back(config_.elastic_budget
+                                          ? budgeter_.budget_for(sw)
+                                          : config_.probes_per_switch);
     }
     injected = engine_->run_round();
     bump(stats_.probes_injected, injected);
     drain_mailbox();
-    return injected;
+  } else {
+    for (const SwitchId sw : round) {
+      const auto it = shards_.find(sw);
+      if (it == shards_.end()) continue;  // scheduled but unmonitored switch
+      injected += it->second->steady_probe_burst(
+          config_.elastic_budget ? budgeter_.budget_for(sw)
+                                 : config_.probes_per_switch);
+    }
+    bump(stats_.probes_injected, injected);
   }
+  // Endurance cadence: amortized session maintenance off the probe path.
+  if (config_.maintenance_interval_rounds > 0 &&
+      ++rounds_since_maintenance_ >= config_.maintenance_interval_rounds) {
+    rounds_since_maintenance_ = 0;
+    maintain_sessions();
+  }
+  return injected;
+}
+
+void Fleet::plan_budgets(const std::vector<SwitchId>& round) {
+  budget_members_.clear();
+  pressure_.clear();
   for (const SwitchId sw : round) {
     const auto it = shards_.find(sw);
-    if (it == shards_.end()) continue;  // scheduled but unmonitored switch
-    injected += it->second->steady_probe_burst(config_.probes_per_switch);
+    if (it == shards_.end()) continue;
+    const Monitor& mon = *it->second;
+    ShardPressure p;
+    p.backlog = mon.pending_update_count();
+    p.deltas_applied = mon.stats().deltas_applied;
+    p.suspects = mon.suspect_rule_count();
+    p.failed = mon.failed_rule_count();
+    if (config_.evidence_localization) {
+      p.evidence_confidence = evidence_.switch_confidence(sw);
+    }
+    p.staleness = mon.steady_staleness_max();
+    budget_members_.push_back(sw);
+    pressure_.push_back(p);
   }
-  bump(stats_.probes_injected, injected);
-  return injected;
+  budgeter_.plan_round(budget_members_, pressure_);
+}
+
+std::size_t Fleet::maintain_sessions() {
+  // Quiesce: after the barrier (or in single-threaded mode, always) every
+  // shard is exclusively ours, so the rebuilds below run race-free even
+  // though they touch worker-owned solver state.
+  if (engine_ != nullptr) engine_->quiesce();
+  std::vector<Monitor*> due;
+  for (auto& [sw, monitor] : shards_) {
+    if (monitor->session_rebuild_due()) due.push_back(monitor.get());
+  }
+  if (due.empty()) return 0;
+  std::size_t rebuilt = 0;
+  if (due.size() <= 2) {
+    for (Monitor* monitor : due) rebuilt += monitor->rebuild_live_sessions();
+  } else {
+    // warm_caches-style pool: shards are the unit of parallelism, rebuilds
+    // happen against private warm-up sessions and swap atomically.
+    std::size_t threads = config_.warmup_threads > 0
+                              ? static_cast<std::size_t>(config_.warmup_threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, due.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < due.size();
+             i = next.fetch_add(1)) {
+          total.fetch_add(due[i]->rebuild_live_sessions(),
+                          std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    rebuilt = total.load();
+  }
+  if (rebuilt > 0) bump(stats_.session_rebuilds, rebuilt);
+  return rebuilt;
 }
 
 bool Fleet::route_flow_mod(SwitchId sw, const openflow::FlowMod& fm,
@@ -594,6 +716,7 @@ Fleet::Stats Fleet::stats_snapshot() const {
   out.flow_mods_routed = load(stats_.flow_mods_routed);
   out.deltas_observed = load(stats_.deltas_observed);
   out.evidence_passes = load(stats_.evidence_passes);
+  out.session_rebuilds = load(stats_.session_rebuilds);
   return out;
 }
 

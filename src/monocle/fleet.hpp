@@ -49,6 +49,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "monocle/budget.hpp"
 #include "monocle/catching.hpp"
 #include "monocle/evidence.hpp"
 #include "monocle/localizer.hpp"
@@ -72,8 +73,24 @@ class Fleet {
     /// Interval between successive probe rounds.
     netbase::SimTime round_interval = 10 * netbase::kMillisecond;
     /// Probes injected per co-scheduled switch per round (capped by the
-    /// switch's monitorable-rule cycle).
+    /// switch's monitorable-rule cycle).  With elastic_budget on this is
+    /// the fallback/ceiling base of the BudgetScheduler instead of the
+    /// uniform per-switch burst.
     std::size_t probes_per_switch = 4;
+    /// Elastic cost-aware budgets (budget.hpp; docs/DESIGN.md §14): the
+    /// round's global budget (probes_per_switch × round size) is re-divided
+    /// across its shards each round from pressure signals — confirm
+    /// backlog, delta rate, suspect/evidence state, rule staleness.  Off
+    /// (default): every scheduled shard bursts exactly probes_per_switch,
+    /// the uniform baseline fig14 compares against.
+    bool elastic_budget = false;
+    /// Weights/bounds of the elastic scheduler.  probes_per_switch above
+    /// overrides BudgetOptions::probes_per_switch.
+    BudgetOptions budget;
+    /// Endurance maintenance cadence: every this-many rounds, start_round()
+    /// checks shards for due live-session rebuilds and runs
+    /// maintain_sessions() off the round path.  0 = manual only.
+    std::size_t maintenance_interval_rounds = 64;
     /// Delay between prepare() and the first round of start(), so
     /// pre-installed catching rules provably reach the data plane.
     netbase::SimTime warmup = 200 * netbase::kMillisecond;
@@ -141,6 +158,7 @@ class Fleet {
     std::uint64_t flow_mods_routed = 0;  ///< route_flow_mod deliveries
     std::uint64_t deltas_observed = 0;   ///< TableDeltas across all shards
     std::uint64_t evidence_passes = 0;   ///< evidence observe() passes run
+    std::uint64_t session_rebuilds = 0;  ///< live sessions swapped (endurance)
   };
 
   Fleet(Config config, Runtime* runtime, const NetworkView* view,
@@ -222,6 +240,19 @@ class Fleet {
   /// meaningful when Config::evidence_localization is on).
   [[nodiscard]] const NetworkEvidence& evidence() const { return evidence_; }
 
+  /// The elastic budget scheduler (read-only observability; meaningful when
+  /// Config::elastic_budget is on — budget_for() returns the uniform
+  /// fallback otherwise).
+  [[nodiscard]] const BudgetScheduler& budgeter() const { return budgeter_; }
+
+  /// Endurance maintenance, off the round path: rebuilds every due live
+  /// batch session (Monitor::session_rebuild_due) across the fleet, fanned
+  /// out over the warm-up worker pool when several shards are due.  Runs
+  /// automatically every Config::maintenance_interval_rounds rounds;
+  /// callable manually between rounds (orchestration thread only).
+  /// Returns sessions swapped.
+  std::size_t maintain_sessions();
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   /// Consistent Stats read while a multi-worker round may be executing:
   /// quiesces the engine (every worker's relaxed increments happen-before
@@ -288,6 +319,10 @@ class Fleet {
   void drain_mailbox();
 
   void warm_caches();
+  /// Samples every round member's pressure signals and re-plans its budget
+  /// (Config::elastic_budget).  Orchestration thread, between rounds — the
+  /// engine barrier makes the shard reads race-free.
+  void plan_budgets(const std::vector<SwitchId>& round);
   void schedule_next_round();
   void note_alarm();
   /// Records a shard's delta for the churn-exclusion window.
@@ -340,6 +375,16 @@ class Fleet {
   /// start_round(); vectors keep their capacity, so the steady state
   /// allocates nothing.
   std::vector<std::vector<Monitor*>> round_work_;
+  /// Per-worker budgets parallel to round_work_, filled at partition time
+  /// so the preregistered round job reads them without any lookup or
+  /// allocation (uniform mode fills probes_per_switch).
+  std::vector<std::vector<std::size_t>> round_budget_;
+  BudgetScheduler budgeter_;
+  /// plan_budgets scratch (capacity kept across rounds).
+  std::vector<SwitchId> budget_members_;
+  std::vector<ShardPressure> pressure_;
+  std::vector<BudgetScheduler::ShardView> budget_views_;  // scrape scratch
+  std::size_t rounds_since_maintenance_ = 0;
   std::map<SwitchId, std::size_t> shard_worker_;  // registration order % N
   std::size_t next_worker_ = 0;
   /// Per-worker Multiplexer injection contexts for the backend add_shard

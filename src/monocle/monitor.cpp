@@ -206,15 +206,15 @@ void Monitor::stop() {
 std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
   if (!steady_running_ || !channel_up_) return 0;
   std::size_t injected = 0;
-  std::optional<std::uint64_t> first_cookie;
+  ++burst_seq_;
   for (std::size_t i = 0; i < max_probes; ++i) {
     SteadyEntry* slot = next_steady_entry();
     if (slot == nullptr) break;
-    if (!first_cookie) {
-      first_cookie = slot->cookie;
-    } else if (slot->cookie == *first_cookie) {
-      break;  // cycled through every monitorable rule already
-    }
+    // At most one probe per rule per burst: a slot already picked in THIS
+    // burst means the wheel has come full circle through every probeable
+    // rule.
+    if (slot->last_pick == burst_seq_) break;
+    slot->last_pick = burst_seq_;
     // Rules whose injection path is down (or that just turned
     // unmonitorable) don't count — the Fleet's probes_injected stat must
     // report packets that actually left.
@@ -228,6 +228,7 @@ std::size_t Monitor::steady_probe_burst(std::size_t max_probes) {
 
 void Monitor::publish_telemetry() {
   if (stats_ring_ == nullptr) return;
+  refresh_solver_stats();  // O(live sessions), allocation-free
   using namespace telemetry;
   StatsSample s;
   s.shard = config_.switch_id;
@@ -261,13 +262,181 @@ void Monitor::publish_telemetry() {
   for (std::size_t b = 0; b < kConfirmLatencyBuckets; ++b) {
     c[kConfirmLatencyBucket0 + b] = stats_.confirm_latency_hist[b];
   }
+  c[kSolverSweeps] = stats_.solver_sweeps;
+  c[kSolverRetiredClauses] = stats_.solver_retired_clauses;
+  c[kSessionRebuilds] = stats_.session_rebuilds;
   c[kFailedRules] = failed_.size();
   c[kOutstandingProbes] = outstanding_.size();
   c[kPendingUpdates] = updates_.size();
+  c[kRuleFloorSize] = rule_floor_.size();
   stats_ring_->publish(s);
 }
 
-void Monitor::warm_probe_cache() { refill_probe_cache(); }
+void Monitor::refresh_solver_stats() {
+  std::uint64_t sweeps = retired_session_sweeps_;
+  std::uint64_t clauses = retired_session_clauses_;
+  std::uint64_t words = retired_session_words_;
+  std::uint64_t live = 0;
+  std::uint64_t retired_vars = 0;
+  std::uint64_t live_vars = 0;
+  for (const LiveSession& ls : live_sessions_) {
+    const sat::SolverStats& st = ls.session->solver_stats();
+    sweeps += st.simplify_sweeps;
+    clauses += st.retired_clauses;
+    words += st.retired_arena_words;
+    live += ls.session->solver_arena_words();
+    retired_vars += ls.session->solver_retired_vars();
+    live_vars += ls.session->solver_live_vars();
+  }
+  stats_.solver_sweeps = sweeps;
+  stats_.solver_retired_clauses = clauses;
+  stats_.solver_retired_words = words;
+  stats_.solver_live_words = live;
+  stats_.solver_retired_vars = retired_vars;
+  stats_.solver_live_vars = live_vars;
+}
+
+bool Monitor::session_dominated(const ProbeBatchSession& s) const {
+  if (!config_.session_rebuild) return false;
+  const sat::SolverStats& st = s.solver_stats();
+  if (st.retired_arena_words >= config_.session_rebuild_min_words) {
+    const auto live = static_cast<double>(std::max<std::size_t>(
+        s.solver_arena_words(), 1));
+    if (static_cast<double>(st.retired_arena_words) >=
+        config_.session_rebuild_factor * live) {
+      return true;
+    }
+  }
+  // Second axis: binary-dominated encodings keep the clause arena empty
+  // (implicit watcher storage), so their only visible aging is the count of
+  // variables past queries retired with top-level units.
+  const std::size_t retired_vars = s.solver_retired_vars();
+  if (retired_vars < config_.session_rebuild_min_vars) return false;
+  const auto live_vars = static_cast<double>(std::max<std::size_t>(
+      s.solver_live_vars(), 1));
+  return static_cast<double>(retired_vars) >=
+         config_.session_rebuild_factor * live_vars;
+}
+
+bool Monitor::session_rebuild_due() const {
+  for (const LiveSession& ls : live_sessions_) {
+    if (session_dominated(*ls.session)) return true;
+  }
+  return false;
+}
+
+std::size_t Monitor::rebuild_live_sessions() {
+  std::size_t rebuilt = 0;
+  const auto all_ports = injectable_ports();
+  for (LiveSession& ls : live_sessions_) {
+    if (!session_dominated(*ls.session)) continue;
+    auto fresh = std::make_unique<ProbeBatchSession>(
+        expected_.table(), ls.collect, config_.miss_actions, config_.gen);
+    // Parity check before the swap: the fresh session must classify a
+    // sample rule of its collect group exactly like the retiring one
+    // (probes themselves may differ — SAT solutions are not unique — but
+    // ok/failure-kind must agree).  A mismatch vetoes the swap: wrong
+    // probes are worse than a slowly growing solver.
+    const Rule* sample = nullptr;
+    for (const Rule& r : expected_.table().rules()) {
+      if (is_infrastructure_cookie(r.cookie)) continue;
+      if (plan_->collect_match_for(config_.switch_id, collect_downstream(r)) ==
+          ls.collect) {
+        sample = &r;
+        break;
+      }
+    }
+    if (sample != nullptr) {
+      const auto generate_on = [&](ProbeBatchSession& s) {
+        ProbeGenResult gen;
+        if (!all_ports.empty()) {
+          const std::uint16_t preferred = hashed_in_port(*sample, all_ports);
+          gen = s.generate(*sample, std::span(&preferred, 1));
+        }
+        if (!gen.ok()) gen = s.generate(*sample, all_ports);
+        return gen;
+      };
+      const ProbeGenResult before = generate_on(*ls.session);
+      const ProbeGenResult after = generate_on(*fresh);
+      if (before.ok() != after.ok() ||
+          (!before.ok() && before.failure != after.failure)) {
+        ++stats_.session_parity_fails;
+        continue;
+      }
+    }
+    // Absorb the retiring session's sweep counters so the aggregate stays
+    // monotone, then swap — one unique_ptr move; cached probes stay valid
+    // (they depend on the table, not the session that produced them).
+    const sat::SolverStats& st = ls.session->solver_stats();
+    retired_session_sweeps_ += st.simplify_sweeps;
+    retired_session_clauses_ += st.retired_clauses;
+    retired_session_words_ += st.retired_arena_words;
+    ls.session = std::move(fresh);
+    ++stats_.session_rebuilds;
+    ++rebuilt;
+  }
+  if (rebuilt > 0) refresh_solver_stats();
+  return rebuilt;
+}
+
+netbase::SimTime Monitor::steady_staleness_max() const {
+  const SimTime now = runtime_->now();
+  SimTime worst = 0;
+  for (const Rule& r : expected_.table().rules()) {
+    if (is_infrastructure_cookie(r.cookie)) continue;
+    const RuleState st = rule_state(r.cookie);
+    if (st == RuleState::kUnmonitorable || st == RuleState::kPending) continue;
+    const auto it = last_probed_.find(r.cookie);
+    const SimTime last = it == last_probed_.end() ? 0 : it->second;
+    worst = std::max(worst, now - std::min(now, last));
+  }
+  return worst;
+}
+
+void Monitor::collect_staleness(std::vector<netbase::SimTime>& out) const {
+  const SimTime now = runtime_->now();
+  for (const Rule& r : expected_.table().rules()) {
+    if (is_infrastructure_cookie(r.cookie)) continue;
+    const RuleState st = rule_state(r.cookie);
+    if (st == RuleState::kUnmonitorable || st == RuleState::kPending) continue;
+    const auto it = last_probed_.find(r.cookie);
+    const SimTime last = it == last_probed_.end() ? 0 : it->second;
+    out.push_back(now - std::min(now, last));
+  }
+}
+
+void Monitor::warm_probe_cache() {
+  refill_probe_cache();
+  if (!config_.reuse_probe_wire) return;
+  // Pre-craft every cached probe's wire frame (generation/nonce are
+  // re-stamped per injection anyway): without this the first steady probe
+  // of each rule crafts lazily, so a measured or allocation-gated phase
+  // that starts before one full table cycle still sees one-time crafts —
+  // with large tables under a round-robin fleet that tail can be thousands
+  // of rounds long.  Warm-up should leave the steady cycle truly warm.
+  for (auto& [cookie, entry] : cache_->entries) {
+    if (!entry.probe.has_value() || entry.wire.valid()) continue;
+    ProbeMetadata meta;
+    meta.switch_id = config_.switch_id;
+    meta.rule_cookie = entry.probe->rule_cookie;
+    meta.generation = 0;
+    meta.expected = hash_prediction(entry.probe->if_present);
+    meta.nonce = 0;
+    entry.wire = netbase::craft_probe_wire(entry.probe->packet, meta);
+  }
+  // Prewarm the outstanding-probe node pool (and the map's bucket array)
+  // past the largest burst an elastic plan can assign: a shard whose
+  // in-flight high-water first rises mid-measurement would otherwise
+  // allocate map nodes on exactly the rounds a budget spike targets.
+  constexpr std::size_t kPrewarmOutstanding = 32;
+  while (outstanding_spares_.size() < kPrewarmOutstanding) {
+    const auto nonce =
+        static_cast<std::uint32_t>(0xFFFF0000u + outstanding_spares_.size());
+    const auto res = outstanding_.try_emplace(nonce);
+    if (!res.second) break;  // a live probe owns this nonce: don't steal it
+    outstanding_spares_.push_back(outstanding_.extract(res.first));
+  }
+}
 
 std::size_t Monitor::monitorable_rule_count() const {
   std::size_t count = 0;
@@ -1008,8 +1177,43 @@ void Monitor::apply_table_delta(const openflow::TableDelta& delta,
     rule_floor_.erase(delta.rule.cookie);  // late echoes miss outstanding_ anyway
     dirty_probe_cookies_.erase(delta.rule.cookie);
   }
+  // Endurance: kDelete only erases the deleted rule's own floor, so
+  // modify-heavy streams that rotate cookies (each modify retiring the
+  // replaced cookie) grow the floor map without bound.  Sweep once the map
+  // outgrows twice its live size (amortized O(1) per delta).
+  if (next_floor_sweep_ == 0) {
+    next_floor_sweep_ = std::max<std::size_t>(config_.floor_sweep_min, 1);
+  }
+  if (rule_floor_.size() >= next_floor_sweep_) sweep_rule_floors();
   if (!dirty_probe_cookies_.empty()) schedule_batch_refill();
   if (hooks_.on_delta) hooks_.on_delta(delta);
+}
+
+void Monitor::sweep_rule_floors() {
+  // Watermark: the smallest injection epoch still in flight.  Floors only
+  // ever classify observations whose probe epoch is BELOW them, future
+  // injections stamp the current epoch (>= any floor ever set), so a floor
+  // at or below the watermark can never fire again — dead weight.
+  openflow::Epoch watermark = expected_.epoch();
+  for (const auto& [nonce, op] : outstanding_) {
+    watermark = std::min(watermark, op.epoch);
+  }
+  for (auto it = rule_floor_.begin(); it != rule_floor_.end();) {
+    if (it->second <= watermark) {
+      it = rule_floor_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++stats_.floor_sweeps;
+  next_floor_sweep_ =
+      std::max<std::size_t>(config_.floor_sweep_min, 2 * rule_floor_.size());
+  // Spare-pool watermark: long bursts can pin kMaxOutstandingSpares
+  // recycled nodes forever; trim to the high-watermark of concurrent
+  // probes actually seen since the last sweep.
+  const std::size_t keep = std::max<std::size_t>(outstanding_peak_, 16);
+  if (outstanding_spares_.size() > keep) outstanding_spares_.resize(keep);
+  outstanding_peak_ = outstanding_.size();
 }
 
 bool Monitor::inject_probe_packet(const Probe& probe, ProbeCache::Entry* entry,
@@ -1061,6 +1265,9 @@ bool Monitor::inject_probe_packet(const Probe& probe, ProbeCache::Entry* entry,
 
 void Monitor::insert_outstanding(std::uint32_t nonce,
                                  const OutstandingProbe& op) {
+  if (outstanding_.size() >= outstanding_peak_) {
+    outstanding_peak_ = outstanding_.size() + 1;  // spare-pool watermark
+  }
   if (!outstanding_spares_.empty()) {
     auto node = std::move(outstanding_spares_.back());
     outstanding_spares_.pop_back();
@@ -1216,9 +1423,10 @@ void Monitor::schedule_steady_tick() {
 Monitor::SteadyEntry* Monitor::next_steady_entry() {
   if (steady_order_.empty()) {
     // Rebuild resolves every pointer the per-probe step would otherwise
-    // re-hash: Rule* into the table and RuleState* at the states-map node.
-    // Any table delta clears the order (apply_table_delta), so the Rule*
-    // never outlives the rule vector it points into.
+    // re-hash: Rule* into the table, RuleState* at the states-map node and
+    // the last-probed stamp at its (node-stable) map entry.  Any table
+    // delta clears the order (apply_table_delta), so the Rule* never
+    // outlives the rule vector it points into.
     for (const Rule& r : expected_.table().rules()) {
       if (is_infrastructure_cookie(r.cookie)) continue;
       const auto st = rule_states_.find(r.cookie);
@@ -1228,24 +1436,114 @@ Monitor::SteadyEntry* Monitor::next_steady_entry() {
           st->second == RuleState::kSuspect) {
         continue;  // suspects are probed by their own confirmation machine
       }
-      steady_order_.push_back(SteadyEntry{r.cookie, &r, &st->second, nullptr});
+      const auto lp = last_probed_.try_emplace(r.cookie, 0).first;
+      steady_order_.push_back(
+          SteadyEntry{r.cookie, &r, &st->second, nullptr, &lp->second, 0});
     }
     steady_pos_ = 0;
+    wheel_built_ = false;  // bucket indices point into the old order
+    // Cookie-rotating churn leaves last-probed stamps behind for cookies
+    // that left the table; prune when the map doubled past the live order
+    // (amortized O(1) per delta, keeps the endurance RSS flat).  Erasure
+    // never touches the entries the fresh order points at.
+    if (last_probed_.size() > steady_order_.size() * 2 + 16) {
+      for (auto it = last_probed_.begin(); it != last_probed_.end();) {
+        const Rule* live = expected_.table().find_by_cookie(it->first);
+        if (live == nullptr || is_infrastructure_cookie(it->first)) {
+          it = last_probed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     if (steady_order_.empty()) return nullptr;
   }
-  // Skip slots that became pending/suspect/unmonitorable since the rebuild —
-  // one pointer read per slot; state transitions rewrite the node in place.
-  for (std::size_t scanned = 0; scanned < steady_order_.size(); ++scanned) {
-    SteadyEntry& slot = steady_order_[steady_pos_];
-    steady_pos_ = (steady_pos_ + 1) % steady_order_.size();
-    const RuleState st = *slot.state;
-    if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
-        st == RuleState::kSuspect) {
-      continue;
+  if (!wheel_built_) rebuild_wheel();
+  // Drain the stalest non-empty bucket; when every bucket is exhausted the
+  // cycle is complete and the wheel re-bins by current age.  Two passes
+  // bound the scan: pass 1 finishes the current cycle, pass 2 scans one
+  // whole fresh cycle — if neither finds a probeable slot, nothing is.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t b = 0; b < kStalenessBuckets; ++b) {
+      std::vector<std::uint32_t>& bucket = wheel_[b];
+      std::size_t& pos = wheel_pos_[b];
+      while (pos < bucket.size()) {
+        SteadyEntry& slot = steady_order_[bucket[pos++]];
+        // Skip slots that became pending/suspect/unmonitorable since the
+        // rebuild — one pointer read per slot; state transitions rewrite
+        // the node in place.
+        const RuleState st = *slot.state;
+        if (st == RuleState::kPending || st == RuleState::kUnmonitorable ||
+            st == RuleState::kSuspect) {
+          continue;
+        }
+        return &slot;
+      }
     }
-    return &slot;
+    rebuild_wheel();
   }
   return nullptr;
+}
+
+void Monitor::rebuild_wheel() {
+  // Any bucket may hold the whole order (re-binning shifts occupancy every
+  // rebuild), so reserve up front once per size change — rebuilds then never
+  // touch the heap, which the fig14 steady-cycle alloc gate counts on.
+  for (auto& bucket : wheel_) {
+    bucket.clear();  // capacity retained
+    if (bucket.capacity() < steady_order_.size()) {
+      bucket.reserve(steady_order_.size());
+    }
+  }
+  wheel_pos_.fill(0);
+  const SimTime now = runtime_->now();
+  // The quantum adapts to the age SPREAD, not a fixed timeout multiple: a
+  // shard revisited every N rounds by the fleet has every rule older than
+  // any fixed threshold, which would collapse the wheel into one bucket in
+  // table order — and a churn-triggered order rebuild would then restart
+  // the scan at the table head, starving the tail forever.  Binning by
+  // fractions of the current maximum age keeps "stalest first" meaningful
+  // at any probing cadence, and the stamps survive order rebuilds, so the
+  // cycle position is effectively carried across churn.
+  SimTime max_age = 0;
+  for (const SteadyEntry& e : steady_order_) {
+    const SimTime last = *e.last_probed;
+    if (last == 0) continue;  // never probed: ranked ahead of every age
+    max_age = std::max(max_age, now - std::min(now, last));
+  }
+  const auto quantum =
+      std::max<SimTime>(std::max<SimTime>(1, config_.probe_timeout),
+                        max_age / kStalenessBuckets);
+  // Never-probed rules fill bucket 0 FIRST: under churn the order (and so
+  // the wheel) rebuilds every round, and each rebuild promotes a fresh
+  // batch of merely-aged low-index rules into bucket 0 — if those preceded
+  // the never-probed tail in the pick order, a burst no larger than the
+  // promotion rate would cycle the table head forever and the tail would
+  // never see its first probe (observed: a frozen tail exactly as old as
+  // the run).
+  for (std::uint32_t i = 0; i < steady_order_.size(); ++i) {
+    if (*steady_order_[i].last_probed == 0) wheel_[0].push_back(i);
+  }
+  for (std::uint32_t i = 0; i < steady_order_.size(); ++i) {
+    const SimTime last = *steady_order_[i].last_probed;
+    if (last == 0) continue;
+    const SimTime age = now - std::min(now, last);
+    // Stalest first: long-starved rules land in bucket 0, freshly probed
+    // ones in the last bucket.  Within a bucket the pick order follows
+    // steady_order_ (table order) — fully deterministic.
+    std::size_t b;
+    if (age >= 3 * quantum) {
+      b = 0;
+    } else if (age >= 2 * quantum) {
+      b = 1;
+    } else if (age >= quantum) {
+      b = 2;
+    } else {
+      b = 3;
+    }
+    wheel_[b].push_back(i);
+  }
+  wheel_built_ = true;
 }
 
 void Monitor::steady_tick() {
@@ -1283,6 +1581,8 @@ bool Monitor::inject_steady_probe(SteadyEntry& slot) {
   op.nonce = nonce;
   op.tries_left = config_.probe_retries - 1;
   op.first_injected = runtime_->now();
+  // Staleness stamp for the priority wheel (one pointer write per probe).
+  if (slot.last_probed != nullptr) *slot.last_probed = op.first_injected;
   op.timer = runtime_->schedule(
       config_.probe_timeout / std::max(1, config_.probe_retries),
       [this, nonce] { on_steady_timeout(nonce); });

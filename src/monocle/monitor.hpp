@@ -118,6 +118,20 @@ struct MonitorStats {
   std::array<std::uint64_t, telemetry::kConfirmLatencyBuckets>
       confirm_latency_hist{};
   std::chrono::nanoseconds generation_time{0};
+  // Solver/session health (PR 9): sat::SolverStats sweep counters
+  // aggregated across the shard's live batch sessions plus everything
+  // absorbed from sessions retired by background rebuilds.  Refreshed by
+  // refresh_solver_stats() (publish_telemetry does it per round) so benches
+  // and fig10/fig14 report solver health without poking sessions directly.
+  std::uint64_t solver_sweeps = 0;           ///< simplify() arena sweeps
+  std::uint64_t solver_retired_clauses = 0;  ///< clauses reclaimed by sweeps
+  std::uint64_t solver_retired_words = 0;    ///< arena words reclaimed
+  std::uint64_t solver_live_words = 0;       ///< current live arena words
+  std::uint64_t solver_retired_vars = 0;     ///< top-level-fixed session vars
+  std::uint64_t solver_live_vars = 0;        ///< still-branchable vars
+  std::uint64_t session_rebuilds = 0;        ///< background session rebuilds
+  std::uint64_t session_parity_fails = 0;    ///< rebuilds vetoed by parity
+  std::uint64_t floor_sweeps = 0;  ///< rule_floor_ watermark sweeps run
 };
 
 /// The per-switch monitoring proxy — Monocle's core actor (paper Figure 1).
@@ -204,6 +218,27 @@ class Monitor {
     /// profile, kept as the parity/benchmark baseline; bytes on the wire
     /// are identical either way, asserted by tests/scaleout_test.cpp).
     bool reuse_probe_wire = true;
+    // --- endurance controls (PR 9; docs/DESIGN.md §14) -------------------
+    /// Background live-session rebuild: when a batch session's cumulative
+    /// retired mass dominates its live mass by session_rebuild_factor — and
+    /// exceeds the absolute minimum below, so short runs never churn
+    /// sessions — the session is flagged due (session_rebuild_due()) and
+    /// rebuild_live_sessions() replaces it with a fresh one off the round
+    /// path, parity-checked against the old session before the swap.
+    /// Domination is measured on two independent axes, either suffices:
+    ///  * arena words: SolverStats::retired_arena_words vs. the live clause
+    ///    arena (sessions whose query-local clauses are ternary or wider);
+    ///  * retired variables: top-level-fixed vars vs. live vars (binary-
+    ///    dominated encodings never touch the clause arena — their aging is
+    ///    the per-query variable/watch-list growth the arena cannot see).
+    bool session_rebuild = true;
+    double session_rebuild_factor = 8.0;
+    std::size_t session_rebuild_min_words = 1u << 16;
+    std::size_t session_rebuild_min_vars = 1u << 14;
+    /// rule_floor_ watermark sweep trigger: sweep when the floor map grows
+    /// past max(this, 2 × its post-sweep size).  Bounds the map under
+    /// modify-heavy churn streams whose floors kDelete never erases.
+    std::size_t floor_sweep_min = 256;
   };
 
   /// Host-environment callbacks.  All functions must be set before start().
@@ -349,6 +384,34 @@ class Monitor {
   [[nodiscard]] std::size_t outstanding_probe_count() const {
     return outstanding_.size();
   }
+  /// Live staleness-floor entries (bounded by the watermark sweep; the
+  /// modify-churn endurance test reads this).
+  [[nodiscard]] std::size_t rule_floor_count() const {
+    return rule_floor_.size();
+  }
+  /// Age of the shard's stalest steadily-monitorable rule: now minus the
+  /// last steady injection for it (rules never probed age from 0).  The
+  /// Fleet samples this between rounds as the BudgetScheduler's staleness
+  /// pressure signal.  O(rules).
+  [[nodiscard]] netbase::SimTime steady_staleness_max() const;
+  /// Appends every steadily-monitorable rule's staleness (as defined above)
+  /// to `out` — the fig14 bench builds its p95 from this.
+  void collect_staleness(std::vector<netbase::SimTime>& out) const;
+  /// True when any live batch session's retired-clause mass dominates (see
+  /// Config::session_rebuild*).  Cheap: O(live sessions).
+  [[nodiscard]] bool session_rebuild_due() const;
+  /// Rebuilds every dominated live session against the current table: a
+  /// fresh ProbeBatchSession is constructed, parity-checked against the
+  /// retiring one on a sample rule, and swapped in (the old session's
+  /// solver stats are absorbed into MonitorStats first).  A parity mismatch
+  /// vetoes that swap (counted, old session kept).  Must run off the probe
+  /// path — the Fleet drives it between rounds, possibly from its warm-up
+  /// pool (safe: touches only this shard's sessions/stats).  Returns
+  /// sessions swapped.
+  std::size_t rebuild_live_sessions();
+  /// Folds live-session solver stats (plus the absorbed base of retired
+  /// sessions) into stats() — see MonitorStats solver fields.
+  void refresh_solver_stats();
   /// Rules eligible for steady-state probing (installed, not infrastructure,
   /// not unmonitorable).
   [[nodiscard]] std::size_t monitorable_rule_count() const;
@@ -449,13 +512,33 @@ class Monitor {
     const openflow::Rule* rule = nullptr;
     const RuleState* state = nullptr;
     ProbeCache::Entry* entry = nullptr;  ///< null until first injection
+    /// Last steady injection time, resolved into last_probed_ at rebuild
+    /// (node-stable) and written through per injection — the priority
+    /// wheel's staleness source, surviving order rebuilds because the map
+    /// outlives them.
+    netbase::SimTime* last_probed = nullptr;
+    /// Burst the slot was last picked in (steady_probe_burst's
+    /// one-probe-per-rule-per-burst guard).
+    std::uint32_t last_pick = 0;
   };
   void steady_tick();
   void schedule_steady_tick();
   /// Advances the rule cycle; returns the next probeable slot (null when
   /// none).  The slot carries the Rule/state/cache pointers the cycle
   /// already resolved so the injection path repeats no lookup per probe.
+  /// Picks run through a staleness-bucketed priority wheel over
+  /// steady_order_ (stalest bucket first, steady_order_ order within a
+  /// bucket): O(1) amortized per pick, no allocation once the bucket
+  /// vectors are warm, and — unlike the old positional rotation, which
+  /// restarted at slot 0 after every delta-driven rebuild — staleness
+  /// survives rebuilds, so churn can no longer starve the tail of the
+  /// cycle.  One full wheel cycle still visits every probeable rule
+  /// exactly once.
   SteadyEntry* next_steady_entry();
+  /// Re-bins every steady_order_ slot into the staleness buckets by
+  /// current age (quantum = Config::probe_timeout).  Runs at order rebuild
+  /// and each time the wheel is exhausted — amortized O(1) per pick.
+  void rebuild_wheel();
   /// Returns true only when a probe packet was actually handed to a live
   /// injection path; a failed injection registers no timeout (an outage
   /// must yield no verdict, not a timeout-derived one).
@@ -570,6 +653,17 @@ class Monitor {
 
   std::vector<SteadyEntry> steady_order_;  // resolved cycle (see SteadyEntry)
   std::size_t steady_pos_ = 0;
+  /// Priority wheel over steady_order_ (indices): bucket 0 holds the
+  /// stalest rules, the last bucket the freshest; picks drain bucket 0
+  /// first.  Bucket vectors keep their capacity across re-bins, so the
+  /// steady cycle stays allocation-free once warm.
+  static constexpr std::size_t kStalenessBuckets = 4;
+  std::array<std::vector<std::uint32_t>, kStalenessBuckets> wheel_;
+  std::array<std::size_t, kStalenessBuckets> wheel_pos_{};
+  bool wheel_built_ = false;
+  /// Per-cookie last steady injection time (node-stable; entries appear at
+  /// order rebuild and die only with the Monitor — a few words per rule).
+  std::unordered_map<std::uint64_t, netbase::SimTime> last_probed_;
   bool steady_running_ = false;
   bool channel_up_ = true;   // see on_channel_state
   bool channel_was_up_ = false;  // gates the disconnect stat: a backend
@@ -593,11 +687,29 @@ class Monitor {
   /// extract()s the node behind `it` into the spare pool; invalidates `it`.
   void retire_outstanding(OutstandingMap::iterator it);
 
+  /// Watermark sweep (endurance): erases every rule_floor_ entry at or
+  /// below the smallest epoch any in-flight probe still carries (such a
+  /// floor can never classify another observation — future injections
+  /// stamp the current epoch, which is ≥ every floor ever set), and trims
+  /// the outstanding spare pool to the high-watermark of concurrent
+  /// probes since the last sweep.  Triggered from apply_table_delta when
+  /// the floor map outgrows its bound; amortized O(1) per delta.
+  void sweep_rule_floors();
+  std::size_t next_floor_sweep_ = 0;   // 0 = derive from config on first use
+  std::size_t outstanding_peak_ = 0;   // high-watermark since last sweep
+  /// Solver stats absorbed from sessions retired by rebuilds, so the
+  /// aggregate in MonitorStats stays monotone across swaps.
+  std::uint64_t retired_session_sweeps_ = 0;
+  std::uint64_t retired_session_clauses_ = 0;
+  std::uint64_t retired_session_words_ = 0;
+  [[nodiscard]] bool session_dominated(const ProbeBatchSession& s) const;
+
   /// Scratch frame buffer for per-call crafting on the fast path (update
   /// probes, whose altered-table packets are not cache entries).
   std::vector<std::uint8_t> wire_scratch_;
 
   std::uint32_t next_nonce_ = 1;
+  std::uint32_t burst_seq_ = 0;  // see SteadyEntry::last_pick
   ProbeGenerator generator_;
   MonitorStats stats_;
   telemetry::StatsRing* stats_ring_ = nullptr;  // see publish_telemetry()

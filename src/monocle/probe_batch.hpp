@@ -76,6 +76,27 @@ class ProbeBatchSession {
   [[nodiscard]] const sat::SolverStats& solver_stats() const {
     return solver_.stats();
   }
+  /// Live solver clause-storage size (words).  With
+  /// solver_stats().retired_arena_words this is the Monitor's
+  /// session-rebuild trigger: when the cumulative retired mass dominates the
+  /// live mass, the session has outlived generations of query-local state
+  /// (dead variables, grown watch-list vectors) that only a fresh session
+  /// reclaims.
+  [[nodiscard]] std::size_t solver_arena_words() const {
+    return solver_.arena_words();
+  }
+  /// Variables retired by past queries (top-level units) vs. still-live
+  /// ones.  The second rebuild trigger: binary-dominated encodings never
+  /// put clauses in the arena, so their only visible aging is the retired
+  /// variable count.
+  [[nodiscard]] std::size_t solver_retired_vars() const {
+    return solver_.fixed_vars();
+  }
+  [[nodiscard]] std::size_t solver_live_vars() const {
+    const auto total = static_cast<std::size_t>(solver_.num_vars());
+    const std::size_t retired = solver_.fixed_vars();
+    return total > retired ? total - retired : 0;
+  }
   [[nodiscard]] std::size_t queries() const { return queries_; }
 
  private:

@@ -567,6 +567,10 @@ bool Solver::simplify() {
   // reasons, so the reasons can be cleared before clauses move around.
   for (const ILit l : trail_) vars_[var_of(l)].reason = UINT32_MAX;
 
+  ++stats_.simplify_sweeps;
+  const std::size_t arena_before = arena_.size();
+  std::size_t clauses_before = clause_refs_.size() + learned_refs_.size();
+
   std::vector<std::uint32_t> new_arena;
   new_arena.reserve(arena_.size());
   auto sweep = [&](std::vector<std::uint32_t>& refs) {
@@ -617,6 +621,11 @@ bool Solver::simplify() {
 
   sweep(clause_refs_);
   sweep(learned_refs_);
+  stats_.retired_clauses +=
+      clauses_before - (clause_refs_.size() + learned_refs_.size());
+  if (arena_before > new_arena.size()) {
+    stats_.retired_arena_words += arena_before - new_arena.size();
+  }
   arena_ = std::move(new_arena);
 
   auto rewatch = [&](std::uint32_t ref) {

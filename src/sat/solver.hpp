@@ -41,6 +41,15 @@ struct SolverStats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;
   std::uint64_t solve_calls = 0;
+  // Endurance observability: how much retired (level-0-satisfied) clause
+  // mass simplify() has reclaimed over the solver's lifetime.  Incremental
+  // sessions retire a guard literal per query, so over long churn runs the
+  // cumulative retired mass growing far past the live arena is the signal
+  // that the session has churned through many generations of query-local
+  // state — the Monitor's session-rebuild trigger reads exactly this ratio.
+  std::uint64_t simplify_sweeps = 0;       ///< simplify() arena sweeps run
+  std::uint64_t retired_clauses = 0;       ///< clauses dropped by sweeps
+  std::uint64_t retired_arena_words = 0;   ///< arena words reclaimed by sweeps
 };
 
 /// Incremental CDCL solver.  Construct, add clauses (or load a CnfFormula),
@@ -128,6 +137,18 @@ class Solver {
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] Var num_vars() const { return static_cast<Var>(num_vars_); }
+  /// Live clause-storage size in words — the denominator of the
+  /// retired-mass-dominates rebuild trigger (see SolverStats).
+  [[nodiscard]] std::size_t arena_words() const { return arena_.size(); }
+  /// Variables permanently assigned at level 0.  Incremental sessions retire
+  /// every query-local variable with a top-level unit, so for them this is
+  /// the retired-variable mass: binary-dominated formulas never touch the
+  /// clause arena (implicit watcher storage), and their aging is visible
+  /// only here — vars_, watches_ and the trail grow with every query even
+  /// though arena_words() stays flat.
+  [[nodiscard]] std::size_t fixed_vars() const {
+    return trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+  }
 
  private:
   // Internal literal encoding: variable v (1-based) -> 2*(v-1) + (sign?1:0).

@@ -81,10 +81,17 @@ enum Counter : std::size_t {
   kConfirmLatencyBucket0,  // kConfirmLatencyBuckets consecutive slots
   kConfirmLatencyBucketLast = kConfirmLatencyBucket0 +
                               kConfirmLatencyBuckets - 1,
+  // Solver/session endurance (PR 9): aggregated sat::SolverStats sweep
+  // counters across the shard's live batch sessions, plus background
+  // session rebuilds.
+  kSolverSweeps,
+  kSolverRetiredClauses,
+  kSessionRebuilds,
   // Point-in-time gauges (not monotone).
   kFailedRules,
   kOutstandingProbes,
   kPendingUpdates,
+  kRuleFloorSize,  ///< staleness-floor map size (watermark sweep keeps bounded)
   kCounterCount,
 };
 
@@ -123,9 +130,13 @@ inline constexpr std::array<CounterMeta, kCounterCount> kCounterMeta = [] {
   for (std::size_t b = 0; b < kConfirmLatencyBuckets; ++b) {
     m[kConfirmLatencyBucket0 + b] = {"confirm_latency_bucket", false};
   }
+  m[kSolverSweeps] = {"solver_sweeps", false};
+  m[kSolverRetiredClauses] = {"solver_retired_clauses", false};
+  m[kSessionRebuilds] = {"session_rebuilds", false};
   m[kFailedRules] = {"failed_rules", true};
   m[kOutstandingProbes] = {"outstanding_probes", true};
   m[kPendingUpdates] = {"pending_updates", true};
+  m[kRuleFloorSize] = {"rule_floor_size", true};
   return m;
 }();
 

@@ -109,6 +109,29 @@ TEST(RoundSchedule, SequentialBaselineIsOneSwitchPerRound) {
   EXPECT_EQ(schedule.max_round_size(), 1u);
 }
 
+TEST(RoundSchedule, BuildIsDeterministicForSameTopologyAndIds) {
+  // Same topology + same id mapping must give byte-identical rounds: the
+  // elastic budget planner keys its pressure samples off round membership,
+  // so a nondeterministic coloring would make fig14 runs incomparable.
+  const topo::Topology topo = topo::make_rocketfuel_as(40, 2026);
+  std::vector<SwitchId> ids;
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) ids.push_back(n + 1);
+
+  const RoundSchedule a = RoundSchedule::build(topo, ids);
+  const RoundSchedule b = RoundSchedule::build(topo, ids);
+  ASSERT_EQ(a.round_count(), b.round_count());
+  for (std::size_t r = 0; r < a.round_count(); ++r) {
+    EXPECT_EQ(a.round(r), b.round(r)) << "round " << r << " differs";
+  }
+  // And a rebuilt topology from the same seed colors identically too.
+  const topo::Topology topo2 = topo::make_rocketfuel_as(40, 2026);
+  const RoundSchedule c = RoundSchedule::build(topo2, ids);
+  ASSERT_EQ(a.round_count(), c.round_count());
+  for (std::size_t r = 0; r < a.round_count(); ++r) {
+    EXPECT_EQ(a.round(r), c.round(r));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Fleet on the simulated testbed
 // ---------------------------------------------------------------------------
@@ -118,7 +141,8 @@ struct FleetRig {
   std::unique_ptr<Testbed> bed;
   topo::Topology topo;
 
-  explicit FleetRig(topo::Topology t, std::size_t rules_per_switch = 12)
+  explicit FleetRig(topo::Topology t, std::size_t rules_per_switch = 12,
+                    bool elastic = false)
       : topo(std::move(t)) {
     Testbed::Options options;
     options.use_fleet = true;
@@ -126,6 +150,7 @@ struct FleetRig {
     options.monitor.probe_retries = 3;
     options.fleet.round_interval = 10 * kMillisecond;
     options.fleet.probes_per_switch = 4;
+    options.fleet.elastic_budget = elastic;
     bed = std::make_unique<Testbed>(&eq, topo, SwitchModel::ideal(), options);
     for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
       const SwitchId sw = bed->dpid_of(n);
@@ -172,6 +197,64 @@ TEST(Fleet, RoundsOnlyProbeScheduledSwitches) {
     }
     rig.eq.run_until(rig.eq.now() + 10 * kMillisecond);
   }
+}
+
+TEST(Fleet, ElasticBudgetsStayWithinRoundMembership) {
+  // The elastic planner only SCALES bursts of switches the coloring already
+  // co-scheduled — it must never add a switch to a round (which would break
+  // the non-interference invariant), never exceed the planned per-shard
+  // budget, and keep the cumulative spend of whole rotations pinned to the
+  // uniform scheduler's (conservation is rotation-level: a single round may
+  // over- or underspend, the carry accumulator repays it).
+  FleetRig rig(topo::make_grid(3, 3), 12, /*elastic=*/true);
+  Fleet& fleet = rig.fleet();
+  fleet.prepare();
+  rig.eq.run_until(200 * kMillisecond);
+
+  ASSERT_TRUE(fleet.schedule().valid());
+  ASSERT_GT(fleet.schedule().round_count(), 1u);
+  const std::size_t pps = 4;  // options.fleet.probes_per_switch above
+
+  std::uint64_t spent = 0;
+  std::uint64_t nominal = 0;
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::size_t r = 0; r < fleet.schedule().round_count(); ++r) {
+      std::map<SwitchId, std::uint64_t> before;
+      for (const auto& [sw, monitor] : fleet.shards()) {
+        before[sw] = monitor->stats().probes_injected;
+      }
+      const std::size_t cursor = fleet.round_cursor();
+      fleet.start_round();
+      const auto& round = fleet.schedule().round(cursor);
+      const std::set<SwitchId> members(round.begin(), round.end());
+      for (const auto& [sw, monitor] : fleet.shards()) {
+        const std::uint64_t delta =
+            monitor->stats().probes_injected - before[sw];
+        if (!members.contains(sw)) {
+          EXPECT_EQ(delta, 0u)
+              << "switch " << sw << " probed outside its round";
+          continue;
+        }
+        const std::size_t budget = fleet.budgeter().budget_for(sw);
+        EXPECT_LE(delta, budget) << "switch " << sw << " overspent";
+        EXPECT_GE(budget, 1u) << "floor violated for switch " << sw;
+        EXPECT_LE(budget, pps * 4) << "ceiling violated for switch " << sw;
+      }
+      const std::uint64_t round_spend = fleet.budgeter().last_round_budget();
+      EXPECT_GE(round_spend, round.size() * 1u) << "round below floors";
+      EXPECT_LE(round_spend, round.size() * pps * 4) << "round above ceilings";
+      spent += round_spend;
+      nominal += pps * round.size();
+      rig.eq.run_until(rig.eq.now() + 10 * kMillisecond);
+    }
+  }
+  // Rotation-level conservation: over three full laps the elastic spend must
+  // track the uniform spend to within the carry clamp (±4 × one round's
+  // nominal budget, i.e. a small fraction of three laps' total).
+  const double ratio =
+      static_cast<double>(spent) / static_cast<double>(nominal);
+  EXPECT_GE(ratio, 0.90) << "cumulative underspend vs uniform";
+  EXPECT_LE(ratio, 1.10) << "cumulative overspend vs uniform";
 }
 
 TEST(Fleet, VerifiesEveryRuleInSteadyState) {

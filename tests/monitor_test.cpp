@@ -4,6 +4,8 @@
 // deletions, drop-postponing (§4.3) and the Multiplexer plumbing.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "monocle/monitor.hpp"
 #include "switchsim/testbed.hpp"
 #include "topo/generators.hpp"
@@ -427,6 +429,94 @@ TEST(MonitorDynamic, StatsAccounting) {
   EXPECT_GE(st.probes_caught, 1u);
   EXPECT_EQ(st.updates_confirmed, 1u);
   EXPECT_GE(st.probe_generations, 1u);
+}
+
+TEST(MonitorDynamic, RuleFloorStaysBoundedUnderModifyOnlyChurn) {
+  // Regression (PR 9): rule_floor_ entries used to be erased only on
+  // kDelete of the rule's OWN cookie, so a modify-only stream that rotates
+  // cookies (same match+priority, fresh cookie per modify — common for
+  // controllers that stamp cookies with config generations) grew the floor
+  // map one entry per update, forever.  The watermark sweep
+  // (sweep_rule_floors) must keep it bounded across 10k such updates.
+  Monitor::Config cfg = fast_config();
+  cfg.floor_sweep_min = 64;  // compressed test: sweep early and often
+  CallbackRig rig(topo::make_star(4), cfg);
+  constexpr std::size_t kRules = 40;
+  constexpr std::size_t kEpochs = 250;  // kRules modifies per epoch -> 10k
+
+  for (std::uint32_t i = 0; i < kRules; ++i) {
+    const FlowMod fm = route_flowmod(i, static_cast<std::uint16_t>(1 + i % 4));
+    rig.bed->monitor(1)->seed_rule(fm.rule());
+    rig.bed->sw(1)->mutable_dataplane().add(fm.rule());
+  }
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  std::uint64_t next_cookie = 500000;
+  std::uint32_t xid = 100;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (std::uint32_t i = 0; i < kRules; ++i) {
+      FlowMod fm = route_flowmod(i, static_cast<std::uint16_t>(1 + i % 4));
+      fm.command = FlowModCommand::kModify;
+      fm.cookie = next_cookie++;  // rotate: every update brings a new cookie
+      rig.bed->controller_send(1, openflow::make_message(xid++, fm));
+    }
+    // Let the batch confirm so the epoch watermark advances past it.
+    rig.eq.run_until(rig.eq.now() + 40 * kMillisecond);
+  }
+  rig.eq.run_until(rig.eq.now() + 1 * kSecond);  // drain the tail
+
+  const Monitor& mon = *rig.bed->monitor(1);
+  EXPECT_GT(mon.stats().floor_sweeps, 0u) << "watermark sweep never ran";
+  // 10k updates stamped ~20k floor entries; the sweep must keep the live
+  // map within a small multiple of the sweep threshold, not O(updates).
+  EXPECT_LT(mon.rule_floor_count(), 2048u)
+      << "rule_floor_ grew unbounded under modify-only churn";
+  EXPECT_GT(mon.stats().updates_confirmed, kEpochs * kRules / 2)
+      << "churn stream mostly failed to confirm; watermark test is moot";
+}
+
+TEST(MonitorDynamic, BinaryDominatedSessionRebuildsViaRetiredVars) {
+  // Regression (PR 9): the session-rebuild trigger measured only retired
+  // *arena* mass.  These probe encodings are binary-dominated — implicit
+  // watcher storage keeps the clause arena empty — so an aged session's
+  // growth (a batch of top-level-retired variables per query) was invisible
+  // to the trigger and the rebuild never fired, no matter how long the
+  // session lived.  The retired-variable axis must catch it.
+  Monitor::Config cfg = fast_config();
+  cfg.session_rebuild_factor = 0.5;
+  // Park the arena axis out of reach: only retired vars may trip the check.
+  cfg.session_rebuild_min_words = std::numeric_limits<std::size_t>::max();
+  cfg.session_rebuild_min_vars = 64;
+  CallbackRig rig(topo::make_star(4), cfg);
+  constexpr std::size_t kRules = 20;
+  for (std::uint32_t i = 0; i < kRules; ++i) {
+    const FlowMod fm = route_flowmod(i, static_cast<std::uint16_t>(1 + i % 4));
+    rig.bed->monitor(1)->seed_rule(fm.rule());
+    rig.bed->sw(1)->mutable_dataplane().add(fm.rule());
+  }
+  rig.bed->start_monitoring();
+  rig.eq.run_until(300 * kMillisecond);
+
+  Monitor& mon = *rig.bed->monitor(1);
+  std::uint32_t xid = 100;
+  bool due = false;
+  for (std::size_t epoch = 0; epoch < 200 && !due; ++epoch) {
+    for (std::uint32_t i = 0; i < kRules; ++i) {
+      FlowMod fm = route_flowmod(i, static_cast<std::uint16_t>(1 + i % 4));
+      fm.command = FlowModCommand::kModify;
+      rig.bed->controller_send(1, openflow::make_message(xid++, fm));
+    }
+    rig.eq.run_until(rig.eq.now() + 40 * kMillisecond);
+    due = mon.session_rebuild_due();
+  }
+  ASSERT_TRUE(due) << "retired-variable mass never dominated: the rebuild "
+                      "trigger is still blind to binary-dominated sessions";
+  EXPECT_GT(mon.rebuild_live_sessions(), 0u);
+  EXPECT_GT(mon.stats().session_rebuilds, 0u);
+  EXPECT_EQ(mon.stats().session_parity_fails, 0u);
+  // A fresh session starts from the persistent base again.
+  EXPECT_FALSE(mon.session_rebuild_due());
 }
 
 }  // namespace

@@ -280,11 +280,12 @@ struct FleetScrapeRig {
   TelemetryHub hub;
   std::unique_ptr<Testbed> bed;
 
-  FleetScrapeRig() {
+  explicit FleetScrapeRig(bool elastic = false) {
     Testbed::Options opts;
     opts.use_fleet = true;
     opts.fleet.round_interval = 5 * kMillisecond;
     opts.fleet.probes_per_switch = 8;
+    opts.fleet.elastic_budget = elastic;
     opts.fleet.telemetry = &hub;
     bed = std::make_unique<Testbed>(&eq, topo::make_grid(2, 2),
                                     SwitchModel::ideal(), opts);
@@ -361,6 +362,59 @@ TEST(ScrapeFleet, MatchesFleetStatsSnapshotAndJournalAccounting) {
     const StatsRing* ring = rig.hub.ring(rig.bed->dpid_of(n));
     EXPECT_EQ(ring->drained() + ring->dropped(), ring->published());
   }
+}
+
+TEST(ScrapeFleet, ElasticBudgetSeriesMatchSchedulerState) {
+  // Golden scrape for the PR 9 scheduler series: with elastic budgets on,
+  // every registered shard exposes its current budget/backlog gauge, the
+  // planner counter matches BudgetScheduler::rounds_planned(), and the
+  // staleness p95 gauge is present.  Values are cross-checked against the
+  // scheduler snapshot, not just for presence.
+  FleetScrapeRig rig(/*elastic=*/true);
+  rig.eq.run_until(2 * kSecond);
+  rig.hub.poll();
+  rig.bed->fleet()->publish_telemetry();
+  const PromText parsed = parse_prometheus(rig.hub.exporter().render());
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const BudgetScheduler& budgeter = rig.bed->fleet()->budgeter();
+  EXPECT_GT(budgeter.rounds_planned(), 0u);
+  EXPECT_EQ(value_of(parsed, "monocle_fleet_budget_rounds_planned_total"),
+            static_cast<double>(budgeter.rounds_planned()));
+
+  std::vector<BudgetScheduler::ShardView> views;
+  budgeter.snapshot(views);
+  ASSERT_EQ(views.size(), 4u);
+  const std::size_t pps = 8;  // rig's probes_per_switch
+  for (const BudgetScheduler::ShardView& v : views) {
+    const std::string label =
+        "switch=\"" + std::to_string(v.sw) + "\"";
+    EXPECT_EQ(value_of(parsed, "monocle_fleet_shard_budget", label),
+              static_cast<double>(v.budget));
+    EXPECT_GE(v.budget, 1u);
+    EXPECT_LE(v.budget, pps * 4);
+    EXPECT_EQ(value_of(parsed, "monocle_fleet_shard_backlog", label),
+              static_cast<double>(v.backlog));
+  }
+  EXPECT_GE(value_of(parsed, "monocle_fleet_staleness_p95_ns"), 0.0);
+  EXPECT_EQ(parsed.types.at("monocle_fleet_shard_budget"), "gauge");
+  EXPECT_EQ(parsed.types.at("monocle_fleet_budget_rounds_planned_total"),
+            "counter");
+
+  const Fleet::Stats snap = rig.bed->fleet()->stats_snapshot();
+  EXPECT_EQ(value_of(parsed, "monocle_fleet_session_rebuilds_total"),
+            static_cast<double>(snap.session_rebuilds));
+}
+
+TEST(ScrapeFleet, ElasticSeriesAbsentWhenDisabled) {
+  FleetScrapeRig rig(/*elastic=*/false);
+  rig.eq.run_until(1 * kSecond);
+  rig.hub.poll();
+  rig.bed->fleet()->publish_telemetry();
+  const PromText parsed = parse_prometheus(rig.hub.exporter().render());
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(parsed.find("monocle_fleet_shard_budget", "switch=\"1\""), nullptr);
+  EXPECT_EQ(parsed.find("monocle_fleet_staleness_p95_ns"), nullptr);
 }
 
 // ---------------------------------------------------------------------------
