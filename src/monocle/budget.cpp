@@ -159,4 +159,22 @@ std::uint64_t BudgetScheduler::last_round_budget() const {
   return last_round_budget_;
 }
 
+double BudgetScheduler::carry() const {
+  std::lock_guard lock(mu_);
+  return carry_;
+}
+
+void BudgetScheduler::set_carry(double carry) {
+  std::lock_guard lock(mu_);
+  carry_ = carry;
+}
+
+void BudgetScheduler::seed_budget(SwitchId sw, std::uint64_t budget) {
+  std::lock_guard lock(mu_);
+  Slot& slot = slots_[slot_index(sw)];
+  slot.budget = std::clamp<std::uint64_t>(
+      budget, opts_.floor_probes,
+      opts_.probes_per_switch * opts_.ceiling_factor);
+}
+
 }  // namespace monocle

@@ -120,6 +120,17 @@ class BudgetScheduler {
   /// Total probes assigned by the most recent plan.
   [[nodiscard]] std::uint64_t last_round_budget() const;
 
+  /// --- warm-restart persistence (checkpoint.hpp; DESIGN.md §15) ---------
+  /// The spend-conservation carry accumulator, exported into the fleet
+  /// checkpoint so a restart resumes the steered cumulative spend instead
+  /// of resetting the conservation window.
+  [[nodiscard]] double carry() const;
+  void set_carry(double carry);
+  /// Seeds `sw`'s slot with a checkpointed budget (registering it if
+  /// needed), so the first post-restore round spends what the pre-crash
+  /// plan decided rather than snapping back to the uniform fallback.
+  void seed_budget(SwitchId sw, std::uint64_t budget);
+
  private:
   struct Slot {
     std::uint64_t budget = 0;

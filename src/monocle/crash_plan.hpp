@@ -1,0 +1,130 @@
+// Deterministic shard-crash fault injection for fleet rounds
+// (docs/DESIGN.md §15; modeled on switchsim::FaultPlan, but round-indexed
+// and schedule-explicit — recovery tests need the SAME fault sequence on
+// the crashed fleet and its never-crashed control, so there is no RNG).
+//
+// The plan is a set of explicit events keyed on the fleet round counter:
+//
+//  * kill_shard(sw, round)   — the shard "process" dies at that round: its
+//    Monitor is stopped (timers die with it), it stops executing bursts,
+//    and its in-memory state is presumed lost — recovery must come from
+//    the checkpoint store;
+//  * wedge_shard(sw, round, rounds) — the shard stops making progress for
+//    a window (a stuck worker loop) but its process survives;
+//  * wedge_worker(worker, round, rounds) — every shard pinned to `worker`
+//    wedges: the supervisor's stuck-WORKER signal, which triggers shard
+//    migration to a healthy worker rather than in-place restore;
+//  * tear_channel(sw, round, rounds) — the shard's control channel drops
+//    mid-round and comes back after the window (drives
+//    Monitor::on_channel_state, so the epoch-barrier outage machinery runs
+//    under the crash scenario too).
+//
+// Fleet::start_round() consults the plan at every round boundary; the
+// supervisor consults it never — it must DETECT these faults from
+// heartbeats alone.  revive_shard() clears a kill once the supervisor has
+// restored the shard (the "operator restarted the process" edge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "monocle/runtime.hpp"
+
+namespace monocle {
+
+class CrashPlan {
+ public:
+  struct CrashStats {
+    std::uint64_t kills = 0;     ///< kill events consumed by the fleet
+    std::uint64_t revives = 0;   ///< kills cleared after restore
+    std::uint64_t wedge_rounds = 0;  ///< shard-rounds spent wedged
+    std::uint64_t tear_rounds = 0;   ///< shard-rounds spent torn
+  };
+
+  /// The shard dies at `round` (stays dead until revive_shard()).
+  void kill_shard(SwitchId sw, std::uint64_t round) { kills_[sw] = round; }
+
+  /// The shard makes no progress during [round, round + rounds).
+  void wedge_shard(SwitchId sw, std::uint64_t round, std::uint64_t rounds) {
+    shard_wedges_[sw].emplace_back(round, round + rounds);
+  }
+
+  /// Every shard pinned to `worker` wedges during [round, round + rounds).
+  void wedge_worker(std::size_t worker, std::uint64_t round,
+                    std::uint64_t rounds) {
+    worker_wedges_[worker].emplace_back(round, round + rounds);
+  }
+
+  /// The shard's control channel is down during [round, round + rounds).
+  void tear_channel(SwitchId sw, std::uint64_t round, std::uint64_t rounds) {
+    tears_[sw].emplace_back(round, round + rounds);
+  }
+
+  /// Clears a kill (the supervisor restored the shard's "process").
+  void revive_shard(SwitchId sw) {
+    if (kills_.erase(sw) > 0) ++stats_.revives;
+    fired_.erase(sw);
+  }
+
+  /// --- queried by Fleet::start_round ------------------------------------
+  [[nodiscard]] bool shard_dead(SwitchId sw, std::uint64_t round) const {
+    const auto it = kills_.find(sw);
+    return it != kills_.end() && round >= it->second;
+  }
+  /// True ONCE, at the shard's first scheduled round at/after the kill
+  /// round — the fleet only visits a shard on its rotation slot, so an
+  /// exact-round match would silently miss kills whose round falls between
+  /// visits.  Consuming: the fleet stops the Monitor exactly once.
+  [[nodiscard]] bool kill_fires(SwitchId sw, std::uint64_t round) {
+    const auto it = kills_.find(sw);
+    if (it == kills_.end() || round < it->second) return false;
+    return fired_.insert(sw).second;
+  }
+  [[nodiscard]] bool shard_wedged(SwitchId sw, std::uint64_t round) const {
+    return in_window(shard_wedges_, sw, round);
+  }
+  [[nodiscard]] bool worker_wedged(std::size_t worker,
+                                   std::uint64_t round) const {
+    return in_window(worker_wedges_, worker, round);
+  }
+  [[nodiscard]] bool channel_torn(SwitchId sw, std::uint64_t round) const {
+    return in_window(tears_, sw, round);
+  }
+
+  CrashStats& stats() { return stats_; }
+  [[nodiscard]] const CrashStats& stats() const { return stats_; }
+
+  void clear() {
+    kills_.clear();
+    fired_.clear();
+    shard_wedges_.clear();
+    worker_wedges_.clear();
+    tears_.clear();
+  }
+
+ private:
+  using Windows = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+  template <typename Key>
+  [[nodiscard]] static bool in_window(const std::map<Key, Windows>& map,
+                                      Key key, std::uint64_t round) {
+    const auto it = map.find(key);
+    if (it == map.end()) return false;
+    for (const auto& [from, to] : it->second) {
+      if (round >= from && round < to) return true;
+    }
+    return false;
+  }
+
+  std::map<SwitchId, std::uint64_t> kills_;  // kill round per shard
+  std::set<SwitchId> fired_;                 // kills already consumed
+  std::map<SwitchId, Windows> shard_wedges_;
+  std::map<std::size_t, Windows> worker_wedges_;
+  std::map<SwitchId, Windows> tears_;
+  CrashStats stats_;
+};
+
+}  // namespace monocle

@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "monocle/checkpoint.hpp"
+#include "telemetry/checkpoint_store.hpp"
+
 namespace monocle {
 
 namespace {
@@ -416,7 +419,12 @@ std::size_t Fleet::start_round() {
   if (schedule_.round_count() == 0) return 0;
   const std::vector<SwitchId>& round = schedule_.round(cursor_);
   cursor_ = (cursor_ + 1) % schedule_.round_count();
+  // The fault plan and checkpoint writer index rounds from 0; the counter
+  // itself resumes across restarts (FleetCheckpoint), so a restored fleet's
+  // crash schedule lines up with the control fleet's.
+  const std::uint64_t round_index = stats_.rounds_started;
   bump(stats_.rounds_started);
+  if (config_.crash_plan != nullptr) apply_crash_plan(round, round_index);
   // Elastic budgets are planned here, on the orchestration thread, BEFORE
   // the engine barrier — the previous round's barrier already ordered every
   // shard's writes before these reads (same precedent as run_evidence_pass).
@@ -435,6 +443,9 @@ std::size_t Fleet::start_round() {
     for (const SwitchId sw : round) {
       const auto it = shards_.find(sw);
       if (it == shards_.end()) continue;  // scheduled but unmonitored switch
+      if (shard_quarantined(sw) || crash_plan_blocks(sw, round_index)) {
+        continue;  // no burst: the heartbeat stalls, the supervisor sees it
+      }
       const std::size_t worker = shard_worker(sw);
       round_work_[worker].push_back(it->second.get());
       round_budget_[worker].push_back(config_.elastic_budget
@@ -448,11 +459,20 @@ std::size_t Fleet::start_round() {
     for (const SwitchId sw : round) {
       const auto it = shards_.find(sw);
       if (it == shards_.end()) continue;  // scheduled but unmonitored switch
+      if (shard_quarantined(sw) || crash_plan_blocks(sw, round_index)) {
+        continue;
+      }
       injected += it->second->steady_probe_burst(
           config_.elastic_budget ? budgeter_.budget_for(sw)
                                  : config_.probes_per_switch);
     }
     bump(stats_.probes_injected, injected);
+  }
+  // Watchdog sweep, then the incremental checkpoint — in that order, so a
+  // shard quarantined THIS round is never snapshotted in its wedged state.
+  if (supervisor_.enabled) supervise_round(round);
+  if (config_.checkpoints != nullptr) {
+    write_round_checkpoint(round, round_index);
   }
   // Endurance cadence: amortized session maintenance off the probe path.
   if (config_.maintenance_interval_rounds > 0 &&
@@ -469,6 +489,7 @@ void Fleet::plan_budgets(const std::vector<SwitchId>& round) {
   for (const SwitchId sw : round) {
     const auto it = shards_.find(sw);
     if (it == shards_.end()) continue;
+    if (shard_quarantined(sw)) continue;  // no burst, no budget share
     const Monitor& mon = *it->second;
     ShardPressure p;
     p.backlog = mon.pending_update_count();
@@ -741,6 +762,296 @@ void Fleet::drain_mailbox() {
         break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe warm restart + supervised shard recovery (docs/DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void Fleet::collect_journal_tail(SwitchId sw, openflow::Epoch epoch,
+                                 JournalTail& tail) const {
+  tail.stale.clear();
+  tail.verdicts.clear();
+  if (config_.telemetry == nullptr) return;
+  // `<`, not `<=`: a verdict fired after the snapshot in a quiet epoch (no
+  // churn advancing the table version) carries the snapshot's own epoch
+  // stamp, and dropping it would lose the verdict.  Keeping same-epoch
+  // records instead re-seeds verdicts the snapshot already holds
+  // (seed_verdict is idempotent) and conservatively invalidates a few
+  // same-epoch manifest probes — one spare SAT regen, never a wrong state.
+  config_.telemetry->journal().replay([&](const telemetry::EventRecord& rec) {
+    if (rec.shard != sw || rec.epoch < epoch) return;
+    if (rec.kind == telemetry::EventKind::kDelta) {
+      tail.stale.insert(rec.cookie);
+    } else if (rec.kind == telemetry::EventKind::kVerdict) {
+      tail.verdicts.emplace_back(rec.cookie,
+                                 static_cast<RuleState>(rec.detail));
+    }
+  });
+}
+
+Fleet::RestoreReport Fleet::restore() {
+  RestoreReport rep;
+  if (config_.checkpoints == nullptr) return rep;
+  const auto latest = config_.checkpoints->load_latest();
+  if (const auto it = latest.find(Checkpoint::kFleetStateKey);
+      it != latest.end()) {
+    if (const auto fc = FleetCheckpoint::decode(it->second)) {
+      budgeter_.set_carry(fc->budget_carry);
+      stats_.rounds_started = fc->rounds_started;
+      rep.fleet_state_restored = true;
+    }
+  }
+  JournalTail tail;
+  for (auto& [sw, monitor] : shards_) {
+    std::optional<Checkpoint> cp;
+    if (const auto it = latest.find(sw); it != latest.end()) {
+      cp = Checkpoint::decode(it->second);
+    }
+    if (!cp.has_value() || cp->shard != sw) {
+      ++rep.shards_cold;  // no/invalid snapshot: this shard starts cold
+      continue;
+    }
+    // The journal outlives the snapshot by up to a full checkpoint
+    // rotation: deltas past the snapshot epoch invalidate manifest probes,
+    // verdicts past it re-seed silently so nothing already published is
+    // re-raised (or lost).
+    collect_journal_tail(sw, cp->epoch, tail);
+    const Monitor::RestoreStats rs =
+        monitor->restore_checkpoint(*cp, &tail.stale);
+    for (const auto& [cookie, state] : tail.verdicts) {
+      monitor->seed_verdict(cookie, state);
+    }
+    if (cp->budget > 0) budgeter_.seed_budget(sw, cp->budget);
+    ++rep.shards_restored;
+    rep.verdicts_seeded += rs.verdicts;
+    rep.suspects_rearmed += rs.suspects;
+    rep.manifest_admitted += rs.manifest_admitted;
+    rep.manifest_dropped += rs.manifest_dropped;
+    rep.tail_verdicts += tail.verdicts.size();
+    rep.tail_deltas += tail.stale.size();
+  }
+  // Diagnosis dedup across the restart: rebuild the published-signature set
+  // from the journal's trailing kDiagnosis burst (one publication = one
+  // journal_diagnosis call = one shared when_ns), so a stable fault the
+  // dead incarnation already paged does not page again.
+  if (config_.telemetry != nullptr) {
+    std::uint64_t last_when = 0;
+    std::vector<std::array<std::uint64_t, 4>> sig;
+    config_.telemetry->journal().replay([&](const telemetry::EventRecord& rec) {
+      if (rec.kind != telemetry::EventKind::kDiagnosis) return;
+      if (rec.when_ns != last_when) {
+        sig.clear();
+        last_when = rec.when_ns;
+      }
+      switch (rec.detail) {
+        case telemetry::kDiagLink:
+          // journal_diagnosis packs arg = [b:32][port_a:16][port_b:16];
+          // the signature wants {1, a, (port_a<<16)|port_b, b}.
+          sig.push_back(
+              {1, rec.shard, rec.arg & 0xFFFFFFFFull, rec.arg >> 32});
+          break;
+        case telemetry::kDiagSwitch:
+          sig.push_back({2, rec.shard, 0, 0});
+          break;
+        case telemetry::kDiagIsolatedRule:
+          sig.push_back({3, rec.shard, rec.cookie, 0});
+          break;
+        default:
+          break;
+      }
+    });
+    if (!sig.empty()) published_sig_ = std::move(sig);
+  }
+  return rep;
+}
+
+void Fleet::enable_supervision(SupervisorOptions opts) {
+  supervisor_.options = opts;
+  supervisor_.enabled = true;
+}
+
+bool Fleet::crash_plan_blocks(SwitchId sw, std::uint64_t round_index) const {
+  const CrashPlan* plan = config_.crash_plan;
+  if (plan == nullptr) return false;
+  return plan->shard_dead(sw, round_index) ||
+         plan->shard_wedged(sw, round_index) ||
+         plan->worker_wedged(shard_worker(sw), round_index);
+}
+
+void Fleet::apply_crash_plan(const std::vector<SwitchId>& round,
+                             std::uint64_t round_index) {
+  CrashPlan* plan = config_.crash_plan;
+  for (const SwitchId sw : round) {
+    const auto it = shards_.find(sw);
+    if (it == shards_.end()) continue;
+    Monitor* mon = it->second.get();
+    if (plan->kill_fires(sw, round_index)) {
+      // The shard "process" dies: timers and steady pacing die with it, on
+      // its owning worker.  The supervisor is told nothing — it must detect
+      // the death from the stalled heartbeat alone.
+      ++plan->stats().kills;
+      run_on_worker(shard_worker(sw), [mon] { mon->stop(); });
+    }
+    if (plan->shard_wedged(sw, round_index) ||
+        plan->worker_wedged(shard_worker(sw), round_index)) {
+      ++plan->stats().wedge_rounds;
+    }
+    // Channel tears are edge-triggered on the window boundaries, so the
+    // Monitor's own outage machinery (probe drop, suspect reset, barrier
+    // epoch, reconnect re-assert) runs exactly once per transition.
+    const bool torn = plan->channel_torn(sw, round_index);
+    const bool was_torn = torn_channels_.contains(sw);
+    if (torn != was_torn) {
+      if (torn) {
+        torn_channels_.insert(sw);
+      } else {
+        torn_channels_.erase(sw);
+      }
+      run_on_worker(shard_worker(sw),
+                    [mon, torn] { mon->on_channel_state(!torn); });
+    }
+    if (torn) ++plan->stats().tear_rounds;
+  }
+}
+
+void Fleet::supervise_round(const std::vector<SwitchId>& round) {
+  // Heartbeat sweep: a scheduled, non-quarantined shard whose burst counter
+  // did not advance this round missed a beat.
+  std::vector<SwitchId> stalled;
+  for (const SwitchId sw : round) {
+    const auto it = shards_.find(sw);
+    if (it == shards_.end()) continue;
+    if (supervisor_.quarantined.contains(sw)) continue;
+    const std::uint32_t burst = it->second->burst_count();
+    const auto [lb, fresh] = supervisor_.last_burst.try_emplace(sw, burst);
+    if (fresh) continue;  // first observation: baseline only
+    if (burst != lb->second) {
+      lb->second = burst;
+      supervisor_.missed[sw] = 0;
+      continue;
+    }
+    ++supervisor_.stats.heartbeats_missed;
+    if (++supervisor_.missed[sw] >= supervisor_.options.missed_rounds) {
+      supervisor_.missed[sw] = 0;
+      supervisor_.quarantined.insert(sw);
+      ++supervisor_.stats.quarantines;
+      stalled.push_back(sw);
+    }
+  }
+  if (stalled.empty() || !supervisor_.options.auto_restore) return;
+  // Stuck-worker call: enough of ONE worker's shards stalling in the same
+  // sweep reads as the worker being wedged, not the shards — those migrate
+  // to the next worker; isolated stalls restore in place.
+  std::map<std::size_t, std::size_t> per_worker;
+  for (const SwitchId sw : stalled) ++per_worker[shard_worker(sw)];
+  for (const SwitchId sw : stalled) {
+    const std::size_t worker = shard_worker(sw);
+    std::size_t target = worker;
+    if (multi_worker() && worker_count() > 1 &&
+        per_worker[worker] >= supervisor_.options.min_worker_shards_stuck) {
+      target = (worker + 1) % worker_count();
+    }
+    restore_shard(sw, target);
+  }
+}
+
+bool Fleet::restore_shard(SwitchId sw) {
+  return restore_shard(sw, shard_worker(sw));
+}
+
+bool Fleet::restore_shard(SwitchId sw, std::size_t new_worker) {
+  const auto it = shards_.find(sw);
+  if (it == shards_.end()) return false;
+  Monitor* mon = it->second.get();
+  const std::size_t old_worker = shard_worker(sw);
+  // Reset on the OLD worker — its Runtime owns whatever timers survive.
+  run_on_worker(old_worker, [mon] { mon->reset_for_recovery(); });
+  if (new_worker != old_worker && multi_worker()) {
+    mon->rebind_runtime(
+        config_.worker_runtimes[new_worker % config_.worker_runtimes.size()]);
+    shard_worker_[sw] = new_worker;
+    ++supervisor_.stats.worker_reassignments;
+  }
+  std::optional<Checkpoint> cp;
+  if (config_.checkpoints != nullptr) {
+    if (const auto blob = config_.checkpoints->load(sw)) {
+      cp = Checkpoint::decode(*blob);
+    }
+  }
+  // Rehydrate and resume on the (possibly new) owning worker.  A shard with
+  // no surviving snapshot still goes through restore_checkpoint — with an
+  // empty snapshot at the current epoch — because the generation bump and
+  // the rule-state re-seed are exactly the cold-reset semantics too.
+  run_on_worker(shard_worker(sw), [&] {
+    JournalTail tail;
+    if (cp.has_value() && cp->shard == sw) {
+      collect_journal_tail(sw, cp->epoch, tail);
+      mon->restore_checkpoint(*cp, &tail.stale);
+      for (const auto& [cookie, state] : tail.verdicts) {
+        mon->seed_verdict(cookie, state);
+      }
+      if (cp->budget > 0) budgeter_.seed_budget(sw, cp->budget);
+      ++supervisor_.stats.restores;
+    } else {
+      Checkpoint cold;
+      cold.shard = sw;
+      cold.epoch = mon->epoch();
+      mon->restore_checkpoint(cold, nullptr);
+      ++supervisor_.stats.cold_restores;
+    }
+    mon->start_externally_paced();
+  });
+  // Re-admit: back into the round rotation; catch-up comes from the
+  // BudgetScheduler's staleness pressure, not a special burst.
+  if (supervisor_.quarantined.erase(sw) > 0) {
+    ++supervisor_.stats.readmissions;
+  }
+  supervisor_.last_burst[sw] = mon->burst_count();
+  supervisor_.missed[sw] = 0;
+  if (config_.crash_plan != nullptr) config_.crash_plan->revive_shard(sw);
+  return true;
+}
+
+void Fleet::write_round_checkpoint(const std::vector<SwitchId>& round,
+                                   std::uint64_t round_index) {
+  if (round.empty()) return;
+  // One member per round — the least-recently-snapshotted one — so
+  // incremental checkpointing spreads the encode cost across rounds yet
+  // provably re-covers every shard within one rotation's worth of
+  // appearances.
+  Monitor* target = nullptr;
+  SwitchId target_sw = 0;
+  std::uint64_t target_age = ~std::uint64_t{0};
+  for (const SwitchId sw : round) {
+    const auto sit = shards_.find(sw);
+    if (sit == shards_.end()) continue;
+    // A quarantined shard's state is mid-wedge, and a dead/wedged process
+    // could not have written a checkpoint — skip both.
+    if (shard_quarantined(sw) || crash_plan_blocks(sw, round_index)) continue;
+    const auto age_it = checkpoint_age_.find(sw);
+    const std::uint64_t age =
+        age_it == checkpoint_age_.end() ? 0 : age_it->second;
+    if (age < target_age) {
+      target = sit->second.get();
+      target_sw = sw;
+      target_age = age;
+    }
+  }
+  if (target == nullptr) return;
+  checkpoint_age_[target_sw] = round_index + 1;
+  target->encode_checkpoint(
+      checkpoint_buf_,
+      config_.elastic_budget ? budgeter_.budget_for(target_sw) : 0);
+  config_.checkpoints->append(target_sw, checkpoint_buf_);
+  // The fleet-level record rides along: budget carry + the round counter
+  // (so a restored fleet's crash/round indexing stays aligned).
+  FleetCheckpoint fc;
+  fc.budget_carry = budgeter_.carry();
+  fc.rounds_started = stats_.rounds_started;
+  fc.encode_into(fleet_checkpoint_buf_);
+  config_.checkpoints->append(Checkpoint::kFleetStateKey,
+                              fleet_checkpoint_buf_);
 }
 
 }  // namespace monocle

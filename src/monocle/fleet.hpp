@@ -51,6 +51,7 @@
 
 #include "monocle/budget.hpp"
 #include "monocle/catching.hpp"
+#include "monocle/crash_plan.hpp"
 #include "monocle/evidence.hpp"
 #include "monocle/localizer.hpp"
 #include "monocle/monitor.hpp"
@@ -61,6 +62,10 @@
 #include "telemetry/hub.hpp"
 
 namespace monocle {
+
+namespace telemetry {
+class CheckpointStore;  // checkpoint_store.hpp (fleet.cpp includes it)
+}  // namespace telemetry
 
 class Fleet {
  public:
@@ -124,6 +129,20 @@ class Fleet {
     /// published NetworkDiagnosis.  Must outlive the Fleet.  Null: off,
     /// zero overhead.
     telemetry::TelemetryHub* telemetry = nullptr;
+    /// Crash-safety plane (checkpoint.hpp; docs/DESIGN.md §15).  When set,
+    /// start_round() snapshots one round-member shard per round (round-robin
+    /// cursor, so a fleet of N is fully re-covered every N scheduled
+    /// appearances) plus the fleet-level record, through the reusable encode
+    /// buffer — the steady cycle stays allocation-free with checkpointing
+    /// on.  restore() warm-restarts from the store's latest valid snapshots.
+    /// Must outlive the Fleet.  Null: off, zero overhead.
+    telemetry::CheckpointStore* checkpoints = nullptr;
+    /// Deterministic fault-injection schedule (crash_plan.hpp), consulted at
+    /// every round boundary: kills stop the shard's Monitor, wedges skip its
+    /// bursts, channel tears drive on_channel_state.  Test/bench harness
+    /// only; the supervisor never reads it — faults must be DETECTED from
+    /// heartbeats.  Must outlive the Fleet.  Null: no faults.
+    CrashPlan* crash_plan = nullptr;
     /// Receives the NetworkDiagnosis of each (debounced) localization pass.
     std::function<void(const NetworkDiagnosis&)> on_diagnosis;
     /// Runs after remove_shard destroyed a shard, so the host can drop its
@@ -290,6 +309,90 @@ class Fleet {
   /// loop_tasks and scrape handlers typically do.
   void publish_telemetry();
 
+  // --- crash-safe warm restart (docs/DESIGN.md §15) ---------------------
+  /// What Fleet::restore() rehydrated.
+  struct RestoreReport {
+    std::size_t shards_restored = 0;  ///< shards warm-restored from snapshot
+    std::size_t shards_cold = 0;      ///< no/invalid snapshot: cold start
+    std::size_t verdicts_seeded = 0;
+    std::size_t suspects_rearmed = 0;
+    std::size_t manifest_admitted = 0;  ///< probes restored without SAT
+    std::size_t manifest_dropped = 0;   ///< stale/orphaned manifest entries
+    std::size_t tail_verdicts = 0;  ///< journal verdicts past the snapshots
+    std::size_t tail_deltas = 0;    ///< journal deltas invalidating manifests
+    bool fleet_state_restored = false;  ///< budget carry + round counter
+  };
+
+  /// Warm restart from Config::checkpoints: every shard with a valid latest
+  /// snapshot is rehydrated (verdicts silently, suspects re-armed, manifest
+  /// probes re-admitted so warm-up skips their SAT work), then the
+  /// EventJournal tail is replayed PAST each snapshot's epoch — verdict
+  /// records re-seed silently, delta records invalidate the affected
+  /// manifest entries — and fleet-level state (budget carry, round counter)
+  /// resumes.  The restore generation bump guarantees pre-restart in-flight
+  /// probes classify as stale-epoch drops, never as failures.
+  ///
+  /// Call AFTER add_shard()+rule re-seeding (the expected tables must carry
+  /// controller intent — the manifest is validated against them) and BEFORE
+  /// prepare().  No-op report when Config::checkpoints is null.
+  RestoreReport restore();
+
+  // --- supervised shard recovery (docs/DESIGN.md §15) -------------------
+  struct SupervisorOptions {
+    /// Scheduled rounds a shard's burst counter may stall before it is
+    /// declared wedged and quarantined.
+    std::size_t missed_rounds = 3;
+    /// Restore a quarantined shard from its checkpoint immediately (else
+    /// the host calls restore_shard()).
+    bool auto_restore = true;
+    /// This many shards of ONE worker quarantined in the same sweep reads
+    /// as a stuck WORKER: its shards are restored onto the next healthy
+    /// worker (Monitor::rebind_runtime) instead of in place.
+    std::size_t min_worker_shards_stuck = 2;
+  };
+  struct SupervisorStats {
+    std::uint64_t heartbeats_missed = 0;  ///< shard-rounds without progress
+    std::uint64_t quarantines = 0;
+    std::uint64_t restores = 0;       ///< warm restores from checkpoint
+    std::uint64_t cold_restores = 0;  ///< no valid snapshot: cold reset
+    std::uint64_t readmissions = 0;   ///< shards back in the round rotation
+    std::uint64_t worker_reassignments = 0;  ///< shards migrated off a worker
+  };
+
+  /// The per-shard watchdog: start_round() compares every scheduled shard's
+  /// Monitor::burst_count() against the last round it ran — a shard that
+  /// stops advancing for SupervisorOptions::missed_rounds scheduled rounds
+  /// is quarantined (skipped by rounds, budget planning and checkpointing)
+  /// and, with auto_restore, immediately restored from its latest
+  /// checkpoint and re-admitted.  Re-admitted shards catch up through the
+  /// BudgetScheduler's staleness pressure, not a special burst.
+  struct Supervisor {
+    SupervisorOptions options;
+    SupervisorStats stats;
+    bool enabled = false;
+    std::map<SwitchId, std::uint32_t> last_burst;  ///< burst_count at last run
+    std::map<SwitchId, std::size_t> missed;        ///< consecutive stalls
+    std::unordered_set<SwitchId> quarantined;
+  };
+
+  // Two overloads instead of `SupervisorOptions opts = {}` (GCC 12 nested-
+  // class NSDMI default-argument workaround, as elsewhere).
+  void enable_supervision() { enable_supervision(SupervisorOptions{}); }
+  void enable_supervision(SupervisorOptions opts);
+  [[nodiscard]] const Supervisor& supervisor() const { return supervisor_; }
+  [[nodiscard]] bool shard_quarantined(SwitchId sw) const {
+    return supervisor_.quarantined.contains(sw);
+  }
+
+  /// Restores one quarantined (or wedged) shard: stop + reset on its owning
+  /// worker, rehydrate from the latest checkpoint (cold reset when none
+  /// survives), replay the journal tail, resume external pacing, re-admit
+  /// into the round rotation.  `new_worker` (optional) migrates the shard
+  /// to that worker first (stuck-worker recovery).  Returns false when the
+  /// shard does not exist.  Orchestration thread, between rounds.
+  bool restore_shard(SwitchId sw);
+  bool restore_shard(SwitchId sw, std::size_t new_worker);
+
   /// Sum of outstanding (unresolved) probes across shards.
   [[nodiscard]] std::size_t outstanding_probes() const;
   /// Sum of currently-failed rules across shards.
@@ -334,6 +437,29 @@ class Fleet {
       std::vector<std::unordered_set<std::uint64_t>>& exclusions) const;
   void schedule_evidence_pass(netbase::SimTime delay);
   void run_evidence_pass();
+  /// Applies Config::crash_plan's events for this round boundary: kills
+  /// stop the Monitor on its worker, channel tears toggle on_channel_state.
+  void apply_crash_plan(const std::vector<SwitchId>& round,
+                        std::uint64_t round_index);
+  /// True when the crash plan says `sw` is not executing this round.
+  [[nodiscard]] bool crash_plan_blocks(SwitchId sw,
+                                       std::uint64_t round_index) const;
+  /// Heartbeat sweep over this round's scheduled shards; quarantines and
+  /// (auto_restore) restores stalled ones.
+  void supervise_round(const std::vector<SwitchId>& round);
+  /// Snapshots one round member (round-robin) plus the fleet-level record
+  /// into Config::checkpoints.
+  void write_round_checkpoint(const std::vector<SwitchId>& round,
+                              std::uint64_t round_index);
+  /// What the EventJournal records about `sw` PAST a snapshot's epoch:
+  /// post-snapshot deltas (their cookies invalidate manifest entries) and
+  /// post-snapshot verdict transitions, in journal order.
+  struct JournalTail {
+    std::unordered_set<std::uint64_t> stale;
+    std::vector<std::pair<std::uint64_t, RuleState>> verdicts;
+  };
+  void collect_journal_tail(SwitchId sw, openflow::Epoch epoch,
+                            JournalTail& tail) const;
   /// Wires shard `sw` into Config::telemetry: attaches its StatsRing and
   /// wraps the (already Fleet-chained) hooks with journal recorders.  Runs
   /// once per add_shard, before any probing — the wrapped hooks then fire
@@ -393,6 +519,21 @@ class Fleet {
   Multiplexer* mux_ = nullptr;  // for prepare()'s warm_routes()
   std::mutex mailbox_mu_;
   std::vector<MailboxItem> mailbox_;
+
+  // Crash safety + supervision (docs/DESIGN.md §15).
+  Supervisor supervisor_;
+  /// Incremental checkpoint writer: round each shard was last snapshotted
+  /// at (+1; absent = never).  Each round snapshots the least-recently
+  /// covered member, which provably sweeps the whole fleet — a plain
+  /// cursor mod round size can cycle over the same members when the
+  /// rotation length divides the round count.  One node per shard,
+  /// allocated on its first snapshot only (steady state stays alloc-free).
+  std::map<SwitchId, std::uint64_t> checkpoint_age_;
+  /// Reusable encode buffers (capacity kept: zero steady-state allocs).
+  std::vector<std::uint8_t> checkpoint_buf_;
+  std::vector<std::uint8_t> fleet_checkpoint_buf_;
+  /// Shards the crash plan tore the channel of last round (edge detection).
+  std::unordered_set<SwitchId> torn_channels_;
 };
 
 }  // namespace monocle

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 
+#include "monocle/checkpoint.hpp"
 #include "monocle/probe_batch.hpp"
 
 namespace monocle {
@@ -1785,6 +1786,182 @@ void Monitor::mark_rule_failed(std::uint64_t cookie) {
     alarm.failed_rule_count = failed_.size();
     hooks_.on_alarm(alarm);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe warm restart (checkpoint.hpp; docs/DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void Monitor::encode_checkpoint(std::vector<std::uint8_t>& out,
+                                std::uint64_t budget) const {
+  CheckpointWriter w(out, config_.switch_id, runtime_->now(),
+                     expected_.epoch(), epoch_floor_, budget);
+  w.begin_verdicts();
+  for (const auto& [cookie, state] : rule_states_) {
+    // Infrastructure rules are reinstalled (and re-seeded kConfirmed) by
+    // install_infrastructure on restore; snapshotting them would only bloat
+    // every round's frame.
+    if (is_infrastructure_cookie(cookie)) continue;
+    w.add_verdict(cookie, state);
+  }
+  w.begin_floors();
+  for (const auto& [cookie, floor] : rule_floor_) w.add_floor(cookie, floor);
+  w.begin_suspects();
+  for (const auto& [cookie, s] : suspects_) {
+    w.add_suspect({cookie, s.probes_left, s.strikes, s.backoff, s.since});
+  }
+  w.begin_manifest();
+  for (const auto& [cookie, entry] : cache_->entries) {
+    if (!entry.probe.has_value()) continue;  // unmonitorable: nothing to save
+    if (is_infrastructure_cookie(cookie)) continue;
+    w.add_manifest(cookie, entry.epoch, *entry.probe);
+  }
+  w.finish();
+}
+
+Monitor::RestoreStats Monitor::restore_checkpoint(
+    const Checkpoint& cp,
+    const std::unordered_set<std::uint64_t>* stale_cookies) {
+  RestoreStats rs;
+  // Epoch fast-forward + generation bump: the restored incarnation resumes
+  // the snapshot's epoch domain, then advances one barrier epoch PAST it —
+  // every probe the dead incarnation left in flight carries epoch <=
+  // cp.epoch < epoch_floor_ and classifies as a stale-epoch drop, never as
+  // failure evidence (the same floor mechanism on_channel_state uses).
+  while (expected_.epoch() < cp.epoch) expected_.advance_epoch();
+  epoch_floor_ = std::max(cp.epoch_floor, expected_.advance_epoch());
+
+  for (const Checkpoint::RuleVerdict& v : cp.verdicts) {
+    switch (v.state) {
+      case RuleState::kPending:
+        // The update job died with the crash and its FlowMod may or may not
+        // have applied: leave the seeded state; the steady cycle re-judges.
+        continue;
+      case RuleState::kSuspect:
+        // Re-entered below only if its suspect entry also survived; a bare
+        // suspect verdict without machine state restarts as unknown.
+        rule_states_[v.cookie] = RuleState::kConfirmed;
+        break;
+      case RuleState::kFailed:
+        // Silent seeding — no note_verdict, no alarm: this verdict was
+        // published by the pre-crash incarnation.
+        rule_states_[v.cookie] = RuleState::kFailed;
+        failed_.insert(v.cookie);
+        break;
+      default:
+        rule_states_[v.cookie] = v.state;
+        break;
+    }
+    ++rs.verdicts;
+  }
+
+  for (const Checkpoint::RuleFloor& f : cp.floors) {
+    // Dominated by the restore barrier floor for old observations, but
+    // restored for fidelity: the sweep accounting and tests see the same
+    // map a never-crashed monitor would carry.
+    rule_floor_[f.cookie] = f.epoch;
+    ++rs.floors;
+  }
+
+  for (const Checkpoint::SuspectState& s : cp.suspects) {
+    if (expected_.table().find_by_cookie(s.cookie) == nullptr) continue;
+    auto [it, fresh] = suspects_.try_emplace(s.cookie);
+    if (!fresh) continue;
+    it->second.probes_left = static_cast<int>(s.probes_left);
+    it->second.strikes = static_cast<int>(s.strikes);
+    it->second.backoff = std::max<SimTime>(s.backoff, config_.confirm_backoff);
+    it->second.since = s.since;
+    rule_states_[s.cookie] = RuleState::kSuspect;
+    schedule_suspect_probe(s.cookie);
+    ++rs.suspects;
+  }
+
+  for (const Checkpoint::ManifestEntry& e : cp.manifest) {
+    if (stale_cookies != nullptr && stale_cookies->contains(e.cookie)) {
+      ++rs.manifest_dropped;  // journal tail proves a post-snapshot delta
+      continue;
+    }
+    const Rule* rule = expected_.table().find_by_cookie(e.cookie);
+    if (rule == nullptr) {
+      ++rs.manifest_dropped;  // rule gone from controller intent
+      continue;
+    }
+    ProbeCache::Entry& entry = cache_->entries[e.cookie];
+    if (entry.probe.has_value()) continue;  // shared cache already has it
+    entry.probe = e.probe;
+    entry.failure = ProbeFailure::kNone;
+    // Re-admitted at the RESTORED epoch: injections stamp the live epoch,
+    // so nothing generated pre-crash can leak past the barrier floor.
+    entry.epoch = expected_.epoch();
+    ++rs.manifest_admitted;
+  }
+  // Every table rule needs a state node (the steady cycle resolves RuleState*
+  // per slot): rules present in controller intent but absent from the
+  // snapshot — added after it, or restored through the in-place supervisor
+  // path where reset_for_recovery cleared the map — start as
+  // kConfirmed-unknown and get re-judged.
+  for (const Rule& rule : expected_.table().rules()) {
+    rule_states_.try_emplace(rule.cookie, RuleState::kConfirmed);
+  }
+
+  // Steady slots cache Entry*/Rule* pointers; force a rebuild against the
+  // re-admitted cache.  The wire frames re-craft lazily on first injection
+  // (warm_probe_cache pre-crafts them when the Fleet warms off-path).
+  steady_order_.clear();
+  steady_pos_ = 0;
+  wheel_built_ = false;
+  return rs;
+}
+
+void Monitor::seed_verdict(std::uint64_t cookie, RuleState state) {
+  switch (state) {
+    case RuleState::kFailed:
+      rule_states_[cookie] = RuleState::kFailed;
+      failed_.insert(cookie);
+      break;
+    case RuleState::kSuspect:
+      // Counters died with the crash: unknown, re-judged by the cycle.
+      rule_states_[cookie] = RuleState::kConfirmed;
+      break;
+    case RuleState::kPending:
+      break;  // in-flight update: the re-issued FlowMod re-creates it
+    default:
+      rule_states_[cookie] = state;
+      failed_.erase(cookie);
+      break;
+  }
+}
+
+void Monitor::reset_for_recovery() {
+  stop();  // cancels every timer; clears outstanding/suspects/updates
+  barriers_.clear();  // held replies died with the channel; nothing to release
+  hold_queue_.clear();
+  rule_states_.clear();
+  failed_.clear();
+  rule_floor_.clear();
+  epoch_floor_ = 0;
+  live_sessions_.clear();
+  cache_->entries.clear();
+  steady_order_.clear();
+  steady_pos_ = 0;
+  wheel_built_ = false;
+  for (auto& bucket : wheel_) bucket.clear();
+  wheel_pos_.fill(0);
+  last_probed_.clear();
+  outstanding_spares_.clear();
+  dirty_probe_cookies_.clear();
+  // Keep: expected_ (durable controller intent), cumulative stats_,
+  // channel state, infrastructure_installed_, burst_seq_ (monotone
+  // heartbeat — a restore must read as progress, not as a reset).
+}
+
+void Monitor::rebind_runtime(Runtime* runtime) {
+  // Timers fire on the runtime that armed them: migration is legal only
+  // with everything cancelled (stop()/reset_for_recovery() first).
+  assert(!steady_running_ && outstanding_.empty() && suspects_.empty() &&
+         updates_.empty() && warmup_timer_ == 0 && steady_timer_ == 0 &&
+         refill_timer_ == 0);
+  runtime_ = runtime;
 }
 
 }  // namespace monocle

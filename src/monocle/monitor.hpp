@@ -48,6 +48,11 @@
 
 namespace monocle {
 
+// checkpoint.hpp (which includes this header) defines these; the Monitor's
+// snapshot/restore API only needs references.
+struct Checkpoint;
+class CheckpointWriter;
+
 /// Lifecycle state of a monitored rule.
 enum class RuleState : std::uint8_t {
   kPending,        ///< update issued, not yet confirmed in the data plane
@@ -444,6 +449,71 @@ class Monitor {
   static bool delta_survives(const ProbeCache::Entry& entry,
                              const openflow::TableDelta& delta,
                              std::uint64_t cookie);
+
+  /// --- crash-safe warm restart (checkpoint.hpp; docs/DESIGN.md §15) ------
+  /// Serializes this shard's epoch-consistent snapshot into `out` (cleared,
+  /// capacity reused): verdict map, per-rule floors + channel barrier floor,
+  /// suspect machine, and the probe-cache manifest (infrastructure rules
+  /// excluded — install_infrastructure recreates them).  Must run with the
+  /// shard quiescent w.r.t. its own worker — the Fleet calls it between
+  /// rounds, after the engine barrier.  Zero allocations once the buffer's
+  /// capacity is warm.  `budget` is the fleet-planned elastic budget to
+  /// carry (0 when budgets are static).
+  void encode_checkpoint(std::vector<std::uint8_t>& out,
+                         std::uint64_t budget) const;
+
+  struct RestoreStats {
+    std::size_t verdicts = 0;          ///< rule states seeded (silently)
+    std::size_t suspects = 0;          ///< suspect entries re-armed
+    std::size_t floors = 0;            ///< per-rule epoch floors restored
+    std::size_t manifest_admitted = 0; ///< probes re-admitted from manifest
+    std::size_t manifest_dropped = 0;  ///< stale/orphaned manifest entries
+  };
+
+  /// Rehydrates this Monitor from a decoded snapshot.  Call on a Monitor
+  /// whose expected table has been re-seeded to controller intent (and after
+  /// reset_for_recovery() when reusing a wedged instance).  Restore is
+  /// silent by contract: rule states and the failed set are seeded WITHOUT
+  /// firing on_verdict/on_alarm, so a verdict the fleet published before the
+  /// crash is never re-raised.  The table epoch is fast-forwarded to the
+  /// snapshot's and then bumped once more past it — the generation bump that
+  /// classifies every pre-restart in-flight probe as a stale-epoch drop, the
+  /// same barrier-floor mechanism on_channel_state uses across outages.
+  /// Manifest probes are re-admitted into the cache for rules still present
+  /// in the expected table and NOT named in `stale_cookies` (cookies the
+  /// journal tail proves were deltaed after the snapshot); dropped entries
+  /// regenerate through the normal warm-up/lazy paths.  Suspects resume
+  /// their K-of-N confirmation with their strike counts intact.
+  RestoreStats restore_checkpoint(
+      const Checkpoint& cp,
+      const std::unordered_set<std::uint64_t>* stale_cookies = nullptr);
+
+  /// Silently seeds one rule's verdict state — no hooks, no alarms.
+  /// Fleet::restore's journal-tail replay applies the verdicts the dead
+  /// incarnation published AFTER its last snapshot, so the restored fleet
+  /// never re-raises (or forgets) a verdict the journal already carries.
+  /// kSuspect seeds as kConfirmed-unknown: the suspect machine's counters
+  /// died with the crash, so the steady cycle re-judges from scratch.
+  void seed_verdict(std::uint64_t cookie, RuleState state);
+
+  /// Returns a crashed/wedged Monitor instance to a pre-restore state:
+  /// stop() plus wholesale clearing of verdicts, floors, suspects, pending
+  /// updates, held barriers, probe cache, steady cycle and live sessions.
+  /// The expected table is RETAINED — it mirrors durable controller intent,
+  /// which a shard crash does not erase.  Cumulative stats are kept
+  /// (monotone across incarnations).
+  void reset_for_recovery();
+
+  /// Monotone count of externally paced bursts this Monitor has run — the
+  /// per-round heartbeat Fleet::Supervisor watches: a scheduled shard whose
+  /// burst count stops advancing is wedged or dead.
+  [[nodiscard]] std::uint32_t burst_count() const { return burst_seq_; }
+
+  /// Re-binds this Monitor to a different Runtime (worker migration after a
+  /// supervisor quarantine).  Legal only while fully stopped — every timer
+  /// cancelled (stop()/reset_for_recovery()); timers must fire on the
+  /// runtime that armed them.
+  void rebind_runtime(Runtime* runtime);
 
  private:
   struct UpdateJob {

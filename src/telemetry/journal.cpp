@@ -29,14 +29,22 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 }  // namespace
 
-std::uint32_t crc32(const void* data, std::size_t size) {
+std::uint32_t crc32_seed() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
   const auto* bytes = static_cast<const std::uint8_t*>(data);
-  std::uint32_t crc = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state;
+}
+
+std::uint32_t crc32_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_finish(crc32_update(crc32_seed(), data, size));
 }
 
 struct EventJournal::DiskRecord {

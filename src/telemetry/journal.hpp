@@ -63,6 +63,15 @@ static_assert(sizeof(EventRecord) == 48);
 /// integrity check that crash recovery validates against.
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
 
+/// Streaming form, for records whose covered bytes are not contiguous
+/// (checkpoint_store.hpp frames header fields + payload without
+/// concatenating them): seed, fold chunks in order, finish.  Equal to
+/// crc32() over the concatenation.
+[[nodiscard]] std::uint32_t crc32_seed();
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                         std::size_t size);
+[[nodiscard]] std::uint32_t crc32_finish(std::uint32_t state);
+
 class EventJournal {
  public:
   struct Options {

@@ -1,11 +1,26 @@
 #include "telemetry/scrape.hpp"
 
+#include <chrono>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 namespace monocle::telemetry {
 
 ScrapeServer::ScrapeServer(channel::TcpTransport& transport, RenderFn render)
-    : transport_(transport), render_(std::move(render)) {}
+    : ScrapeServer(transport, std::move(render), Options{}) {}
+
+ScrapeServer::ScrapeServer(channel::TcpTransport& transport, RenderFn render,
+                           Options opts)
+    : transport_(transport), render_(std::move(render)), opts_(std::move(opts)) {}
+
+netbase::SimTime ScrapeServer::now() const {
+  if (opts_.clock) return opts_.clock();
+  return static_cast<netbase::SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 bool ScrapeServer::listen(std::uint16_t port, const std::string& bind_addr) {
   const bool ok = transport_.listen(
@@ -14,8 +29,34 @@ bool ScrapeServer::listen(std::uint16_t port, const std::string& bind_addr) {
   return ok;
 }
 
+void ScrapeServer::reject(channel::Connection* conn,
+                          const char* status_line) {
+  conn->send(std::span(reinterpret_cast<const std::uint8_t*>(status_line),
+                       std::strlen(status_line)));
+  pending_.erase(conn);
+  conn->close();
+}
+
+std::size_t ScrapeServer::poll() {
+  if (opts_.idle_timeout == 0 || pending_.empty()) return 0;
+  const netbase::SimTime t = now();
+  // Collect first: reject() mutates pending_ and Connection::close can
+  // re-enter on_closed synchronously.
+  std::vector<channel::Connection*> stale;
+  for (const auto& [conn, p] : pending_) {
+    if (t - p.last_activity >= opts_.idle_timeout) stale.push_back(conn);
+  }
+  for (channel::Connection* conn : stale) {
+    ++idle_drops_;
+    reject(conn, "HTTP/1.0 408 Request Timeout\r\nConnection: close\r\n\r\n");
+  }
+  return stale.size();
+}
+
 void ScrapeServer::on_accept(channel::Connection* conn) {
-  pending_.emplace(conn, std::string());
+  poll();  // new traffic is a sweep point too: stragglers expire even when
+           // nothing else ever calls poll()
+  pending_.emplace(conn, Pending{std::string(), now()});
   channel::Connection::Callbacks cbs;
   cbs.on_bytes = [this, conn](std::span<const std::uint8_t> bytes) {
     on_bytes(conn, bytes);
@@ -28,12 +69,15 @@ void ScrapeServer::on_bytes(channel::Connection* conn,
                             std::span<const std::uint8_t> bytes) {
   const auto it = pending_.find(conn);
   if (it == pending_.end()) return;  // already answered
-  std::string& buffer = it->second;
-  buffer.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-  if (buffer.find("\r\n\r\n") == std::string::npos) {
-    if (buffer.size() > 64 * 1024) {  // runaway header: drop the peer
-      pending_.erase(it);
-      conn->close();
+  Pending& p = it->second;
+  p.last_activity = now();
+  p.buffer.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (p.buffer.find("\r\n\r\n") == std::string::npos) {
+    if (p.buffer.size() > opts_.max_request_bytes) {
+      ++oversize_drops_;
+      reject(conn,
+             "HTTP/1.0 431 Request Header Fields Too Large\r\n"
+             "Connection: close\r\n\r\n");
     }
     return;
   }

@@ -9,6 +9,21 @@
 // on the loop thread inside Transport::pump callbacks; the render callback
 // typically forwards to Exporter::render(), whose mutex makes the scrape
 // safe against the concurrent export thread.
+//
+// Hardening (docs/DESIGN.md §15): the scrape port shares the control
+// plane's event loop, so a misbehaving scraper must not be able to pin
+// buffers or connections there.  Two caps apply per connection:
+//
+//  * max_request_bytes — a request whose headers exceed the cap is
+//    answered `431` and dropped (a scrape request is one short GET; more
+//    is a runaway or hostile peer);
+//  * idle_timeout — a connection that has not completed its request
+//    headers within the window (slow-loris style: connect-and-stall, or
+//    trickled partial headers) is answered `408` and dropped.  Timeouts
+//    are swept by poll(), which hosts call from their loop cadence (the
+//    ExportThread loop task is the natural place); sweeping is also
+//    piggybacked on every accept so an idle server with no traffic other
+//    than new connections still expires stragglers.
 #pragma once
 
 #include <cstdint>
@@ -17,34 +32,66 @@
 #include <unordered_map>
 
 #include "channel/tcp_transport.hpp"
+#include "netbase/time.hpp"
 
 namespace monocle::telemetry {
 
 class ScrapeServer {
  public:
   using RenderFn = std::function<std::string()>;
+  /// Monotonic clock override for tests; nullptr = steady_clock.
+  using ClockFn = std::function<netbase::SimTime()>;
+
+  struct Options {
+    /// Drop (431) any connection whose buffered request exceeds this.
+    std::size_t max_request_bytes = 16 * 1024;
+    /// Drop (408) any connection idle this long before completing its
+    /// request headers.  0 disables the sweep.
+    netbase::SimTime idle_timeout = 5 * netbase::kSecond;
+    ClockFn clock;
+  };
 
   /// `transport` must outlive the server (connections are owned by it).
   ScrapeServer(channel::TcpTransport& transport, RenderFn render);
+  ScrapeServer(channel::TcpTransport& transport, RenderFn render,
+               Options opts);
 
   /// Starts listening (0 picks an ephemeral port; see port()).
   bool listen(std::uint16_t port, const std::string& bind_addr = "127.0.0.1");
 
+  /// Sweeps connections that sat idle past idle_timeout: answers 408 and
+  /// closes them.  Returns the number dropped.  Call from the loop thread.
+  std::size_t poll();
+
   /// The bound port after a successful listen().
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::uint64_t scrapes_served() const { return served_; }
+  [[nodiscard]] std::uint64_t idle_drops() const { return idle_drops_; }
+  [[nodiscard]] std::uint64_t oversize_drops() const {
+    return oversize_drops_;
+  }
 
  private:
+  struct Pending {
+    std::string buffer;
+    netbase::SimTime last_activity = 0;
+  };
+
+  [[nodiscard]] netbase::SimTime now() const;
   void on_accept(channel::Connection* conn);
   void on_bytes(channel::Connection* conn,
                 std::span<const std::uint8_t> bytes);
+  void reject(channel::Connection* conn, const char* status_line);
 
   channel::TcpTransport& transport_;
   RenderFn render_;
+  Options opts_;
   std::uint16_t port_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t idle_drops_ = 0;
+  std::uint64_t oversize_drops_ = 0;
   /// Per-connection request buffers; erased on response or close.
-  std::unordered_map<channel::Connection*, std::string> pending_;
+  std::unordered_map<channel::Connection*, Pending> pending_;
 };
 
 }  // namespace monocle::telemetry

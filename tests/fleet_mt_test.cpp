@@ -18,10 +18,13 @@
 
 #include "bench/fastpath_harness.hpp"
 #include "channel/wallclock_runtime.hpp"
+#include "monocle/checkpoint.hpp"
+#include "monocle/crash_plan.hpp"
 #include "monocle/fleet.hpp"
 #include "monocle/localizer.hpp"
 #include "monocle/multiplexer.hpp"
 #include "monocle/round_engine.hpp"
+#include "telemetry/checkpoint_store.hpp"
 #include "topo/generators.hpp"
 #include "topo/topo_view.hpp"
 #include "workloads/forwarding.hpp"
@@ -178,8 +181,20 @@ TEST(MtFastPath, FailurePathMatchesSingleWorkerByteForByte) {
 /// Fleet driver on the orchestration runtime — the parity baseline.
 class FleetMtRig {
  public:
+  /// Optional crash-safety plane (docs/DESIGN.md §15), off by default so the
+  /// parity tests keep their exact baseline config.
+  struct Extras {
+    telemetry::CheckpointStore* checkpoints = nullptr;
+    CrashPlan* crash_plan = nullptr;
+  };
+
+  // Two overloads instead of `Extras extras = {}` (GCC 12 nested-class
+  // NSDMI workaround, same as Fleet::enable_supervision).
   FleetMtRig(const topo::Topology& topo, std::size_t workers,
              std::set<SwitchId> dead = {})
+      : FleetMtRig(topo, workers, std::move(dead), Extras{}) {}
+  FleetMtRig(const topo::Topology& topo, std::size_t workers,
+             std::set<SwitchId> dead, Extras extras)
       : view_(topo), dead_(std::move(dead)) {
     std::vector<SwitchId> dpids;
     for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
@@ -201,6 +216,8 @@ class FleetMtRig {
       diagnoses_.push_back(d);
     };
     config.round_workers = workers;
+    config.checkpoints = extras.checkpoints;
+    config.crash_plan = extras.crash_plan;
     if (workers > 1) {
       for (auto& wk : wk_) config.worker_runtimes.push_back(&wk->runtime);
     }
@@ -512,6 +529,96 @@ TEST(FleetMt, StatsSnapshotIsConsistentUnderConcurrentRounds) {
   EXPECT_EQ(s.rounds_started, 200u);
   fleet.stop();
   EXPECT_EQ(rig.pending_timers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised recovery on the multi-worker driver (docs/DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+TEST(FleetMt, WorkerWedgeMigratesShardsToHealthyWorker) {
+  // Wedge EVERY shard of worker 1 for a long window.  The supervisor knows
+  // nothing about the plan — it sees worker 1's heartbeats stall, reads it
+  // as a stuck worker, and migrates the shards to worker 2 (rebinding each
+  // Monitor's Runtime), where they must resume bursting WHILE worker 1 is
+  // still wedged.
+  const auto topo = topo::make_rocketfuel_as(16, 21);
+  telemetry::CheckpointStore store;
+  CrashPlan plan;
+  plan.wedge_worker(1, 20, 60);
+  FleetMtRig rig(topo, 4, {}, {&store, &plan});
+  Fleet& fleet = rig.fleet();
+  Fleet::SupervisorOptions sup;
+  sup.missed_rounds = 2;
+  sup.min_worker_shards_stuck = 1;
+  fleet.enable_supervision(sup);
+
+  std::set<SwitchId> pinned;  // worker 1's shards, before any migration
+  for (const auto& [sw, mon] : fleet.shards()) {
+    if (fleet.shard_worker(sw) == 1) pinned.insert(sw);
+  }
+  ASSERT_GE(pinned.size(), 2u);
+
+  for (int i = 0; i < 70; ++i) {
+    rig.round();
+    rig.advance(25 * kMillisecond);
+  }
+
+  const Fleet::SupervisorStats& stats = fleet.supervisor().stats;
+  EXPECT_EQ(stats.quarantines, pinned.size());
+  EXPECT_EQ(stats.worker_reassignments, pinned.size());
+  EXPECT_EQ(stats.readmissions, pinned.size());
+  EXPECT_EQ(stats.restores + stats.cold_restores, pinned.size());
+  EXPECT_GE(stats.restores, 1u) << "checkpoints existed; restores must be warm";
+  for (const SwitchId sw : pinned) {
+    EXPECT_EQ(fleet.shard_worker(sw), 2u) << "shard " << sw << " not migrated";
+    EXPECT_FALSE(fleet.shard_quarantined(sw));
+    // Migrated shards are live again: probes flowed after re-admission.
+    EXPECT_GT(fleet.monitor(sw)->stats().probes_injected, 0u);
+  }
+  // A healthy data plane through a wedge + migration yields zero failures.
+  EXPECT_EQ(fleet.failed_rule_count(), 0u);
+  fleet.stop();
+  EXPECT_EQ(rig.pending_timers(), 0u);
+}
+
+TEST(FleetMt, StressTeardownWithCheckpointWritesInFlight) {
+  // The StressTeardown scenario with the checkpoint writer enabled: the
+  // driver thread's rounds are appending snapshots through the reusable
+  // encode buffers when the engine dies under it.  stop() must leave no
+  // dangling timers AND no torn store state — every surviving snapshot
+  // still decodes.
+  const auto topo = topo::make_rocketfuel_as(32, 29);
+  telemetry::CheckpointStore store;
+  FleetMtRig rig(topo, 8, {}, {&store, nullptr});
+  Fleet& fleet = rig.fleet();
+  fleet.enable_supervision();
+  ASSERT_NE(fleet.engine(), nullptr);
+
+  std::atomic<std::uint64_t> rounds{0};
+  std::thread driver([&fleet, &rounds] {
+    while (fleet.engine()->running()) {
+      fleet.start_round();
+      rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  while (rounds.load(std::memory_order_relaxed) < 8) std::this_thread::yield();
+  fleet.engine()->stop();  // mid-round, from the wrong thread — by design
+  driver.join();
+  fleet.stop();
+
+  EXPECT_EQ(rig.pending_timers(), 0u);
+  EXPECT_GT(store.appended(), 0u);
+  const auto latest = store.load_latest();
+  EXPECT_FALSE(latest.empty());
+  for (const auto& [key, bytes] : latest) {
+    if (key == Checkpoint::kFleetStateKey) {
+      EXPECT_TRUE(FleetCheckpoint::decode(bytes).has_value());
+    } else {
+      const auto cp = Checkpoint::decode(bytes);
+      ASSERT_TRUE(cp.has_value()) << "snapshot for shard " << key << " torn";
+      EXPECT_EQ(cp->shard, key);
+    }
+  }
 }
 
 }  // namespace

@@ -523,5 +523,126 @@ TEST(ScrapeServerTcp, ServesConsecutiveScrapes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ScrapeServer hardening: idle/partial-request timeout + request-size cap
+// ---------------------------------------------------------------------------
+
+/// Loopback client helper for the hardening tests: dials, records every
+/// byte and the close edge.
+struct ScrapeClient {
+  channel::Connection* conn = nullptr;
+  std::string response;
+  bool closed = false;
+
+  bool dial(channel::TcpTransport& transport, std::uint16_t port) {
+    conn = transport.dial("127.0.0.1", port);
+    if (conn == nullptr) return false;
+    channel::Connection::Callbacks cbs;
+    cbs.on_bytes = [this](std::span<const std::uint8_t> bytes) {
+      response.append(reinterpret_cast<const char*>(bytes.data()),
+                      bytes.size());
+    };
+    cbs.on_closed = [this] { closed = true; };
+    conn->set_callbacks(std::move(cbs));
+    return true;
+  }
+
+  void send(const std::string& bytes) {
+    conn->send(std::span(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size()));
+  }
+};
+
+TEST(ScrapeServerHardening, OversizedRequestRejectedWith431) {
+  channel::WallclockRuntime runtime;
+  channel::TcpTransport transport;
+  ScrapeServer::Options opts;
+  opts.max_request_bytes = 256;
+  ScrapeServer server(transport, [] { return std::string("body"); }, opts);
+  ASSERT_TRUE(server.listen(0));
+
+  ScrapeClient client;
+  ASSERT_TRUE(client.dial(transport, server.port()));
+  // Headers that never terminate and blow straight past the cap.
+  client.send("GET / HTTP/1.0\r\nX-Junk: " + std::string(1024, 'a'));
+  runtime.run(&transport, [&] { return client.closed; });
+
+  EXPECT_TRUE(client.closed);
+  EXPECT_EQ(client.response.rfind("HTTP/1.0 431 ", 0), 0u) << client.response;
+  EXPECT_EQ(server.oversize_drops(), 1u);
+  EXPECT_EQ(server.scrapes_served(), 0u);
+  EXPECT_EQ(server.idle_drops(), 0u);
+}
+
+TEST(ScrapeServerHardening, IdleConnectionSweptWith408) {
+  channel::WallclockRuntime runtime;
+  channel::TcpTransport transport;
+  netbase::SimTime fake_now = 0;  // injected clock: the sweep is deterministic
+  ScrapeServer::Options opts;
+  opts.idle_timeout = 2 * kSecond;
+  opts.clock = [&fake_now] { return fake_now; };
+  ScrapeServer server(transport, [] { return std::string(); }, opts);
+  ASSERT_TRUE(server.listen(0));
+
+  // Slow-loris peer: connects, trickles HALF a request line, stalls.
+  ScrapeClient loris;
+  ASSERT_TRUE(loris.dial(transport, server.port()));
+  loris.send("GET /metrics HT");
+
+  // Pump until the server has accepted and buffered the partial request,
+  // then stall the peer past the window and sweep.
+  for (int i = 0; i < 200 && server.idle_drops() == 0; ++i) {
+    transport.pump();
+    fake_now += 100 * kMillisecond;  // 200 × 100 ms ≫ the 2 s window
+    server.poll();
+  }
+  runtime.run(&transport, [&] { return loris.closed; });
+
+  EXPECT_TRUE(loris.closed);
+  EXPECT_EQ(loris.response.rfind("HTTP/1.0 408 ", 0), 0u) << loris.response;
+  EXPECT_GE(server.idle_drops(), 1u);
+  EXPECT_EQ(server.scrapes_served(), 0u);
+
+  // The sweep took the straggler only: a well-behaved scrape right after
+  // still gets its 200 (the server survives its own hardening).
+  ScrapeClient good;
+  ASSERT_TRUE(good.dial(transport, server.port()));
+  good.send("GET / HTTP/1.0\r\n\r\n");
+  runtime.run(&transport, [&] { return good.closed; });
+  EXPECT_EQ(good.response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u)
+      << good.response;
+  EXPECT_EQ(server.scrapes_served(), 1u);
+}
+
+TEST(ScrapeServerHardening, AcceptSweepsStragglersWithoutExplicitPoll) {
+  channel::WallclockRuntime runtime;
+  channel::TcpTransport transport;
+  netbase::SimTime fake_now = 0;
+  ScrapeServer::Options opts;
+  opts.idle_timeout = 1 * kSecond;
+  opts.clock = [&fake_now] { return fake_now; };
+  ScrapeServer server(transport, [] { return std::string(); }, opts);
+  ASSERT_TRUE(server.listen(0));
+
+  // The straggler connects and goes silent; nobody ever calls poll().
+  ScrapeClient straggler;
+  ASSERT_TRUE(straggler.dial(transport, server.port()));
+  for (int i = 0; i < 20; ++i) transport.pump();  // let the accept land
+  fake_now = 10 * kSecond;
+
+  // A NEW connection is the only subsequent event; its accept piggybacks
+  // the sweep, so the straggler still expires.
+  ScrapeClient fresh;
+  ASSERT_TRUE(fresh.dial(transport, server.port()));
+  fresh.send("GET / HTTP/1.0\r\n\r\n");
+  runtime.run(&transport,
+              [&] { return straggler.closed && fresh.closed; });
+
+  EXPECT_TRUE(straggler.closed);
+  EXPECT_EQ(straggler.response.rfind("HTTP/1.0 408 ", 0), 0u);
+  EXPECT_EQ(server.idle_drops(), 1u);
+  EXPECT_EQ(fresh.response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+}
+
 }  // namespace
 }  // namespace monocle::telemetry

@@ -386,6 +386,56 @@ TEST_F(JournalDirTest, CorruptRecordStopsScanAtValidPrefix) {
   EXPECT_EQ(seen.back().epoch, 3u);
 }
 
+TEST_F(JournalDirTest, TornTailRecoveredAtEveryByteOffset) {
+  // Exhaustive crash-point sweep (docs/DESIGN.md §15): a crash can cut the
+  // final segment at ANY byte.  For every truncation offset, recovery must
+  // keep exactly the whole-record prefix, report the remainder as
+  // truncated, and resume appends cleanly — no offset may crash, hang, or
+  // resurrect a partial record.
+  constexpr std::size_t kRecord = 56;
+  constexpr std::uint64_t kCount = 6;
+  EventJournal::Options opts;
+  opts.dir = dir_;
+  std::string segment;
+  {
+    EventJournal journal(opts);
+    for (std::uint64_t n = 1; n <= kCount; ++n) journal.append(make_event(n));
+    segment = journal.segment_files().back();
+  }
+  std::vector<std::uint8_t> full;
+  {
+    std::FILE* f = std::fopen(segment.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    full.resize(kCount * kRecord);
+    ASSERT_EQ(std::fread(full.data(), 1, full.size(), f), full.size());
+    std::fclose(f);
+  }
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    {
+      std::FILE* f = std::fopen(segment.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(full.data(), 1, cut, f), cut);
+      std::fclose(f);
+    }
+    const std::uint64_t whole = cut / kRecord;
+    EventJournal recovered(opts);
+    ASSERT_EQ(recovered.recovered(), whole) << "cut at byte " << cut;
+    ASSERT_EQ(recovered.truncated_bytes(), cut % kRecord)
+        << "cut at byte " << cut;
+    // Appending resumes at the valid prefix; the torn bytes are gone.
+    recovered.append(make_event(1000 + cut));
+    std::vector<EventRecord> seen;
+    recovered.replay([&](const EventRecord& rec) { seen.push_back(rec); });
+    ASSERT_EQ(seen.size(), whole + 1) << "cut at byte " << cut;
+    for (std::size_t i = 0; i < whole; ++i) {
+      const EventRecord want = make_event(i + 1);
+      ASSERT_EQ(std::memcmp(&seen[i], &want, sizeof(EventRecord)), 0)
+          << "record " << i << " damaged by recovery at cut " << cut;
+    }
+    ASSERT_EQ(seen.back().epoch, 1000 + cut);
+  }
+}
+
 TEST(Crc32, MatchesKnownVector) {
   // IEEE 802.3 CRC32 of "123456789" is the classic check value.
   EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
